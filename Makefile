@@ -1,0 +1,37 @@
+# Convenience targets for the aggregate-skyline reproduction.
+
+PYTHON ?= python
+SCALE ?= smoke
+
+.PHONY: install test bench bench-small bench-paper examples figures clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	REPRO_BENCH_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-small:
+	REPRO_BENCH_SCALE=small $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran"
+
+figures:
+	@for fig in table2 fig8 fig10 fig11 fig12 fig13a fig13b fig13c fig14 ablations extensions; do \
+		$(PYTHON) -m repro experiment $$fig --scale $(SCALE); \
+	done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,125 @@
+"""Benchmarks for the extension features (not paper figures).
+
+Measures the machinery DESIGN.md lists as extensions: the pruned γ-profile
+vs. the brute-force one, incremental maintenance vs. batch recomputation,
+anytime refinement overhead vs. one-shot LO, and partitioned execution.
+"""
+
+import pytest
+from conftest import BENCH_SCALE, make_workload
+
+from repro.core.algorithms import make_algorithm
+from repro.core.anytime import AnytimeAggregateSkyline
+from repro.core.api import gamma_profile
+from repro.core.incremental import IncrementalAggregateSkyline
+from repro.core.partitioned import partitioned_aggregate_skyline
+from repro.core.ranking import compute_gamma_profile
+from repro.core.representative import top_k_dominating_groups
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(BENCH_SCALE, dimensions=3, seed=13)
+
+
+def test_bench_gamma_profile_bruteforce(benchmark, workload):
+    result = benchmark.pedantic(
+        gamma_profile, args=(workload,), iterations=1, rounds=2
+    )
+    assert len(result) == len(workload)
+
+
+def test_bench_gamma_profile_pruned(benchmark, workload):
+    result = benchmark.pedantic(
+        compute_gamma_profile, args=(workload,), iterations=1, rounds=2
+    )
+    assert len(result) == len(workload)
+
+
+def test_bench_incremental_single_insert(benchmark, workload):
+    sky = IncrementalAggregateSkyline(dimensions=workload.dimensions)
+    for group in workload:
+        sky.insert_many(group.key, group.values.tolist())
+
+    record = [0.5] * workload.dimensions
+
+    def insert_delete():
+        sky.insert("hot_group", record)
+        sky.delete("hot_group", record)
+
+    benchmark.pedantic(insert_delete, iterations=5, rounds=3)
+    assert "hot_group" not in sky.group_keys
+
+
+def test_bench_batch_recompute_for_comparison(benchmark, workload):
+    engine = make_algorithm("LO", 0.5)
+    result = benchmark.pedantic(
+        engine.compute, args=(workload,), iterations=1, rounds=3
+    )
+    assert len(result) >= 1
+
+
+def test_bench_anytime_full_run(benchmark, workload):
+    def run():
+        anytime = AnytimeAggregateSkyline(workload, 0.5, block_size=512)
+        return anytime.run(pair_budget_per_step=50_000)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=2)
+    assert len(result) >= 1
+
+
+@pytest.mark.parametrize("partitions", [1, 4])
+def test_bench_partitioned(benchmark, workload, partitions):
+    result = benchmark.pedantic(
+        partitioned_aggregate_skyline,
+        args=(workload,),
+        kwargs={"partitions": partitions},
+        iterations=1,
+        rounds=2,
+    )
+    assert len(result) >= 1
+
+
+def test_bench_top_k_dominating(benchmark, workload):
+    result = benchmark.pedantic(
+        top_k_dominating_groups,
+        args=(workload, 5),
+        iterations=1,
+        rounds=2,
+    )
+    assert len(result) == 5
+
+
+def test_bench_skyline_layers(benchmark, workload):
+    from repro.core.layers import skyline_layers
+
+    result = benchmark.pedantic(
+        skyline_layers, args=(workload,), iterations=1, rounds=2
+    )
+    assert sum(len(layer) for layer in result) == len(workload)
+
+
+def test_bench_approximate_skyline(benchmark, workload):
+    from repro.core.sampling import approximate_aggregate_skyline
+
+    result = benchmark.pedantic(
+        approximate_aggregate_skyline,
+        args=(workload,),
+        kwargs={"samples": 1024},
+        iterations=1,
+        rounds=2,
+    )
+    assert len(result) >= 1
+
+
+def test_extensions_agree_with_batch(workload):
+    """All extension paths produce the Definition-2 result."""
+    reference = make_algorithm("NL", 0.5, prune_policy="safe").compute(
+        workload
+    )
+    anytime = AnytimeAggregateSkyline(workload, 0.5)
+    assert set(anytime.run()) == reference.as_set()
+    partitioned = partitioned_aggregate_skyline(workload, partitions=4)
+    assert partitioned.as_set() == reference.as_set()
+    profile = compute_gamma_profile(workload)
+    assert set(profile.skyline_at(0.5)) == reference.as_set()

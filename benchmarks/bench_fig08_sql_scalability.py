@@ -1,0 +1,36 @@
+"""Figure 8: scalability of the direct SQL implementation on sqlite.
+
+Paper shape: the Algorithm-1 self-join grows super-linearly and the native
+algorithms beat it by one to two orders of magnitude.
+"""
+
+import pytest
+from conftest import BENCH_SCALE, make_workload, regenerate, total_time
+
+from repro.core.algorithms import make_algorithm
+
+
+def test_fig8_regenerate(benchmark):
+    report = regenerate(benchmark, "fig8")
+    sql = total_time(report, "SQL")
+    fastest_native = min(total_time(report, "NL"), total_time(report, "LO"))
+    assert sql > fastest_native, "SQL must lose to the native algorithms"
+    # SQL grows super-linearly (its self-join is quadratic in records):
+    # the fitted log-log growth exponent must be clearly above linear.
+    from repro.harness.analysis import growth_exponent
+
+    exponent = growth_exponent(report.results, "n_records", "SQL")
+    assert exponent > 1.2, f"SQL exponent only {exponent:.2f}"
+
+
+@pytest.mark.parametrize("algorithm", ["SQL", "NL", "LO"])
+def test_bench_fig8_point(benchmark, algorithm):
+    """One figure-8 workload point (2-d, independent) per algorithm."""
+    dataset = make_workload(
+        BENCH_SCALE, distribution="independent", dimensions=2
+    )
+    engine = make_algorithm(algorithm, 0.5)
+    result = benchmark.pedantic(
+        engine.compute, args=(dataset,), iterations=1, rounds=3
+    )
+    assert len(result) >= 1

@@ -1,0 +1,42 @@
+"""Figure 10: run time vs. dimensionality on three data distributions.
+
+Paper shape: index-based IN/LO consistently fastest, with the largest gap on
+anti-correlated data; TR/SI improve markedly on independent and correlated
+data; NL is the slowest throughout.
+"""
+
+import pytest
+from conftest import BENCH_SCALE, make_workload, regenerate
+
+from repro.core.algorithms import make_algorithm
+from repro.harness.runner import DEFAULT_ALGORITHMS
+
+
+def test_fig10_regenerate(benchmark):
+    report = regenerate(benchmark, "fig10")
+
+    def panel_total(distribution, algorithm):
+        return sum(
+            r.elapsed_seconds
+            for r in report.results
+            if r.algorithm == algorithm
+            and r.params["distribution"] == distribution
+        )
+
+    for distribution in ("anticorrelated", "independent", "correlated"):
+        nl = panel_total(distribution, "NL")
+        best_index = min(
+            panel_total(distribution, "IN"), panel_total(distribution, "LO")
+        )
+        assert best_index < nl, distribution
+
+
+@pytest.mark.parametrize("algorithm", DEFAULT_ALGORITHMS)
+def test_bench_fig10_high_dimensional_point(benchmark, algorithm):
+    """The d=7 anti-correlated point — the figure's hardest setting."""
+    dataset = make_workload(BENCH_SCALE, dimensions=7)
+    engine = make_algorithm(algorithm, 0.5)
+    result = benchmark.pedantic(
+        engine.compute, args=(dataset,), iterations=1, rounds=3
+    )
+    assert len(result) >= 1

@@ -1,0 +1,44 @@
+"""Figure 12: run time vs. number of records on three distributions.
+
+Paper shape: index methods outperform the others on anti-correlated data;
+the gap narrows on independent and correlated data.
+"""
+
+import pytest
+from conftest import BENCH_SCALE, make_workload, regenerate
+
+from repro.core.algorithms import make_algorithm
+from repro.harness.runner import DEFAULT_ALGORITHMS
+
+
+def test_fig12_regenerate(benchmark):
+    report = regenerate(benchmark, "fig12")
+
+    anti = [
+        r for r in report.results
+        if r.params["distribution"] == "anticorrelated"
+    ]
+    largest_n = max(r.params["n_records"] for r in anti)
+    at_largest = {
+        r.algorithm: r.elapsed_seconds
+        for r in anti
+        if r.params["n_records"] == largest_n
+    }
+    assert min(at_largest["IN"], at_largest["LO"]) < at_largest["NL"]
+
+    # Cost grows with n for the baseline (sanity of the sweep itself).
+    nl = sorted(
+        (r for r in anti if r.algorithm == "NL"),
+        key=lambda r: r.params["n_records"],
+    )
+    assert nl[-1].elapsed_seconds > nl[0].elapsed_seconds
+
+
+@pytest.mark.parametrize("algorithm", DEFAULT_ALGORITHMS)
+def test_bench_fig12_largest_point(benchmark, algorithm):
+    dataset = make_workload(BENCH_SCALE)
+    engine = make_algorithm(algorithm, 0.5)
+    result = benchmark.pedantic(
+        engine.compute, args=(dataset,), iterations=1, rounds=3
+    )
+    assert len(result) >= 1

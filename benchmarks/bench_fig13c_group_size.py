@@ -1,0 +1,50 @@
+"""Figure 13(c): run time vs. records per class (fixed total records).
+
+Paper shape: few records per class means many groups (quadratic external
+cost); many records per class means few but expensive group comparisons
+(quadratic internal cost).  The optimised algorithms flatten this trade-off
+relative to the baseline.
+"""
+
+import pytest
+from conftest import BENCH_SCALE, regenerate
+
+from repro.core.algorithms import make_algorithm
+from repro.data.synthetic import SyntheticSpec, generate_grouped
+from repro.harness.experiments import SCALES
+from repro.harness.runner import DEFAULT_ALGORITHMS
+
+
+def test_fig13c_regenerate(benchmark):
+    report = regenerate(benchmark, "fig13c")
+    sizes = sorted({r.params["records_per_class"] for r in report.results})
+    assert len(sizes) >= 4
+    # Larger classes => fewer groups => fewer group comparisons for NL.
+    nl = {
+        r.params["records_per_class"]: r.group_comparisons
+        for r in report.results
+        if r.algorithm == "NL"
+    }
+    assert nl[sizes[0]] > nl[sizes[-1]]
+
+
+@pytest.mark.parametrize("records_per_class", [10, 100])
+@pytest.mark.parametrize("algorithm", DEFAULT_ALGORITHMS)
+def test_bench_fig13c_extremes(benchmark, algorithm, records_per_class):
+    """The two extreme class sizes: many tiny vs. few large groups."""
+    factor = SCALES[BENCH_SCALE]
+    n = max(500, int(10_000 * factor))
+    dataset = generate_grouped(
+        SyntheticSpec(
+            n_records=n,
+            avg_group_size=records_per_class,
+            dimensions=5,
+            distribution="anticorrelated",
+            seed=0,
+        )
+    )
+    engine = make_algorithm(algorithm, 0.5)
+    result = benchmark.pedantic(
+        engine.compute, args=(dataset,), iterations=1, rounds=3
+    )
+    assert len(result) >= 1

@@ -1,0 +1,27 @@
+"""Table 2: domination probabilities for the director examples.
+
+Regenerates the six p(S > R) values (1.00 / .94 / .68 / .00 / .06 / .26)
+and micro-benchmarks the exact probability computation.
+"""
+
+from fractions import Fraction
+
+from conftest import regenerate
+
+from repro.core.gamma import dominance_probability
+from repro.data.movies import directors_dataset
+
+
+def test_table2_regenerate(benchmark):
+    report = regenerate(benchmark, "table2")
+    for value in ("1.00", "0.94", "0.68", "0.00", "0.06", "0.26"):
+        assert value in report.text
+
+
+def test_bench_dominance_probability(benchmark):
+    dataset = directors_dataset()
+    tarantino = dataset["Tarantino"]
+    jackson = dataset["Jackson"]
+
+    result = benchmark(dominance_probability, tarantino, jackson)
+    assert result == Fraction(49, 72)

@@ -1,0 +1,95 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``bench_*`` module regenerates one table/figure of the paper.  Each
+module contains:
+
+* one ``test_<fig>_regenerate`` that runs the whole experiment under the
+  ``benchmark`` fixture (a single round — the sweep itself is the workload),
+  writes the figure's series to ``benchmarks/results/<fig>.txt`` and asserts
+  the paper's qualitative *shape* (who wins, roughly by how much);
+* per-algorithm micro-benchmarks on that figure's default workload point.
+
+Scale: set ``REPRO_BENCH_SCALE`` to ``smoke`` (default here, seconds),
+``small`` (default for the CLI, tens of seconds) or ``paper`` (the paper's
+full sizes, minutes) before invoking
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import run_figure
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+def regenerate(benchmark, figure_id: str):
+    """Run one figure experiment under the benchmark fixture, save report."""
+    report = benchmark.pedantic(
+        run_figure, args=(figure_id, BENCH_SCALE), iterations=1, rounds=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / f"{figure_id}_{BENCH_SCALE}.txt"
+    out_path.write_text(report.text + "\n")
+    if report.results:
+        from repro.harness.persistence import save_results
+
+        save_results(
+            report.results, RESULTS_DIR / f"{figure_id}_{BENCH_SCALE}.json"
+        )
+    return report
+
+
+def make_workload(
+    scale: str,
+    distribution: str = "anticorrelated",
+    dimensions: int = 5,
+    group_spread: float = 0.2,
+    size_distribution: str = "uniform",
+    seed: int = 0,
+):
+    """The paper's default workload (10k records, 100/class) at ``scale``."""
+    from repro.data.synthetic import SyntheticSpec, generate_grouped
+    from repro.harness.experiments import SCALES
+
+    factor = SCALES[scale]
+    n = max(400, int(10_000 * factor))
+    per_class = max(10, int(100 * max(factor, 0.2)))
+    return generate_grouped(
+        SyntheticSpec(
+            n_records=n,
+            avg_group_size=per_class,
+            dimensions=dimensions,
+            distribution=distribution,
+            group_spread=group_spread,
+            size_distribution=size_distribution,
+            seed=seed,
+        )
+    )
+
+
+def total_time(report, algorithm: str) -> float:
+    return sum(
+        r.elapsed_seconds for r in report.results if r.algorithm == algorithm
+    )
+
+
+def timings_by_algorithm(report):
+    """{algorithm: [elapsed per sweep point]} for shape assertions."""
+    timings = {}
+    for result in report.results:
+        timings.setdefault(result.algorithm, []).append(
+            result.elapsed_seconds
+        )
+    return timings

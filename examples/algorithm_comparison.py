@@ -1,0 +1,65 @@
+"""Comparing the paper's algorithms on a synthetic workload.
+
+A miniature of the evaluation section: generate an anti-correlated grouped
+dataset (the hardest distribution for skylines), run all five native
+algorithms plus the SQL baseline, and print run time and work counters —
+the same metrics the paper's figures plot.
+
+Run:  python examples/algorithm_comparison.py
+"""
+
+from repro.data.synthetic import SyntheticSpec, generate_grouped
+from repro.harness.runner import run_algorithms
+from repro.relational.table import Table
+
+
+def main() -> None:
+    spec = SyntheticSpec(
+        n_records=3_000,
+        avg_group_size=50,
+        dimensions=4,
+        distribution="anticorrelated",
+        group_spread=0.2,
+        seed=42,
+    )
+    dataset = generate_grouped(spec)
+    print(
+        f"workload: {dataset.total_records} records,"
+        f" {len(dataset)} groups, d={dataset.dimensions},"
+        f" {spec.distribution}"
+    )
+
+    results = run_algorithms(
+        dataset,
+        algorithms=("SQL", "NL", "TR", "SI", "IN", "LO"),
+        gamma=0.5,
+        experiment="example",
+        verify_consistency=True,
+    )
+
+    rows = [
+        (
+            r.algorithm,
+            f"{r.elapsed_seconds:.4f}",
+            r.group_comparisons,
+            r.record_pairs,
+            r.skyline_size,
+            f"{results[0].elapsed_seconds / r.elapsed_seconds:.1f}x",
+        )
+        for r in results
+    ]
+    table = Table(
+        ["algorithm", "time (s)", "group cmp", "record pairs",
+         "skyline", "speed-up vs SQL"],
+        rows,
+    )
+    print()
+    print(table.to_text())
+    print(
+        "\nAll algorithms returned the same skyline"
+        f" ({results[0].skyline_size} groups) - verified."
+    )
+
+
+if __name__ == "__main__":
+    main()

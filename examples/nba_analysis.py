@@ -1,0 +1,112 @@
+"""NBA analysis: the paper's real-data scenario (Section 4.2).
+
+Uses the synthetic NBA player-season table (the offline stand-in for
+databasebasketball.com, see DESIGN.md) and answers questions like the
+paper's motivating ones — *who are the most interesting groups according to
+the features of their elements?* — at several grouping granularities:
+
+* the best *franchises* judged by all the seasons of all their players,
+* the best *players* judged season-by-season (a player with one monster
+  season does not dominate a consistently excellent one),
+* how the γ knob grows the player result from the most selective set.
+
+Run:  python examples/nba_analysis.py
+"""
+
+from repro import aggregate_skyline, gamma_profile
+from repro.data.nba import STAT_COLUMNS, nba_table
+from repro.relational.operators import grouped_dataset_from_table
+
+
+def main() -> None:
+    table = nba_table(seed=7, target_rows=4_000)
+    print(
+        f"synthetic NBA table: {len(table)} player-seasons,"
+        f" columns {list(table.columns)}"
+    )
+
+    # ------------------------------------------------------------------
+    # Best franchises, judged by every season of every player they ran.
+    # With all 8 statistics nearly everything is incomparable (the paper's
+    # 8-attribute NBA queries behave the same way), so we judge on the
+    # perimeter trio where franchises actually differ.
+    # ------------------------------------------------------------------
+    by_team = grouped_dataset_from_table(
+        table, keys=["team"], measures=["pts", "ast", "stl"]
+    )
+    teams = aggregate_skyline(by_team, gamma=0.5, algorithm="LO")
+    print(
+        f"\nBest teams (pts/ast/stl, gamma=.5): {len(teams)}/{len(by_team)}"
+        f" teams -> {sorted(teams.keys)[:10]}"
+    )
+
+    eight_dim = grouped_dataset_from_table(
+        table, keys=["team"], measures=list(STAT_COLUMNS)
+    )
+    all_attrs = aggregate_skyline(eight_dim, gamma=0.5, algorithm="LO")
+    print(
+        f"With all {len(STAT_COLUMNS)} statistics {len(all_attrs)} of"
+        f" {len(eight_dim)} teams are incomparable - more criteria,"
+        " bigger skyline."
+    )
+
+    # ------------------------------------------------------------------
+    # Best players on the classic big-three statistics.
+    # ------------------------------------------------------------------
+    by_player = grouped_dataset_from_table(
+        table, keys=["player"], measures=["pts", "reb", "ast"]
+    )
+    players = aggregate_skyline(by_player, gamma=0.5, algorithm="LO")
+    print(
+        f"\nBest players (pts/reb/ast, gamma=.5):"
+        f" {len(players)}/{len(by_player)} players"
+    )
+    for name in sorted(players.keys)[:8]:
+        seasons = by_player[name].size
+        print(f"  {name:<22} ({seasons} seasons)")
+
+    # ------------------------------------------------------------------
+    # gamma as a result-size knob (Section 2.2): growing the team result.
+    # ------------------------------------------------------------------
+    profile = gamma_profile(by_team)
+    print("\nTeam result size as gamma grows:")
+    for gamma in (0.5, 0.6, 0.75, 0.9, 1.0):
+        admitted = profile.skyline_at(gamma)
+        print(f"  gamma={gamma:<4} -> {len(admitted)} teams")
+
+    # ------------------------------------------------------------------
+    # Weighted gamma-dominance: an 82-game season should count for more
+    # than a 10-game stint.  Weight each player-season by games played.
+    # ------------------------------------------------------------------
+    from repro import weighted_aggregate_skyline
+    from repro.relational.operators import weighted_groups_from_table
+
+    weighted_groups = weighted_groups_from_table(
+        table, ["team"], ["pts", "ast", "stl"], weight="gp"
+    )
+    weighted_teams = weighted_aggregate_skyline(weighted_groups, gamma=0.5)
+    moved = set(teams.keys) ^ set(weighted_teams.keys)
+    print(
+        f"\nWeighting seasons by games played: {len(weighted_teams)} teams"
+        f" survive ({len(moved)} verdict(s) changed vs. uniform weights)"
+    )
+
+    # ------------------------------------------------------------------
+    # Why not aggregate-then-skyline?  A max-per-team skyline can eject a
+    # team no other team actually gamma-dominates (the paper's Cameron /
+    # Nolan discussion).
+    # ------------------------------------------------------------------
+    maxima = {
+        key: [tuple(map(max, zip(*group.values.tolist())))]
+        for key, group in ((g.key, g) for g in by_team)
+    }
+    max_sky = aggregate_skyline(maxima, gamma=0.5, algorithm="NL")
+    only_aggregate = set(teams.keys) - set(max_sky.keys)
+    print(
+        f"\nTeams kept by the aggregate skyline but dropped by a"
+        f" max-then-skyline pipeline: {len(only_aggregate)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Retail scenario: "successful kinds of products" (paper's introduction).
+
+The paper motivates aggregate skylines with, among others, *the
+identification of successful/popular kinds of products in on-line selling
+sites*.  This example builds a small product catalogue, loads it through the
+CSV layer, and asks: which categories are not dominated — judging a
+category by all of its products' (units sold, average rating, margin)?
+
+It also contrasts the answer with the two naive pipelines the paper warns
+about (skyline-then-group and group-then-skyline over averages).
+
+Run:  python examples/retail_categories.py
+"""
+
+import numpy as np
+
+from repro import aggregate_skyline, skyline_mask
+from repro.relational.csvio import dumps_csv, loads_csv
+from repro.relational.operators import grouped_dataset_from_table
+from repro.relational.table import Table
+
+CATEGORIES = {
+    # category: (base units sold, base rating, base margin, spread, count)
+    # "headphones" is heterogeneous (stars and duds); "tablets" is the
+    # paper's Jackson: consistently good with no extreme product, so it has
+    # no record-skyline entry yet no category gamma-dominates it.
+    "headphones": (900, 4.2, 18.0, 0.55, 14),
+    "keyboards": (500, 4.0, 14.0, 0.25, 12),
+    "webcams": (350, 3.4, 9.0, 0.30, 10),
+    "monitors": (650, 4.3, 22.0, 0.20, 9),
+    "cables": (2000, 3.8, 4.0, 0.45, 20),
+    "tablets": (700, 4.25, 16.0, 0.08, 10),
+    "novelty_gifts": (120, 2.9, 6.0, 0.50, 11),
+}
+
+
+def build_catalogue(seed: int = 11) -> Table:
+    """A product table with per-category location and spread."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for category, (units, rating, margin, spread, count) in CATEGORIES.items():
+        for i in range(count):
+            factor = float(rng.lognormal(0.0, spread))
+            rows.append(
+                (
+                    f"{category}-{i:02d}",
+                    category,
+                    round(units * factor, 0),
+                    round(float(np.clip(rating + rng.normal(0, 0.35), 1, 5)), 2),
+                    round(margin * float(rng.lognormal(0.0, 0.2)), 2),
+                )
+            )
+    return Table(["product", "category", "units", "rating", "margin"], rows)
+
+
+def main() -> None:
+    table = build_catalogue()
+
+    # Round-trip through CSV to exercise the I/O layer like a real client.
+    table = loads_csv(dumps_csv(table))
+    print(f"catalogue: {len(table)} products in {len(CATEGORIES)} categories")
+
+    measures = ["units", "rating", "margin"]
+    dataset = grouped_dataset_from_table(table, ["category"], measures)
+
+    winners = aggregate_skyline(dataset, gamma=0.5, algorithm="LO")
+    print(f"\nAggregate skyline categories (gamma=.5): {sorted(winners.keys)}")
+
+    # Naive pipeline 1: record skyline first, then look at the categories of
+    # the surviving products ("directors of the most interesting movies",
+    # not "the most interesting directors").
+    values = [
+        [float(row[table.column_position(c)]) for c in measures]
+        for row in table.rows
+    ]
+    mask = skyline_mask(values)
+    category_position = table.column_position("category")
+    sky_categories = sorted(
+        {row[category_position] for row, keep in zip(table.rows, mask) if keep}
+    )
+    print(f"skyline-then-group categories:          {sky_categories}")
+
+    # Naive pipeline 2: average each category, then a record skyline over
+    # the averages (unstable under monotone transformations, per the paper).
+    averages = {
+        group.key: [np.asarray(group.values).mean(axis=0)]
+        for group in dataset
+    }
+    avg_winners = aggregate_skyline(averages, gamma=0.5, algorithm="NL")
+    print(f"avg-then-skyline categories:            {sorted(avg_winners.keys)}")
+
+    dropped = sorted(set(winners.keys) - set(sky_categories))
+    print(
+        f"\nKept only by the aggregate skyline: {dropped} - a consistent"
+        "\ncategory with no single star product (the paper's Jackson case)."
+        "\nOnly the aggregate skyline judges every category by all of its"
+        "\nproducts under any monotone user preference (Section 2.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

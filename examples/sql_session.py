@@ -1,0 +1,81 @@
+"""A scripted SQL session: the operator as a database feature.
+
+Drives the interactive shell programmatically through a complete
+workflow — create a schema, insert data, run aggregate-skyline queries
+with different γ and the WEIGHT BY extension, mutate the data, watch the
+answer change, and persist the database to disk.
+
+(Interactively, the same session is just ``aggskyline shell``.)
+
+Run:  python examples/sql_session.py
+"""
+
+import io
+import tempfile
+from pathlib import Path
+
+from repro.query.shell import Shell
+
+SESSION = """
+CREATE TABLE seasons (team, year, wins, point_diff, attendance);
+INSERT INTO seasons VALUES
+  ('Harbor',  2019, 52,  4.1, 17200),
+  ('Harbor',  2020, 55,  5.0, 17900),
+  ('Harbor',  2021, 49,  3.2, 18100),
+  ('Summit',  2019, 60,  6.5,  14800),
+  ('Summit',  2020, 23, -4.0,  14100),
+  ('Summit',  2021, 58,  6.0,  15000),
+  ('Prairie', 2019, 41,  0.5, 16900),
+  ('Prairie', 2020, 43,  0.8, 16800),
+  ('Prairie', 2021, 40,  0.2, 17000),
+  ('Gorge',   2019, 30, -2.5, 12000),
+  ('Gorge',   2020, 28, -3.0, 11800),
+  ('Gorge',   2021, 33, -1.5, 12500);
+.tables
+.schema seasons
+
+SELECT team, count(*) AS seasons, max(wins)
+FROM seasons GROUP BY team ORDER BY team;
+
+SELECT team FROM seasons GROUP BY team
+SKYLINE OF wins MAX, point_diff MAX, attendance MAX
+USING ALGORITHM NL ORDER BY team;
+
+SELECT team FROM seasons GROUP BY team
+SKYLINE OF wins MAX, point_diff MAX
+WITH GAMMA 0.9 ORDER BY team;
+
+SELECT team FROM seasons GROUP BY team
+SKYLINE OF wins MAX, point_diff MAX
+WEIGHT BY attendance ORDER BY team;
+
+UPDATE seasons SET wins = 59, point_diff = 6.2
+WHERE team = 'Prairie' AND year >= 2020;
+
+SELECT team FROM seasons GROUP BY team
+SKYLINE OF wins MAX, point_diff MAX USING ALGORITHM NL ORDER BY team;
+
+DELETE FROM seasons WHERE team = 'Gorge';
+.tables
+.timing
+SELECT count(*) AS remaining FROM seasons GROUP BY team ORDER BY team;
+.save {savedir}
+.quit
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        savedir = Path(tmp) / "league_db"
+        script = SESSION.format(savedir=savedir)
+        output = io.StringIO()
+        exit_code = Shell(
+            stdin=io.StringIO(script), stdout=output
+        ).run()
+        print(output.getvalue())
+        saved = sorted(p.name for p in savedir.iterdir())
+        print(f"(exit {exit_code}; persisted files: {saved})")
+
+
+if __name__ == "__main__":
+    main()

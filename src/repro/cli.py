@@ -1,0 +1,364 @@
+"""Command-line interface: ``aggskyline`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``query``      Run a SKYLINE-extended SQL query over CSV tables.
+``skyline``    Aggregate skyline of a CSV without writing SQL.
+``rank``       Rank groups by the smallest gamma admitting them.
+``stats``      Dataset shape statistics + algorithm suggestion.
+``shell``      Interactive SQL shell (DDL/DML + SKYLINE queries).
+``generate``   Emit a synthetic grouped workload as CSV.
+``nba``        Emit the synthetic NBA player-season table as CSV.
+``experiment`` Regenerate one of the paper's figures/tables.
+``compare``    Diff two saved benchmark result files.
+
+Examples::
+
+    aggskyline generate --records 2000 --dims 3 --out data.csv
+    aggskyline skyline --csv data.csv --group-by group \
+        --of a0:max,a1:max,a2:max --gamma 0.5 --algorithm LO
+    aggskyline query --table movies=movies.csv \
+        "SELECT director FROM movies GROUP BY director SKYLINE OF pop MAX, qual MAX"
+    aggskyline experiment fig10 --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.api import aggregate_skyline
+from .core.dominance import Direction
+from .data.nba import nba_table
+from .data.synthetic import SyntheticSpec, generate_grouped
+from .harness.experiments import FIGURES, SCALES, run_figure
+from .query.executor import execute
+from .relational.csvio import load_csv, save_csv
+from .relational.operators import grouped_dataset_from_table
+from .relational.table import Table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="aggskyline",
+        description="Aggregate skyline queries (EDBT 2013 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="run a SKYLINE SQL query")
+    query.add_argument("sql", help="the query text")
+    query.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=CSV",
+        help="bind a table name to a CSV file (repeatable)",
+    )
+    query.add_argument("--max-rows", type=int, default=None)
+
+    sky = commands.add_parser("skyline", help="aggregate skyline of a CSV")
+    sky.add_argument("--csv", required=True, help="input CSV file")
+    sky.add_argument(
+        "--group-by", required=True, help="comma-separated grouping columns"
+    )
+    sky.add_argument(
+        "--of",
+        required=True,
+        help="skyline dimensions, e.g. 'pop:max,qual:min'",
+    )
+    sky.add_argument("--gamma", type=float, default=0.5)
+    sky.add_argument("--algorithm", default="LO")
+
+    rank = commands.add_parser(
+        "rank", help="rank groups by minimal admitting gamma"
+    )
+    rank.add_argument("--csv", required=True, help="input CSV file")
+    rank.add_argument(
+        "--group-by", required=True, help="comma-separated grouping columns"
+    )
+    rank.add_argument(
+        "--of",
+        required=True,
+        help="skyline dimensions, e.g. 'pop:max,qual:min'",
+    )
+    rank.add_argument("--limit", type=int, default=None)
+
+    gen = commands.add_parser("generate", help="synthetic grouped CSV")
+    gen.add_argument("--records", type=int, default=10_000)
+    gen.add_argument("--dims", type=int, default=5)
+    gen.add_argument("--group-size", type=int, default=100)
+    gen.add_argument(
+        "--distribution",
+        default="independent",
+        choices=("independent", "correlated", "anticorrelated"),
+    )
+    gen.add_argument("--spread", type=float, default=0.2)
+    gen.add_argument(
+        "--sizes", default="uniform", choices=("uniform", "zipf")
+    )
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+
+    nba = commands.add_parser("nba", help="synthetic NBA table as CSV")
+    nba.add_argument("--rows", type=int, default=15_000)
+    nba.add_argument("--seed", type=int, default=7)
+    nba.add_argument("--out", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper figure"
+    )
+    experiment.add_argument("figure", choices=sorted(FIGURES))
+    experiment.add_argument(
+        "--scale", default="small", choices=sorted(SCALES)
+    )
+
+    compare = commands.add_parser(
+        "compare", help="compare two saved benchmark result files"
+    )
+    compare.add_argument("baseline", help="JSON results (before)")
+    compare.add_argument("contender", help="JSON results (after)")
+
+    shell = commands.add_parser(
+        "shell", help="interactive SKYLINE SQL shell"
+    )
+    shell.add_argument(
+        "--open", dest="open_dir", default=None,
+        help="load a database directory on startup",
+    )
+    shell.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=CSV",
+        help="preload a CSV as a table (repeatable)",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="shape statistics + algorithm suggestion for a CSV"
+    )
+    stats.add_argument("--csv", required=True, help="input CSV file")
+    stats.add_argument(
+        "--group-by", required=True, help="comma-separated grouping columns"
+    )
+    stats.add_argument(
+        "--of",
+        required=True,
+        help="skyline dimensions, e.g. 'pop:max,qual:min'",
+    )
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "query": _cmd_query,
+        "skyline": _cmd_skyline,
+        "rank": _cmd_rank,
+        "generate": _cmd_generate,
+        "nba": _cmd_nba,
+        "experiment": _cmd_experiment,
+        "compare": _cmd_compare,
+        "stats": _cmd_stats,
+        "shell": _cmd_shell,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+
+
+def _cmd_query(args) -> int:
+    catalog = {}
+    for binding in args.table:
+        name, _, path = binding.partition("=")
+        if not path:
+            print(f"error: --table expects NAME=CSV, got {binding!r}",
+                  file=sys.stderr)
+            return 2
+        catalog[name] = load_csv(path)
+    result = execute(args.sql, catalog)
+    print(result.to_text(max_rows=args.max_rows))
+    if result.skyline_result is not None:
+        stats = result.skyline_result.stats
+        print(
+            f"\n[{stats.algorithm}] {len(result.skyline_result)} groups in"
+            f" the skyline; {stats.group_comparisons} group comparisons,"
+            f" {stats.record_pairs_examined} record pairs"
+        )
+    return 0
+
+
+def _cmd_skyline(args) -> int:
+    table = load_csv(args.csv)
+    keys = [c.strip() for c in args.group_by.split(",") if c.strip()]
+    measures, directions = _parse_measures(args.of)
+    dataset = grouped_dataset_from_table(table, keys, measures, directions)
+    result = aggregate_skyline(
+        dataset, gamma=args.gamma, algorithm=args.algorithm
+    )
+    out = Table(["group"], [[_render_key(k)] for k in result.keys])
+    print(out.to_text())
+    stats = result.stats
+    print(
+        f"\n[{stats.algorithm}] gamma={result.gamma:g};"
+        f" {len(result)}/{len(dataset)} groups survive;"
+        f" {stats.group_comparisons} group comparisons,"
+        f" {stats.record_pairs_examined} record pairs"
+    )
+    return 0
+
+
+def _parse_measures(spec: str):
+    measures = []
+    directions = []
+    for piece in spec.split(","):
+        column, _, direction = piece.strip().partition(":")
+        measures.append(column)
+        directions.append(Direction.from_any(direction or "max"))
+    return measures, directions
+
+
+def _cmd_rank(args) -> int:
+    from .core.ranking import compute_gamma_profile
+
+    table = load_csv(args.csv)
+    keys = [c.strip() for c in args.group_by.split(",") if c.strip()]
+    measures, directions = _parse_measures(args.of)
+    dataset = grouped_dataset_from_table(table, keys, measures, directions)
+    profile = compute_gamma_profile(dataset)
+    ranking = profile.ranked()
+    if args.limit is not None:
+        ranking = ranking[: args.limit]
+    rows = [
+        (
+            _render_key(key),
+            "never" if gamma is None else f"{float(gamma):.4f}",
+        )
+        for key, gamma in ranking
+    ]
+    print(Table(["group", "minimal gamma"], rows).to_text())
+    return 0
+
+
+def _cmd_shell(args) -> int:
+    from .query.shell import Shell
+    from .relational.database import Database
+
+    if args.open_dir:
+        database = Database.load(args.open_dir)
+    else:
+        database = Database()
+    for binding in args.table:
+        name, _, path = binding.partition("=")
+        if not path:
+            print(f"error: --table expects NAME=CSV, got {binding!r}",
+                  file=sys.stderr)
+            return 2
+        database.register(name, load_csv(path))
+    return Shell(database=database).run()
+
+
+def _cmd_stats(args) -> int:
+    from .core.diagnostics import dataset_statistics, suggest_algorithm
+
+    table = load_csv(args.csv)
+    keys = [c.strip() for c in args.group_by.split(",") if c.strip()]
+    measures, directions = _parse_measures(args.of)
+    dataset = grouped_dataset_from_table(table, keys, measures, directions)
+    stats = dataset_statistics(dataset)
+    print(stats.describe())
+    print(f"suggested algorithm: {suggest_algorithm(dataset)}")
+    return 0
+
+
+def _render_key(key) -> str:
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def _cmd_generate(args) -> int:
+    spec = SyntheticSpec(
+        n_records=args.records,
+        avg_group_size=args.group_size,
+        dimensions=args.dims,
+        distribution=args.distribution,
+        group_spread=args.spread,
+        size_distribution=args.sizes,
+        seed=args.seed,
+    )
+    dataset = generate_grouped(spec)
+    columns = ["group", *(f"a{i}" for i in range(spec.dimensions))]
+    rows = [
+        [group.key, *(float(v) for v in record)]
+        for group in dataset
+        for record in group.values
+    ]
+    save_csv(Table(columns, rows), args.out)
+    print(
+        f"wrote {len(rows)} records in {len(dataset)} groups to {args.out}"
+    )
+    return 0
+
+
+def _cmd_nba(args) -> int:
+    table = nba_table(seed=args.seed, target_rows=args.rows)
+    save_csv(table, args.out)
+    print(f"wrote {len(table)} player-seasons to {args.out}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    report = run_figure(args.figure, scale=args.scale)
+    print(report.text)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .harness.persistence import load_results
+
+    baseline = load_results(args.baseline)
+    contender = load_results(args.contender)
+
+    def key_of(result):
+        return (
+            result.experiment,
+            tuple(sorted((k, str(v)) for k, v in result.params.items())),
+            result.algorithm,
+        )
+
+    contenders = {key_of(r): r for r in contender}
+    rows = []
+    for before in baseline:
+        after = contenders.get(key_of(before))
+        if after is None or after.elapsed_seconds == 0:
+            continue
+        rows.append(
+            (
+                before.experiment,
+                before.algorithm,
+                _render_key(tuple(f"{k}={v}" for k, v in before.params.items())),
+                round(before.elapsed_seconds, 4),
+                round(after.elapsed_seconds, 4),
+                round(before.elapsed_seconds / after.elapsed_seconds, 2),
+            )
+        )
+    if not rows:
+        print("no overlapping measurements between the two files")
+        return 1
+    print(
+        Table(
+            ["experiment", "algorithm", "params",
+             "before (s)", "after (s)", "speed-up"],
+            rows,
+        ).to_text()
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Aggregate-skyline algorithms (Section 3 of the paper).
+
+The registry maps the paper's evaluation names to implementations:
+
+======  =======================================================
+``NL``  Nested loop with stop condition (Algorithm 2)
+``TR``  Transitive, weak-transitivity pruning (Algorithm 3)
+``SI``  Sorted access (Algorithm 4 + Section 3.4 global opt.)
+``IN``  Spatial-index window queries (Algorithm 5)
+``LO``  IN plus bounding-box approximation (Section 3.3)
+``SQL`` Direct SQL implementation on sqlite (Algorithm 1)
+``AD``  Adaptive LO/SI dispatch by estimated overlap (extension)
+======  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..gamma import GammaLike
+from .adaptive import AdaptiveAlgorithm
+from .base import AggregateSkylineAlgorithm, GroupState, PRUNE_POLICIES
+from .indexed import IndexedAlgorithm
+from .indexed_bbox import IndexedBBoxAlgorithm
+from .nested_loop import NestedLoopAlgorithm
+from .sorted_access import SortedAlgorithm
+from .sql_baseline import SqlBaselineAlgorithm, build_skyline_sql
+from .transitive import TransitiveAlgorithm
+
+__all__ = [
+    "AggregateSkylineAlgorithm",
+    "GroupState",
+    "PRUNE_POLICIES",
+    "NestedLoopAlgorithm",
+    "AdaptiveAlgorithm",
+    "TransitiveAlgorithm",
+    "SortedAlgorithm",
+    "IndexedAlgorithm",
+    "IndexedBBoxAlgorithm",
+    "SqlBaselineAlgorithm",
+    "build_skyline_sql",
+    "ALGORITHMS",
+    "make_algorithm",
+]
+
+ALGORITHMS = {
+    "NL": NestedLoopAlgorithm,
+    "AD": AdaptiveAlgorithm,
+    "TR": TransitiveAlgorithm,
+    "SI": SortedAlgorithm,
+    "IN": IndexedAlgorithm,
+    "LO": IndexedBBoxAlgorithm,
+    "SQL": SqlBaselineAlgorithm,
+}
+
+
+def make_algorithm(
+    name: str,
+    gamma: GammaLike = 0.5,
+    **options,
+) -> Union[AggregateSkylineAlgorithm, SqlBaselineAlgorithm]:
+    """Instantiate an algorithm by its paper name (case-insensitive)."""
+    key = name.strip().upper()
+    if key not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    return ALGORITHMS[key](gamma, **options)

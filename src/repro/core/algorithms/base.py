@@ -1,0 +1,203 @@
+"""Shared driver machinery for the aggregate-skyline algorithms.
+
+Every algorithm from Section 3 of the paper is a subclass of
+:class:`AggregateSkylineAlgorithm`; they share group-status bookkeeping
+(active / dominated / strongly dominated) and the work counters the
+benchmarks report.
+
+Two pruning policies are supported (see DESIGN.md, "Semantics and
+faithfulness notes"):
+
+``prune_policy="paper"``
+    The verbatim pseudocode: groups marked *strongly dominated* (γ̄-level)
+    are skipped entirely, both as candidates and as potential dominators.
+    Weak transitivity (Prop. 5) guarantees their γ̄-exclusions are inherited
+    by their own dominator, but merely-γ exclusions are not covered, so in
+    adversarial configurations the result can be a strict superset of the
+    exact Definition-2 skyline.
+
+``prune_policy="safe"``
+    Exact under Definition 2: an excluded group is skipped as a *candidate*
+    (its fate is sealed), but it is still probed — one-directionally, which
+    is cheap with the stopping rule — as a potential *dominator* of groups
+    whose fate is still open.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, List, Optional
+
+from ..comparator import ComparisonOutcome, GroupComparator
+from ..gamma import GammaLike, GammaThresholds
+from ..groups import Group, GroupedDataset
+from ..result import AggregateSkylineResult, AlgorithmStats, Timer
+
+__all__ = ["AggregateSkylineAlgorithm", "GroupState", "PRUNE_POLICIES"]
+
+PRUNE_POLICIES = ("paper", "safe")
+
+
+class GroupState:
+    """Per-group dominance status shared by every algorithm."""
+
+    __slots__ = ("dominated", "strong")
+
+    def __init__(self, n_groups: int):
+        self.dominated = [False] * n_groups
+        self.strong = [False] * n_groups
+
+    def mark_dominated(self, index: int) -> None:
+        self.dominated[index] = True
+
+    def mark_strong(self, index: int) -> None:
+        self.dominated[index] = True
+        self.strong[index] = True
+
+    def is_dominated(self, index: int) -> bool:
+        return self.dominated[index]
+
+    def is_strong(self, index: int) -> bool:
+        return self.strong[index]
+
+    def surviving_keys(self, groups: List[Group]) -> List[Hashable]:
+        return [
+            group.key
+            for group, out in zip(groups, self.dominated)
+            if not out
+        ]
+
+
+class AggregateSkylineAlgorithm(abc.ABC):
+    """Base class: configuration, statistics, and the compute() template."""
+
+    #: Short identifier used in benchmark output (paper's NL/TR/SI/IN/LO).
+    name = "?"
+
+    def __init__(
+        self,
+        gamma: GammaLike = 0.5,
+        use_stopping_rule: bool = True,
+        use_bbox: bool = False,
+        prune_policy: str = "paper",
+        block_size: int = 1024,
+    ):
+        if prune_policy not in PRUNE_POLICIES:
+            raise ValueError(
+                f"prune_policy must be one of {PRUNE_POLICIES}, got {prune_policy!r}"
+            )
+        self.thresholds = GammaThresholds(gamma)
+        self.prune_policy = prune_policy
+        self.comparator = GroupComparator(
+            self.thresholds,
+            use_stopping_rule=use_stopping_rule,
+            use_bbox=use_bbox,
+            block_size=block_size,
+        )
+        self._groups_skipped = 0
+        self._index_candidates = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def compute(self, dataset: GroupedDataset) -> AggregateSkylineResult:
+        """Run the algorithm and return surviving group keys plus stats."""
+        self.comparator.reset_stats()
+        self._groups_skipped = 0
+        self._index_candidates = 0
+        state = GroupState(len(dataset))
+        groups = dataset.groups
+        with Timer() as timer:
+            self._run(groups, state)
+        stats = AlgorithmStats(
+            algorithm=self.name,
+            group_comparisons=self.comparator.comparisons,
+            record_pairs_examined=self.comparator.pairs_examined,
+            bbox_shortcuts=self.comparator.bbox_shortcuts,
+            groups_skipped=self._groups_skipped,
+            index_candidates=self._index_candidates,
+            elapsed_seconds=timer.elapsed,
+        )
+        return AggregateSkylineResult(
+            keys=state.surviving_keys(groups),
+            gamma=float(self.thresholds.gamma),
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # subclass hook
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _run(self, groups: List[Group], state: GroupState) -> None:
+        """Populate ``state`` with dominated / strongly-dominated marks."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    #: Set by index-driven algorithms, where every group's verdict comes from
+    #: its *own* window query: there a group whose verdict is sealed can be
+    #: skipped as candidate without affecting anyone else's verdict.  In
+    #: pair-once loops (NL/TR/SI) a dominated candidate must still be probed
+    #: one-directionally as a dominator, so the safe policy never skips it.
+    _verdicts_are_independent = False
+
+    def _skip_as_candidate(self, index: int, state: GroupState) -> bool:
+        """Should ``index`` be skipped as the current candidate ``g1``?"""
+        if self.prune_policy == "paper":
+            skip = state.is_strong(index)
+        elif self._verdicts_are_independent:
+            skip = state.is_dominated(index)
+        else:
+            skip = False
+        if skip:
+            self._groups_skipped += 1
+        return skip
+
+    def _compare_pair(
+        self,
+        groups: List[Group],
+        i: int,
+        j: int,
+        state: GroupState,
+    ) -> Optional[ComparisonOutcome]:
+        """Algorithm-3 inner step for the pair ``(g_i, g_j)``.
+
+        Applies the pruning policy, performs the (possibly one-directional)
+        comparison and updates ``state``.  Returns the raw outcome, or
+        ``None`` when the pair was skipped entirely.  Callers should stop
+        processing ``g_i`` when the outcome says it became strongly
+        dominated (``d21_strong``) — and, under the safe policy, already
+        when it is merely dominated.
+        """
+        if self.prune_policy == "paper":
+            if state.is_strong(j):
+                self._groups_skipped += 1
+                return None
+            need_forward = True
+            need_backward = True
+        else:
+            # Safe policy: directions that can no longer change any verdict
+            # are dropped instead of whole groups.
+            need_forward = not state.is_dominated(j)
+            need_backward = not state.is_dominated(i)
+            if not (need_forward or need_backward):
+                self._groups_skipped += 1
+                return None
+
+        outcome = self.comparator.compare(
+            groups[i], groups[j],
+            need_forward=need_forward,
+            need_backward=need_backward,
+        )
+        if outcome.d12_strong:
+            state.mark_strong(j)
+        elif outcome.d12:
+            state.mark_dominated(j)
+        if outcome.d21_strong:
+            state.mark_strong(i)
+        elif outcome.d21:
+            state.mark_dominated(i)
+        return outcome

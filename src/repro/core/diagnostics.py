@@ -1,0 +1,92 @@
+"""Dataset diagnostics and algorithm suggestion.
+
+The evaluation shows the winning algorithm depends on the data's shape:
+group overlap (Figure 11), group-size distribution (Figure 13) and group
+count all matter.  :func:`dataset_statistics` measures those shape
+parameters; :func:`suggest_algorithm` turns them into a recommendation
+(the same regime analysis the `AD` algorithm applies internally, exposed
+for humans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from .algorithms.adaptive import estimate_overlap
+from .groups import GroupedDataset
+
+__all__ = ["DatasetStatistics", "dataset_statistics", "suggest_algorithm"]
+
+
+@dataclass
+class DatasetStatistics:
+    """Shape parameters of a grouped dataset."""
+
+    groups: int
+    records: int
+    dimensions: int
+    min_group_size: int
+    median_group_size: float
+    max_group_size: int
+    size_skew: float          # max / median; > ~5 means heavy tail
+    overlap: float            # sampled fraction of intersecting MBB pairs
+    pair_budget: int          # upper bound on record pairs (Eq. 3/4)
+
+    def describe(self) -> str:
+        return (
+            f"{self.groups} groups, {self.records} records,"
+            f" d={self.dimensions}; group sizes"
+            f" {self.min_group_size}/{self.median_group_size:g}/"
+            f"{self.max_group_size} (min/median/max,"
+            f" skew {self.size_skew:.1f}); MBB overlap"
+            f" {self.overlap:.0%}; worst-case record pairs"
+            f" {self.pair_budget}"
+        )
+
+
+def dataset_statistics(
+    dataset: GroupedDataset, overlap_samples: int = 256
+) -> DatasetStatistics:
+    """Measure the shape parameters the evaluation section sweeps."""
+    sizes = np.array([group.size for group in dataset])
+    median = float(np.median(sizes))
+    pair_budget = int(
+        (int(sizes.sum()) ** 2 - int((sizes**2).sum())) // 2
+    )
+    return DatasetStatistics(
+        groups=len(dataset),
+        records=int(sizes.sum()),
+        dimensions=dataset.dimensions,
+        min_group_size=int(sizes.min()),
+        median_group_size=median,
+        max_group_size=int(sizes.max()),
+        size_skew=float(sizes.max() / max(median, 1.0)),
+        overlap=estimate_overlap(
+            dataset.groups, sample_pairs=overlap_samples
+        ),
+        pair_budget=pair_budget,
+    )
+
+
+def suggest_algorithm(
+    dataset: GroupedDataset, overlap_samples: int = 256
+) -> str:
+    """Recommend an algorithm name for this dataset's shape.
+
+    Heuristics distilled from the reproduction's own measurements
+    (EXPERIMENTS.md):
+
+    * tiny problems — ``NL`` (overheads dominate);
+    * heavy MBB overlap — ``SI`` (window queries return everything,
+      Figure 11's crossover);
+    * heavy-tailed group sizes — ``SI`` profits from small-groups-first,
+      but the index methods still win — ``LO``;
+    * otherwise — ``LO``.
+    """
+    stats = dataset_statistics(dataset, overlap_samples=overlap_samples)
+    if stats.pair_budget <= 50_000:
+        return "NL"
+    if stats.overlap >= 0.65:
+        return "SI"
+    return "LO"

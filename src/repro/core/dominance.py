@@ -1,0 +1,160 @@
+"""Record-level Pareto dominance.
+
+This module implements Definition 1 of the paper: a record ``r`` dominates a
+record ``s`` (written ``r > s`` throughout the paper) iff ``r`` is at least as
+good as ``s`` in every dimension and strictly better in at least one.
+
+Every dimension carries a direction: ``MAX`` (higher is better, the paper's
+default) or ``MIN`` (lower is better).  Internally the library normalises all
+data to *higher is better* by negating ``MIN`` dimensions, so the dominance
+kernels only ever deal with maximisation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "Direction",
+    "parse_directions",
+    "normalize_values",
+    "denormalize_values",
+    "dominates",
+    "dominance_sign",
+    "dominated_mask",
+    "strictly_dominates_all",
+]
+
+
+class Direction(enum.Enum):
+    """Optimisation direction of one skyline dimension."""
+
+    MAX = "max"
+    MIN = "min"
+
+    @classmethod
+    def from_any(cls, value: Union[str, "Direction"]) -> "Direction":
+        """Coerce a user-supplied direction (``"max"``/``"MIN"``/enum)."""
+        if isinstance(value, Direction):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("max", "+", "high", "desc"):
+                return cls.MAX
+            if lowered in ("min", "-", "low", "asc"):
+                return cls.MIN
+        raise ValueError(f"not a valid direction: {value!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value.upper()
+
+
+def parse_directions(
+    directions: Union[None, str, Direction, Sequence[Union[str, Direction]]],
+    dimensions: int,
+) -> tuple:
+    """Normalise a direction specification into a tuple of ``Direction``.
+
+    ``directions`` may be ``None`` (all ``MAX``, the paper's convention), a
+    single value applied to every dimension, or a sequence with one entry per
+    dimension.
+    """
+    if dimensions <= 0:
+        raise ValueError("dimensions must be positive")
+    if directions is None:
+        return (Direction.MAX,) * dimensions
+    if isinstance(directions, (str, Direction)):
+        return (Direction.from_any(directions),) * dimensions
+    parsed = tuple(Direction.from_any(d) for d in directions)
+    if len(parsed) != dimensions:
+        raise ValueError(
+            f"expected {dimensions} directions, got {len(parsed)}"
+        )
+    return parsed
+
+
+def normalize_values(
+    values: np.ndarray,
+    directions: Sequence[Direction],
+) -> np.ndarray:
+    """Return a copy of ``values`` where every dimension is *higher better*.
+
+    ``MIN`` columns are negated.  The result is always a float64 C-contiguous
+    array, the canonical internal representation.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ValueError("values must be a 2-d array (records x dimensions)")
+    if array.shape[1] != len(directions):
+        raise ValueError(
+            f"values have {array.shape[1]} dimensions, "
+            f"expected {len(directions)}"
+        )
+    if np.isnan(array).any():
+        raise ValueError(
+            "records contain NaN values; dominance comparisons with NaN"
+            " are undefined — clean or impute the data first"
+        )
+    result = np.ascontiguousarray(array, dtype=np.float64).copy()
+    for column, direction in enumerate(directions):
+        if direction is Direction.MIN:
+            result[:, column] = -result[:, column]
+    return result
+
+
+def denormalize_values(
+    values: np.ndarray,
+    directions: Sequence[Direction],
+) -> np.ndarray:
+    """Invert :func:`normalize_values` (negation is its own inverse)."""
+    return normalize_values(values, directions)
+
+
+def dominates(r: Iterable[float], s: Iterable[float]) -> bool:
+    """Definition 1: ``r`` dominates ``s`` (both already *higher better*)."""
+    r_arr = np.asarray(r, dtype=np.float64)
+    s_arr = np.asarray(s, dtype=np.float64)
+    if r_arr.shape != s_arr.shape:
+        raise ValueError("records must have the same dimensionality")
+    return bool(np.all(r_arr >= s_arr) and np.any(r_arr > s_arr))
+
+
+def dominance_sign(r: Iterable[float], s: Iterable[float]) -> int:
+    """Three-way dominance comparison.
+
+    Returns ``1`` if ``r`` dominates ``s``, ``-1`` if ``s`` dominates ``r``
+    and ``0`` if the records are equal or incomparable.
+    """
+    r_arr = np.asarray(r, dtype=np.float64)
+    s_arr = np.asarray(s, dtype=np.float64)
+    r_ge = bool(np.all(r_arr >= s_arr))
+    s_ge = bool(np.all(s_arr >= r_arr))
+    if r_ge and not s_ge:
+        return 1
+    if s_ge and not r_ge:
+        return -1
+    return 0
+
+
+def dominated_mask(points: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Boolean mask of rows of ``points`` dominated by ``reference``.
+
+    Vectorised form of Definition 1 with a single dominating candidate.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    ref = np.asarray(reference, dtype=np.float64)
+    ge = np.all(ref >= pts, axis=1)
+    gt = np.any(ref > pts, axis=1)
+    return ge & gt
+
+
+def strictly_dominates_all(reference: np.ndarray, points: np.ndarray) -> bool:
+    """True iff ``reference`` dominates every row of ``points``."""
+    if len(points) == 0:
+        return True
+    return bool(np.all(dominated_mask(points, reference)))

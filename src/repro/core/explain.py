@@ -1,0 +1,127 @@
+"""Explanations for aggregate-skyline membership.
+
+"Why is my group not in the result?" is the first question every skyline
+user asks.  :func:`explain` answers it with the full evidence: every group
+that γ-dominates the target, the exact probability, and — for groups in
+the result — the strongest challenger that failed to reach γ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Iterable, List, Mapping, Optional, Union
+
+from .api import _coerce_dataset
+from .dominance import Direction
+from .gamma import GammaLike, GammaThresholds, dominance_holds, dominance_probability
+from .groups import GroupedDataset
+
+__all__ = ["Domination", "Explanation", "explain"]
+
+
+@dataclass(frozen=True)
+class Domination:
+    """One group's domination evidence against the target."""
+
+    dominator: Hashable
+    probability: Fraction
+    is_total: bool          # p = 1 (strict group dominance)
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        kind = "totally dominates" if self.is_total else "dominates"
+        return (
+            f"{self.dominator!r} {kind} the target with"
+            f" p = {float(self.probability):.4f}"
+        )
+
+
+@dataclass
+class Explanation:
+    """Why a group is in (or out of) the γ-skyline."""
+
+    key: Hashable
+    gamma: float
+    in_skyline: bool
+    #: Groups whose domination excludes the target (empty if in skyline).
+    dominators: List[Domination]
+    #: The strongest challenger overall (None for a singleton universe).
+    strongest_challenger: Optional[Domination]
+    #: Smallest γ that would admit the target (None: never admitted).
+    minimal_gamma: Optional[Fraction]
+
+    def summary(self) -> str:
+        """One-paragraph human-readable explanation."""
+        if self.in_skyline:
+            if self.strongest_challenger is None:
+                return f"{self.key!r} is in the skyline (no other groups)."
+            challenger = self.strongest_challenger
+            return (
+                f"{self.key!r} is in the gamma={self.gamma:g} skyline:"
+                f" the strongest challenger, {challenger.dominator!r},"
+                f" only reaches p = {float(challenger.probability):.4f}"
+                f" <= gamma."
+            )
+        lines = [
+            f"{self.key!r} is NOT in the gamma={self.gamma:g} skyline;"
+            f" dominated by {len(self.dominators)} group(s):"
+        ]
+        for domination in self.dominators:
+            lines.append(f"  - {domination}")
+        if self.minimal_gamma is None:
+            lines.append(
+                "  it is totally dominated (p = 1): no gamma admits it."
+            )
+        else:
+            lines.append(
+                f"  raising gamma to >= {float(self.minimal_gamma):.4f}"
+                " would admit it."
+            )
+        return "\n".join(lines)
+
+
+def explain(
+    groups: Union[GroupedDataset, Mapping[Hashable, Iterable]],
+    key: Hashable,
+    gamma: GammaLike = 0.5,
+    directions: Union[None, str, Direction, list, tuple] = None,
+) -> Explanation:
+    """Full membership evidence for one group (exact probabilities)."""
+    dataset = _coerce_dataset(groups, directions)
+    if key not in dataset:
+        raise KeyError(f"unknown group {key!r}")
+    thresholds = GammaThresholds(gamma)
+    target = dataset[key]
+
+    dominators: List[Domination] = []
+    strongest: Optional[Domination] = None
+    worst = Fraction(0)
+    totally_dominated = False
+    for other in dataset:
+        if other.key == key:
+            continue
+        p = dominance_probability(other, target)
+        evidence = Domination(other.key, p, is_total=(p == 1))
+        if strongest is None or p > strongest.probability:
+            strongest = evidence
+        if p > worst:
+            worst = p
+        if p == 1:
+            totally_dominated = True
+        if dominance_holds(p.numerator, p.denominator, thresholds.gamma):
+            dominators.append(evidence)
+
+    dominators.sort(key=lambda d: -d.probability)
+    minimal: Optional[Fraction]
+    if totally_dominated:
+        minimal = None
+    else:
+        minimal = max(Fraction(1, 2), worst)
+    return Explanation(
+        key=key,
+        gamma=float(thresholds.gamma),
+        in_skyline=not dominators,
+        dominators=dominators,
+        strongest_challenger=strongest,
+        minimal_gamma=minimal,
+    )

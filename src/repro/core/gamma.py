@@ -1,0 +1,244 @@
+"""γ-dominance between groups (Definition 3 of the paper).
+
+The central quantity is ``p(S > R)``: the probability that a uniformly random
+pair ``(s, r)`` from ``S x R`` satisfies record dominance ``s > r``.  Group
+``S`` γ-dominates group ``R`` iff ``p = 1`` or ``p > γ``.
+
+The thresholds are compared with exact rational arithmetic: ``p`` is a ratio
+of integer pair counts and ``γ`` is held as a :class:`fractions.Fraction`, so
+borderline cases (e.g. ``p`` exactly ``.5`` at ``γ = .5``) are never
+misclassified by floating-point error.
+
+The module also exposes the *weak transitivity* threshold
+``γ̄ = 1 - sqrt(1 - γ)/2`` (Proposition 5) and the domination-matrix view used
+in its proof, which the test suite exercises directly.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Tuple, Union
+
+import numpy as np
+
+from .groups import Group
+
+__all__ = [
+    "GammaThresholds",
+    "as_fraction",
+    "gamma_bar",
+    "count_dominating_pairs",
+    "dominance_probability",
+    "gamma_dominates",
+    "DominanceMatrix",
+    "DEFAULT_BLOCK_SIZE",
+]
+
+#: Maximum number of record pairs processed per vectorised block.  Keeps the
+#: intermediate ``(n1, n2, d)`` broadcast arrays bounded in memory.
+DEFAULT_BLOCK_SIZE = 1 << 16
+
+GammaLike = Union[float, int, Fraction]
+
+
+def as_fraction(gamma: GammaLike) -> Fraction:
+    """Coerce a threshold to an exact :class:`Fraction`.
+
+    Floats are converted exactly (every IEEE-754 double is a dyadic
+    rational), so ``as_fraction(0.5) == Fraction(1, 2)``.
+    """
+    if isinstance(gamma, Fraction):
+        return gamma
+    if isinstance(gamma, int):
+        return Fraction(gamma)
+    if isinstance(gamma, float):
+        if math.isnan(gamma) or math.isinf(gamma):
+            raise ValueError("gamma must be finite")
+        return Fraction(gamma)
+    raise TypeError(f"cannot interpret {gamma!r} as a threshold")
+
+
+def gamma_bar(gamma: GammaLike) -> Fraction:
+    """Weak-transitivity threshold ``γ̄ = 1 - sqrt(1 - γ)/2`` (Prop. 5).
+
+    ``γ̄ ≥ γ`` for ``γ ∈ [.5, 1]``; dominance at level ``γ̄`` ("strong"
+    dominance in Algorithm 3) is what justifies skipping a group entirely.
+    The result is returned as an exact fraction of the computed double.
+    """
+    g = float(as_fraction(gamma))
+    if not 0.0 <= g <= 1.0:
+        raise ValueError("gamma must lie in [0, 1]")
+    return Fraction(1.0 - math.sqrt(1.0 - g) / 2.0)
+
+
+class GammaThresholds:
+    """The pair ``(γ, strong)`` with validation of Proposition 1.
+
+    Definition 3 is only asymmetric for ``γ ≥ .5`` (Proposition 1), so the
+    public operator rejects smaller values unless ``allow_unsafe`` is set
+    (used by the theory tests that demonstrate the inconsistency).
+
+    The *strong* ("strongly dominated", Algorithm 3) threshold is
+    ``max(γ, γ̄)``: Proposition 5's ``γ̄ = 1 - sqrt(1 - γ)/2`` drops *below*
+    γ for ``γ > .75`` (the bound is quadratic), and a group may only be
+    marked strongly dominated if it is in particular γ-dominated — raising
+    the premise threshold keeps weak transitivity valid while never
+    excluding a group that Definition 2 would keep.
+    """
+
+    __slots__ = ("gamma", "strong")
+
+    def __init__(self, gamma: GammaLike, allow_unsafe: bool = False):
+        self.gamma = as_fraction(gamma)
+        if not allow_unsafe and self.gamma < Fraction(1, 2):
+            raise ValueError(
+                "gamma must be >= 0.5 to guarantee asymmetry (Proposition 1);"
+                f" got {float(self.gamma)}"
+            )
+        if self.gamma > 1:
+            raise ValueError("gamma cannot exceed 1")
+        self.strong = max(self.gamma, gamma_bar(self.gamma))
+
+    def exceeds(self, count: int, total: int) -> bool:
+        """Exact test ``count/total = 1 or count/total > γ``."""
+        return dominance_holds(count, total, self.gamma)
+
+    def exceeds_strong(self, count: int, total: int) -> bool:
+        """Exact test ``count/total = 1 or count/total > γ̄``."""
+        return dominance_holds(count, total, self.strong)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"GammaThresholds(gamma={float(self.gamma):.6f},"
+            f" strong={float(self.strong):.6f})"
+        )
+
+
+def dominance_holds(count: int, total: int, threshold: Fraction) -> bool:
+    """Definition 3 predicate on raw pair counts.
+
+    ``p = count/total`` dominates at ``threshold`` iff ``p == 1`` or
+    ``p > threshold`` — evaluated by integer cross-multiplication.
+    """
+    if total <= 0:
+        raise ValueError("total pair count must be positive")
+    if count == total:
+        return True
+    return count * threshold.denominator > threshold.numerator * total
+
+
+def count_dominating_pairs(
+    s_values: np.ndarray,
+    r_values: np.ndarray,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> int:
+    """Number of pairs ``(s, r)`` with ``s > r`` (record dominance).
+
+    Both inputs are ``(n, d)`` arrays in the *higher is better* orientation.
+    The computation is vectorised in blocks of at most ``block_size`` pairs
+    to bound peak memory.
+    """
+    s_arr = np.asarray(s_values, dtype=np.float64)
+    r_arr = np.asarray(r_values, dtype=np.float64)
+    if s_arr.ndim != 2 or r_arr.ndim != 2:
+        raise ValueError("inputs must be 2-d arrays")
+    if s_arr.shape[1] != r_arr.shape[1]:
+        raise ValueError("dimensionality mismatch")
+    n_s = s_arr.shape[0]
+    n_r = r_arr.shape[0]
+    if n_s == 0 or n_r == 0:
+        return 0
+
+    if s_arr.shape[1] == 2:
+        from .fastcount import FAST_PATH_MIN_PAIRS, count_dominating_pairs_2d
+
+        if n_s * n_r >= FAST_PATH_MIN_PAIRS:
+            return count_dominating_pairs_2d(s_arr, r_arr)
+
+    rows_per_block = max(1, block_size // max(1, n_r))
+    count = 0
+    for start in range(0, n_s, rows_per_block):
+        chunk = s_arr[start : start + rows_per_block]
+        # (chunk, 1, d) vs (1, n_r, d)
+        ge = np.all(chunk[:, None, :] >= r_arr[None, :, :], axis=2)
+        gt = np.any(chunk[:, None, :] > r_arr[None, :, :], axis=2)
+        count += int(np.count_nonzero(ge & gt))
+    return count
+
+
+def dominance_probability(
+    s: Union[Group, np.ndarray],
+    r: Union[Group, np.ndarray],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Fraction:
+    """Exact ``p(S > R)`` as a fraction (Definition 3's probability)."""
+    s_values = s.values if isinstance(s, Group) else np.asarray(s, dtype=np.float64)
+    r_values = r.values if isinstance(r, Group) else np.asarray(r, dtype=np.float64)
+    total = s_values.shape[0] * r_values.shape[0]
+    if total == 0:
+        raise ValueError("groups must be non-empty")
+    return Fraction(count_dominating_pairs(s_values, r_values, block_size), total)
+
+
+def gamma_dominates(
+    s: Union[Group, np.ndarray],
+    r: Union[Group, np.ndarray],
+    gamma: GammaLike = Fraction(1, 2),
+    allow_unsafe: bool = False,
+) -> bool:
+    """``S ≻_γ R`` per Definition 3 (``p = 1`` or ``p > γ``)."""
+    thresholds = GammaThresholds(gamma, allow_unsafe=allow_unsafe)
+    p = dominance_probability(s, r)
+    return dominance_holds(p.numerator, p.denominator, thresholds.gamma)
+
+
+class DominanceMatrix:
+    """0/1 domination matrix between two groups (Prop. 5's proof device).
+
+    ``M[i, j] = 1`` iff record ``i`` of the first group dominates record
+    ``j`` of the second.  ``pos()`` is the fraction of non-zero entries,
+    which equals ``p(S > R)``; the boolean matrix product of two domination
+    matrices is again a domination matrix (record dominance is transitive),
+    which is what makes weak transitivity provable.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        array = np.asarray(matrix)
+        if array.ndim != 2:
+            raise ValueError("domination matrix must be 2-d")
+        self.matrix = (array != 0)
+
+    @classmethod
+    def between(cls, s: Union[Group, np.ndarray], r: Union[Group, np.ndarray]) -> "DominanceMatrix":
+        s_values = s.values if isinstance(s, Group) else np.asarray(s, dtype=np.float64)
+        r_values = r.values if isinstance(r, Group) else np.asarray(r, dtype=np.float64)
+        ge = np.all(s_values[:, None, :] >= r_values[None, :, :], axis=2)
+        gt = np.any(s_values[:, None, :] > r_values[None, :, :], axis=2)
+        return cls(ge & gt)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return tuple(self.matrix.shape)  # type: ignore[return-value]
+
+    def pos(self) -> Fraction:
+        """Fraction of non-zero entries (``pos`` in the paper's proof)."""
+        rows, cols = self.matrix.shape
+        if rows == 0 or cols == 0:
+            raise ValueError("empty domination matrix")
+        return Fraction(int(np.count_nonzero(self.matrix)), rows * cols)
+
+    def compose(self, other: "DominanceMatrix") -> "DominanceMatrix":
+        """Boolean matrix product: a domination matrix for (R, T).
+
+        If ``self`` relates R to S and ``other`` relates S to T, an entry of
+        the product is non-zero iff some ``s`` satisfies ``r > s`` and
+        ``s > t`` — and record dominance being transitive, ``r > t``.
+        """
+        if self.matrix.shape[1] != other.matrix.shape[0]:
+            raise ValueError("inner dimensions do not match")
+        product = self.matrix.astype(np.int64) @ other.matrix.astype(np.int64)
+        return DominanceMatrix(product)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"DominanceMatrix(shape={self.shape}, pos={float(self.pos()):.3f})"

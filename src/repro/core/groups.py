@@ -1,0 +1,266 @@
+"""Groups of records and grouped datasets.
+
+The aggregate skyline operates on a *partition* of the record universe into
+groups (Table 1 of the paper: ``U_g``).  A :class:`Group` wraps the numeric
+payload of one group (records x dimensions, already normalised to *higher is
+better*) together with its key and its minimum bounding box, which several
+algorithms use for pruning (Section 3.3, Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .dominance import Direction, normalize_values, parse_directions
+
+__all__ = ["BoundingBox", "Group", "GroupedDataset"]
+
+
+class BoundingBox:
+    """Axis-aligned minimum bounding box of a set of records.
+
+    ``min_corner`` / ``max_corner`` follow the paper's Figure 9: with the
+    *higher is better* convention the max corner is the (virtual) best record
+    of the group and the min corner the worst.
+    """
+
+    __slots__ = ("min_corner", "max_corner")
+
+    def __init__(self, min_corner: np.ndarray, max_corner: np.ndarray):
+        self.min_corner = np.asarray(min_corner, dtype=np.float64)
+        self.max_corner = np.asarray(max_corner, dtype=np.float64)
+        if self.min_corner.shape != self.max_corner.shape:
+            raise ValueError("corner shapes differ")
+        if np.any(self.min_corner > self.max_corner):
+            raise ValueError("min corner exceeds max corner")
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "BoundingBox":
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 2 or array.shape[0] == 0:
+            raise ValueError("bounding box needs a non-empty 2-d array")
+        return cls(array.min(axis=0), array.max(axis=0))
+
+    @property
+    def dimensions(self) -> int:
+        return int(self.min_corner.shape[0])
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        pt = np.asarray(point, dtype=np.float64)
+        return bool(
+            np.all(pt >= self.min_corner) and np.all(pt <= self.max_corner)
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        return bool(
+            np.all(self.min_corner <= other.max_corner)
+            and np.all(other.min_corner <= self.max_corner)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoundingBox):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.min_corner, other.min_corner)
+            and np.array_equal(self.max_corner, other.max_corner)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"BoundingBox({self.min_corner.tolist()}, {self.max_corner.tolist()})"
+
+
+class Group:
+    """One group of records, with key, payload and cached bounding box."""
+
+    __slots__ = ("key", "values", "_bbox", "index")
+
+    def __init__(self, key: Hashable, values: np.ndarray, index: int = -1):
+        array = np.ascontiguousarray(values, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError("group values must be 2-d (records x dims)")
+        if array.shape[0] == 0:
+            raise ValueError(f"group {key!r} is empty")
+        self.key = key
+        self.values = array
+        self.index = index
+        self._bbox: Optional[BoundingBox] = None
+
+    @property
+    def size(self) -> int:
+        """Number of records in the group (``|R|`` in the paper)."""
+        return int(self.values.shape[0])
+
+    @property
+    def dimensions(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def bbox(self) -> BoundingBox:
+        """Minimum bounding box, computed lazily and cached."""
+        if self._bbox is None:
+            self._bbox = BoundingBox.of(self.values)
+        return self._bbox
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Group({self.key!r}, n={self.size}, d={self.dimensions})"
+
+
+GroupsInput = Union[
+    Mapping[Hashable, Iterable],
+    Sequence[Group],
+]
+
+
+class GroupedDataset:
+    """A partition of the record universe into named groups.
+
+    This is the input type of every aggregate-skyline algorithm.  It can be
+    built from a mapping ``{key: array-like of records}`` (records as rows)
+    or from a sequence of :class:`Group` objects.  On construction all values
+    are normalised to *higher is better* according to ``directions``.
+    """
+
+    def __init__(
+        self,
+        groups: GroupsInput,
+        directions: Union[None, str, Direction, Sequence] = None,
+        dimensions: Optional[int] = None,
+    ):
+        raw: List[Tuple[Hashable, np.ndarray]] = []
+        if isinstance(groups, Mapping):
+            for key, values in groups.items():
+                raw.append((key, np.asarray(values, dtype=np.float64)))
+        else:
+            for group in groups:
+                if not isinstance(group, Group):
+                    raise TypeError(
+                        "sequence input must contain Group objects"
+                    )
+                raw.append((group.key, group.values))
+        if not raw:
+            raise ValueError("a grouped dataset needs at least one group")
+
+        first = raw[0][1]
+        if first.ndim == 1:
+            first = first.reshape(1, -1)
+        inferred = dimensions if dimensions is not None else first.shape[-1]
+        self.directions = parse_directions(directions, inferred)
+        self._groups: List[Group] = []
+        self._by_key: Dict[Hashable, Group] = {}
+        for position, (key, values) in enumerate(raw):
+            if key in self._by_key:
+                raise ValueError(f"duplicate group key: {key!r}")
+            normalised = normalize_values(values, self.directions)
+            group = Group(key, normalised, index=position)
+            self._groups.append(group)
+            self._by_key[key] = group
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Sequence[float]],
+        keys: Iterable[Hashable],
+        directions: Union[None, str, Direction, Sequence] = None,
+    ) -> "GroupedDataset":
+        """Group flat records by parallel ``keys`` (a GROUP BY, basically)."""
+        buckets: Dict[Hashable, List[Sequence[float]]] = {}
+        for record, key in zip(records, keys):
+            buckets.setdefault(key, []).append(record)
+        return cls(
+            {key: np.asarray(rows, dtype=np.float64) for key, rows in buckets.items()},
+            directions=directions,
+        )
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def dimensions(self) -> int:
+        return self._groups[0].dimensions
+
+    @property
+    def total_records(self) -> int:
+        """Total number of records across all groups (``|U_r|``)."""
+        return sum(group.size for group in self._groups)
+
+    @property
+    def groups(self) -> List[Group]:
+        return list(self._groups)
+
+    def keys(self) -> List[Hashable]:
+        return [group.key for group in self._groups]
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[Group]:
+        return iter(self._groups)
+
+    def __getitem__(self, key: Hashable) -> Group:
+        return self._by_key[key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._by_key
+
+    def original_values(self, key: Hashable) -> np.ndarray:
+        """Records of one group in the user's original orientation."""
+        from .dominance import denormalize_values
+
+        return denormalize_values(self._by_key[key].values, self.directions)
+
+    def subset(self, keys: Iterable[Hashable]) -> "GroupedDataset":
+        """A new dataset containing only ``keys`` (same directions, order).
+
+        Useful for drill-downs: run the operator, then re-analyse just the
+        winners (or just the losers).
+        """
+        wanted = set(keys)
+        missing = wanted - set(self._by_key)
+        if missing:
+            raise KeyError(f"unknown group keys: {sorted(map(str, missing))}")
+        groups = {
+            key: self.original_values(key)
+            for key in self.keys()
+            if key in wanted
+        }
+        return GroupedDataset(groups, directions=self.directions)
+
+    def merge(self, other: "GroupedDataset") -> "GroupedDataset":
+        """Union of two datasets over the same dimensions and directions.
+
+        Shared keys have their records concatenated (both partitions'
+        records belong to the same logical group).
+        """
+        if other.directions != self.directions:
+            raise ValueError("datasets have different directions")
+        if other.dimensions != self.dimensions:
+            raise ValueError("datasets have different dimensionality")
+        merged: Dict[Hashable, np.ndarray] = {
+            key: self.original_values(key) for key in self.keys()
+        }
+        for key in other.keys():
+            values = other.original_values(key)
+            if key in merged:
+                merged[key] = np.vstack([merged[key], values])
+            else:
+                merged[key] = values
+        return GroupedDataset(merged, directions=self.directions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"GroupedDataset(groups={len(self)}, records={self.total_records},"
+            f" d={self.dimensions})"
+        )

@@ -1,0 +1,270 @@
+"""Incrementally maintained aggregate skylines.
+
+The paper's stability results (Section 2.3) are exactly what makes the
+operator maintainable under updates: inserting or deleting one record
+changes every pairwise probability ``p(S > R)`` by a bounded amount, and
+the *pair counts* behind those probabilities change additively.  This
+module exploits that: it keeps, for every ordered pair of groups, the exact
+count of dominating record pairs, and updates those counts in O(total
+records) work per insertion/deletion instead of recomputing the quadratic
+pair matrix from scratch.
+
+Example::
+
+    sky = IncrementalAggregateSkyline(dimensions=2)
+    sky.insert("Tarantino", (557, 9.0))
+    sky.insert("Wiseau", (10, 3.2))
+    sky.skyline()                  # ['Tarantino']
+    sky.insert("Wiseau", (600, 9.5))
+    sky.skyline()                  # ['Tarantino', 'Wiseau']
+
+Counted-multiset semantics: inserting the same record twice requires
+deleting it twice.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .api import GammaProfile
+from .dominance import Direction, normalize_values, parse_directions
+from .gamma import GammaLike, GammaThresholds, dominance_holds
+from .groups import GroupedDataset
+
+__all__ = ["IncrementalAggregateSkyline"]
+
+
+class _GroupStore:
+    """Mutable record storage for one group."""
+
+    __slots__ = ("key", "rows")
+
+    def __init__(self, key: Hashable):
+        self.key = key
+        self.rows: List[np.ndarray] = []
+
+    @property
+    def size(self) -> int:
+        return len(self.rows)
+
+    def matrix(self) -> np.ndarray:
+        return np.vstack(self.rows)
+
+
+def _dominates_rows(record: np.ndarray, rows: np.ndarray) -> int:
+    """How many of ``rows`` the record dominates."""
+    if rows.shape[0] == 0:
+        return 0
+    ge = np.all(record >= rows, axis=1)
+    gt = np.any(record > rows, axis=1)
+    return int(np.count_nonzero(ge & gt))
+
+
+def _dominated_by_rows(record: np.ndarray, rows: np.ndarray) -> int:
+    """How many of ``rows`` dominate the record."""
+    if rows.shape[0] == 0:
+        return 0
+    ge = np.all(rows >= record, axis=1)
+    gt = np.any(rows > record, axis=1)
+    return int(np.count_nonzero(ge & gt))
+
+
+class IncrementalAggregateSkyline:
+    """Aggregate skyline with O(n) per-record insert/delete maintenance.
+
+    Parameters
+    ----------
+    dimensions:
+        Number of skyline dimensions.
+    directions:
+        Per-dimension ``"max"``/``"min"`` (default all max).
+    """
+
+    def __init__(
+        self,
+        dimensions: int,
+        directions: Union[None, str, Direction, Sequence] = None,
+    ):
+        if dimensions < 1:
+            raise ValueError("dimensions must be positive")
+        self.dimensions = dimensions
+        self.directions = parse_directions(directions, dimensions)
+        self._groups: Dict[Hashable, _GroupStore] = {}
+        # (a, b) -> number of record pairs of a dominating records of b.
+        self._pair_counts: Dict[Tuple[Hashable, Hashable], int] = {}
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def group_keys(self) -> List[Hashable]:
+        return list(self._groups)
+
+    def group_size(self, key: Hashable) -> int:
+        return self._groups[key].size
+
+    @property
+    def total_records(self) -> int:
+        return sum(store.size for store in self._groups.values())
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def pair_count(self, dominator: Hashable, dominated: Hashable) -> int:
+        """Maintained count of dominating record pairs between two groups."""
+        if dominator not in self._groups or dominated not in self._groups:
+            raise KeyError((dominator, dominated))
+        return self._pair_counts.get((dominator, dominated), 0)
+
+    def probability(self, s: Hashable, r: Hashable) -> Fraction:
+        """Exact ``p(S > R)`` from the maintained counts."""
+        total = self._groups[s].size * self._groups[r].size
+        if total == 0:
+            raise ValueError("both groups must be non-empty")
+        return Fraction(self.pair_count(s, r), total)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def _normalise(self, record: Iterable[float]) -> np.ndarray:
+        row = normalize_values(
+            np.asarray(list(record), dtype=np.float64), self.directions
+        )
+        return row[0]
+
+    def insert(self, key: Hashable, record: Iterable[float]) -> None:
+        """Add one record to group ``key`` (creating the group if new)."""
+        row = self._normalise(record)
+        store = self._groups.get(key)
+        if store is None:
+            store = _GroupStore(key)
+            self._groups[key] = store
+        for other_key, other in self._groups.items():
+            if other_key == key or other.size == 0:
+                continue
+            rows = other.matrix()
+            self._pair_counts[(key, other_key)] = (
+                self._pair_counts.get((key, other_key), 0)
+                + _dominates_rows(row, rows)
+            )
+            self._pair_counts[(other_key, key)] = (
+                self._pair_counts.get((other_key, key), 0)
+                + _dominated_by_rows(row, rows)
+            )
+        store.rows.append(row)
+
+    def insert_many(
+        self, key: Hashable, records: Iterable[Iterable[float]]
+    ) -> None:
+        for record in records:
+            self.insert(key, record)
+
+    def delete(self, key: Hashable, record: Iterable[float]) -> None:
+        """Remove one occurrence of ``record`` from group ``key``.
+
+        Raises ``KeyError`` if the group does not exist and ``ValueError``
+        if the record is not in it.  Deleting the last record drops the
+        group entirely.
+        """
+        store = self._groups.get(key)
+        if store is None:
+            raise KeyError(key)
+        row = self._normalise(record)
+        position = next(
+            (
+                i
+                for i, existing in enumerate(store.rows)
+                if np.array_equal(existing, row)
+            ),
+            None,
+        )
+        if position is None:
+            raise ValueError(f"record {list(record)!r} not in group {key!r}")
+        store.rows.pop(position)
+        for other_key, other in self._groups.items():
+            if other_key == key or other.size == 0:
+                continue
+            rows = other.matrix()
+            self._pair_counts[(key, other_key)] -= _dominates_rows(row, rows)
+            self._pair_counts[(other_key, key)] -= _dominated_by_rows(
+                row, rows
+            )
+        if store.size == 0:
+            self._drop_group(key)
+
+    def drop_group(self, key: Hashable) -> None:
+        """Remove a whole group and all its pairwise bookkeeping."""
+        if key not in self._groups:
+            raise KeyError(key)
+        self._drop_group(key)
+
+    def _drop_group(self, key: Hashable) -> None:
+        del self._groups[key]
+        for pair in [p for p in self._pair_counts if key in p]:
+            del self._pair_counts[pair]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def skyline(self, gamma: GammaLike = 0.5) -> List[Hashable]:
+        """Current aggregate skyline, straight from the maintained counts."""
+        thresholds = GammaThresholds(gamma)
+        surviving = []
+        for key, store in self._groups.items():
+            if store.size == 0:
+                continue
+            dominated = False
+            for other_key, other in self._groups.items():
+                if other_key == key or other.size == 0:
+                    continue
+                count = self._pair_counts.get((other_key, key), 0)
+                total = other.size * store.size
+                if dominance_holds(count, total, thresholds.gamma):
+                    dominated = True
+                    break
+            if not dominated:
+                surviving.append(key)
+        return surviving
+
+    def profile(self) -> GammaProfile:
+        """γ-profile of the current state (no record comparisons needed)."""
+        degrees: Dict[Hashable, Fraction] = {}
+        strict = set()
+        for key, store in self._groups.items():
+            worst = Fraction(0)
+            for other_key, other in self._groups.items():
+                if other_key == key:
+                    continue
+                p = Fraction(
+                    self._pair_counts.get((other_key, key), 0),
+                    other.size * store.size,
+                )
+                if p > worst:
+                    worst = p
+            degrees[key] = worst
+            if worst == 1:
+                strict.add(key)
+        return GammaProfile(degrees, strict)
+
+    def to_dataset(self) -> Optional[GroupedDataset]:
+        """Snapshot the current state as an immutable GroupedDataset.
+
+        Values are handed over in the *original* orientation so the
+        snapshot round-trips through the normal constructor.  Returns
+        ``None`` when empty.
+        """
+        if not self._groups:
+            return None
+        from .dominance import denormalize_values
+
+        groups = {
+            key: denormalize_values(store.matrix(), self.directions)
+            for key, store in self._groups.items()
+        }
+        return GroupedDataset(groups, directions=self.directions)

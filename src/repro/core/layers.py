@@ -1,0 +1,102 @@
+"""Skyline layers: ranking groups by iterative skyline peeling.
+
+The classic "onion" technique transplanted to groups: layer 1 is the
+aggregate skyline; remove it, recompute on the remainder for layer 2, and
+so on.  The layer index is a coarse quality rank that — unlike the raw
+skyline — covers *every* group, which applications often want (e.g. a
+full leaderboard, tiered pricing).
+
+One group-specific wrinkle: because γ-dominance admits cycles (see
+docs/theory.md), a non-empty remainder can have an *empty* skyline and
+the peeling stalls.  The fallback peels by domination degree instead:
+the remaining groups with the smallest ``m(R) = max p(S > R)`` — the
+least-dominated members of the entanglement — form the next layer.
+:class:`LayeredResult.cycle_layer` records the first layer produced that
+way (``None`` when peeling never stalled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Union
+
+from .algorithms import make_algorithm
+from .dominance import Direction
+from .gamma import GammaLike
+from .groups import GroupedDataset
+from .api import _coerce_dataset
+
+__all__ = ["LayeredResult", "skyline_layers"]
+
+
+@dataclass
+class LayeredResult:
+    """Groups partitioned into skyline layers (1 = undominated)."""
+
+    layers: List[List[Hashable]] = field(default_factory=list)
+    #: Index (1-based) of a final layer formed by a domination cycle,
+    #: or None if peeling terminated normally.
+    cycle_layer: Optional[int] = None
+
+    def layer_of(self, key: Hashable) -> int:
+        """1-based layer index of ``key``."""
+        for depth, layer in enumerate(self.layers, start=1):
+            if key in layer:
+                return depth
+        raise KeyError(f"unknown group {key!r}")
+
+    def ranking(self) -> Dict[Hashable, int]:
+        """``{key: layer index}`` for every group."""
+        return {
+            key: depth
+            for depth, layer in enumerate(self.layers, start=1)
+            for key in layer
+        }
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+
+def skyline_layers(
+    groups: Union[GroupedDataset, Mapping[Hashable, Iterable]],
+    gamma: GammaLike = 0.5,
+    algorithm: str = "LO",
+    directions: Union[None, str, Direction, list, tuple] = None,
+    max_layers: Optional[int] = None,
+    **algorithm_options,
+) -> LayeredResult:
+    """Peel aggregate skylines until every group is ranked.
+
+    ``max_layers`` truncates the peeling; any remaining groups are then
+    lumped into one final layer (without a cycle flag).
+    """
+    dataset = _coerce_dataset(groups, directions)
+    remaining: Dict[Hashable, object] = {
+        group.key: dataset.original_values(group.key) for group in dataset
+    }
+    result = LayeredResult()
+    while remaining:
+        if max_layers is not None and len(result.layers) >= max_layers:
+            result.layers.append(list(remaining))
+            break
+        subset = GroupedDataset(remaining, directions=dataset.directions)
+        engine = make_algorithm(algorithm, gamma, **algorithm_options)
+        layer = engine.compute(subset).keys
+        if not layer:
+            # Domination cycle: no group is undominated.  Peel the
+            # least-dominated groups (smallest degree) instead.
+            from .ranking import compute_gamma_profile
+
+            profile = compute_gamma_profile(subset)
+            degrees = {key: profile.degree(key) for key in remaining}
+            best = min(degrees.values())
+            layer = [key for key, degree in degrees.items() if degree == best]
+            if result.cycle_layer is None:
+                result.cycle_layer = len(result.layers) + 1
+        result.layers.append(list(layer))
+        for key in layer:
+            del remaining[key]
+    return result

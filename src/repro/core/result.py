@@ -1,0 +1,86 @@
+"""Result and statistics types for aggregate-skyline computations."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+__all__ = ["AlgorithmStats", "AggregateSkylineResult", "Timer"]
+
+
+@dataclass
+class AlgorithmStats:
+    """Work counters of one aggregate-skyline run.
+
+    The paper analyses algorithms by the number of group comparisons
+    (Equation 3's outer term) and record-level dominance checks (Equation 4's
+    inner term); both are tracked here, plus wall-clock time and counters for
+    the individual optimisations.
+    """
+
+    algorithm: str = ""
+    group_comparisons: int = 0
+    record_pairs_examined: int = 0
+    bbox_shortcuts: int = 0
+    groups_skipped: int = 0
+    index_candidates: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "group_comparisons": self.group_comparisons,
+            "record_pairs_examined": self.record_pairs_examined,
+            "bbox_shortcuts": self.bbox_shortcuts,
+            "groups_skipped": self.groups_skipped,
+            "index_candidates": self.index_candidates,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class AggregateSkylineResult:
+    """Output of an aggregate-skyline query.
+
+    ``keys`` are the surviving group keys in input order; ``gamma`` is the
+    threshold the query ran with, ``stats`` the work counters.
+    """
+
+    keys: List[Hashable]
+    gamma: float
+    stats: AlgorithmStats = field(default_factory=AlgorithmStats)
+
+    def __iter__(self):
+        return iter(self.keys)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in set(self.keys)
+
+    def as_set(self) -> set:
+        return set(self.keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"AggregateSkylineResult(keys={self.keys!r},"
+            f" gamma={self.gamma}, algorithm={self.stats.algorithm!r})"
+        )
+
+
+class Timer:
+    """Minimal context-manager stopwatch used by algorithms and benches."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start

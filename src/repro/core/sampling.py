@@ -1,0 +1,129 @@
+"""Sampling-based approximation of γ-dominance.
+
+For very large groups the exact pair count is quadratic even with the
+bounding-box and Fenwick shortcuts.  ``p(S > R)`` is a population mean
+over the pair universe, so Monte-Carlo sampling estimates it with a
+Hoeffding guarantee: with ``n`` sampled pairs, the estimate is within
+``ε = sqrt(ln(2/δ) / (2n))`` of the truth with probability ``1 − δ``.
+
+:func:`approximate_aggregate_skyline` uses the estimates conservatively:
+a group is only *excluded* when the estimate clears γ by the confidence
+margin, so (with probability ≥ 1 − δ per comparison) the result is a
+superset of the exact skyline — the same one-sided contract as the paper
+mode's pruning.  Borderline comparisons (estimate within ε of γ) fall
+back to the exact counter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, List, Mapping, Optional, Union
+
+import numpy as np
+
+from .api import _coerce_dataset
+from .dominance import Direction
+from .gamma import GammaLike, GammaThresholds, dominance_holds, dominance_probability
+from .groups import Group, GroupedDataset
+from .result import AggregateSkylineResult, AlgorithmStats, Timer
+
+__all__ = [
+    "approximate_dominance_probability",
+    "hoeffding_epsilon",
+    "approximate_aggregate_skyline",
+]
+
+
+def hoeffding_epsilon(samples: int, delta: float = 0.05) -> float:
+    """Two-sided Hoeffding half-width for a [0,1] mean estimate."""
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * samples))
+
+
+def approximate_dominance_probability(
+    s: Union[Group, np.ndarray],
+    r: Union[Group, np.ndarray],
+    samples: int = 1024,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Monte-Carlo estimate of ``p(S > R)`` from ``samples`` random pairs."""
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    s_values = s.values if isinstance(s, Group) else np.asarray(s, dtype=float)
+    r_values = r.values if isinstance(r, Group) else np.asarray(r, dtype=float)
+    generator = rng if rng is not None else np.random.default_rng()
+    s_idx = generator.integers(0, s_values.shape[0], size=samples)
+    r_idx = generator.integers(0, r_values.shape[0], size=samples)
+    chosen_s = s_values[s_idx]
+    chosen_r = r_values[r_idx]
+    ge = np.all(chosen_s >= chosen_r, axis=1)
+    gt = np.any(chosen_s > chosen_r, axis=1)
+    return float(np.count_nonzero(ge & gt)) / samples
+
+
+def approximate_aggregate_skyline(
+    groups: Union[GroupedDataset, Mapping[Hashable, Iterable]],
+    gamma: GammaLike = 0.5,
+    samples: int = 1024,
+    delta: float = 0.05,
+    seed: int = 0,
+    directions: Union[None, str, Direction, list, tuple] = None,
+) -> AggregateSkylineResult:
+    """Sampled aggregate skyline with conservative exclusions.
+
+    Small pair universes (at most ``samples`` pairs) and borderline
+    estimates are resolved exactly, so accuracy degrades only where
+    sampling genuinely saves work.
+    """
+    dataset = _coerce_dataset(groups, directions)
+    thresholds = GammaThresholds(gamma)
+    gamma_float = float(thresholds.gamma)
+    epsilon = hoeffding_epsilon(samples, delta)
+    rng = np.random.default_rng(seed)
+
+    exact_fallbacks = 0
+    sampled = 0
+    with Timer() as timer:
+        group_list = dataset.groups
+        dominated = {g.key: False for g in group_list}
+        for target in group_list:
+            for rival in group_list:
+                if rival.key == target.key or dominated[target.key]:
+                    continue
+                universe = rival.size * target.size
+                if universe <= samples:
+                    p = dominance_probability(rival, target)
+                    exact_fallbacks += 1
+                    if dominance_holds(
+                        p.numerator, p.denominator, thresholds.gamma
+                    ):
+                        dominated[target.key] = True
+                    continue
+                sampled += 1
+                estimate = approximate_dominance_probability(
+                    rival, target, samples=samples, rng=rng
+                )
+                if estimate > gamma_float + epsilon:
+                    dominated[target.key] = True
+                elif estimate > gamma_float - epsilon:
+                    # Borderline: resolve exactly.
+                    exact_fallbacks += 1
+                    p = dominance_probability(rival, target)
+                    if dominance_holds(
+                        p.numerator, p.denominator, thresholds.gamma
+                    ):
+                        dominated[target.key] = True
+        keys = [g.key for g in group_list if not dominated[g.key]]
+
+    stats = AlgorithmStats(
+        algorithm="SAMPLE",
+        group_comparisons=sampled + exact_fallbacks,
+        record_pairs_examined=sampled * samples,
+        elapsed_seconds=timer.elapsed,
+    )
+    return AggregateSkylineResult(
+        keys=keys, gamma=gamma_float, stats=stats
+    )

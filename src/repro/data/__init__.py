@@ -1,0 +1,42 @@
+"""Datasets: the paper's movie example, synthetic workloads, NBA stand-in."""
+
+from .movies import (
+    MOVIE_ROWS,
+    director_filmographies,
+    directors_dataset,
+    figure1_directors_dataset,
+    movie_table,
+)
+from .nba import NBA_COLUMNS, STAT_COLUMNS, nba_table
+from .store import load_grouped, save_grouped
+from .workloads import WORKLOADS, load_workload, workload_names
+from .synthetic import (
+    DISTRIBUTIONS,
+    SyntheticSpec,
+    generate_grouped,
+    generate_points,
+    uniform_group_sizes,
+    zipf_group_sizes,
+)
+
+__all__ = [
+    "MOVIE_ROWS",
+    "movie_table",
+    "director_filmographies",
+    "directors_dataset",
+    "figure1_directors_dataset",
+    "nba_table",
+    "NBA_COLUMNS",
+    "STAT_COLUMNS",
+    "SyntheticSpec",
+    "generate_grouped",
+    "generate_points",
+    "uniform_group_sizes",
+    "zipf_group_sizes",
+    "DISTRIBUTIONS",
+    "WORKLOADS",
+    "load_workload",
+    "workload_names",
+    "save_grouped",
+    "load_grouped",
+]

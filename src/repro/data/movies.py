@@ -1,0 +1,130 @@
+"""The paper's movie working example (Figures 1-5, Table 2).
+
+Two datasets:
+
+* :func:`movie_table` — the ten-row Movie relation of Figure 1, used by the
+  introduction's Examples 1-3 (record skyline, aggregate query, aggregate
+  skyline of directors).
+* :func:`director_filmographies` / :func:`directors_dataset` — curated
+  filmographies for Tarantino, Wiseau, Fleischer and Jackson whose pairwise
+  domination probabilities reproduce Table 2 exactly (after the paper's
+  two-decimal rounding):
+
+  ======================  ==========
+  pair                    p(S > R)
+  ======================  ==========
+  Tarantino > Wiseau      1.00
+  Tarantino > Fleischer   .94 (30/32)
+  Tarantino > Jackson     .68 (49/72)
+  Wiseau > Tarantino      .00
+  Fleischer > Tarantino   .06 (2/32)
+  Jackson > Tarantino     .26 (19/72)
+  ======================  ==========
+
+  The paper's §2.1 walk-through also holds by construction: three Fleischer
+  movies are dominated by all eight Tarantino movies and one (Zombieland)
+  by exactly six, giving 3*8 + 1*6 = 30 of 32 combinations.
+
+The IMDB numbers behind the original figures are not recoverable from the
+paper, so the coordinates here are hand-tuned stand-ins (popularity in
+thousands of votes, quality on [0, 10]) engineered to give the published
+probabilities; see DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.groups import GroupedDataset
+from ..relational.table import Table
+
+__all__ = [
+    "MOVIE_ROWS",
+    "movie_table",
+    "director_filmographies",
+    "directors_dataset",
+    "figure1_directors_dataset",
+]
+
+#: Figure 1 verbatim: (title, year, director, popularity, quality).
+MOVIE_ROWS: List[Tuple[str, int, str, int, float]] = [
+    ("Avatar", 2009, "Cameron", 404, 8.0),
+    ("Batman Begins", 2005, "Nolan", 371, 8.3),
+    ("Kill Bill", 2003, "Tarantino", 313, 8.2),
+    ("Pulp Fiction", 1994, "Tarantino", 557, 9.0),
+    ("Star Wars (V)", 1980, "Kershner", 362, 8.8),
+    ("Terminator (II)", 1991, "Cameron", 326, 8.6),
+    ("The Godfather", 1972, "Coppola", 531, 9.2),
+    ("The Lord of the Rings", 2001, "Jackson", 518, 8.7),
+    ("The Room", 2003, "Wiseau", 10, 3.2),
+    ("Dracula", 1992, "Coppola", 76, 7.3),
+]
+
+
+def movie_table() -> Table:
+    """The Movie relation of Figure 1 as a relational table."""
+    return Table(
+        ["title", "year", "director", "pop", "qual"],
+        MOVIE_ROWS,
+    )
+
+
+def figure1_directors_dataset() -> GroupedDataset:
+    """The Figure-1 movies grouped by director (Example 3's input)."""
+    return GroupedDataset.from_records(
+        records=[(pop, qual) for _, _, _, pop, qual in MOVIE_ROWS],
+        keys=[director for _, _, director, _, _ in MOVIE_ROWS],
+    )
+
+
+#: Curated filmographies: director -> [(title, popularity, quality)].
+_FILMOGRAPHIES: Dict[str, List[Tuple[str, float, float]]] = {
+    "Tarantino": [
+        ("Pulp Fiction", 557, 8.9),
+        ("Inglourious Basterds", 400, 8.3),
+        ("Reservoir Dogs", 330, 8.3),
+        ("Kill Bill: Vol. 1", 313, 8.1),
+        ("Kill Bill: Vol. 2", 280, 8.0),
+        ("Jackie Brown", 150, 7.5),
+        ("Death Proof", 100, 7.0),
+        ("Four Rooms", 60, 6.4),
+    ],
+    "Wiseau": [
+        ("The Room", 10, 3.2),
+        ("Homeless in America", 1, 3.0),
+    ],
+    "Fleischer": [
+        ("Zombieland", 140, 7.4),
+        ("30 Minutes or Less", 55, 6.1),
+        ("Collision Course", 40, 5.9),
+        ("Gangster Squad", 30, 5.5),
+    ],
+    "Jackson": [
+        ("The Fellowship of the Ring", 520, 8.7),
+        ("The Return of the King", 500, 8.8),
+        ("King Kong", 250, 7.9),
+        ("The Frighteners", 110, 7.1),
+        ("Heavenly Creatures", 55, 7.2),
+        ("The Lovely Bones", 90, 6.2),
+        ("Braindead", 50, 6.8),
+        ("Bad Taste", 25, 6.3),
+        ("Meet the Feebles", 20, 6.0),
+    ],
+}
+
+
+def director_filmographies() -> Dict[str, List[Tuple[str, float, float]]]:
+    """Titles with (popularity, quality) per director (Figure 5 / Table 2)."""
+    return {
+        director: list(movies) for director, movies in _FILMOGRAPHIES.items()
+    }
+
+
+def directors_dataset() -> GroupedDataset:
+    """The Table-2 directors as a grouped dataset (pop, qual; both MAX)."""
+    return GroupedDataset(
+        {
+            director: [(pop, qual) for _, pop, qual in movies]
+            for director, movies in _FILMOGRAPHIES.items()
+        }
+    )

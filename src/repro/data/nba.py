@@ -1,0 +1,166 @@
+"""Synthetic NBA player-season statistics (Figure 14's real dataset).
+
+The paper's real workload is the databasebasketball.com archive: ~15 000
+player-season rows since 1979 with eight per-game statistics (*points,
+rebounds, assists, steals, blocks, field goals, free throws, three points*).
+That archive is not available offline, so this module synthesises a table
+with the same schema, scale and — crucially for Figure 14 — the same
+*grouping structure*:
+
+* grouping by ``player`` yields thousands of groups with 1-20 rows each
+  (careers are heavy-tailed),
+* grouping by ``year`` or ``team`` yields few groups with hundreds of rows,
+* grouping by ``(team, year)`` sits in between (roster-sized groups),
+
+and realistic correlations between the statistics: positional archetypes
+(guards: assists/steals/threes; centers: rebounds/blocks/field goals;
+forwards in between), a per-player skill level that lifts everything, an
+age curve, and per-season noise.  See DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..relational.table import Table
+
+__all__ = ["STAT_COLUMNS", "NBA_COLUMNS", "nba_table", "nba_player_names"]
+
+#: The eight per-game skyline statistics of the paper, in its order.
+STAT_COLUMNS = ("pts", "reb", "ast", "stl", "blk", "fgm", "ftm", "tpm")
+
+NBA_COLUMNS = ("player", "team", "year", "pos", "gp", *STAT_COLUMNS)
+
+_TEAMS = (
+    "ATL", "BOS", "CHI", "CLE", "DAL", "DEN", "DET", "GSW", "HOU", "IND",
+    "LAC", "LAL", "MIA", "MIL", "MIN", "NJN", "NYK", "ORL", "PHI", "PHX",
+    "POR", "SAC", "SAS", "SEA", "TOR", "UTA", "WAS",
+)
+
+_FIRST_NAMES = (
+    "Alton", "Bryce", "Cedric", "Damon", "Earl", "Franklin", "Gerald",
+    "Harvey", "Isaiah", "Jalen", "Kendall", "Lamar", "Marcus", "Nolan",
+    "Orlando", "Percy", "Quincy", "Rashad", "Sterling", "Terrence",
+    "Ulysses", "Vernon", "Warrick", "Xavier", "Yancy", "Zeke",
+)
+
+_LAST_NAMES = (
+    "Abbott", "Blackwell", "Carver", "Dunlap", "Easley", "Fontaine",
+    "Graves", "Holloway", "Ingram", "Jefferson", "Kirkland", "Lockhart",
+    "Maxwell", "Norwood", "Overton", "Prescott", "Quarles", "Rollins",
+    "Sandoval", "Thorne", "Underwood", "Vance", "Whitfield", "Xiong",
+    "Yates", "Zimmerman",
+)
+
+#: Per-archetype base rates for the eight statistics (per game):
+#:                              pts   reb   ast  stl  blk   fgm  ftm  tpm
+_ARCHETYPES = {
+    "G": np.array([11.0, 2.8, 5.0, 1.2, 0.2, 4.2, 2.2, 1.0]),
+    "F": np.array([12.0, 6.0, 2.2, 0.9, 0.7, 4.8, 2.4, 0.5]),
+    "C": np.array([10.0, 8.5, 1.4, 0.6, 1.5, 4.3, 2.0, 0.05]),
+}
+
+_FIRST_SEASON = 1979
+_LAST_SEASON = 2010
+
+
+def nba_player_names(count: int, rng: np.random.Generator) -> List[str]:
+    """``count`` distinct synthetic player names.
+
+    Collisions get a middle initial, then a Jr./III style suffix, so names
+    stay readable even for thousands of players.
+    """
+    suffixes = (" Jr.", " III", " IV", " V")
+    names: List[str] = []
+    seen = set()
+    while len(names) < count:
+        name = f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+        if name in seen:
+            first, last = name.split(" ", 1)
+            initial = chr(ord("A") + int(rng.integers(0, 26)))
+            name = f"{first} {initial}. {last}"
+        attempt = 0
+        while name in seen:
+            name = f"{name.rstrip('.')}{suffixes[attempt % len(suffixes)]}"
+            attempt += 1
+        seen.add(name)
+        names.append(name)
+    return names
+
+
+def _career_length(rng: np.random.Generator) -> int:
+    """Heavy-tailed career length in seasons (1-20, median ~4)."""
+    length = 1 + int(rng.exponential(4.0))
+    return min(length, 20)
+
+
+def nba_table(seed: int = 7, target_rows: int = 15_000) -> Table:
+    """Generate the synthetic NBA table (~``target_rows`` player-seasons)."""
+    if target_rows < 1:
+        raise ValueError("target_rows must be positive")
+    rng = np.random.default_rng(seed)
+
+    # Franchise strength: good organisations develop players better, which
+    # is what makes team-level groups comparable at all (and mirrors real
+    # dynasties).  Mild spread so no team strictly dominates another.
+    team_strength = {
+        team: float(rng.uniform(0.88, 1.15)) for team in _TEAMS
+    }
+
+    rows: List[Sequence] = []
+    # Draw players until the target row count is covered.  Average career
+    # is ~5 seasons, so the loop bound is generous.
+    estimated_players = max(1, target_rows // 4)
+    names = nba_player_names(estimated_players, rng)
+    name_cursor = 0
+
+    while len(rows) < target_rows:
+        if name_cursor >= len(names):
+            names.extend(nba_player_names(len(names), rng))
+        player = names[name_cursor]
+        name_cursor += 1
+
+        position = rng.choice(("G", "F", "C"), p=(0.45, 0.35, 0.20))
+        base = _ARCHETYPES[position]
+        # Skill: log-normal so a few players are stars (lifting every stat).
+        skill = float(rng.lognormal(mean=0.0, sigma=0.35))
+        career = _career_length(rng)
+        start = int(rng.integers(_FIRST_SEASON, _LAST_SEASON + 1))
+        team = str(rng.choice(_TEAMS))
+
+        for season_index in range(career):
+            year = start + season_index
+            if year > _LAST_SEASON:
+                break
+            # Occasional trades keep team groups mixed.
+            if rng.random() < 0.12:
+                team = str(rng.choice(_TEAMS))
+            # Age curve: rise to a mid-career peak, then decline.
+            peak = career / 2.0
+            age_factor = 1.0 - 0.04 * abs(season_index - peak)
+            noise = rng.normal(1.0, 0.12, size=len(STAT_COLUMNS))
+            stats = np.maximum(
+                0.0, base * skill * age_factor * team_strength[team] * noise
+            )
+            # Three-point volume grew over the era; scale tpm with the year.
+            era = 0.4 + 0.6 * (year - _FIRST_SEASON) / (
+                _LAST_SEASON - _FIRST_SEASON
+            )
+            stats[7] *= era
+            games = int(np.clip(rng.normal(62, 16), 5, 82))
+            rows.append(
+                (
+                    player,
+                    team,
+                    year,
+                    position,
+                    games,
+                    *(round(float(s), 1) for s in stats),
+                )
+            )
+            if len(rows) >= target_rows:
+                break
+
+    return Table(NBA_COLUMNS, rows)

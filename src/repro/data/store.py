@@ -1,0 +1,76 @@
+"""Binary persistence for grouped datasets.
+
+CSV keeps grouped data portable but parses slowly; this store writes a
+grouped dataset as one ``.npz`` archive (numpy's zipped container) with a
+JSON manifest for keys and directions — load/save round-trips exactly,
+including MIN-direction orientation.
+
+Format (inside the npz):
+
+* ``__manifest__`` — a JSON string array holding
+  ``{"version", "directions", "keys"}``; group keys are JSON-encoded so
+  tuples survive (as lists — they are re-tupled on load).
+* ``group_<i>`` — the i-th group's records in the *original* orientation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..core.dominance import Direction
+from ..core.groups import GroupedDataset
+
+__all__ = ["save_grouped", "load_grouped"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_key(key) -> str:
+    if isinstance(key, tuple):
+        return json.dumps({"t": list(key)})
+    return json.dumps({"s": key})
+
+
+def _decode_key(encoded: str):
+    data = json.loads(encoded)
+    if "t" in data:
+        return tuple(data["t"])
+    return data["s"]
+
+
+def save_grouped(dataset: GroupedDataset, path: Union[str, Path]) -> None:
+    """Write a grouped dataset to ``path`` (conventionally ``.npz``)."""
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "directions": [d.value for d in dataset.directions],
+        "keys": [_encode_key(key) for key in dataset.keys()],
+    }
+    arrays = {
+        f"group_{position}": dataset.original_values(key)
+        for position, key in enumerate(dataset.keys())
+    }
+    arrays["__manifest__"] = np.array([json.dumps(manifest)])
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def load_grouped(path: Union[str, Path]) -> GroupedDataset:
+    """Read a grouped dataset written by :func:`save_grouped`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "__manifest__" not in archive:
+            raise ValueError(f"{path}: not a grouped-dataset archive")
+        manifest = json.loads(str(archive["__manifest__"][0]))
+        version = manifest.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported format version {version!r}"
+            )
+        directions = [Direction.from_any(d) for d in manifest["directions"]]
+        groups = {}
+        for position, encoded in enumerate(manifest["keys"]):
+            groups[_decode_key(encoded)] = archive[f"group_{position}"]
+    return GroupedDataset(groups, directions=directions)

@@ -1,0 +1,196 @@
+"""Synthetic grouped-data generator (Section 4.1's workloads).
+
+The paper evaluates on the three classical skyline distributions of
+Börzsönyi et al. [5] — independent, correlated and anti-correlated — adapted
+to groups (the acknowledgements credit an adaptation of [5]'s generator):
+
+* group *centers* are drawn from the chosen distribution in the unit cube;
+* each group's records are spread uniformly around its center over a
+  configurable fraction of the data space (``group_spread`` — the paper's
+  default is 20 %, and Figure 11's *overlap* experiment sweeps it);
+* records-per-group follow either a uniform or a Zipfian (heavy-tail)
+  distribution (Figure 13a).
+
+All randomness flows through a seeded :class:`numpy.random.Generator`, so
+every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.groups import GroupedDataset
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "SyntheticSpec",
+    "generate_points",
+    "zipf_group_sizes",
+    "uniform_group_sizes",
+    "generate_grouped",
+]
+
+DISTRIBUTIONS = ("independent", "correlated", "anticorrelated")
+
+
+def generate_points(
+    count: int,
+    dimensions: int,
+    distribution: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``count`` points in ``[0, 1]^dimensions`` from a named distribution.
+
+    * ``independent`` — uniform in the cube.
+    * ``correlated`` — points hug the main diagonal: a common base value per
+      point plus small per-dimension noise (records good in one dimension
+      tend to be good in all).
+    * ``anticorrelated`` — points hug the anti-diagonal hyperplane
+      ``sum(x) = d/2``: a record good in one dimension tends to be bad in
+      another, which maximises incomparability (the hardest case for
+      skylines, as the paper notes).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if dimensions < 1:
+        raise ValueError("dimensions must be positive")
+    if distribution == "independent":
+        return rng.uniform(0.0, 1.0, size=(count, dimensions))
+    if distribution == "correlated":
+        base = rng.uniform(0.0, 1.0, size=(count, 1))
+        noise = rng.normal(0.0, 0.08, size=(count, dimensions))
+        return np.clip(base + noise, 0.0, 1.0)
+    if distribution == "anticorrelated":
+        base = np.clip(
+            rng.normal(0.5, 0.12, size=(count, 1)), 0.0, 1.0
+        )
+        offsets = rng.uniform(-0.5, 0.5, size=(count, dimensions))
+        # Zero-sum offsets keep each point near the plane sum(x) = d * base.
+        offsets -= offsets.mean(axis=1, keepdims=True)
+        return np.clip(base + offsets, 0.0, 1.0)
+    raise ValueError(
+        f"unknown distribution {distribution!r}; choose from {DISTRIBUTIONS}"
+    )
+
+
+def uniform_group_sizes(
+    total_records: int, group_count: int
+) -> List[int]:
+    """Split ``total_records`` into ``group_count`` near-equal sizes."""
+    if group_count < 1:
+        raise ValueError("group_count must be positive")
+    if total_records < group_count:
+        raise ValueError("need at least one record per group")
+    base, remainder = divmod(total_records, group_count)
+    return [base + (1 if i < remainder else 0) for i in range(group_count)]
+
+
+def zipf_group_sizes(
+    total_records: int,
+    group_count: int,
+    exponent: float = 1.0,
+) -> List[int]:
+    """Heavy-tailed sizes: group ``k`` gets weight ``1 / k**exponent``.
+
+    Guarantees at least one record per group and sizes summing exactly to
+    ``total_records`` (Figure 13a's workload: a few huge groups, many tiny
+    ones).
+    """
+    if group_count < 1:
+        raise ValueError("group_count must be positive")
+    if total_records < group_count:
+        raise ValueError("need at least one record per group")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, group_count + 1, dtype=np.float64)
+    weights = 1.0 / ranks**exponent
+    weights /= weights.sum()
+    sizes = np.maximum(1, np.floor(weights * total_records).astype(int))
+    # Fix the rounding drift, preferring the largest groups for surplus and
+    # never dropping a group below one record.
+    drift = total_records - int(sizes.sum())
+    index = 0
+    while drift != 0:
+        position = index % group_count
+        if drift > 0:
+            sizes[position] += 1
+            drift -= 1
+        elif sizes[position] > 1:
+            sizes[position] -= 1
+            drift += 1
+        index += 1
+    return [int(s) for s in sizes]
+
+
+@dataclass
+class SyntheticSpec:
+    """Parameters of one synthetic workload (paper defaults baked in).
+
+    The paper's Section 4 defaults: 10 000 records, 100 average records per
+    class, class spread 20 % of the data space, dimensionality 5.
+    """
+
+    n_records: int = 10_000
+    avg_group_size: int = 100
+    dimensions: int = 5
+    distribution: str = "independent"
+    group_spread: float = 0.2
+    size_distribution: str = "uniform"     # "uniform" | "zipf"
+    zipf_exponent: float = 1.0
+    seed: int = 0
+    key_prefix: str = "g"
+
+    @property
+    def group_count(self) -> int:
+        return max(1, self.n_records // self.avg_group_size)
+
+    def validate(self) -> None:
+        if self.n_records < 1:
+            raise ValueError("n_records must be positive")
+        if self.avg_group_size < 1:
+            raise ValueError("avg_group_size must be positive")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}"
+            )
+        if not 0.0 <= self.group_spread <= 1.0:
+            raise ValueError("group_spread must lie in [0, 1]")
+        if self.size_distribution not in ("uniform", "zipf"):
+            raise ValueError(
+                f"size_distribution must be 'uniform' or 'zipf',"
+                f" got {self.size_distribution!r}"
+            )
+
+
+def generate_grouped(spec: SyntheticSpec) -> GroupedDataset:
+    """Generate a grouped dataset per ``spec`` (all dimensions MAX)."""
+    spec.validate()
+    rng = np.random.default_rng(spec.seed)
+    group_count = spec.group_count
+
+    centers = generate_points(
+        group_count, spec.dimensions, spec.distribution, rng
+    )
+    if spec.size_distribution == "zipf":
+        sizes = zipf_group_sizes(
+            spec.n_records, group_count, spec.zipf_exponent
+        )
+        # Decorrelate group size from center position: without this the
+        # biggest groups would always sit at the same generated centers.
+        rng.shuffle(sizes)
+    else:
+        sizes = uniform_group_sizes(spec.n_records, group_count)
+
+    half_spread = spec.group_spread / 2.0
+    groups: Dict[str, np.ndarray] = {}
+    width = len(str(group_count - 1)) if group_count > 1 else 1
+    for position, (center, size) in enumerate(zip(centers, sizes)):
+        offsets = rng.uniform(
+            -half_spread, half_spread, size=(size, spec.dimensions)
+        )
+        records = np.clip(center + offsets, 0.0, 1.0)
+        groups[f"{spec.key_prefix}{position:0{width}d}"] = records
+    return GroupedDataset(groups)

@@ -1,0 +1,84 @@
+"""Named workloads: the evaluation's recurring configurations, by name.
+
+Examples, tests and ad-hoc experiments keep needing "the paper's default
+anti-correlated workload" or "the high-overlap stress case"; this registry
+gives them stable names and one place to tweak.  Every workload accepts a
+``scale`` factor multiplying the record count (group sizes scale with the
+square root so both loops of Equation 3/4 grow).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from ..core.groups import GroupedDataset
+from .synthetic import SyntheticSpec, generate_grouped
+
+__all__ = ["WORKLOADS", "load_workload", "workload_names"]
+
+
+def _spec(scale: float, **overrides) -> SyntheticSpec:
+    base = {
+        "n_records": 10_000,
+        "avg_group_size": 100,
+        "dimensions": 5,
+        "distribution": "independent",
+        "group_spread": 0.2,
+        "size_distribution": "uniform",
+        "seed": 0,
+    }
+    base.update(overrides)
+    n = max(50, int(base["n_records"] * scale))
+    size = max(5, int(base["avg_group_size"] * math.sqrt(scale)))
+    base["n_records"] = n
+    base["avg_group_size"] = min(size, n)
+    return SyntheticSpec(**base)
+
+
+WORKLOADS: Dict[str, Callable[[float], SyntheticSpec]] = {
+    # the paper's Section-4 default parameters
+    "paper-default": lambda scale: _spec(scale),
+    # the hardest standard distribution (large skylines)
+    "anticorrelated": lambda scale: _spec(
+        scale, distribution="anticorrelated"
+    ),
+    # the easiest (strong pruning everywhere)
+    "correlated": lambda scale: _spec(scale, distribution="correlated"),
+    # Figure 11's stress case: group MBBs overlap heavily
+    "high-overlap": lambda scale: _spec(
+        scale, distribution="anticorrelated", group_spread=0.8
+    ),
+    # Figure 13a: heavy-tailed group sizes
+    "zipf-heavy": lambda scale: _spec(
+        scale,
+        distribution="anticorrelated",
+        size_distribution="zipf",
+        zipf_exponent=1.2,
+    ),
+    # many tiny groups: the regime closest to a record skyline
+    "many-tiny-groups": lambda scale: _spec(
+        scale, distribution="anticorrelated", avg_group_size=5
+    ),
+    # few huge groups: the internal-cost regime
+    "few-huge-groups": lambda scale: _spec(
+        scale, distribution="independent", avg_group_size=1000
+    ),
+}
+
+
+def workload_names() -> List[str]:
+    return sorted(WORKLOADS)
+
+
+def load_workload(name: str, scale: float = 0.1) -> GroupedDataset:
+    """Instantiate a named workload at ``scale`` (1.0 = paper size)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {workload_names()}"
+        ) from None
+    return generate_grouped(builder(scale))

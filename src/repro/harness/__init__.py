@@ -1,0 +1,36 @@
+"""Experiment harness: sweeps, timing, and figure-shaped reporting."""
+
+from .analysis import AlgorithmSummary, growth_exponent, summarize
+from .experiments import FIGURES, SCALES, FigureReport, run_figure
+from .persistence import (
+    load_results,
+    results_from_json,
+    results_to_json,
+    save_results,
+)
+from .plotting import ascii_chart, chart_from_results
+from .reporting import format_figure, series_table, shape_checks, speedup_table
+from .runner import RunResult, run_algorithms, sweep
+
+__all__ = [
+    "RunResult",
+    "run_algorithms",
+    "sweep",
+    "series_table",
+    "speedup_table",
+    "format_figure",
+    "shape_checks",
+    "FigureReport",
+    "FIGURES",
+    "SCALES",
+    "run_figure",
+    "results_to_json",
+    "results_from_json",
+    "save_results",
+    "load_results",
+    "ascii_chart",
+    "chart_from_results",
+    "growth_exponent",
+    "summarize",
+    "AlgorithmSummary",
+]

@@ -1,0 +1,114 @@
+"""Statistical analysis of benchmark measurements.
+
+Used to turn "it looks quadratic" into a number: fit log-log growth
+exponents of run time against a swept size parameter, and summarise
+per-algorithm statistics across a sweep.  The figure benches use
+:func:`growth_exponent` to assert, e.g., that the SQL baseline really
+grows super-linearly (its self-join is quadratic in records).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .runner import RunResult
+
+__all__ = ["growth_exponent", "AlgorithmSummary", "summarize"]
+
+
+def growth_exponent(
+    results: Sequence[RunResult],
+    parameter: str,
+    algorithm: str,
+    metric: str = "elapsed_seconds",
+) -> float:
+    """Least-squares slope of ``log(metric)`` against ``log(parameter)``.
+
+    An exponent of ~1 is linear scaling, ~2 quadratic.  Requires at least
+    two sweep points with positive values.
+    """
+    points = [
+        (float(r.params[parameter]), float(getattr(r, metric)))
+        for r in results
+        if r.algorithm == algorithm and parameter in r.params
+    ]
+    points = [(x, y) for x, y in points if x > 0 and y > 0]
+    if len(points) < 2:
+        raise ValueError(
+            f"need at least two positive points for {algorithm!r};"
+            f" got {len(points)}"
+        )
+    xs = [math.log(x) for x, _ in points]
+    ys = [math.log(y) for _, y in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        raise ValueError("the swept parameter never changes")
+    numerator = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    )
+    return numerator / denominator
+
+
+@dataclass
+class AlgorithmSummary:
+    """Aggregate statistics of one algorithm over a sweep."""
+
+    algorithm: str
+    runs: int
+    total_seconds: float
+    mean_seconds: float
+    max_seconds: float
+    total_group_comparisons: int
+    total_record_pairs: int
+    exponent: Optional[float] = None
+
+    def as_row(self) -> tuple:
+        return (
+            self.algorithm,
+            self.runs,
+            round(self.total_seconds, 4),
+            round(self.mean_seconds, 4),
+            round(self.max_seconds, 4),
+            self.total_group_comparisons,
+            self.total_record_pairs,
+            None if self.exponent is None else round(self.exponent, 2),
+        )
+
+
+def summarize(
+    results: Sequence[RunResult],
+    parameter: Optional[str] = None,
+) -> List[AlgorithmSummary]:
+    """Per-algorithm summaries; with ``parameter``, include the exponent."""
+    by_algorithm: Dict[str, List[RunResult]] = {}
+    for result in results:
+        by_algorithm.setdefault(result.algorithm, []).append(result)
+    summaries = []
+    for algorithm, runs in by_algorithm.items():
+        times = [r.elapsed_seconds for r in runs]
+        exponent = None
+        if parameter is not None:
+            try:
+                exponent = growth_exponent(runs, parameter, algorithm)
+            except ValueError:
+                exponent = None
+        summaries.append(
+            AlgorithmSummary(
+                algorithm=algorithm,
+                runs=len(runs),
+                total_seconds=sum(times),
+                mean_seconds=sum(times) / len(times),
+                max_seconds=max(times),
+                total_group_comparisons=sum(
+                    r.group_comparisons for r in runs
+                ),
+                total_record_pairs=sum(r.record_pairs for r in runs),
+                exponent=exponent,
+            )
+        )
+    return summaries

@@ -1,0 +1,84 @@
+"""JSON persistence for benchmark measurements.
+
+Regenerated figures are worth keeping: the text reports are for humans,
+this module stores the raw :class:`~repro.harness.runner.RunResult` records
+machine-readably so later sessions (or plotting scripts) can compare runs
+without re-measuring.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from .runner import RunResult
+
+__all__ = [
+    "results_to_json",
+    "results_from_json",
+    "save_results",
+    "load_results",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _result_to_dict(result: RunResult) -> dict:
+    return {
+        "experiment": result.experiment,
+        "params": dict(result.params),
+        "algorithm": result.algorithm,
+        "elapsed_seconds": result.elapsed_seconds,
+        "group_comparisons": result.group_comparisons,
+        "record_pairs": result.record_pairs,
+        "skyline_size": result.skyline_size,
+        # frozensets are not JSON; keys are stored sorted by repr so the
+        # output is deterministic.
+        "skyline_keys": sorted(map(str, result.skyline_keys)),
+    }
+
+
+def _result_from_dict(data: dict) -> RunResult:
+    return RunResult(
+        experiment=data["experiment"],
+        params=dict(data["params"]),
+        algorithm=data["algorithm"],
+        elapsed_seconds=float(data["elapsed_seconds"]),
+        group_comparisons=int(data["group_comparisons"]),
+        record_pairs=int(data["record_pairs"]),
+        skyline_size=int(data["skyline_size"]),
+        skyline_keys=frozenset(data.get("skyline_keys", ())),
+    )
+
+
+def results_to_json(results: Sequence[RunResult]) -> str:
+    """Serialise measurements (stable ordering, versioned envelope)."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "results": [_result_to_dict(r) for r in results],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def results_from_json(text: str) -> List[RunResult]:
+    """Parse measurements written by :func:`results_to_json`.
+
+    Note: group keys come back as strings (JSON has no tuples); timing and
+    counter fields round-trip exactly.
+    """
+    payload = json.loads(text)
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format version: {version!r}"
+        )
+    return [_result_from_dict(d) for d in payload["results"]]
+
+
+def save_results(results: Sequence[RunResult], path: Union[str, Path]) -> None:
+    Path(path).write_text(results_to_json(results) + "\n")
+
+
+def load_results(path: Union[str, Path]) -> List[RunResult]:
+    return results_from_json(Path(path).read_text())

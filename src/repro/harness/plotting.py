@@ -1,0 +1,109 @@
+"""ASCII charts for benchmark reports.
+
+The paper's figures are log-scale line plots of run time against a swept
+parameter, one line per algorithm.  :func:`ascii_chart` renders the same
+series as terminal art so `aggskyline experiment` output and the saved
+``benchmarks/results/*.txt`` artifacts are readable without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_chart", "chart_from_results"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence,
+    series: Dict[str, Sequence[Optional[float]]],
+    height: int = 12,
+    log_y: bool = True,
+    y_label: str = "time (s)",
+) -> str:
+    """Render ``series`` (one line per key) over ``x_values``.
+
+    ``None`` entries are skipped.  With ``log_y`` the vertical axis is
+    logarithmic — the paper's convention, since the algorithms differ by
+    orders of magnitude.
+    """
+    if height < 3:
+        raise ValueError("height must be at least 3")
+    points: List[float] = [
+        v
+        for values in series.values()
+        for v in values
+        if v is not None and v > 0
+    ]
+    if not points or not x_values:
+        return "(no data)"
+
+    transform = (lambda v: math.log10(v)) if log_y else (lambda v: v)
+    lo = min(transform(v) for v in points)
+    hi = max(transform(v) for v in points)
+    if hi == lo:
+        hi = lo + 1.0
+
+    columns = len(x_values)
+    col_width = max(7, max(len(str(x)) for x in x_values) + 2)
+    width = columns * col_width
+    grid = [[" "] * width for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        scaled = (transform(value) - lo) / (hi - lo)
+        return (height - 1) - int(round(scaled * (height - 1)))
+
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for column, value in enumerate(values[:columns]):
+            if value is None or value <= 0:
+                continue
+            # Stagger series horizontally inside the column so markers that
+            # land on the same row remain individually visible.
+            x = column * col_width + 1 + series_index % (col_width - 1)
+            grid[row_of(value)][x] = marker
+
+    def axis_value(row: int) -> float:
+        scaled = (height - 1 - row) / (height - 1)
+        raw = lo + scaled * (hi - lo)
+        return 10**raw if log_y else raw
+
+    lines = []
+    for row in range(height):
+        label = f"{axis_value(row):8.3g} |" if row % 3 == 0 else " " * 9 + "|"
+        lines.append(label + "".join(grid[row]))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_axis = " " * 10 + "".join(
+        str(x).center(col_width) for x in x_values
+    )
+    lines.append(x_axis)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{y_label} [{'log' if log_y else 'linear'}]   {legend}")
+    return "\n".join(lines)
+
+
+def chart_from_results(
+    results,
+    parameter: str,
+    metric: str = "elapsed_seconds",
+    **chart_options,
+) -> str:
+    """Build an :func:`ascii_chart` from harness RunResult records."""
+    x_values: List = []
+    series: Dict[str, List[Optional[float]]] = {}
+    for result in results:
+        x = result.params.get(parameter)
+        if x not in x_values:
+            x_values.append(x)
+    for result in results:
+        series.setdefault(result.algorithm, [None] * len(x_values))
+    for result in results:
+        column = x_values.index(result.params.get(parameter))
+        series[result.algorithm][column] = float(getattr(result, metric))
+    return ascii_chart(x_values, series, **chart_options)

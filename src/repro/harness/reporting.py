@@ -1,0 +1,148 @@
+"""Turning raw measurements into the paper's tables and series.
+
+``series_table`` pivots :class:`~repro.harness.runner.RunResult` records
+into one row per sweep value and one column per algorithm — exactly the
+series a figure plots; ``format_figure`` wraps it with a caption and the
+paper-expected shape so benchmark output is self-describing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..relational.table import Table
+from .runner import RunResult
+
+__all__ = [
+    "series_table",
+    "format_figure",
+    "speedup_table",
+    "shape_checks",
+]
+
+
+def _order_preserving_unique(items: Sequence) -> List:
+    seen = set()
+    unique = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            unique.append(item)
+    return unique
+
+
+def series_table(
+    results: Sequence[RunResult],
+    parameter: str,
+    metric: str = "elapsed_seconds",
+    formatter: Optional[Callable[[float], object]] = None,
+) -> Table:
+    """Pivot measurements into ``parameter`` rows x algorithm columns.
+
+    ``metric`` is any :class:`RunResult` numeric attribute
+    (``elapsed_seconds``, ``group_comparisons``, ``record_pairs``,
+    ``skyline_size``).
+    """
+    if formatter is None:
+        formatter = (
+            (lambda v: round(v, 4))
+            if metric == "elapsed_seconds"
+            else (lambda v: v)
+        )
+    algorithms = _order_preserving_unique([r.algorithm for r in results])
+    values = _order_preserving_unique([r.params.get(parameter) for r in results])
+    cells: Dict[Tuple[object, str], object] = {}
+    for result in results:
+        key = (result.params.get(parameter), result.algorithm)
+        cells[key] = formatter(getattr(result, metric))
+    rows = [
+        [value, *(cells.get((value, a)) for a in algorithms)]
+        for value in values
+    ]
+    return Table([parameter, *algorithms], rows)
+
+
+def speedup_table(
+    results: Sequence[RunResult],
+    parameter: str,
+    baseline: str,
+) -> Table:
+    """Speed-up of every algorithm relative to ``baseline`` (x times)."""
+    algorithms = _order_preserving_unique([r.algorithm for r in results])
+    if baseline not in algorithms:
+        raise ValueError(f"baseline {baseline!r} not among {algorithms}")
+    values = _order_preserving_unique([r.params.get(parameter) for r in results])
+    timing: Dict[Tuple[object, str], float] = {
+        (r.params.get(parameter), r.algorithm): r.elapsed_seconds
+        for r in results
+    }
+    others = [a for a in algorithms if a != baseline]
+    rows = []
+    for value in values:
+        base = timing.get((value, baseline))
+        row: List[object] = [value]
+        for algorithm in others:
+            measured = timing.get((value, algorithm))
+            if base is None or measured is None or measured == 0:
+                row.append(None)
+            else:
+                row.append(round(base / measured, 2))
+        rows.append(row)
+    return Table([parameter, *(f"{a} vs {baseline}" for a in others)], rows)
+
+
+def format_figure(
+    figure_id: str,
+    caption: str,
+    expectation: str,
+    tables: Sequence[Tuple[str, Table]],
+) -> str:
+    """Self-describing benchmark report for one paper figure.
+
+    ``tables`` is a list of ``(subtitle, table)`` pairs (e.g. one table per
+    data distribution, as in Figures 10-12).
+    """
+    lines = [
+        "=" * 72,
+        f"{figure_id}: {caption}",
+        f"paper shape: {expectation}",
+        "=" * 72,
+    ]
+    for subtitle, table in tables:
+        if subtitle:
+            lines.append(f"-- {subtitle} --")
+        lines.append(table.to_text())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def shape_checks(
+    results: Sequence[RunResult],
+    parameter: str,
+    faster: str,
+    slower: str,
+    at_least_fraction: float = 0.5,
+) -> bool:
+    """Does ``faster`` beat ``slower`` on at least a fraction of points?
+
+    Used by the benchmark suite to assert the paper's qualitative shapes
+    (who wins) without pinning absolute timings.
+    """
+    timing: Dict[Tuple[object, str], float] = {
+        (r.params.get(parameter), r.algorithm): r.elapsed_seconds
+        for r in results
+    }
+    values = _order_preserving_unique([r.params.get(parameter) for r in results])
+    wins = 0
+    counted = 0
+    for value in values:
+        fast = timing.get((value, faster))
+        slow = timing.get((value, slower))
+        if fast is None or slow is None:
+            continue
+        counted += 1
+        if fast <= slow:
+            wins += 1
+    if counted == 0:
+        return False
+    return wins / counted >= at_least_fraction

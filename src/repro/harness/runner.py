@@ -1,0 +1,126 @@
+"""Experiment runner: time algorithms over parameter sweeps.
+
+The benchmarks in ``benchmarks/`` regenerate the paper's figures by calling
+:func:`run_algorithms` for each point of a sweep and pivoting the collected
+:class:`RunResult` records into the same series the figures plot (run time —
+and dominance checks — per algorithm, against the swept parameter).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.algorithms import make_algorithm
+from ..core.groups import GroupedDataset
+
+__all__ = ["RunResult", "run_algorithms", "sweep"]
+
+DEFAULT_ALGORITHMS = ("NL", "TR", "SI", "IN", "LO")
+
+
+@dataclass
+class RunResult:
+    """One (workload point, algorithm) measurement."""
+
+    experiment: str
+    params: Dict[str, object]
+    algorithm: str
+    elapsed_seconds: float
+    group_comparisons: int
+    record_pairs: int
+    skyline_size: int
+    skyline_keys: frozenset = field(default_factory=frozenset, repr=False)
+
+
+def run_algorithms(
+    dataset: GroupedDataset,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    gamma: float = 0.5,
+    experiment: str = "",
+    params: Optional[Mapping[str, object]] = None,
+    algorithm_options: Optional[Mapping[str, Mapping]] = None,
+    repeats: int = 1,
+    verify_consistency: bool = False,
+) -> List[RunResult]:
+    """Run each named algorithm on ``dataset`` and collect measurements.
+
+    ``algorithm_options`` maps an algorithm name to extra constructor
+    options.  With ``repeats > 1`` the best (minimum) wall-clock time is
+    kept, the usual benchmarking convention.  ``verify_consistency`` raises
+    if the algorithms disagree on the skyline — useful while developing
+    benches, off by default because the paper-faithful pruning policy is
+    allowed to deviate on adversarial inputs (see DESIGN.md).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    options = dict(algorithm_options or {})
+    results: List[RunResult] = []
+    for name in algorithms:
+        best: Optional[RunResult] = None
+        for _ in range(repeats):
+            engine = make_algorithm(name, gamma, **options.get(name, {}))
+            started = time.perf_counter()
+            outcome = engine.compute(dataset)
+            elapsed = time.perf_counter() - started
+            measured = RunResult(
+                experiment=experiment,
+                params=dict(params or {}),
+                algorithm=name,
+                elapsed_seconds=elapsed,
+                group_comparisons=outcome.stats.group_comparisons,
+                record_pairs=outcome.stats.record_pairs_examined,
+                skyline_size=len(outcome),
+                skyline_keys=frozenset(outcome.keys),
+            )
+            if best is None or measured.elapsed_seconds < best.elapsed_seconds:
+                best = measured
+        assert best is not None
+        results.append(best)
+
+    if verify_consistency and results:
+        reference = results[0]
+        for other in results[1:]:
+            if other.skyline_keys != reference.skyline_keys:
+                raise AssertionError(
+                    f"{other.algorithm} disagrees with {reference.algorithm}"
+                    f" on {experiment} {params}:"
+                    f" {sorted(other.skyline_keys ^ reference.skyline_keys)}"
+                )
+    return results
+
+
+def sweep(
+    experiment: str,
+    parameter: str,
+    values: Iterable,
+    dataset_factory: Callable[[object], GroupedDataset],
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    gamma: float = 0.5,
+    algorithm_options: Optional[Mapping[str, Mapping]] = None,
+    extra_params: Optional[Mapping[str, object]] = None,
+    repeats: int = 1,
+) -> List[RunResult]:
+    """Run ``algorithms`` for each value of a swept parameter.
+
+    ``dataset_factory`` builds the workload for one sweep value.  Returns
+    the flat list of measurements (pivot them with
+    :func:`repro.harness.reporting.series_table`).
+    """
+    results: List[RunResult] = []
+    for value in values:
+        dataset = dataset_factory(value)
+        params = {parameter: value, **dict(extra_params or {})}
+        results.extend(
+            run_algorithms(
+                dataset,
+                algorithms=algorithms,
+                gamma=gamma,
+                experiment=experiment,
+                params=params,
+                algorithm_options=algorithm_options,
+                repeats=repeats,
+            )
+        )
+    return results

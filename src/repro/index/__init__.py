@@ -1,0 +1,8 @@
+"""Spatial index substrate: MBRs, R-tree and grid index."""
+
+from .fenwick import FenwickTree
+from .grid import GridIndex
+from .mbr import Rect
+from .rtree import RTree, RTreeEntry
+
+__all__ = ["Rect", "RTree", "RTreeEntry", "GridIndex", "FenwickTree"]

@@ -1,0 +1,58 @@
+"""Fenwick tree (binary indexed tree) over integer ranks.
+
+Substrate for the 2-d dominance-pair counting kernel
+(:mod:`repro.core.fastcount`): supports point updates and prefix/suffix
+sums in O(log n).
+"""
+
+from __future__ import annotations
+
+__all__ = ["FenwickTree"]
+
+
+class FenwickTree:
+    """Prefix sums over ``size`` integer-indexed slots (0-based API)."""
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._size = size
+        self._tree = [0] * (size + 1)
+        self._total = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def total(self) -> int:
+        """Sum over all slots (O(1))."""
+        return self._total
+
+    def add(self, index: int, amount: int = 1) -> None:
+        """Add ``amount`` at slot ``index``."""
+        if not 0 <= index < self._size:
+            raise IndexError(index)
+        self._total += amount
+        position = index + 1
+        while position <= self._size:
+            self._tree[position] += amount
+            position += position & (-position)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of slots ``0..index`` inclusive (0 for index < 0)."""
+        if index >= self._size:
+            index = self._size - 1
+        if index < 0:
+            return 0
+        position = index + 1
+        result = 0
+        while position > 0:
+            result += self._tree[position]
+            position -= position & (-position)
+        return result
+
+    def suffix_sum(self, index: int) -> int:
+        """Sum of slots ``index..size-1`` inclusive."""
+        if index <= 0:
+            return self._total
+        return self._total - self.prefix_sum(index - 1)

@@ -1,0 +1,90 @@
+"""Uniform grid index: a simple alternative backend for window queries.
+
+Used as an ablation against the R-tree in the IN/LO algorithms.  The domain
+is cut into ``cells_per_dim`` slices per dimension; each payload lives in the
+cell of its point.  Window queries visit the overlapping cells and filter.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """A fixed uniform grid over a known bounding domain.
+
+    Parameters
+    ----------
+    low, high:
+        Domain corners.  Points outside are clamped into border cells.
+    cells_per_dim:
+        Grid resolution along each dimension.
+    """
+
+    def __init__(
+        self,
+        low: Sequence[float],
+        high: Sequence[float],
+        cells_per_dim: int = 8,
+    ):
+        self.low = np.asarray(low, dtype=np.float64)
+        self.high = np.asarray(high, dtype=np.float64)
+        if self.low.shape != self.high.shape or self.low.ndim != 1:
+            raise ValueError("low/high must be 1-d arrays of equal length")
+        if np.any(self.low > self.high):
+            raise ValueError("low exceeds high")
+        if cells_per_dim < 1:
+            raise ValueError("cells_per_dim must be positive")
+        self.cells_per_dim = cells_per_dim
+        extent = self.high - self.low
+        # Avoid zero-width dimensions (all values equal): any positive width
+        # works, every point then lands in cell 0 of that dimension.
+        extent[extent == 0.0] = 1.0
+        self._cell_width = extent / cells_per_dim
+        self._cells: Dict[Tuple[int, ...], List[Tuple[np.ndarray, Any]]] = {}
+        self._size = 0
+
+    @property
+    def dimensions(self) -> int:
+        return int(self.low.shape[0])
+
+    def _cell_of(self, point: np.ndarray) -> Tuple[int, ...]:
+        relative = (point - self.low) / self._cell_width
+        cell = np.clip(relative.astype(int), 0, self.cells_per_dim - 1)
+        return tuple(int(c) for c in cell)
+
+    def insert_point(self, coordinates: Sequence[float], item: Any) -> None:
+        point = np.asarray(coordinates, dtype=np.float64)
+        if point.shape != self.low.shape:
+            raise ValueError("point dimensionality mismatch")
+        self._cells.setdefault(self._cell_of(point), []).append((point, item))
+        self._size += 1
+
+    def search_window(self, low: Sequence[float], high: Sequence[float]) -> List[Any]:
+        """Payloads whose point lies in ``[low, high]`` (±inf allowed)."""
+        lo = np.asarray(low, dtype=np.float64)
+        hi = np.asarray(high, dtype=np.float64)
+        if np.any(lo > hi):
+            raise ValueError("window low exceeds high")
+        # Clamp the window into the domain to enumerate candidate cells.
+        lo_clamped = np.maximum(lo, self.low)
+        hi_clamped = np.minimum(hi, self.high)
+        if np.any(lo_clamped > hi_clamped):
+            return []
+        first = self._cell_of(lo_clamped)
+        last = self._cell_of(hi_clamped)
+        ranges = [range(a, b + 1) for a, b in zip(first, last)]
+        results: List[Any] = []
+        for cell in product(*ranges):
+            for point, item in self._cells.get(cell, ()):
+                if bool(np.all(point >= lo) and np.all(point <= hi)):
+                    results.append(item)
+        return results
+
+    def __len__(self) -> int:
+        return self._size

@@ -1,0 +1,93 @@
+"""Minimum bounding rectangles for the spatial index substrate."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+__all__ = ["Rect"]
+
+
+class Rect:
+    """An axis-aligned (hyper-)rectangle ``[low, high]`` in d dimensions.
+
+    Degenerate rectangles (``low == high``) represent points, which is how
+    the aggregate-skyline index stores group MBB corners.  Coordinates may
+    be ``±inf`` in *query* rectangles (half-open dominance windows).
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Sequence[float], high: Sequence[float]):
+        self.low = np.asarray(low, dtype=np.float64)
+        self.high = np.asarray(high, dtype=np.float64)
+        if self.low.shape != self.high.shape or self.low.ndim != 1:
+            raise ValueError("low/high must be 1-d arrays of equal length")
+        if np.any(self.low > self.high):
+            raise ValueError("low corner exceeds high corner")
+
+    @classmethod
+    def point(cls, coordinates: Sequence[float]) -> "Rect":
+        coords = np.asarray(coordinates, dtype=np.float64)
+        return cls(coords, coords.copy())
+
+    @classmethod
+    def union_of(cls, rects: Iterable["Rect"]) -> "Rect":
+        rect_list = list(rects)
+        if not rect_list:
+            raise ValueError("cannot take the union of no rectangles")
+        low = np.minimum.reduce([r.low for r in rect_list])
+        high = np.maximum.reduce([r.high for r in rect_list])
+        return cls(low, high)
+
+    @property
+    def dimensions(self) -> int:
+        return int(self.low.shape[0])
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.low + self.high) / 2.0
+
+    def area(self) -> float:
+        """Hyper-volume; zero for points."""
+        return float(np.prod(self.high - self.low))
+
+    def margin(self) -> float:
+        """Sum of edge lengths (the R*-tree's perimeter surrogate)."""
+        return float(np.sum(self.high - self.low))
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            np.minimum(self.low, other.low),
+            np.maximum(self.high, other.high),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed to absorb ``other`` (R-tree choose-leaf)."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        return bool(
+            np.all(self.low <= other.high) and np.all(other.low <= self.high)
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        return bool(
+            np.all(self.low <= other.low) and np.all(other.high <= self.high)
+        )
+
+    def contains_point(self, point: Union[Sequence[float], np.ndarray]) -> bool:
+        pt = np.asarray(point, dtype=np.float64)
+        return bool(np.all(self.low <= pt) and np.all(pt <= self.high))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.low, other.low)
+            and np.array_equal(self.high, other.high)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Rect({self.low.tolist()}, {self.high.tolist()})"

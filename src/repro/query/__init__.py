@@ -1,0 +1,35 @@
+"""SQL-ish query layer with the SKYLINE OF extension (paper's Example 3)."""
+
+from .ast_nodes import Query, SelectItem, SkylineSpec
+from .executor import QueryResult, execute
+from .parser import ParseError, parse
+from .planner import PlanError, plan_query
+from .render import render_expression, render_query
+from .shell import Shell, run_shell
+from .statements import (
+    StatementResult,
+    execute_statement,
+    parse_statement,
+)
+from .tokenizer import TokenizeError, tokenize
+
+__all__ = [
+    "parse",
+    "execute",
+    "plan_query",
+    "tokenize",
+    "Query",
+    "SelectItem",
+    "SkylineSpec",
+    "QueryResult",
+    "ParseError",
+    "PlanError",
+    "TokenizeError",
+    "render_query",
+    "render_expression",
+    "parse_statement",
+    "execute_statement",
+    "StatementResult",
+    "Shell",
+    "run_shell",
+]

@@ -1,0 +1,132 @@
+"""AST for the SKYLINE-extended SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+from ..core.dominance import Direction
+
+__all__ = [
+    "ColumnRef",
+    "Literal",
+    "AggCall",
+    "Comparison",
+    "Logical",
+    "Not",
+    "SelectItem",
+    "SkylineSpec",
+    "OrderSpec",
+    "Query",
+    "Expression",
+]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """Aggregate invocation ``func(column)``; column ``"*"`` for COUNT(*)."""
+
+    function: str
+    column: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.function.lower()}({self.column})"
+
+
+Operand = Union[ColumnRef, Literal, AggCall]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str                    # = != < <= > >=
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True)
+class Logical:
+    op: str                    # AND | OR
+    operands: Tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expression"
+
+
+Expression = Union[Comparison, Logical, Not]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT output: a column or an aggregate, optionally aliased."""
+
+    expression: Operand
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        if isinstance(self.expression, AggCall):
+            return self.expression.label
+        raise TypeError(f"unnameable select item: {self.expression!r}")
+
+
+@dataclass(frozen=True)
+class SkylineSpec:
+    """One SKYLINE OF dimension: ``column MAX`` or ``column MIN``."""
+
+    column: str
+    direction: Direction
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    column: str
+    descending: bool = False
+
+
+@dataclass
+class Query:
+    """A parsed query.
+
+    ``select_star`` short-circuits the select list; ``skyline`` plus
+    ``group_by`` triggers the aggregate-skyline operator, ``skyline`` alone
+    the record-wise skyline.
+    """
+
+    table: str
+    select_star: bool = False
+    select: List[SelectItem] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[str] = field(default_factory=list)
+    having: Optional[Expression] = None
+    skyline: List[SkylineSpec] = field(default_factory=list)
+    weight: Optional[str] = None
+    gamma: Optional[float] = None
+    algorithm: Optional[str] = None
+    prune_policy: Optional[str] = None
+    order_by: List[OrderSpec] = field(default_factory=list)
+    limit: Optional[int] = None
+
+    @property
+    def is_aggregate_skyline(self) -> bool:
+        return bool(self.skyline) and bool(self.group_by)
+
+    @property
+    def is_record_skyline(self) -> bool:
+        return bool(self.skyline) and not self.group_by

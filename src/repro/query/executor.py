@@ -1,0 +1,326 @@
+"""Execution of planned queries against a table catalog.
+
+Pipeline (mirroring SQL's logical evaluation order, with SKYLINE slotted in
+as the paper describes — a group-level filter akin to HAVING)::
+
+    FROM -> WHERE -> GROUP BY -> HAVING -> SKYLINE -> SELECT -> ORDER -> LIMIT
+
+``SKYLINE OF`` without ``GROUP BY`` is the traditional record skyline;
+with ``GROUP BY`` it becomes the aggregate skyline of Definition 2 and runs
+one of the NL/TR/SI/IN/LO algorithms (``USING ALGORITHM``, default LO) at
+``WITH GAMMA`` (default .5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple, Union
+
+from ..core.algorithms import make_algorithm
+from ..core.groups import GroupedDataset
+from ..core.result import AggregateSkylineResult
+from ..core.skyline import skyline_mask
+from ..relational.operators import AggregateSpec, group_by
+from ..relational.table import Row, Table
+from .ast_nodes import AggCall, ColumnRef, Query
+from .parser import parse
+from .planner import PlanError, QueryPlan, plan_query
+
+__all__ = ["QueryResult", "execute", "Catalog"]
+
+Catalog = Mapping[str, Table]
+
+DEFAULT_GAMMA = 0.5
+DEFAULT_ALGORITHM = "LO"
+
+
+class QueryResult:
+    """A result table plus, for skyline queries, the engine-level result."""
+
+    def __init__(
+        self,
+        table: Table,
+        skyline_result: Optional[AggregateSkylineResult] = None,
+    ):
+        self.table = table
+        self.skyline_result = skyline_result
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __iter__(self):
+        return iter(self.table)
+
+    def to_text(self, max_rows: Optional[int] = None) -> str:
+        return self.table.to_text(max_rows=max_rows)
+
+
+def execute(
+    query: Union[str, Query],
+    catalog: Catalog,
+    **algorithm_options,
+) -> QueryResult:
+    """Parse (if needed), plan and run a query against ``catalog``.
+
+    Extra keyword arguments are forwarded to the aggregate-skyline algorithm
+    constructor (e.g. ``prune_policy="safe"``).
+    """
+    ast = parse(query) if isinstance(query, str) else query
+    if ast.table not in catalog:
+        raise PlanError(
+            f"unknown table {ast.table!r}; catalog has {sorted(catalog)}"
+        )
+    table = catalog[ast.table]
+    plan = plan_query(ast, table)
+
+    working = table
+    if plan.where_predicate is not None:
+        working = working.select(plan.where_predicate)
+
+    if ast.is_aggregate_skyline:
+        return _run_aggregate_skyline(plan, working, algorithm_options)
+    if ast.is_record_skyline:
+        return _run_record_skyline(plan, working)
+    if ast.group_by:
+        return _run_group_by(plan, working)
+    return _run_plain_select(plan, working)
+
+
+# ----------------------------------------------------------------------
+# execution strategies
+# ----------------------------------------------------------------------
+
+
+def _run_plain_select(plan: QueryPlan, working: Table) -> QueryResult:
+    ast = plan.query
+    working, ordered = _order_early(ast, working)
+    if not ast.select_star:
+        names = [item.expression.name for item in ast.select]  # type: ignore[union-attr]
+        working = working.project(names)
+        aliases = {
+            item.expression.name: item.output_name  # type: ignore[union-attr]
+            for item in ast.select
+            if item.alias
+        }
+        if aliases:
+            working = working.rename(aliases)
+    return QueryResult(_order_and_limit(ast, working, skip_order=ordered))
+
+
+def _run_record_skyline(plan: QueryPlan, working: Table) -> QueryResult:
+    ast = plan.query
+    measures = [spec.column for spec in ast.skyline]
+    directions = [spec.direction for spec in ast.skyline]
+    if len(working) == 0:
+        result = working
+    else:
+        values = [
+            [float(row[working.column_position(c)]) for c in measures]
+            for row in working.rows
+        ]
+        mask = skyline_mask(values, directions)
+        result = Table(
+            working.columns,
+            [row for row, keep in zip(working.rows, mask) if keep],
+        )
+    result, ordered = _order_early(ast, result)
+    if not ast.select_star:
+        result = result.project(
+            [item.expression.name for item in ast.select]  # type: ignore[union-attr]
+        )
+    return QueryResult(_order_and_limit(ast, result, skip_order=ordered))
+
+
+def _run_group_by(plan: QueryPlan, working: Table) -> QueryResult:
+    ast = plan.query
+    grouped = group_by(
+        working,
+        ast.group_by,
+        aggregates=plan.aggregate_specs(),
+        having=plan.having_predicate,
+    )
+    # Order before projection so ORDER BY may use grouping columns and
+    # aggregates that the SELECT list drops (standard SQL behaviour).
+    grouped, ordered = _order_early(ast, grouped)
+    projected = _project_grouped(plan, grouped)
+    return QueryResult(_order_and_limit(ast, projected, skip_order=ordered))
+
+
+def _run_aggregate_skyline(
+    plan: QueryPlan,
+    working: Table,
+    algorithm_options: Dict[str, Any],
+) -> QueryResult:
+    ast = plan.query
+    if len(working) == 0:
+        empty = Table(_output_columns(plan), [])
+        return QueryResult(empty, None)
+
+    # HAVING first: it restricts which groups even compete in the skyline.
+    partitions = working.group_rows(ast.group_by)
+    if plan.having_predicate is not None:
+        partitions = _filter_partitions(plan, working, partitions)
+        if not partitions:
+            return QueryResult(Table(_output_columns(plan), []), None)
+
+    measures = [spec.column for spec in ast.skyline]
+    directions = [spec.direction for spec in ast.skyline]
+    positions = [working.column_position(c) for c in measures]
+    gamma = ast.gamma if ast.gamma is not None else DEFAULT_GAMMA
+
+    if ast.weight is not None:
+        skyline_result = _weighted_skyline(
+            plan, working, partitions, positions, directions, gamma
+        )
+    else:
+        groups: Dict[Hashable, List[Tuple[float, ...]]] = {
+            key: [tuple(float(row[p]) for p in positions) for row in rows]
+            for key, rows in partitions.items()
+        }
+        dataset = GroupedDataset(groups, directions=directions)
+
+        options = dict(algorithm_options)
+        if ast.prune_policy is not None:
+            options.setdefault("prune_policy", ast.prune_policy)
+        algorithm = make_algorithm(
+            ast.algorithm or DEFAULT_ALGORITHM,
+            gamma,
+            **options,
+        )
+        skyline_result = algorithm.compute(dataset)
+    surviving = skyline_result.as_set()
+
+    kept_rows = [
+        row
+        for key, rows in partitions.items()
+        if key in surviving
+        for row in rows
+    ]
+    restricted = Table(working.columns, kept_rows)
+    grouped = group_by(restricted, ast.group_by, aggregates=plan.aggregate_specs())
+    grouped, ordered = _order_early(ast, grouped)
+    projected = _project_grouped(plan, grouped)
+    return QueryResult(
+        _order_and_limit(ast, projected, skip_order=ordered), skyline_result
+    )
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def _weighted_skyline(
+    plan: QueryPlan,
+    working: Table,
+    partitions: Dict[Tuple, List[Row]],
+    positions: List[int],
+    directions,
+    gamma,
+) -> AggregateSkylineResult:
+    """Run the weighted engine for a ``SKYLINE OF ... WEIGHT BY w`` query."""
+    from ..core.weighted import weighted_aggregate_skyline
+
+    ast = plan.query
+    weight_position = working.column_position(ast.weight)
+    groups = {}
+    for key, rows in partitions.items():
+        records = [tuple(float(row[p]) for p in positions) for row in rows]
+        weights = []
+        for row in rows:
+            value = row[weight_position]
+            if value is None or value != int(value):
+                raise PlanError(
+                    f"WEIGHT BY {ast.weight!r} needs non-negative integer"
+                    f" values; found {value!r}"
+                )
+            weights.append(int(value))
+        groups[key] = (records, weights)
+    return weighted_aggregate_skyline(
+        groups, gamma=gamma, directions=directions
+    )
+
+
+def _filter_partitions(
+    plan: QueryPlan,
+    working: Table,
+    partitions: Dict[Tuple, List[Row]],
+) -> Dict[Tuple, List[Row]]:
+    """Apply HAVING to raw partitions, keeping the surviving groups."""
+    ast = plan.query
+    specs = [
+        AggregateSpec(call.function, call.column)
+        for call in plan.having_aggregates
+    ]
+    kept: Dict[Tuple, List[Row]] = {}
+    for key, rows in partitions.items():
+        env: Dict[str, Any] = dict(zip(ast.group_by, key))
+        for spec in specs:
+            if spec.column == "*":
+                env[spec.alias] = len(rows)
+            else:
+                position = working.column_position(spec.column)
+                from ..relational.aggregates import apply_aggregate
+
+                env[spec.alias] = apply_aggregate(
+                    spec.function, [row[position] for row in rows]
+                )
+        assert plan.having_predicate is not None
+        if plan.having_predicate(env):
+            kept[key] = rows
+    return kept
+
+
+def _output_columns(plan: QueryPlan) -> List[str]:
+    ast = plan.query
+    if ast.select_star:
+        return list(ast.group_by)
+    return [item.output_name for item in ast.select]
+
+
+def _project_grouped(plan: QueryPlan, grouped: Table) -> Table:
+    """Project the grouped table onto the SELECT list (with aliases)."""
+    ast = plan.query
+    if ast.select_star:
+        return grouped.project(ast.group_by)
+    names: List[str] = []
+    renames: Dict[str, str] = {}
+    for item in ast.select:
+        if isinstance(item.expression, ColumnRef):
+            source = item.expression.name
+        else:
+            assert isinstance(item.expression, AggCall)
+            source = item.expression.label
+        names.append(source)
+        if item.output_name != source:
+            renames[source] = item.output_name
+    projected = grouped.project(names)
+    if renames:
+        projected = projected.rename(renames)
+    return projected
+
+
+def _order_early(ast: Query, table: Table) -> Tuple[Table, bool]:
+    """Sort before projection when every ORDER BY column is still present.
+
+    Lets ``SELECT title ... ORDER BY pop`` work the SQL way (ordering on a
+    column that the projection then drops).  Returns the (possibly sorted)
+    table and whether ordering already happened.
+    """
+    if not ast.order_by:
+        return table, False
+    if all(spec.column in table.columns for spec in ast.order_by):
+        ordered = table.order_by(
+            [(spec.column, spec.descending) for spec in ast.order_by]
+        )
+        return ordered, True
+    return table, False
+
+
+def _order_and_limit(ast: Query, table: Table, skip_order: bool = False) -> Table:
+    if ast.order_by and not skip_order:
+        table = table.order_by(
+            [(spec.column, spec.descending) for spec in ast.order_by]
+        )
+    if ast.limit is not None:
+        table = table.limit(ast.limit)
+    return table

@@ -1,0 +1,344 @@
+"""Recursive-descent parser for the SKYLINE-extended SQL dialect.
+
+Grammar (keywords case-insensitive)::
+
+    query     := SELECT select_list FROM ident
+                 [WHERE expr]
+                 [GROUP BY ident_list]
+                 [HAVING expr]
+                 [SKYLINE OF sky_item (',' sky_item)* [WEIGHT BY ident]]
+                 [WITH GAMMA number] [USING ALGORITHM ident]
+                 [ORDER BY order_item (',' order_item)*]
+                 [LIMIT integer]
+    select_list := '*' | item (',' item)*
+    item      := (agg '(' (ident|'*') ')' | ident) [AS ident]
+    sky_item  := ident (MAX | MIN)
+    expr      := or_expr ; usual AND/OR/NOT precedence and parentheses
+    primary   := operand cmp operand | '(' expr ')' | NOT primary
+    operand   := agg '(' (ident|'*') ')' | ident | literal
+
+The paper's Example 3 parses directly::
+
+    SELECT director FROM movies GROUP BY director SKYLINE OF pop MAX, qual MAX
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.dominance import Direction
+from .ast_nodes import (
+    AggCall,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Logical,
+    Not,
+    Operand,
+    OrderSpec,
+    Query,
+    SelectItem,
+    SkylineSpec,
+)
+from .tokenizer import Token, tokenize
+
+__all__ = ["parse", "ParseError"]
+
+_AGGREGATE_NAMES = {"count", "sum", "avg", "min", "max"}
+_COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid queries."""
+
+
+def parse(source: str) -> Query:
+    """Parse a query string into a :class:`Query` AST."""
+    return _Parser(tokenize(source)).parse_query()
+
+
+def parse_expression_at(tokens: List[Token], position: int):
+    """Parse one boolean expression starting at ``tokens[position]``.
+
+    Returns ``(expression, next_position)``.  Used by the statement layer
+    (DELETE/UPDATE WHERE clauses) to share the full expression grammar.
+    """
+    parser = _Parser(tokens)
+    parser._position = position
+    expression = parser._parse_expression()
+    return expression, parser._position
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != "EOF":
+            self._position += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token.kind == "IDENT" and token.upper() in keywords
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        if self._check_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            token = self._peek()
+            raise ParseError(
+                f"expected {keyword} at position {token.position},"
+                f" found {token.text!r}"
+            )
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._peek()
+        if token.kind == "OP" and token.text == op:
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            token = self._peek()
+            raise ParseError(
+                f"expected {op!r} at position {token.position},"
+                f" found {token.text!r}"
+            )
+
+    def _expect_ident(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.kind != "IDENT":
+            raise ParseError(
+                f"expected {what} at position {token.position},"
+                f" found {token.text!r}"
+            )
+        return self._advance().text
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self._expect_keyword("SELECT")
+        select_star = False
+        select: List[SelectItem] = []
+        if self._accept_op("*"):
+            select_star = True
+        else:
+            select.append(self._parse_select_item())
+            while self._accept_op(","):
+                select.append(self._parse_select_item())
+
+        self._expect_keyword("FROM")
+        table = self._expect_ident("table name")
+        query = Query(table=table, select_star=select_star, select=select)
+
+        if self._accept_keyword("WHERE"):
+            query.where = self._parse_expression()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            query.group_by.append(self._expect_ident("grouping column"))
+            while self._accept_op(","):
+                query.group_by.append(self._expect_ident("grouping column"))
+        if self._accept_keyword("HAVING"):
+            query.having = self._parse_expression()
+        if self._accept_keyword("SKYLINE"):
+            self._expect_keyword("OF")
+            query.skyline.append(self._parse_skyline_item())
+            while self._accept_op(","):
+                query.skyline.append(self._parse_skyline_item())
+            if self._accept_keyword("WEIGHT"):
+                self._expect_keyword("BY")
+                query.weight = self._expect_ident("weight column")
+        if self._accept_keyword("WITH"):
+            self._expect_keyword("GAMMA")
+            token = self._peek()
+            if token.kind != "NUMBER":
+                raise ParseError(
+                    f"expected a number after WITH GAMMA at position"
+                    f" {token.position}"
+                )
+            query.gamma = float(self._advance().text)
+        if self._accept_keyword("USING"):
+            self._expect_keyword("ALGORITHM")
+            query.algorithm = self._expect_ident("algorithm name").upper()
+        if self._accept_keyword("PRUNE"):
+            policy = self._expect_ident("prune policy").lower()
+            if policy not in ("safe", "paper"):
+                raise ParseError(
+                    f"PRUNE expects SAFE or PAPER, got {policy!r}"
+                )
+            query.prune_policy = policy
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            query.order_by.append(self._parse_order_item())
+            while self._accept_op(","):
+                query.order_by.append(self._parse_order_item())
+        if self._accept_keyword("LIMIT"):
+            token = self._peek()
+            if token.kind != "NUMBER":
+                raise ParseError(
+                    f"expected a number after LIMIT at position {token.position}"
+                )
+            query.limit = int(float(self._advance().text))
+
+        trailing = self._peek()
+        if trailing.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r} at position"
+                f" {trailing.position}"
+            )
+        return query
+
+    def _parse_select_item(self) -> SelectItem:
+        expression = self._parse_operand(allow_literal=False)
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias")
+        return SelectItem(expression=expression, alias=alias)
+
+    def _parse_skyline_item(self) -> SkylineSpec:
+        column = self._expect_ident("skyline column")
+        token = self._peek()
+        if token.kind == "IDENT" and token.upper() in ("MAX", "MIN"):
+            direction = Direction.from_any(self._advance().text)
+        else:
+            direction = Direction.MAX
+        return SkylineSpec(column=column, direction=direction)
+
+    def _parse_order_item(self) -> OrderSpec:
+        column = self._expect_ident("order column")
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return OrderSpec(column=column, descending=descending)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Logical("OR", tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_unary()]
+        while self._accept_keyword("AND"):
+            operands.append(self._parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return Logical("AND", tuple(operands))
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return Not(self._parse_unary())
+        if self._accept_op("("):
+            inner = self._parse_expression()
+            self._expect_op(")")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_operand()
+        # BETWEEN lo AND hi  ->  (left >= lo) AND (left <= hi)
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_operand()
+            self._expect_keyword("AND")
+            high = self._parse_operand()
+            return Logical(
+                "AND",
+                (Comparison(">=", left, low), Comparison("<=", left, high)),
+            )
+        # [NOT] IN (v1, v2, ...)  ->  disjunction of equalities
+        negated = False
+        if self._check_keyword("NOT"):
+            # Only consume NOT if IN follows (it otherwise belongs to the
+            # caller's unary layer, which never reaches here mid-operand).
+            saved = self._position
+            self._advance()
+            if self._check_keyword("IN"):
+                negated = True
+            else:
+                self._position = saved
+        if self._accept_keyword("IN"):
+            self._expect_op("(")
+            values = [self._parse_operand()]
+            while self._accept_op(","):
+                values.append(self._parse_operand())
+            self._expect_op(")")
+            membership: Expression
+            comparisons = tuple(
+                Comparison("=", left, value) for value in values
+            )
+            membership = (
+                comparisons[0] if len(comparisons) == 1
+                else Logical("OR", comparisons)
+            )
+            return Not(membership) if negated else membership
+        token = self._peek()
+        if token.kind != "OP" or token.text not in _COMPARISON_OPS:
+            raise ParseError(
+                f"expected a comparison operator at position {token.position},"
+                f" found {token.text!r}"
+            )
+        op = self._advance().text
+        if op == "<>":
+            op = "!="
+        right = self._parse_operand()
+        return Comparison(op, left, right)
+
+    def _parse_operand(self, allow_literal: bool = True) -> Operand:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            if not allow_literal:
+                raise ParseError(
+                    f"literal not allowed at position {token.position}"
+                )
+            text = self._advance().text
+            value = float(text)
+            return Literal(int(value) if value.is_integer() and "." not in text and "e" not in text.lower() else value)
+        if token.kind == "STRING":
+            if not allow_literal:
+                raise ParseError(
+                    f"literal not allowed at position {token.position}"
+                )
+            return Literal(self._advance().text)
+        if token.kind == "IDENT":
+            name = self._advance().text
+            if name.lower() in _AGGREGATE_NAMES and self._accept_op("("):
+                if self._accept_op("*"):
+                    column = "*"
+                else:
+                    column = self._expect_ident("aggregate column")
+                self._expect_op(")")
+                return AggCall(name.lower(), column)
+            return ColumnRef(name)
+        raise ParseError(
+            f"expected an operand at position {token.position},"
+            f" found {token.text!r}"
+        )

@@ -1,0 +1,236 @@
+"""Validation and planning of parsed queries.
+
+The planner checks a :class:`~repro.query.ast_nodes.Query` against a table's
+columns, collects the aggregates the executor must compute, and compiles
+filter expressions into predicates over row dictionaries.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..relational.operators import AggregateSpec
+from ..relational.table import Table
+from .ast_nodes import (
+    AggCall,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Logical,
+    Not,
+    Operand,
+    Query,
+)
+
+__all__ = ["PlanError", "QueryPlan", "plan_query", "compile_predicate"]
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class PlanError(ValueError):
+    """Raised when a query is semantically invalid for its table."""
+
+
+class QueryPlan:
+    """Everything the executor needs, validated against the input table."""
+
+    def __init__(self, query: Query, table: Table):
+        self.query = query
+        self.table = table
+        self.where_predicate = (
+            compile_predicate(query.where) if query.where is not None else None
+        )
+        self.having_predicate = (
+            compile_predicate(query.having) if query.having is not None else None
+        )
+        self.having_aggregates = _collect_agg_calls(query.having)
+        self.select_aggregates = [
+            item.expression
+            for item in query.select
+            if isinstance(item.expression, AggCall)
+        ]
+        self._validate()
+
+    # ------------------------------------------------------------------
+
+    def aggregate_specs(self) -> List[AggregateSpec]:
+        """Aggregates to compute per group (select + having, deduplicated)."""
+        seen: Set[str] = set()
+        specs: List[AggregateSpec] = []
+        for call in [*self.select_aggregates, *self.having_aggregates]:
+            if call.label not in seen:
+                seen.add(call.label)
+                specs.append(AggregateSpec(call.function, call.column))
+        return specs
+
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        query, table = self.query, self.table
+        columns = set(table.columns)
+
+        def require_column(name: str, context: str) -> None:
+            if name not in columns:
+                raise PlanError(
+                    f"unknown column {name!r} in {context};"
+                    f" table has {sorted(columns)}"
+                )
+
+        if query.where is not None:
+            for ref in _collect_column_refs(query.where):
+                require_column(ref, "WHERE")
+            if _collect_agg_calls(query.where):
+                raise PlanError("aggregates are not allowed in WHERE")
+
+        for column in query.group_by:
+            require_column(column, "GROUP BY")
+        for spec in query.skyline:
+            require_column(spec.column, "SKYLINE OF")
+        for call in self.having_aggregates:
+            if call.column != "*":
+                require_column(call.column, "HAVING")
+        if query.having is not None and not query.group_by:
+            raise PlanError("HAVING requires GROUP BY")
+        if query.having is not None:
+            for ref in _collect_column_refs(query.having):
+                if ref not in query.group_by:
+                    raise PlanError(
+                        f"HAVING may only reference grouping columns or"
+                        f" aggregates, not {ref!r}"
+                    )
+
+        grouped = bool(query.group_by)
+        for item in query.select:
+            expr = item.expression
+            if isinstance(expr, ColumnRef):
+                require_column(expr.name, "SELECT")
+                if grouped and expr.name not in query.group_by:
+                    raise PlanError(
+                        f"SELECT column {expr.name!r} must appear in GROUP BY"
+                    )
+            elif isinstance(expr, AggCall):
+                if not grouped:
+                    raise PlanError(
+                        "aggregate in SELECT requires GROUP BY"
+                    )
+                if expr.column != "*":
+                    require_column(expr.column, "SELECT")
+        if query.gamma is not None and not query.skyline:
+            raise PlanError("WITH GAMMA requires a SKYLINE OF clause")
+        if query.algorithm is not None and not query.is_aggregate_skyline:
+            raise PlanError(
+                "USING ALGORITHM requires GROUP BY with SKYLINE OF"
+            )
+        if query.prune_policy is not None and not query.is_aggregate_skyline:
+            raise PlanError("PRUNE requires GROUP BY with SKYLINE OF")
+        if query.weight is not None:
+            if not query.is_aggregate_skyline:
+                raise PlanError(
+                    "WEIGHT BY requires GROUP BY with SKYLINE OF"
+                )
+            require_column(query.weight, "WEIGHT BY")
+            if query.algorithm is not None:
+                raise PlanError(
+                    "WEIGHT BY uses the dedicated weighted engine; drop"
+                    " USING ALGORITHM"
+                )
+
+
+def plan_query(query: Query, table: Table) -> QueryPlan:
+    """Validate ``query`` against ``table`` and return an executable plan."""
+    return QueryPlan(query, table)
+
+
+# ----------------------------------------------------------------------
+# expression compilation
+# ----------------------------------------------------------------------
+
+
+def compile_predicate(expression: Expression) -> Callable[[Dict[str, Any]], bool]:
+    """Compile a boolean expression into ``env -> bool``.
+
+    ``env`` maps column names (and aggregate labels like ``max(qual)``) to
+    values.  SQL-ish null semantics: any comparison with ``None`` is false.
+    """
+
+    def evaluate(expr: Expression, env: Dict[str, Any]) -> bool:
+        if isinstance(expr, Comparison):
+            left = _operand_value(expr.left, env)
+            right = _operand_value(expr.right, env)
+            if left is None or right is None:
+                return False
+            return _OPS[expr.op](left, right)
+        if isinstance(expr, Logical):
+            if expr.op == "AND":
+                return all(evaluate(op, env) for op in expr.operands)
+            return any(evaluate(op, env) for op in expr.operands)
+        if isinstance(expr, Not):
+            return not evaluate(expr.operand, env)
+        raise TypeError(f"not a boolean expression: {expr!r}")
+
+    return lambda env: evaluate(expression, env)
+
+
+def _operand_value(operand: Operand, env: Dict[str, Any]) -> Any:
+    if isinstance(operand, Literal):
+        return operand.value
+    if isinstance(operand, ColumnRef):
+        if operand.name not in env:
+            raise PlanError(f"unknown name {operand.name!r} in expression")
+        return env[operand.name]
+    if isinstance(operand, AggCall):
+        if operand.label not in env:
+            raise PlanError(
+                f"aggregate {operand.label!r} not available in this context"
+            )
+        return env[operand.label]
+    raise TypeError(f"not an operand: {operand!r}")
+
+
+def _collect_column_refs(expression: Optional[Expression]) -> List[str]:
+    refs: List[str] = []
+
+    def walk(expr) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, Comparison):
+            for side in (expr.left, expr.right):
+                if isinstance(side, ColumnRef):
+                    refs.append(side.name)
+        elif isinstance(expr, Logical):
+            for op in expr.operands:
+                walk(op)
+        elif isinstance(expr, Not):
+            walk(expr.operand)
+
+    walk(expression)
+    return refs
+
+
+def _collect_agg_calls(expression: Optional[Expression]) -> List[AggCall]:
+    calls: List[AggCall] = []
+
+    def walk(expr) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, Comparison):
+            for side in (expr.left, expr.right):
+                if isinstance(side, AggCall):
+                    calls.append(side)
+        elif isinstance(expr, Logical):
+            for op in expr.operands:
+                walk(op)
+        elif isinstance(expr, Not):
+            walk(expr.operand)
+
+    walk(expression)
+    return calls

@@ -1,0 +1,113 @@
+"""Render a query AST back to dialect text.
+
+The inverse of :func:`repro.query.parser.parse` — useful for logging,
+for building queries programmatically, and (in the test suite) for the
+round-trip property ``parse(render(q)) == q`` that pins the parser and
+renderer against each other.
+
+Rendering normalises sugar away: ``BETWEEN`` and ``IN`` were desugared by
+the parser, so they come back out as explicit conjunctions/disjunctions;
+the meaning is preserved exactly.
+"""
+
+from __future__ import annotations
+
+from ..core.dominance import Direction
+from .ast_nodes import (
+    AggCall,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Logical,
+    Not,
+    Operand,
+    Query,
+    SelectItem,
+)
+
+__all__ = ["render_query", "render_expression"]
+
+
+def _render_literal(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float) and value.is_integer():
+        return f"{value:.1f}"
+    return repr(value)
+
+
+def _render_operand(operand: Operand) -> str:
+    if isinstance(operand, ColumnRef):
+        return operand.name
+    if isinstance(operand, Literal):
+        return _render_literal(operand.value)
+    if isinstance(operand, AggCall):
+        return f"{operand.function}({operand.column})"
+    raise TypeError(f"not an operand: {operand!r}")
+
+
+def render_expression(expression: Expression) -> str:
+    """Render a boolean expression with explicit parentheses."""
+    if isinstance(expression, Comparison):
+        return (
+            f"{_render_operand(expression.left)} {expression.op}"
+            f" {_render_operand(expression.right)}"
+        )
+    if isinstance(expression, Logical):
+        joiner = f" {expression.op} "
+        return "(" + joiner.join(
+            render_expression(op) for op in expression.operands
+        ) + ")"
+    if isinstance(expression, Not):
+        return f"NOT ({render_expression(expression.operand)})"
+    raise TypeError(f"not an expression: {expression!r}")
+
+
+def _render_select_item(item: SelectItem) -> str:
+    rendered = _render_operand(item.expression)
+    if item.alias:
+        rendered += f" AS {item.alias}"
+    return rendered
+
+
+def render_query(query: Query) -> str:
+    """Render a full query in clause order."""
+    pieces = ["SELECT"]
+    if query.select_star:
+        pieces.append("*")
+    else:
+        pieces.append(
+            ", ".join(_render_select_item(item) for item in query.select)
+        )
+    pieces.append(f"FROM {query.table}")
+    if query.where is not None:
+        pieces.append(f"WHERE {render_expression(query.where)}")
+    if query.group_by:
+        pieces.append("GROUP BY " + ", ".join(query.group_by))
+    if query.having is not None:
+        pieces.append(f"HAVING {render_expression(query.having)}")
+    if query.skyline:
+        dims = ", ".join(
+            f"{spec.column} {'MAX' if spec.direction is Direction.MAX else 'MIN'}"
+            for spec in query.skyline
+        )
+        pieces.append(f"SKYLINE OF {dims}")
+        if query.weight is not None:
+            pieces.append(f"WEIGHT BY {query.weight}")
+    if query.gamma is not None:
+        pieces.append(f"WITH GAMMA {query.gamma:g}")
+    if query.algorithm is not None:
+        pieces.append(f"USING ALGORITHM {query.algorithm}")
+    if query.prune_policy is not None:
+        pieces.append(f"PRUNE {query.prune_policy.upper()}")
+    if query.order_by:
+        orders = ", ".join(
+            f"{spec.column} {'DESC' if spec.descending else 'ASC'}"
+            for spec in query.order_by
+        )
+        pieces.append(f"ORDER BY {orders}")
+    if query.limit is not None:
+        pieces.append(f"LIMIT {query.limit}")
+    return " ".join(pieces)

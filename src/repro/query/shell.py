@@ -1,0 +1,202 @@
+"""Interactive shell for the SKYLINE dialect (``aggskyline shell``).
+
+Statements end with ``;`` and may span lines.  Dot-commands manage the
+session:
+
+=============== =====================================================
+``.help``       this text
+``.tables``     list tables
+``.schema T``   columns of table T
+``.load FILE``  load a CSV file as a table (named after its stem)
+``.open DIR``   replace the session database with one loaded from DIR
+``.save DIR``   persist the session database to DIR
+``.timing``     toggle per-statement timing
+``.quit``       leave
+=============== =====================================================
+
+The loop reads from / writes to arbitrary streams, so the test suite can
+drive it like a user would.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import IO, Optional
+
+from ..relational.csvio import load_csv
+from ..relational.database import Database, DatabaseError
+from .planner import PlanError
+from .statements import execute_statement
+from .tokenizer import TokenizeError
+
+__all__ = ["Shell", "run_shell"]
+
+_HELP = __doc__.split("Statements end", 1)[1]
+
+
+class Shell:
+    """One interactive session over a :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        stdin: Optional[IO[str]] = None,
+        stdout: Optional[IO[str]] = None,
+        prompt: str = "sky> ",
+        continuation: str = "...> ",
+    ):
+        self.database = database if database is not None else Database()
+        self._stdin = stdin if stdin is not None else sys.stdin
+        self._stdout = stdout if stdout is not None else sys.stdout
+        self._prompt = prompt
+        self._continuation = continuation
+        self._timing = False
+        self._interactive = stdin is None
+
+    # ------------------------------------------------------------------
+
+    def _write(self, text: str = "") -> None:
+        self._stdout.write(text + "\n")
+
+    def _read_statement(self) -> Optional[str]:
+        """Read until ``;`` (or a dot-command / EOF).  None = EOF."""
+        pieces = []
+        prompt = self._prompt
+        while True:
+            if self._interactive:
+                self._stdout.write(prompt)
+                self._stdout.flush()
+            line = self._stdin.readline()
+            if not line:
+                return None if not pieces else " ".join(pieces)
+            stripped = line.strip()
+            if not pieces and stripped.startswith("."):
+                return stripped
+            if not pieces and not stripped:
+                continue
+            pieces.append(stripped)
+            if stripped.endswith(";"):
+                return " ".join(pieces)
+            prompt = self._continuation
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Drive the REPL until EOF or ``.quit``; returns an exit code."""
+        self._write("aggregate-skyline shell — statements end with ';',")
+        self._write("'.help' for commands, '.quit' to leave")
+        while True:
+            statement = self._read_statement()
+            if statement is None:
+                self._write()
+                return 0
+            if statement.startswith("."):
+                if not self._dot_command(statement):
+                    return 0
+                continue
+            self._run_statement(statement)
+
+    def _run_statement(self, statement: str) -> None:
+        started = time.perf_counter()
+        try:
+            result = execute_statement(statement, self.database)
+        except (PlanError, DatabaseError, TokenizeError, ValueError) as error:
+            self._write(f"error: {error}")
+            return
+        elapsed = time.perf_counter() - started
+        text = result.to_text()
+        if text:
+            self._write(text)
+        if (
+            result.query_result is not None
+            and result.query_result.skyline_result is not None
+        ):
+            stats = result.query_result.skyline_result.stats
+            self._write(
+                f"[{stats.algorithm}:"
+                f" {stats.group_comparisons} group comparisons,"
+                f" {stats.record_pairs_examined} record pairs]"
+            )
+        if self._timing:
+            self._write(f"({elapsed:.4f} s)")
+
+    def _dot_command(self, command: str) -> bool:
+        """Handle a dot-command; returns False to exit the loop."""
+        parts = command.split()
+        name, arguments = parts[0], parts[1:]
+        if name in (".quit", ".exit"):
+            return False
+        if name == ".help":
+            self._write(_HELP.strip("\n"))
+        elif name == ".tables":
+            names = self.database.table_names()
+            self._write(", ".join(names) if names else "(no tables)")
+        elif name == ".schema":
+            if len(arguments) != 1:
+                self._write("usage: .schema TABLE")
+            else:
+                try:
+                    columns = self.database.schema(arguments[0])
+                    self._write(f"{arguments[0]}({', '.join(columns)})")
+                except DatabaseError as error:
+                    self._write(f"error: {error}")
+        elif name == ".load":
+            if len(arguments) != 1:
+                self._write("usage: .load FILE.csv")
+            else:
+                self._load_csv(arguments[0])
+        elif name == ".open":
+            if len(arguments) != 1:
+                self._write("usage: .open DIRECTORY")
+            else:
+                try:
+                    self.database = Database.load(arguments[0])
+                    self._write(
+                        f"opened {len(self.database)} table(s) from"
+                        f" {arguments[0]}"
+                    )
+                except (DatabaseError, OSError) as error:
+                    self._write(f"error: {error}")
+        elif name == ".save":
+            if len(arguments) != 1:
+                self._write("usage: .save DIRECTORY")
+            else:
+                try:
+                    self.database.save(arguments[0])
+                    self._write(
+                        f"saved {len(self.database)} table(s) to"
+                        f" {arguments[0]}"
+                    )
+                except OSError as error:
+                    self._write(f"error: {error}")
+        elif name == ".timing":
+            self._timing = not self._timing
+            self._write(f"timing {'on' if self._timing else 'off'}")
+        else:
+            self._write(f"unknown command {name}; try .help")
+        return True
+
+    def _load_csv(self, filename: str) -> None:
+        path = Path(filename)
+        try:
+            table = load_csv(path)
+        except (OSError, ValueError) as error:
+            self._write(f"error: {error}")
+            return
+        name = path.stem
+        self.database.register(name, table)
+        self._write(
+            f"loaded {len(table)} row(s) into table {name}"
+            f" ({', '.join(table.columns)})"
+        )
+
+
+def run_shell(
+    database: Optional[Database] = None,
+    stdin: Optional[IO[str]] = None,
+    stdout: Optional[IO[str]] = None,
+) -> int:
+    """Convenience wrapper used by the CLI."""
+    return Shell(database=database, stdin=stdin, stdout=stdout).run()

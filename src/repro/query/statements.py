@@ -1,0 +1,346 @@
+"""DDL/DML statements on top of the query dialect.
+
+Adds the statement level around ``SELECT``:
+
+* ``CREATE TABLE name (col1, col2, ...)`` — untyped columns (values are
+  dynamically typed; an optional type word after each column is accepted
+  and ignored, so pasted SQL mostly works);
+* ``INSERT INTO name VALUES (v, ...), (v, ...)``;
+* ``DELETE FROM name [WHERE expr]``;
+* ``UPDATE name SET col = literal [, ...] [WHERE expr]``;
+* ``DROP TABLE name``;
+* anything starting with ``SELECT`` is delegated to the query parser.
+
+``execute_statement`` runs one statement against a
+:class:`~repro.relational.database.Database` and returns a
+:class:`StatementResult` (a message for DDL/DML, a result table for
+queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..relational.database import Database
+from .executor import QueryResult, execute
+from .parser import ParseError, parse, parse_expression_at
+from .planner import compile_predicate
+from .tokenizer import Token, tokenize
+
+__all__ = [
+    "CreateTable",
+    "InsertInto",
+    "DeleteFrom",
+    "Update",
+    "DropTable",
+    "StatementResult",
+    "parse_statement",
+    "execute_statement",
+]
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class InsertInto:
+    name: str
+    rows: Tuple[Tuple[object, ...], ...]
+
+
+@dataclass(frozen=True)
+class DeleteFrom:
+    name: str
+    where: Optional[object] = None        # Expression or None (all rows)
+
+
+@dataclass(frozen=True)
+class Update:
+    name: str
+    assignments: Tuple[Tuple[str, object], ...]
+    where: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+@dataclass
+class StatementResult:
+    """Outcome of one statement: a message and/or a query result."""
+
+    message: str = ""
+    query_result: Optional[QueryResult] = None
+
+    def to_text(self) -> str:
+        if self.query_result is not None:
+            return self.query_result.to_text()
+        return self.message
+
+
+class _StatementParser:
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._position = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != "EOF":
+            self._position += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._peek()
+        if token.kind == "IDENT" and token.upper() == keyword:
+            self._advance()
+            return
+        raise ParseError(
+            f"expected {keyword} at position {token.position},"
+            f" found {token.text!r}"
+        )
+
+    def _expect_ident(self, what: str) -> str:
+        token = self._peek()
+        if token.kind != "IDENT":
+            raise ParseError(
+                f"expected {what} at position {token.position},"
+                f" found {token.text!r}"
+            )
+        return self._advance().text
+
+    def _expect_op(self, op: str) -> None:
+        token = self._peek()
+        if token.kind == "OP" and token.text == op:
+            self._advance()
+            return
+        raise ParseError(
+            f"expected {op!r} at position {token.position},"
+            f" found {token.text!r}"
+        )
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._peek()
+        if token.kind == "OP" and token.text == op:
+            self._advance()
+            return True
+        return False
+
+    def _expect_end(self) -> None:
+        token = self._peek()
+        if token.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {token.text!r} at position"
+                f" {token.position}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def parse_create(self) -> CreateTable:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        name = self._expect_ident("table name")
+        self._expect_op("(")
+        columns: List[str] = []
+        while True:
+            columns.append(self._expect_ident("column name"))
+            # optional type word(s), accepted and ignored
+            while self._peek().kind == "IDENT":
+                self._advance()
+            if self._accept_op(","):
+                continue
+            self._expect_op(")")
+            break
+        self._expect_end()
+        return CreateTable(name, tuple(columns))
+
+    def parse_insert(self) -> InsertInto:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        name = self._expect_ident("table name")
+        self._expect_keyword("VALUES")
+        rows: List[Tuple[object, ...]] = []
+        while True:
+            rows.append(self._parse_value_row())
+            if not self._accept_op(","):
+                break
+        self._expect_end()
+        return InsertInto(name, tuple(rows))
+
+    def _parse_value_row(self) -> Tuple[object, ...]:
+        self._expect_op("(")
+        values: List[object] = []
+        while True:
+            values.append(self._parse_value())
+            if self._accept_op(","):
+                continue
+            self._expect_op(")")
+            return tuple(values)
+
+    def _parse_value(self) -> object:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            text = self._advance().text
+            number = float(text)
+            if number.is_integer() and "." not in text and "e" not in text.lower():
+                return int(number)
+            return number
+        if token.kind == "STRING":
+            return self._advance().text
+        if token.kind == "IDENT" and token.upper() == "NULL":
+            self._advance()
+            return None
+        raise ParseError(
+            f"expected a literal at position {token.position},"
+            f" found {token.text!r}"
+        )
+
+    def _parse_optional_where(self):
+        token = self._peek()
+        if token.kind == "IDENT" and token.upper() == "WHERE":
+            self._advance()
+            expression, self._position = parse_expression_at(
+                self._tokens, self._position
+            )
+            return expression
+        return None
+
+    def parse_delete(self) -> DeleteFrom:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        name = self._expect_ident("table name")
+        where = self._parse_optional_where()
+        self._expect_end()
+        return DeleteFrom(name, where)
+
+    def parse_update(self) -> Update:
+        self._expect_keyword("UPDATE")
+        name = self._expect_ident("table name")
+        self._expect_keyword("SET")
+        assignments: List[Tuple[str, object]] = []
+        while True:
+            column = self._expect_ident("column name")
+            self._expect_op("=")
+            assignments.append((column, self._parse_value()))
+            if not self._accept_op(","):
+                break
+        where = self._parse_optional_where()
+        self._expect_end()
+        return Update(name, tuple(assignments), where)
+
+    def parse_drop(self) -> DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        name = self._expect_ident("table name")
+        self._expect_end()
+        return DropTable(name)
+
+
+def parse_statement(source: str):
+    """Parse one statement: a DDL/DML node or a SELECT ``Query``."""
+    stripped = source.strip().rstrip(";")
+    if not stripped:
+        raise ParseError("empty statement")
+    head = stripped.split(None, 1)[0].upper()
+    parser = _StatementParser(stripped)
+    if head == "CREATE":
+        return parser.parse_create()
+    if head == "INSERT":
+        return parser.parse_insert()
+    if head == "DELETE":
+        return parser.parse_delete()
+    if head == "UPDATE":
+        return parser.parse_update()
+    if head == "DROP":
+        return parser.parse_drop()
+    if head == "SELECT":
+        return parse(stripped)
+    raise ParseError(
+        f"unknown statement {head!r}; expected CREATE, INSERT, DELETE,"
+        " UPDATE, DROP or SELECT"
+    )
+
+
+def execute_statement(
+    source: str,
+    database: Database,
+    **algorithm_options,
+) -> StatementResult:
+    """Parse and run one statement against ``database``."""
+    statement = parse_statement(source)
+    if isinstance(statement, CreateTable):
+        database.create_table(statement.name, list(statement.columns))
+        return StatementResult(
+            message=f"created table {statement.name}"
+            f" ({', '.join(statement.columns)})"
+        )
+    if isinstance(statement, InsertInto):
+        added = database.insert(statement.name, statement.rows)
+        return StatementResult(
+            message=f"inserted {added} row(s) into {statement.name}"
+        )
+    if isinstance(statement, DeleteFrom):
+        removed = _apply_delete(database, statement)
+        return StatementResult(
+            message=f"deleted {removed} row(s) from {statement.name}"
+        )
+    if isinstance(statement, Update):
+        changed = _apply_update(database, statement)
+        return StatementResult(
+            message=f"updated {changed} row(s) in {statement.name}"
+        )
+    if isinstance(statement, DropTable):
+        database.drop_table(statement.name)
+        return StatementResult(message=f"dropped table {statement.name}")
+    result = execute(statement, database, **algorithm_options)
+    return StatementResult(query_result=result)
+
+
+def _apply_delete(database: Database, statement: DeleteFrom) -> int:
+    from ..relational.table import Table
+
+    table = database[statement.name]
+    if statement.where is None:
+        removed = len(table)
+        database.register(statement.name, Table(table.columns, []))
+        return removed
+    predicate = compile_predicate(statement.where)
+    kept = [
+        row for row in table.rows if not predicate(table.row_dict(row))
+    ]
+    database.register(statement.name, Table(table.columns, kept))
+    return len(table) - len(kept)
+
+
+def _apply_update(database: Database, statement: Update) -> int:
+    from ..relational.table import Table
+
+    table = database[statement.name]
+    positions = {}
+    for column, _ in statement.assignments:
+        positions[column] = table.column_position(column)
+    predicate = (
+        compile_predicate(statement.where)
+        if statement.where is not None
+        else None
+    )
+    changed = 0
+    new_rows = []
+    for row in table.rows:
+        if predicate is None or predicate(table.row_dict(row)):
+            values = list(row)
+            for column, value in statement.assignments:
+                values[positions[column]] = value
+            new_rows.append(tuple(values))
+            changed += 1
+        else:
+            new_rows.append(row)
+    database.register(statement.name, Table(table.columns, new_rows))
+    return changed

@@ -1,0 +1,93 @@
+"""Tokenizer for the SKYLINE-extended SQL dialect.
+
+Token kinds: ``IDENT`` (also keywords, uppercased by the parser), ``NUMBER``,
+``STRING`` (single-quoted, ``''`` escapes a quote), ``OP`` (comparison and
+punctuation) and ``EOF``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Token", "TokenizeError", "tokenize"]
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "*", ".")
+
+
+class TokenizeError(ValueError):
+    """Raised on unrecognised input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # IDENT | NUMBER | STRING | OP | EOF
+    text: str
+    position: int      # character offset, for error messages
+
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens, ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            text, i = _read_string(source, i)
+            tokens.append(Token("STRING", text, i))
+            continue
+        if ch.isdigit() or (
+            ch in "+-." and i + 1 < length and source[i + 1].isdigit()
+        ):
+            start = i
+            i += 1
+            while i < length and (source[i].isdigit() or source[i] in ".eE+-"):
+                # Stop the exponent-sign greediness unless preceded by e/E.
+                if source[i] in "+-" and source[i - 1] not in "eE":
+                    break
+                i += 1
+            tokens.append(Token("NUMBER", source[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            tokens.append(Token("IDENT", source[start:i], start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise TokenizeError(
+                f"unexpected character {ch!r} at position {i}"
+            )
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def _read_string(source: str, start: int) -> tuple:
+    """Read a single-quoted string starting at ``start``; '' escapes '."""
+    i = start + 1
+    pieces: List[str] = []
+    while i < len(source):
+        ch = source[i]
+        if ch == "'":
+            if i + 1 < len(source) and source[i + 1] == "'":
+                pieces.append("'")
+                i += 2
+                continue
+            return "".join(pieces), i + 1
+        pieces.append(ch)
+        i += 1
+    raise TokenizeError(f"unterminated string starting at position {start}")

@@ -1,0 +1,29 @@
+"""In-memory relational engine substrate."""
+
+from .aggregates import AGGREGATE_FUNCTIONS, aggregate_label, apply_aggregate
+from .csvio import dumps_csv, load_csv, loads_csv, save_csv
+from .database import Database, DatabaseError
+from .operators import (
+    AggregateSpec,
+    group_by,
+    grouped_dataset_from_table,
+    weighted_groups_from_table,
+)
+from .table import Table
+
+__all__ = [
+    "Table",
+    "AggregateSpec",
+    "group_by",
+    "grouped_dataset_from_table",
+    "weighted_groups_from_table",
+    "AGGREGATE_FUNCTIONS",
+    "apply_aggregate",
+    "aggregate_label",
+    "load_csv",
+    "save_csv",
+    "loads_csv",
+    "dumps_csv",
+    "Database",
+    "DatabaseError",
+]

@@ -1,0 +1,61 @@
+"""Aggregate functions for GROUP BY queries (COUNT/SUM/AVG/MIN/MAX)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["AGGREGATE_FUNCTIONS", "apply_aggregate", "aggregate_label"]
+
+
+def _non_null(values: Sequence[Any]) -> List[Any]:
+    return [v for v in values if v is not None]
+
+
+def _agg_count(values: Sequence[Any]) -> int:
+    return len(_non_null(values))
+
+
+def _agg_sum(values: Sequence[Any]) -> Optional[float]:
+    data = _non_null(values)
+    return sum(data) if data else None
+
+
+def _agg_avg(values: Sequence[Any]) -> Optional[float]:
+    data = _non_null(values)
+    return sum(data) / len(data) if data else None
+
+
+def _agg_min(values: Sequence[Any]) -> Any:
+    data = _non_null(values)
+    return min(data) if data else None
+
+
+def _agg_max(values: Sequence[Any]) -> Any:
+    data = _non_null(values)
+    return max(data) if data else None
+
+
+AGGREGATE_FUNCTIONS: Dict[str, Callable[[Sequence[Any]], Any]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+
+def apply_aggregate(name: str, values: Sequence[Any]) -> Any:
+    """Evaluate aggregate ``name`` over a column slice of one group."""
+    try:
+        function = AGGREGATE_FUNCTIONS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregate {name!r};"
+            f" supported: {sorted(AGGREGATE_FUNCTIONS)}"
+        ) from None
+    return function(values)
+
+
+def aggregate_label(name: str, column: str) -> str:
+    """Result column name for ``name(column)`` (SQL-style)."""
+    return f"{name.lower()}({column})"

@@ -1,0 +1,63 @@
+"""CSV loading/saving for :class:`~repro.relational.table.Table`.
+
+Values are type-inferred per cell: int, then float, then string; empty cells
+become ``None``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Union
+
+from .table import Table
+
+__all__ = ["load_csv", "save_csv", "loads_csv", "dumps_csv"]
+
+
+def _parse_cell(text: str) -> Any:
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def loads_csv(content: str) -> Table:
+    """Parse CSV text (first row = header) into a table."""
+    reader = csv.reader(io.StringIO(content))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("CSV content is empty") from None
+    rows = [[_parse_cell(cell) for cell in row] for row in reader if row]
+    return Table(header, rows)
+
+
+def load_csv(path: Union[str, Path]) -> Table:
+    """Read a CSV file into a table."""
+    with open(path, newline="") as handle:
+        return loads_csv(handle.read())
+
+
+def dumps_csv(table: Table) -> str:
+    """Serialise a table to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(["" if v is None else v for v in row])
+    return buffer.getvalue()
+
+
+def save_csv(table: Table, path: Union[str, Path]) -> None:
+    """Write a table to a CSV file."""
+    with open(path, "w", newline="") as handle:
+        handle.write(dumps_csv(table))

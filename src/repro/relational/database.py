@@ -1,0 +1,164 @@
+"""A named-table database with directory persistence.
+
+Thin management layer over :class:`~repro.relational.table.Table`: create,
+drop, insert, and persist a set of named tables to a directory (one CSV per
+table plus a JSON catalog).  Implements the mapping protocol, so a
+``Database`` can be passed directly as the catalog of
+:func:`repro.query.executor.execute` — which is how the ``aggskyline
+shell`` REPL serves SKYLINE queries over it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Union
+
+from .csvio import load_csv, save_csv
+from .table import Table
+
+__all__ = ["Database", "DatabaseError"]
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_CATALOG_FILE = "catalog.json"
+_CATALOG_VERSION = 1
+
+
+class DatabaseError(ValueError):
+    """Raised for catalog-level mistakes (unknown/duplicate tables, ...)."""
+
+
+class Database:
+    """An ordered collection of named tables."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # mapping protocol (usable as an execute() catalog)
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise DatabaseError(
+                f"no table {name!r}; existing: {self.table_names()}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def keys(self):
+        return self._tables.keys()
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not _NAME_PATTERN.match(name):
+            raise DatabaseError(
+                f"invalid table name {name!r} (letters, digits, underscore;"
+                " must not start with a digit)"
+            )
+
+    def create_table(self, name: str, columns: Sequence[str]) -> Table:
+        """Create an empty table; errors if the name is taken."""
+        self._check_name(name)
+        if name in self._tables:
+            raise DatabaseError(f"table {name!r} already exists")
+        if not columns:
+            raise DatabaseError("a table needs at least one column")
+        table = Table(columns, [])
+        self._tables[name] = table
+        return table
+
+    def register(self, name: str, table: Table) -> None:
+        """Attach an existing table under ``name`` (replacing any old one)."""
+        self._check_name(name)
+        self._tables[name] = table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise DatabaseError(f"no table {name!r} to drop")
+        del self._tables[name]
+
+    def insert(self, name: str, rows: Iterable[Sequence]) -> int:
+        """Append rows to a table; returns the number inserted."""
+        table = self[name]
+        new_rows = list(table.rows)
+        added = 0
+        width = len(table.columns)
+        for row in rows:
+            values = tuple(row)
+            if len(values) != width:
+                raise DatabaseError(
+                    f"row {values!r} has {len(values)} values,"
+                    f" table {name!r} has {width} columns"
+                )
+            new_rows.append(values)
+            added += 1
+        self._tables[name] = Table(table.columns, new_rows)
+        return added
+
+    def schema(self, name: str) -> List[str]:
+        return list(self[name].columns)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory: Union[str, Path]) -> None:
+        """Write the catalog and one CSV per table into ``directory``."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        catalog = {
+            "version": _CATALOG_VERSION,
+            "tables": self.table_names(),
+        }
+        (path / _CATALOG_FILE).write_text(json.dumps(catalog, indent=2))
+        for name, table in self._tables.items():
+            save_csv(table, path / f"{name}.csv")
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "Database":
+        """Read a database written by :meth:`save`.
+
+        A directory without a catalog is also accepted: every ``*.csv``
+        becomes a table named after its stem (handy for ad-hoc data
+        directories).
+        """
+        path = Path(directory)
+        if not path.is_dir():
+            raise DatabaseError(f"{directory}: not a directory")
+        database = cls()
+        catalog_path = path / _CATALOG_FILE
+        if catalog_path.exists():
+            catalog = json.loads(catalog_path.read_text())
+            if catalog.get("version") != _CATALOG_VERSION:
+                raise DatabaseError(
+                    f"unsupported catalog version: {catalog.get('version')!r}"
+                )
+            names = catalog["tables"]
+        else:
+            names = sorted(p.stem for p in path.glob("*.csv"))
+        for name in names:
+            csv_path = path / f"{name}.csv"
+            if not csv_path.exists():
+                raise DatabaseError(
+                    f"catalog references {name!r} but {csv_path} is missing"
+                )
+            database.register(name, load_csv(csv_path))
+        return database

@@ -1,0 +1,121 @@
+"""GROUP BY / HAVING and the grouped-table bridge to the skyline core."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Sequence, Tuple, Union
+
+from ..core.groups import GroupedDataset
+from .aggregates import aggregate_label, apply_aggregate
+from .table import Row, Table
+
+__all__ = [
+    "AggregateSpec",
+    "group_by",
+    "grouped_dataset_from_table",
+    "weighted_groups_from_table",
+]
+
+
+class AggregateSpec:
+    """One aggregate output column, e.g. ``max(Pop) AS best_pop``."""
+
+    __slots__ = ("function", "column", "alias")
+
+    def __init__(self, function: str, column: str, alias: str = ""):
+        self.function = function.lower()
+        self.column = column
+        self.alias = alias or aggregate_label(function, column)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AggregateSpec({self.function}({self.column}) AS {self.alias})"
+
+
+def group_by(
+    table: Table,
+    keys: Sequence[str],
+    aggregates: Sequence[AggregateSpec] = (),
+    having: Union[Callable[[Dict[str, Any]], bool], None] = None,
+) -> Table:
+    """SQL GROUP BY: one output row per distinct key combination.
+
+    ``COUNT(*)`` is expressed as ``AggregateSpec("count", "*")``.  The
+    optional ``having`` predicate sees the key and aggregate columns of each
+    output row.
+    """
+    partitions = table.group_rows(keys)
+    columns = [*keys, *(spec.alias for spec in aggregates)]
+    rows: List[Row] = []
+    for key, members in partitions.items():
+        values: List[Any] = list(key)
+        for spec in aggregates:
+            if spec.column == "*":
+                if spec.function != "count":
+                    raise ValueError(
+                        f"'*' only valid for count, not {spec.function}"
+                    )
+                values.append(len(members))
+            else:
+                position = table.column_position(spec.column)
+                values.append(
+                    apply_aggregate(spec.function, [m[position] for m in members])
+                )
+        rows.append(tuple(values))
+    result = Table(columns, rows)
+    if having is not None:
+        result = result.select(having)
+    return result
+
+
+def grouped_dataset_from_table(
+    table: Table,
+    keys: Sequence[str],
+    measures: Sequence[str],
+    directions: Union[None, Sequence] = None,
+) -> GroupedDataset:
+    """Bridge a relational GROUP BY to the aggregate-skyline core.
+
+    Partitions ``table`` by ``keys`` and keeps the ``measures`` columns as
+    the skyline dimensions; the resulting :class:`GroupedDataset` feeds any
+    aggregate-skyline algorithm.  Group keys are single values for one key
+    column and tuples otherwise (mirroring SQL semantics).
+    """
+    if not measures:
+        raise ValueError("at least one skyline measure is required")
+    positions = [table.column_position(c) for c in measures]
+    partitions = table.group_rows(keys)
+    groups: Dict[Hashable, List[Tuple[float, ...]]] = {}
+    for key, members in partitions.items():
+        flat_key: Hashable = key[0] if len(key) == 1 else key
+        groups[flat_key] = [
+            tuple(float(member[p]) for p in positions) for member in members
+        ]
+    return GroupedDataset(groups, directions=directions)
+
+
+def weighted_groups_from_table(
+    table: Table,
+    keys: Sequence[str],
+    measures: Sequence[str],
+    weight: str,
+):
+    """Partition a table for the *weighted* aggregate skyline.
+
+    Returns ``{group key: (records, weights)}`` suitable for
+    :func:`repro.core.weighted.weighted_aggregate_skyline`; the ``weight``
+    column must hold non-negative integers (e.g. games played, case
+    counts).
+    """
+    if not measures:
+        raise ValueError("at least one skyline measure is required")
+    positions = [table.column_position(c) for c in measures]
+    weight_position = table.column_position(weight)
+    partitions = table.group_rows(keys)
+    groups: Dict[Hashable, Tuple[List[Tuple[float, ...]], List[int]]] = {}
+    for key, members in partitions.items():
+        flat_key: Hashable = key[0] if len(key) == 1 else key
+        records = [
+            tuple(float(member[p]) for p in positions) for member in members
+        ]
+        weights = [int(member[weight_position]) for member in members]
+        groups[flat_key] = (records, weights)
+    return groups

@@ -1,0 +1,212 @@
+"""A small in-memory relational table.
+
+The paper frames the aggregate skyline as an SQL-level operator (a
+``HAVING``-like filter over ``GROUP BY``); this substrate provides the
+relational algebra the query layer plans against: selection, projection,
+grouping with aggregates, ordering, limiting, distinct and inner join.
+
+Values are plain Python scalars (``int``/``float``/``str``/``None``); a
+column's type is whatever its values are.  Rows are tuples; the
+:class:`Table` is immutable in style — every operator returns a new table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = ["Table", "Row"]
+
+Value = Any
+Row = Tuple[Value, ...]
+
+
+class Table:
+    """Column-named, row-ordered relation."""
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Value]]):
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate column names in {self.columns}")
+        self._index: Dict[str, int] = {
+            name: position for position, name in enumerate(self.columns)
+        }
+        self.rows: List[Row] = []
+        width = len(self.columns)
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != width:
+                raise ValueError(
+                    f"row {tup!r} has {len(tup)} values, expected {width}"
+                )
+            self.rows.append(tup)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, records: Sequence[Mapping[str, Value]],
+                   columns: Optional[Sequence[str]] = None) -> "Table":
+        if columns is None:
+            if not records:
+                raise ValueError("cannot infer columns from zero records")
+            columns = list(records[0].keys())
+        return cls(columns, [[rec.get(c) for c in columns] for rec in records])
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {list(self.columns)}"
+            ) from None
+
+    def column_values(self, name: str) -> List[Value]:
+        position = self.column_position(name)
+        return [row[position] for row in self.rows]
+
+    def row_dict(self, row: Row) -> Dict[str, Value]:
+        return dict(zip(self.columns, row))
+
+    def iter_dicts(self) -> Iterable[Dict[str, Value]]:
+        for row in self.rows:
+            yield self.row_dict(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    # ------------------------------------------------------------------
+    # relational operators
+    # ------------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Dict[str, Value]], bool]) -> "Table":
+        """Rows satisfying ``predicate`` (called with a column dict)."""
+        kept = [row for row in self.rows if predicate(self.row_dict(row))]
+        return Table(self.columns, kept)
+
+    def project(self, columns: Sequence[str]) -> "Table":
+        positions = [self.column_position(c) for c in columns]
+        return Table(columns, [[row[p] for p in positions] for row in self.rows])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        renamed = [mapping.get(c, c) for c in self.columns]
+        return Table(renamed, self.rows)
+
+    def extend(self, name: str, function: Callable[[Dict[str, Value]], Value]) -> "Table":
+        """Append a computed column."""
+        if name in self._index:
+            raise ValueError(f"column {name!r} already exists")
+        new_rows = [
+            (*row, function(self.row_dict(row))) for row in self.rows
+        ]
+        return Table((*self.columns, name), new_rows)
+
+    def distinct(self) -> "Table":
+        seen = set()
+        kept = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                kept.append(row)
+        return Table(self.columns, kept)
+
+    def order_by(
+        self,
+        keys: Sequence[Union[str, Tuple[str, bool]]],
+    ) -> "Table":
+        """Sort rows; each key is a column name or ``(name, descending)``."""
+        normalised: List[Tuple[int, bool]] = []
+        for key in keys:
+            if isinstance(key, tuple):
+                name, descending = key
+            else:
+                name, descending = key, False
+            normalised.append((self.column_position(name), descending))
+        rows = list(self.rows)
+        # Stable sort applied from the last key to the first.
+        for position, descending in reversed(normalised):
+            rows.sort(key=lambda row: row[position], reverse=descending)
+        return Table(self.columns, rows)
+
+    def limit(self, count: int) -> "Table":
+        if count < 0:
+            raise ValueError("limit must be non-negative")
+        return Table(self.columns, self.rows[:count])
+
+    def join(self, other: "Table", on: Sequence[str]) -> "Table":
+        """Inner equi-join on shared columns ``on``."""
+        for column in on:
+            self.column_position(column)
+            other.column_position(column)
+        left_positions = [self.column_position(c) for c in on]
+        right_positions = [other.column_position(c) for c in on]
+        right_keep = [c for c in other.columns if c not in on]
+        right_keep_positions = [other.column_position(c) for c in right_keep]
+
+        buckets: Dict[Tuple, List[Row]] = {}
+        for row in other.rows:
+            key = tuple(row[p] for p in right_positions)
+            buckets.setdefault(key, []).append(row)
+
+        joined_columns = (*self.columns, *right_keep)
+        joined_rows = []
+        for row in self.rows:
+            key = tuple(row[p] for p in left_positions)
+            for match in buckets.get(key, ()):
+                joined_rows.append(
+                    (*row, *(match[p] for p in right_keep_positions))
+                )
+        return Table(joined_columns, joined_rows)
+
+    def group_rows(self, keys: Sequence[str]) -> Dict[Tuple, List[Row]]:
+        """Partition rows by the values of ``keys`` (preserving order)."""
+        positions = [self.column_position(c) for c in keys]
+        partitions: Dict[Tuple, List[Row]] = {}
+        for row in self.rows:
+            key = tuple(row[p] for p in positions)
+            partitions.setdefault(key, []).append(row)
+        return partitions
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+
+    def to_text(self, max_rows: Optional[int] = None) -> str:
+        """Fixed-width rendering (for the CLI and examples)."""
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        cells = [[_fmt(v) for v in row] for row in rows]
+        widths = [
+            max([len(name)] + [len(row[i]) for row in cells])
+            for i, name in enumerate(self.columns)
+        ]
+        header = "  ".join(n.ljust(w) for n, w in zip(self.columns, widths))
+        rule = "-" * len(header)
+        body = [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in cells
+        ]
+        suffix = []
+        if max_rows is not None and len(self.rows) > max_rows:
+            suffix.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join([header, rule, *body, *suffix])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Table(columns={list(self.columns)}, rows={len(self.rows)})"
+
+
+def _fmt(value: Value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

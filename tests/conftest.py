@@ -1,0 +1,57 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+import numpy as np
+import pytest
+
+from repro.core.gamma import GammaThresholds, dominance_holds, dominance_probability
+from repro.core.groups import GroupedDataset
+
+
+def exact_aggregate_skyline(dataset: GroupedDataset, gamma) -> set:
+    """Definition-2 oracle: brute force over exact probabilities."""
+    thresholds = GammaThresholds(gamma)
+    surviving = set()
+    groups = dataset.groups
+    for target in groups:
+        dominated = False
+        for other in groups:
+            if other.key == target.key:
+                continue
+            p = dominance_probability(other, target)
+            if dominance_holds(p.numerator, p.denominator, thresholds.gamma):
+                dominated = True
+                break
+        if not dominated:
+            surviving.add(target.key)
+    return surviving
+
+
+def random_grouped_dataset(
+    rng: np.random.Generator,
+    n_groups: int = 6,
+    max_group_size: int = 6,
+    dimensions: int = 2,
+    value_levels: int = 5,
+) -> GroupedDataset:
+    """Small random grouped dataset with many ties (integer grid values).
+
+    The coarse integer grid makes record-dominance ties and exact-γ
+    boundary cases common, which is where the algorithms can disagree if
+    anything is wrong.
+    """
+    groups: Dict[Hashable, np.ndarray] = {}
+    for g in range(n_groups):
+        size = int(rng.integers(1, max_group_size + 1))
+        groups[f"g{g}"] = rng.integers(
+            0, value_levels, size=(size, dimensions)
+        ).astype(float)
+    return GroupedDataset(groups)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

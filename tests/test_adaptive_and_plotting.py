@@ -1,0 +1,124 @@
+"""Tests for the adaptive algorithm and the ASCII chart renderer."""
+
+import pytest
+
+from repro.core.algorithms import make_algorithm
+from repro.core.algorithms.adaptive import AdaptiveAlgorithm, estimate_overlap
+from repro.data.synthetic import SyntheticSpec, generate_grouped
+from repro.harness.plotting import ascii_chart, chart_from_results
+from repro.harness.runner import RunResult
+from tests.conftest import exact_aggregate_skyline
+
+
+def workload(spread: float, seed: int = 0):
+    return generate_grouped(
+        SyntheticSpec(
+            n_records=400,
+            avg_group_size=20,
+            dimensions=3,
+            distribution="anticorrelated",
+            group_spread=spread,
+            seed=seed,
+        )
+    )
+
+
+class TestEstimateOverlap:
+    def test_separated_groups_near_zero(self):
+        dataset = workload(spread=0.05)
+        assert estimate_overlap(dataset.groups) < 0.3
+
+    def test_overlapping_groups_near_one(self):
+        dataset = workload(spread=0.9)
+        assert estimate_overlap(dataset.groups) > 0.6
+
+    def test_single_group(self):
+        dataset = generate_grouped(
+            SyntheticSpec(n_records=20, avg_group_size=20)
+        )
+        assert estimate_overlap(dataset.groups) == 0.0
+
+
+class TestAdaptiveAlgorithm:
+    def test_registered(self):
+        assert isinstance(make_algorithm("AD"), AdaptiveAlgorithm)
+
+    def test_picks_index_for_separated_data(self):
+        algorithm = AdaptiveAlgorithm(0.5)
+        algorithm.compute(workload(spread=0.05))
+        assert algorithm.chosen_strategy == "LO"
+
+    def test_picks_sorted_for_overlapping_data(self):
+        algorithm = AdaptiveAlgorithm(0.5)
+        algorithm.compute(workload(spread=0.9))
+        assert algorithm.chosen_strategy == "SI"
+
+    @pytest.mark.parametrize("spread", [0.05, 0.4, 0.9])
+    def test_exact_in_safe_mode(self, spread):
+        dataset = workload(spread=spread, seed=3)
+        expected = exact_aggregate_skyline(dataset, 0.5)
+        result = AdaptiveAlgorithm(0.5, prune_policy="safe").compute(dataset)
+        assert result.as_set() == expected
+
+    def test_stats_adopted_from_delegate(self):
+        algorithm = AdaptiveAlgorithm(0.5)
+        result = algorithm.compute(workload(spread=0.05))
+        assert result.stats.group_comparisons > 0
+        assert result.stats.algorithm == "AD"
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveAlgorithm(0.5, overlap_threshold=1.5)
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        text = ascii_chart(
+            [10, 20, 40],
+            {"NL": [0.1, 0.4, 1.6], "LO": [0.01, 0.02, 0.05]},
+        )
+        assert "o=NL" in text and "x=LO" in text
+        assert "log" in text
+        assert "10" in text and "40" in text
+
+    def test_linear_scale(self):
+        text = ascii_chart(
+            [1, 2], {"a": [1.0, 2.0]}, log_y=False, y_label="count"
+        )
+        assert "linear" in text
+        assert "count" in text
+
+    def test_handles_missing_points(self):
+        text = ascii_chart([1, 2, 3], {"a": [1.0, None, 3.0]})
+        assert "o=a" in text
+
+    def test_empty_series(self):
+        assert ascii_chart([1], {"a": [None]}) == "(no data)"
+        assert ascii_chart([], {}) == "(no data)"
+
+    def test_height_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]}, height=2)
+
+    def test_flat_series(self):
+        text = ascii_chart([1, 2], {"a": [5.0, 5.0]})
+        assert "o=a" in text
+
+    def test_chart_from_results(self):
+        results = [
+            RunResult("x", {"n": 10}, "NL", 0.5, 1, 1, 1),
+            RunResult("x", {"n": 20}, "NL", 1.5, 1, 1, 1),
+            RunResult("x", {"n": 10}, "LO", 0.05, 1, 1, 1),
+            RunResult("x", {"n": 20}, "LO", 0.08, 1, 1, 1),
+        ]
+        text = chart_from_results(results, "n")
+        assert "o=NL" in text and "x=LO" in text
+
+    def test_chart_other_metric(self):
+        results = [
+            RunResult("x", {"n": 10}, "NL", 0.5, 7, 100, 1),
+        ]
+        text = chart_from_results(
+            results, "n", metric="group_comparisons", log_y=False
+        )
+        assert "o=NL" in text

@@ -1,0 +1,116 @@
+"""Tests for growth-exponent analysis and the binary dataset store."""
+
+import numpy as np
+import pytest
+
+from repro.core.groups import GroupedDataset
+from repro.data.store import load_grouped, save_grouped
+from repro.data.synthetic import SyntheticSpec, generate_grouped
+from repro.harness.analysis import growth_exponent, summarize
+from repro.harness.runner import RunResult
+
+
+def _sweep_results(exponent, algorithm="X", metric_scale=1e-3):
+    return [
+        RunResult(
+            "fig", {"n": n}, algorithm,
+            metric_scale * n**exponent, n, n * 10, 1,
+        )
+        for n in (100, 200, 400, 800)
+    ]
+
+
+class TestGrowthExponent:
+    @pytest.mark.parametrize("true_exponent", [1.0, 2.0, 0.5])
+    def test_recovers_power_law(self, true_exponent):
+        results = _sweep_results(true_exponent)
+        fitted = growth_exponent(results, "n", "X")
+        assert fitted == pytest.approx(true_exponent, abs=1e-9)
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(0)
+        results = [
+            RunResult(
+                "fig", {"n": n}, "X",
+                1e-3 * n**2 * float(rng.uniform(0.9, 1.1)), 1, 1, 1,
+            )
+            for n in (100, 200, 400, 800, 1600)
+        ]
+        assert growth_exponent(results, "n", "X") == pytest.approx(2.0, abs=0.2)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            growth_exponent(_sweep_results(1.0)[:1], "n", "X")
+        with pytest.raises(ValueError):
+            growth_exponent(_sweep_results(1.0), "n", "missing")
+
+    def test_constant_parameter_rejected(self):
+        results = [
+            RunResult("fig", {"n": 100}, "X", 0.1, 1, 1, 1),
+            RunResult("fig", {"n": 100}, "X", 0.2, 1, 1, 1),
+        ]
+        with pytest.raises(ValueError):
+            growth_exponent(results, "n", "X")
+
+    def test_other_metric(self):
+        results = _sweep_results(1.0)
+        # group_comparisons was set to n -> exponent 1.
+        assert growth_exponent(
+            results, "n", "X", metric="group_comparisons"
+        ) == pytest.approx(1.0)
+
+
+class TestSummarize:
+    def test_per_algorithm(self):
+        results = _sweep_results(2.0, "SQL") + _sweep_results(1.0, "LO")
+        summaries = {s.algorithm: s for s in summarize(results, "n")}
+        assert summaries["SQL"].runs == 4
+        assert summaries["SQL"].exponent == pytest.approx(2.0, abs=1e-9)
+        assert summaries["LO"].exponent == pytest.approx(1.0, abs=1e-9)
+        assert summaries["SQL"].total_seconds > summaries["LO"].total_seconds
+        row = summaries["SQL"].as_row()
+        assert row[0] == "SQL"
+
+    def test_without_parameter(self):
+        summaries = summarize(_sweep_results(1.0))
+        assert summaries[0].exponent is None
+
+
+class TestGroupedStore:
+    def test_roundtrip(self, tmp_path):
+        dataset = generate_grouped(
+            SyntheticSpec(n_records=120, avg_group_size=30, dimensions=3)
+        )
+        path = tmp_path / "data.npz"
+        save_grouped(dataset, path)
+        loaded = load_grouped(path)
+        assert loaded.keys() == dataset.keys()
+        for key in dataset.keys():
+            assert np.array_equal(loaded[key].values, dataset[key].values)
+
+    def test_roundtrip_with_directions_and_tuple_keys(self, tmp_path):
+        dataset = GroupedDataset(
+            {("team", 1999): [[1.0, 2.0]], "solo": [[3.0, 4.0]]},
+            directions=["min", "max"],
+        )
+        path = tmp_path / "data.npz"
+        save_grouped(dataset, path)
+        loaded = load_grouped(path)
+        assert ("team", 1999) in loaded
+        assert loaded.directions == dataset.directions
+        assert loaded.original_values(("team", 1999)).tolist() == [[1.0, 2.0]]
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.ones(3))
+        with pytest.raises(ValueError, match="not a grouped-dataset"):
+            load_grouped(path)
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        path = tmp_path / "old.npz"
+        manifest = json.dumps({"version": 99, "directions": [], "keys": []})
+        np.savez(path, __manifest__=np.array([manifest]))
+        with pytest.raises(ValueError, match="version"):
+            load_grouped(path)

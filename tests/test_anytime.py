@@ -1,0 +1,125 @@
+"""Tests for the anytime aggregate skyline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anytime import AnytimeAggregateSkyline, GroupStatus
+from repro.core.groups import GroupedDataset
+from repro.data.synthetic import SyntheticSpec, generate_grouped
+from tests.conftest import exact_aggregate_skyline, random_grouped_dataset
+
+
+@pytest.fixture
+def chain():
+    return GroupedDataset(
+        {
+            "top": [[9.0, 9.0], [8.0, 8.0]],
+            "mid": [[5.0, 5.0], [4.0, 4.0]],
+            "low": [[1.0, 1.0], [2.0, 2.0]],
+        }
+    )
+
+
+class TestBasics:
+    def test_validation(self, chain):
+        with pytest.raises(ValueError):
+            AnytimeAggregateSkyline(chain, block_size=0)
+        anytime = AnytimeAggregateSkyline(chain)
+        with pytest.raises(ValueError):
+            anytime.step(pair_budget=0)
+
+    def test_chain_decided_by_bboxes_immediately(self, chain):
+        anytime = AnytimeAggregateSkyline(chain)
+        # Strict MBB domination decides every pair with zero record work.
+        assert anytime.done
+        assert anytime.confirmed() == ["top"]
+        assert set(anytime.excluded()) == {"mid", "low"}
+        assert anytime.pairs_examined == 0
+
+    def test_single_group(self):
+        dataset = GroupedDataset({"only": [[1.0, 2.0]]})
+        anytime = AnytimeAggregateSkyline(dataset)
+        assert anytime.done
+        assert anytime.confirmed() == ["only"]
+        assert anytime.progress == 1.0
+
+    def test_status_by_key(self, chain):
+        anytime = AnytimeAggregateSkyline(chain)
+        assert anytime.status("top") is GroupStatus.CONFIRMED
+        assert anytime.status("low") is GroupStatus.EXCLUDED
+
+
+class TestProgressiveRefinement:
+    @pytest.fixture
+    def hard_dataset(self):
+        # Heavily overlapping groups: bbox seeds decide almost nothing.
+        return generate_grouped(
+            SyntheticSpec(
+                n_records=300,
+                avg_group_size=30,
+                dimensions=3,
+                distribution="anticorrelated",
+                group_spread=0.8,
+                seed=21,
+            )
+        )
+
+    def test_partial_answers_are_sound_throughout(self, hard_dataset):
+        expected = exact_aggregate_skyline(hard_dataset, 0.5)
+        anytime = AnytimeAggregateSkyline(
+            hard_dataset, 0.5, block_size=16, use_bbox=False
+        )
+        seen_partial = False
+        while not anytime.done:
+            confirmed = set(anytime.confirmed())
+            candidates = set(anytime.candidates())
+            # Sound sandwich: confirmed <= truth <= candidates.
+            assert confirmed <= expected
+            assert expected <= candidates
+            if confirmed != expected or candidates != expected:
+                seen_partial = True
+            anytime.step(pair_budget=200)
+        assert set(anytime.confirmed()) == expected
+        assert seen_partial  # the refinement actually passed through
+        assert anytime.pairs_examined > 0
+
+    def test_progress_monotone(self, hard_dataset):
+        anytime = AnytimeAggregateSkyline(
+            hard_dataset, 0.5, block_size=16, use_bbox=False
+        )
+        previous = anytime.progress
+        while not anytime.done:
+            anytime.step(pair_budget=500)
+            assert anytime.progress >= previous
+            previous = anytime.progress
+
+    def test_run_returns_exact_result(self, hard_dataset):
+        anytime = AnytimeAggregateSkyline(hard_dataset, 0.5)
+        result = anytime.run()
+        assert set(result) == exact_aggregate_skyline(hard_dataset, 0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=5),
+        st.sampled_from([0.5, 0.75, 1.0]),
+        st.integers(min_value=0, max_value=1_000_000),
+        st.booleans(),
+    )
+    def test_matches_oracle_randomized(
+        self, n_groups, max_size, gamma, seed, use_bbox
+    ):
+        rng = np.random.default_rng(seed)
+        dataset = random_grouped_dataset(
+            rng, n_groups=n_groups, max_group_size=max_size
+        )
+        anytime = AnytimeAggregateSkyline(
+            dataset, gamma, block_size=2, use_bbox=use_bbox
+        )
+        anytime.run(pair_budget_per_step=7)
+        assert set(anytime.confirmed()) == exact_aggregate_skyline(
+            dataset, gamma
+        )
+        assert anytime.candidates() == anytime.confirmed()

@@ -1,0 +1,121 @@
+"""Tests for the public API: aggregate_skyline(), gamma_profile()."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    GroupedDataset,
+    aggregate_skyline,
+    aggregate_skyline_from_records,
+    gamma_profile,
+)
+from repro.core.algorithms import make_algorithm
+from tests.conftest import exact_aggregate_skyline, random_grouped_dataset
+
+
+class TestAggregateSkyline:
+    def test_mapping_input(self):
+        result = aggregate_skyline(
+            {"a": [[1, 1]], "b": [[2, 2]]}, algorithm="NL"
+        )
+        assert result.as_set() == {"b"}
+
+    def test_dataset_input(self):
+        dataset = GroupedDataset({"a": [[1, 1]], "b": [[2, 2]]})
+        result = aggregate_skyline(dataset)
+        assert result.as_set() == {"b"}
+
+    def test_directions_on_dataset_rejected(self):
+        dataset = GroupedDataset({"a": [[1, 1]]})
+        with pytest.raises(ValueError, match="directions"):
+            aggregate_skyline(dataset, directions=["max", "max"])
+
+    def test_directions_applied(self):
+        result = aggregate_skyline(
+            {"cheap": [[1.0, 5.0]], "pricey": [[9.0, 5.0]]},
+            directions=["min", "max"],
+            algorithm="NL",
+        )
+        assert result.as_set() == {"cheap"}
+
+    def test_options_forwarded(self):
+        result = aggregate_skyline(
+            {"a": [[1, 1]], "b": [[2, 2]]},
+            algorithm="TR",
+            prune_policy="safe",
+            use_stopping_rule=False,
+        )
+        assert result.as_set() == {"b"}
+
+    def test_bad_option_raises(self):
+        with pytest.raises(TypeError):
+            aggregate_skyline({"a": [[1, 1]]}, algorithm="NL", warp_speed=9)
+
+    def test_from_records(self):
+        result = aggregate_skyline_from_records(
+            records=[[1, 1], [5, 5], [2, 2]],
+            keys=["a", "b", "a"],
+            algorithm="NL",
+        )
+        assert result.as_set() == {"b"}
+
+    def test_gamma_controls_result_size(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=8, max_group_size=5)
+        sizes = [
+            len(aggregate_skyline(dataset, gamma=g, algorithm="NL"))
+            for g in (0.5, 0.75, 1.0)
+        ]
+        # gamma = .5 is the most selective setting (Section 2.2).
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+
+class TestGammaProfile:
+    def test_degrees_and_minimal_gamma(self):
+        profile = gamma_profile(
+            {
+                "best": [[10, 10]],
+                "half": [[5, 20], [5, 5]],   # half of its pairs dominated
+                "worst": [[1, 1]],
+            }
+        )
+        assert profile.degree("best") == 0
+        assert profile.minimal_gamma("best") == Fraction(1, 2)
+        # "worst" is fully dominated: never admitted.
+        assert profile.minimal_gamma("worst") is None
+        # "half" suffers p = 1/2: admitted from gamma = .5 on (strict >).
+        assert profile.degree("half") == Fraction(1, 2)
+        assert profile.minimal_gamma("half") == Fraction(1, 2)
+
+    def test_skyline_at_matches_algorithms(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=7, max_group_size=4)
+        profile = gamma_profile(dataset)
+        for gamma in (0.5, 0.6, 0.75, 0.9, 1.0):
+            expected = exact_aggregate_skyline(dataset, gamma)
+            assert set(profile.skyline_at(gamma)) == expected
+            nl = make_algorithm("NL", gamma).compute(dataset)
+            assert set(profile.skyline_at(gamma)) == nl.as_set()
+
+    def test_ranked_orders_by_minimal_gamma(self):
+        profile = gamma_profile(
+            {
+                "best": [[10, 10]],
+                "close": [[9, 9], [11, 8]],
+                "worst": [[1, 1]],
+            }
+        )
+        ranking = profile.ranked()
+        assert ranking[-1] == ("worst", None)
+        gammas = [g for _, g in ranking[:-1]]
+        assert gammas == sorted(gammas)
+
+    def test_len(self):
+        profile = gamma_profile({"a": [[1, 1]], "b": [[2, 2]]})
+        assert len(profile) == 2
+
+    def test_directions(self):
+        profile = gamma_profile(
+            {"cheap": [[1.0]], "pricey": [[9.0]]}, directions=["min"]
+        )
+        assert profile.minimal_gamma("pricey") is None
+        assert profile.minimal_gamma("cheap") == Fraction(1, 2)

@@ -1,0 +1,201 @@
+"""Tests for the pairwise group comparator (stopping rule, bbox, Fig. 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.comparator import GroupComparator
+from repro.core.gamma import (
+    GammaThresholds,
+    dominance_holds,
+    dominance_probability,
+)
+from repro.core.groups import Group
+
+
+def make_group(key, values):
+    return Group(key, np.asarray(values, dtype=float))
+
+
+def oracle_flags(g1, g2, thresholds):
+    """Exact verdicts straight from Definition 3."""
+    p12 = dominance_probability(g1, g2)
+    p21 = dominance_probability(g2, g1)
+    return (
+        dominance_holds(p12.numerator, p12.denominator, thresholds.gamma),
+        dominance_holds(p12.numerator, p12.denominator, thresholds.strong),
+        dominance_holds(p21.numerator, p21.denominator, thresholds.gamma),
+        dominance_holds(p21.numerator, p21.denominator, thresholds.strong),
+    )
+
+
+def comparator_variants(thresholds, block_size=3):
+    return [
+        GroupComparator(thresholds, use_stopping_rule=False, use_bbox=False),
+        GroupComparator(thresholds, use_stopping_rule=True, use_bbox=False,
+                        block_size=block_size),
+        GroupComparator(thresholds, use_stopping_rule=False, use_bbox=True),
+        GroupComparator(thresholds, use_stopping_rule=True, use_bbox=True,
+                        block_size=block_size),
+    ]
+
+
+class TestCorrectness:
+    def test_strict_dominance(self):
+        g1 = make_group("a", [[5, 5], [4, 4]])
+        g2 = make_group("b", [[1, 1], [2, 2]])
+        thresholds = GammaThresholds(0.5)
+        for comparator in comparator_variants(thresholds):
+            outcome = comparator.compare(g1, g2)
+            assert outcome.d12 and outcome.d12_strong
+            assert not outcome.d21 and not outcome.d21_strong
+            assert not outcome.incomparable
+
+    def test_incomparable_groups(self):
+        g1 = make_group("a", [[5, 0]])
+        g2 = make_group("b", [[0, 5]])
+        thresholds = GammaThresholds(0.5)
+        for comparator in comparator_variants(thresholds):
+            outcome = comparator.compare(g1, g2)
+            assert outcome.incomparable
+
+    def test_exact_gamma_boundary_not_dominating(self):
+        # p = 1/2 exactly: Definition 3 requires strictly greater.
+        g1 = make_group("a", [[3, 3]])
+        g2 = make_group("b", [[1, 1], [5, 5]])
+        thresholds = GammaThresholds(0.5)
+        for comparator in comparator_variants(thresholds):
+            outcome = comparator.compare(g1, g2)
+            assert not outcome.d12
+            assert not outcome.d21
+
+    def test_dimension_mismatch(self):
+        comparator = GroupComparator(GammaThresholds(0.5))
+        with pytest.raises(ValueError):
+            comparator.compare(
+                make_group("a", [[1, 2]]), make_group("b", [[1, 2, 3]])
+            )
+
+    def test_needs_at_least_one_direction(self):
+        comparator = GroupComparator(GammaThresholds(0.5))
+        with pytest.raises(ValueError):
+            comparator.compare(
+                make_group("a", [[1]]),
+                make_group("b", [[2]]),
+                need_forward=False,
+                need_backward=False,
+            )
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            GroupComparator(GammaThresholds(0.5), block_size=0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=3),
+        st.sampled_from([0.5, 0.55, 0.7, 0.75, 0.9, 1.0]),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    def test_all_variants_match_oracle(self, n1, n2, d, gamma, seed):
+        rng = np.random.default_rng(seed)
+        g1 = make_group("a", rng.integers(0, 4, size=(n1, d)).astype(float))
+        g2 = make_group("b", rng.integers(0, 4, size=(n2, d)).astype(float))
+        thresholds = GammaThresholds(gamma)
+        expected = oracle_flags(g1, g2, thresholds)
+        for comparator in comparator_variants(thresholds, block_size=2):
+            outcome = comparator.compare(g1, g2)
+            flags = (
+                outcome.d12,
+                outcome.d12_strong,
+                outcome.d21,
+                outcome.d21_strong,
+            )
+            assert flags == expected, (
+                f"{comparator.use_stopping_rule=} {comparator.use_bbox=}"
+            )
+
+
+class TestOneDirectional:
+    def test_forward_only(self):
+        g1 = make_group("a", [[5, 5]])
+        g2 = make_group("b", [[1, 1]])
+        comparator = GroupComparator(GammaThresholds(0.5))
+        outcome = comparator.compare(g1, g2, need_backward=False)
+        assert outcome.d12
+        assert not outcome.d21  # not computed, reported False
+
+    def test_backward_only(self):
+        g1 = make_group("a", [[1, 1]])
+        g2 = make_group("b", [[5, 5]])
+        comparator = GroupComparator(GammaThresholds(0.5))
+        outcome = comparator.compare(g1, g2, need_forward=False)
+        assert outcome.d21
+        assert not outcome.d12
+
+    def test_one_direction_costs_less(self):
+        rng = np.random.default_rng(3)
+        g1 = make_group("a", rng.uniform(size=(30, 3)))
+        g2 = make_group("b", rng.uniform(size=(30, 3)))
+        thresholds = GammaThresholds(0.5)
+        both = GroupComparator(thresholds, use_stopping_rule=False)
+        both.compare(g1, g2)
+        single = GroupComparator(thresholds, use_stopping_rule=False)
+        single.compare(g1, g2, need_backward=False)
+        assert single.pairs_examined <= both.pairs_examined
+        assert single.pairs_examined == 900  # 30 x 30, forward only
+
+
+class TestWorkCounters:
+    def test_stopping_rule_reduces_pairs_on_clear_dominance(self):
+        rng = np.random.default_rng(0)
+        # g1 far above g2: the verdict settles after a few blocks.
+        g1 = make_group("a", rng.uniform(10, 11, size=(50, 2)))
+        g2 = make_group("b", rng.uniform(0, 1, size=(50, 2)))
+        thresholds = GammaThresholds(0.5)
+        eager = GroupComparator(
+            thresholds, use_stopping_rule=True, use_bbox=False, block_size=64
+        )
+        eager.compare(g1, g2)
+        full = GroupComparator(
+            thresholds, use_stopping_rule=False, use_bbox=False
+        )
+        full.compare(g1, g2)
+        assert eager.pairs_examined < full.pairs_examined
+        assert full.pairs_examined == 2 * 50 * 50
+
+    def test_bbox_shortcut_on_strict_dominance(self):
+        g1 = make_group("a", [[10, 10], [11, 11]])
+        g2 = make_group("b", [[1, 1], [2, 2]])
+        comparator = GroupComparator(GammaThresholds(0.5), use_bbox=True)
+        outcome = comparator.compare(g1, g2)
+        assert outcome.used_bbox_shortcut
+        assert outcome.pairs_examined == 0
+        assert comparator.bbox_shortcuts == 1
+
+    def test_bbox_partial_preclassification_reduces_pairs(self):
+        rng = np.random.default_rng(1)
+        # Overlapping but offset groups: regions A and C are non-empty.
+        g1 = make_group("a", rng.uniform(0.4, 1.0, size=(40, 2)))
+        g2 = make_group("b", rng.uniform(0.0, 0.6, size=(40, 2)))
+        thresholds = GammaThresholds(0.5)
+        boxed = GroupComparator(
+            thresholds, use_stopping_rule=False, use_bbox=True
+        )
+        boxed.compare(g1, g2)
+        plain = GroupComparator(
+            thresholds, use_stopping_rule=False, use_bbox=False
+        )
+        plain.compare(g1, g2)
+        assert boxed.pairs_examined < plain.pairs_examined
+
+    def test_reset_stats(self):
+        comparator = GroupComparator(GammaThresholds(0.5))
+        comparator.compare(make_group("a", [[1]]), make_group("b", [[2]]))
+        assert comparator.comparisons == 1
+        comparator.reset_stats()
+        assert comparator.comparisons == 0
+        assert comparator.pairs_examined == 0
+        assert comparator.bbox_shortcuts == 0

@@ -1,0 +1,192 @@
+"""Tests for record contributions and sampled approximation."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contribution import record_contributions, removal_impact
+from repro.core.gamma import dominance_probability
+from repro.core.groups import GroupedDataset
+from repro.core.sampling import (
+    approximate_aggregate_skyline,
+    approximate_dominance_probability,
+    hoeffding_epsilon,
+)
+from repro.data.movies import directors_dataset
+from tests.conftest import exact_aggregate_skyline, random_grouped_dataset
+
+
+class TestRecordContributions:
+    def test_pulp_fiction_carries_tarantino(self):
+        dataset = directors_dataset()
+        contributions = record_contributions(dataset, "Tarantino")
+        best = contributions[0]
+        assert best.record == (557.0, 8.9)      # Pulp Fiction
+        assert best.liability == 0
+        assert best.offense == max(c.offense for c in contributions)
+
+    def test_scores_match_bruteforce(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=5, max_group_size=5)
+        key = dataset.keys()[0]
+        rivals = np.vstack(
+            [g.values for g in dataset if g.key != key]
+        )
+        for contribution in record_contributions(dataset, key):
+            row = dataset[key].values[contribution.index]
+            offense = sum(
+                1
+                for other in rivals
+                if all(row >= other) and any(row > other)
+            )
+            liability = sum(
+                1
+                for other in rivals
+                if all(other >= row) and any(other > row)
+            )
+            assert contribution.offense == offense
+            assert contribution.liability == liability
+            assert contribution.net == offense - liability
+
+    def test_sorted_by_net(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=4, max_group_size=6)
+        nets = [c.net for c in record_contributions(dataset, "g0")]
+        assert nets == sorted(nets, reverse=True)
+
+    def test_single_group_universe(self):
+        contributions = record_contributions(
+            {"solo": [[1.0, 2.0], [3.0, 4.0]]}, "solo"
+        )
+        assert all(c.offense == 0 and c.liability == 0 for c in contributions)
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            record_contributions({"a": [[1.0]]}, "b")
+
+    def test_directions_respected(self):
+        contributions = record_contributions(
+            {"a": [[1.0], [9.0]], "b": [[5.0]]}, "a", directions=["min"]
+        )
+        # minimising: the 1.0 record dominates b's 5.0
+        best = contributions[0]
+        assert best.record == (1.0,)
+        assert best.offense == 1
+
+
+class TestRemovalImpact:
+    def test_removing_the_flop_helps(self):
+        dataset = GroupedDataset(
+            {
+                "mixed": [[9.0, 9.0], [0.0, 0.0]],
+                "rival": [[5.0, 5.0]],
+            }
+        )
+        impact = dict(
+            (index, (worst, survives))
+            for index, worst, survives in removal_impact(dataset, "mixed")
+        )
+        # dropping the flop (index 1) leaves p(rival > mixed) = 0
+        assert impact[1] == (Fraction(0), True)
+        # dropping the star leaves the flop fully dominated
+        assert impact[0] == (Fraction(1), False)
+
+    def test_singleton_group_empty(self):
+        assert removal_impact({"a": [[1.0]], "b": [[2.0]]}, "a") == []
+
+    def test_worst_probability_matches_bruteforce(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=4, max_group_size=5)
+        key = next(k for k in dataset.keys() if dataset[k].size >= 2)
+        for index, worst, survives in removal_impact(dataset, key):
+            remaining = np.delete(dataset[key].values, index, axis=0)
+            expected = max(
+                (
+                    dominance_probability(g.values, remaining)
+                    for g in dataset
+                    if g.key != key
+                ),
+                default=Fraction(0),
+            )
+            assert worst == expected
+            assert survives == (not (expected == 1 or expected > Fraction(1, 2)))
+
+
+class TestHoeffding:
+    def test_formula(self):
+        assert hoeffding_epsilon(1000, 0.05) == pytest.approx(
+            np.sqrt(np.log(2 / 0.05) / 2000)
+        )
+
+    def test_shrinks_with_samples(self):
+        assert hoeffding_epsilon(4000) < hoeffding_epsilon(1000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_epsilon(0)
+        with pytest.raises(ValueError):
+            hoeffding_epsilon(10, delta=0.0)
+
+
+class TestApproximateDominance:
+    def test_estimate_close_to_truth(self):
+        rng = np.random.default_rng(0)
+        s = rng.uniform(0.4, 1.0, size=(200, 2))
+        r = rng.uniform(0.0, 0.6, size=(200, 2))
+        truth = float(dominance_probability(s, r))
+        estimate = approximate_dominance_probability(
+            s, r, samples=4000, rng=np.random.default_rng(1)
+        )
+        assert abs(estimate - truth) < 0.05
+
+    def test_deterministic_with_rng(self):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        s = np.random.default_rng(0).uniform(size=(50, 2))
+        r = np.random.default_rng(1).uniform(size=(50, 2))
+        assert approximate_dominance_probability(
+            s, r, 500, rng_a
+        ) == approximate_dominance_probability(s, r, 500, rng_b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            approximate_dominance_probability(
+                np.ones((1, 1)), np.ones((1, 1)), samples=0
+            )
+
+
+class TestApproximateSkyline:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_small_universes_are_exact(self, seed):
+        # Every pair universe fits in the sample budget: exact fallback.
+        rng = np.random.default_rng(seed)
+        dataset = random_grouped_dataset(rng, n_groups=5, max_group_size=5)
+        result = approximate_aggregate_skyline(dataset, samples=1024)
+        assert result.as_set() == exact_aggregate_skyline(dataset, 0.5)
+
+    def test_large_groups_superset_guarantee(self):
+        from repro.data.synthetic import SyntheticSpec, generate_grouped
+
+        dataset = generate_grouped(
+            SyntheticSpec(
+                n_records=2000,
+                avg_group_size=200,
+                dimensions=3,
+                distribution="anticorrelated",
+                seed=5,
+            )
+        )
+        exact = exact_aggregate_skyline(dataset, 0.5)
+        for seed in (0, 1, 2):
+            approx = approximate_aggregate_skyline(
+                dataset, samples=1500, seed=seed
+            )
+            assert approx.as_set() >= exact
+
+    def test_stats(self):
+        result = approximate_aggregate_skyline(
+            {"a": [[1.0, 1.0]], "b": [[2.0, 2.0]]}
+        )
+        assert result.stats.algorithm == "SAMPLE"
+        assert result.as_set() == {"b"}

@@ -1,0 +1,157 @@
+"""Tests for the skyline cube and dataset diagnostics."""
+
+import pytest
+
+from repro.core.cube import skyline_cube
+from repro.core.diagnostics import dataset_statistics, suggest_algorithm
+from repro.core.groups import GroupedDataset
+from repro.data.synthetic import SyntheticSpec, generate_grouped
+from repro.relational.operators import grouped_dataset_from_table
+from repro.relational.table import Table
+from tests.conftest import exact_aggregate_skyline
+
+
+@pytest.fixture
+def sales():
+    return Table(
+        ["region", "channel", "units", "margin"],
+        [
+            ("north", "web", 100, 20),
+            ("north", "store", 80, 25),
+            ("south", "web", 60, 10),
+            ("south", "store", 50, 8),
+            ("east", "web", 90, 22),
+        ],
+    )
+
+
+class TestSkylineCube:
+    def test_all_groupings_present(self, sales):
+        cube = skyline_cube(sales, ["region", "channel"], ["units", "margin"])
+        assert len(cube) == 3
+        assert cube.groupings() == [
+            ("channel",), ("region",), ("region", "channel"),
+        ]
+        assert ("region",) in cube
+        assert ["region"] in cube  # sequences accepted
+
+    def test_each_level_matches_direct_computation(self, sales):
+        cube = skyline_cube(
+            sales, ["region", "channel"], ["units", "margin"],
+            algorithm="NL", prune_policy="safe",
+        )
+        for grouping in cube.groupings():
+            dataset = grouped_dataset_from_table(
+                sales, list(grouping), ["units", "margin"]
+            )
+            assert cube[grouping].as_set() == exact_aggregate_skyline(
+                dataset, 0.5
+            ), grouping
+            assert cube.group_count(grouping) == len(dataset)
+
+    def test_level_bounds(self, sales):
+        only_single = skyline_cube(
+            sales, ["region", "channel"], ["units"], max_attributes=1
+        )
+        assert only_single.groupings() == [("channel",), ("region",)]
+        only_pairs = skyline_cube(
+            sales, ["region", "channel"], ["units"], min_attributes=2
+        )
+        assert only_pairs.groupings() == [("region", "channel")]
+
+    def test_summary_table(self, sales):
+        cube = skyline_cube(sales, ["region"], ["units", "margin"])
+        summary = cube.summary_table()
+        assert summary.columns[0] == "grouping"
+        assert len(summary) == 1
+        row = dict(zip(summary.columns, summary.rows[0]))
+        assert row["groups"] == 3
+
+    def test_validation(self, sales):
+        with pytest.raises(ValueError):
+            skyline_cube(sales, [], ["units"])
+        with pytest.raises(KeyError):
+            skyline_cube(sales, ["planet"], ["units"])
+        with pytest.raises(ValueError):
+            skyline_cube(sales, ["region"], ["units"], min_attributes=0)
+        with pytest.raises(ValueError):
+            skyline_cube(
+                sales, ["region"], ["units"],
+                min_attributes=2, max_attributes=1,
+            )
+
+    def test_duplicate_attributes_deduplicated(self, sales):
+        cube = skyline_cube(sales, ["region", "region"], ["units"])
+        assert cube.groupings() == [("region",)]
+
+    def test_gamma_and_directions_forwarded(self, sales):
+        cube = skyline_cube(
+            sales, ["region"], ["units"], gamma=1.0, directions=["min"]
+        )
+        assert cube.gamma == 1.0
+        # minimising units: south's records are lowest
+        assert "south" in cube[("region",)].as_set()
+
+
+class TestDiagnostics:
+    def test_statistics_fields(self):
+        dataset = GroupedDataset(
+            {"a": [[1, 1]], "b": [[2, 2], [3, 3], [4, 4]]}
+        )
+        stats = dataset_statistics(dataset)
+        assert stats.groups == 2
+        assert stats.records == 4
+        assert stats.dimensions == 2
+        assert stats.min_group_size == 1
+        assert stats.max_group_size == 3
+        assert stats.pair_budget == 3  # 1*3 cross pairs
+        assert "2 groups" in stats.describe()
+
+    def test_pair_budget_formula(self):
+        dataset = GroupedDataset(
+            {"a": [[1, 1]] * 2, "b": [[2, 2]] * 3, "c": [[3, 3]] * 4}
+        )
+        stats = dataset_statistics(dataset)
+        # cross pairs: 2*3 + 2*4 + 3*4 = 26
+        assert stats.pair_budget == 26
+
+    def test_suggest_small_input(self):
+        dataset = GroupedDataset({"a": [[1, 1]], "b": [[2, 2]]})
+        assert suggest_algorithm(dataset) == "NL"
+
+    def test_suggest_high_overlap(self):
+        dataset = generate_grouped(
+            SyntheticSpec(
+                n_records=2000,
+                avg_group_size=50,
+                distribution="anticorrelated",
+                group_spread=0.9,
+                seed=1,
+            )
+        )
+        assert suggest_algorithm(dataset) == "SI"
+
+    def test_suggest_separated(self):
+        dataset = generate_grouped(
+            SyntheticSpec(
+                n_records=2000,
+                avg_group_size=50,
+                distribution="anticorrelated",
+                group_spread=0.05,
+                seed=1,
+            )
+        )
+        assert suggest_algorithm(dataset) == "LO"
+
+    def test_size_skew(self):
+        dataset = generate_grouped(
+            SyntheticSpec(
+                n_records=1000,
+                avg_group_size=20,
+                size_distribution="zipf",
+                zipf_exponent=1.2,
+                seed=0,
+            )
+        )
+        stats = dataset_statistics(dataset)
+        assert stats.size_skew > 3

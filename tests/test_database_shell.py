@@ -1,0 +1,333 @@
+"""Tests for the Database, the statement layer and the interactive shell."""
+
+import io
+
+import pytest
+
+from repro.query.parser import ParseError
+from repro.query.shell import Shell
+from repro.query.statements import (
+    CreateTable,
+    DropTable,
+    InsertInto,
+    execute_statement,
+    parse_statement,
+)
+from repro.relational.database import Database, DatabaseError
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("movies", ["title", "director", "pop", "qual"])
+    database.insert(
+        "movies",
+        [
+            ("Pulp Fiction", "Tarantino", 557, 9.0),
+            ("Kill Bill", "Tarantino", 313, 8.2),
+            ("The Room", "Wiseau", 10, 3.2),
+        ],
+    )
+    return database
+
+
+class TestDatabase:
+    def test_create_and_query(self, db):
+        assert db.table_names() == ["movies"]
+        assert len(db["movies"]) == 3
+        assert "movies" in db
+        assert db.schema("movies") == ["title", "director", "pop", "qual"]
+
+    def test_mapping_protocol(self, db):
+        assert set(db.keys()) == {"movies"}
+        assert list(iter(db)) == ["movies"]
+        assert len(db) == 1
+
+    def test_duplicate_create_rejected(self, db):
+        with pytest.raises(DatabaseError, match="already exists"):
+            db.create_table("movies", ["x"])
+
+    def test_invalid_names_rejected(self):
+        database = Database()
+        for bad in ("1table", "has space", "semi;colon", ""):
+            with pytest.raises(DatabaseError):
+                database.create_table(bad, ["x"])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(DatabaseError):
+            Database().create_table("t", [])
+
+    def test_insert_width_checked(self, db):
+        with pytest.raises(DatabaseError, match="columns"):
+            db.insert("movies", [("too", "short")])
+
+    def test_unknown_table(self, db):
+        with pytest.raises(DatabaseError, match="no table"):
+            db["nothing"]
+        with pytest.raises(DatabaseError):
+            db.drop_table("nothing")
+
+    def test_drop(self, db):
+        db.drop_table("movies")
+        assert db.table_names() == []
+
+    def test_register_replaces(self, db):
+        db.register("movies", Table(["x"], [(1,)]))
+        assert db.schema("movies") == ["x"]
+
+    def test_save_and_load(self, db, tmp_path):
+        directory = tmp_path / "store"
+        db.save(directory)
+        loaded = Database.load(directory)
+        assert loaded.table_names() == ["movies"]
+        assert loaded["movies"] == db["movies"]
+
+    def test_load_catalogless_directory(self, db, tmp_path):
+        from repro.relational.csvio import save_csv
+
+        save_csv(db["movies"], tmp_path / "films.csv")
+        loaded = Database.load(tmp_path)
+        assert loaded.table_names() == ["films"]
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(DatabaseError, match="not a directory"):
+            Database.load(tmp_path / "nope")
+
+    def test_load_missing_table_file(self, db, tmp_path):
+        db.save(tmp_path)
+        (tmp_path / "movies.csv").unlink()
+        with pytest.raises(DatabaseError, match="missing"):
+            Database.load(tmp_path)
+
+
+class TestStatements:
+    def test_parse_create(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a, b INTEGER, c VARCHAR NOT);"
+        )
+        assert statement == CreateTable("t", ("a", "b", "c"))
+
+    def test_parse_insert_multi_row(self):
+        statement = parse_statement(
+            "INSERT INTO t VALUES (1, 'x', 2.5), (2, NULL, -3)"
+        )
+        assert isinstance(statement, InsertInto)
+        assert statement.rows == ((1, "x", 2.5), (2, None, -3))
+
+    def test_parse_drop(self):
+        assert parse_statement("DROP TABLE t") == DropTable("t")
+
+    def test_parse_select_delegates(self):
+        statement = parse_statement("SELECT * FROM t;")
+        from repro.query.ast_nodes import Query
+
+        assert isinstance(statement, Query)
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError, match="unknown statement"):
+            parse_statement("ALTER TABLE t ADD COLUMN x")
+        with pytest.raises(ParseError, match="empty"):
+            parse_statement("  ;")
+
+    def test_malformed_create(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t a, b)")
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t () trailing")
+
+    def test_insert_rejects_expressions(self):
+        with pytest.raises(ParseError, match="literal"):
+            parse_statement("INSERT INTO t VALUES (a)")
+
+    def test_execute_full_lifecycle(self):
+        database = Database()
+        execute_statement("CREATE TABLE t (k, v)", database)
+        result = execute_statement(
+            "INSERT INTO t VALUES ('a', 1), ('b', 2)", database
+        )
+        assert "2 row(s)" in result.message
+        query = execute_statement(
+            "SELECT k FROM t WHERE v > 1", database
+        )
+        assert query.query_result is not None
+        assert query.query_result.table.rows == [("b",)]
+        execute_statement("DROP TABLE t", database)
+        assert database.table_names() == []
+
+    def test_execute_skyline_statement(self, db):
+        result = execute_statement(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX",
+            db,
+        )
+        rows = {r[0] for r in result.query_result.table.rows}
+        assert rows == {"Tarantino"}
+
+    def test_to_text(self, db):
+        message = execute_statement("DROP TABLE movies", db)
+        assert message.to_text() == "dropped table movies"
+
+
+def run_script(script: str, database=None):
+    out = io.StringIO()
+    shell = Shell(
+        database=database, stdin=io.StringIO(script), stdout=out
+    )
+    code = shell.run()
+    return code, out.getvalue(), shell
+
+
+class TestShell:
+    def test_create_insert_query(self):
+        code, output, _ = run_script(
+            "CREATE TABLE t (k, v);\n"
+            "INSERT INTO t VALUES ('a', 2), ('b', 1);\n"
+            "SELECT k FROM t ORDER BY v DESC;\n"
+            ".quit\n"
+        )
+        assert code == 0
+        assert "created table t" in output
+        assert "inserted 2 row(s)" in output
+        assert output.index("a") < output.index("b", output.index("a"))
+
+    def test_multiline_statement(self):
+        code, output, _ = run_script(
+            "CREATE TABLE t (k);\n"
+            "INSERT INTO t\n"
+            "VALUES ('x');\n"
+            "SELECT count(*) AS n FROM t GROUP BY k;\n"
+            ".quit\n"
+        )
+        assert code == 0
+        assert "inserted 1 row(s)" in output
+
+    def test_error_recovery(self):
+        code, output, _ = run_script(
+            "SELECT * FROM missing;\n"
+            "CREATE TABLE ok (x);\n"
+            ".quit\n"
+        )
+        assert code == 0
+        assert "error:" in output
+        assert "created table ok" in output
+
+    def test_dot_commands(self, db):
+        code, output, _ = run_script(
+            ".help\n.tables\n.schema movies\n.schema nope\n"
+            ".timing\n.unknowncmd\n.quit\n",
+            database=db,
+        )
+        assert code == 0
+        assert ".tables" in output          # help text
+        assert "movies(title, director, pop, qual)" in output
+        assert "error:" in output           # .schema nope
+        assert "timing on" in output
+        assert "unknown command" in output
+
+    def test_save_open_roundtrip(self, db, tmp_path):
+        directory = str(tmp_path / "dbdir")
+        code, output, _ = run_script(
+            f".save {directory}\n.quit\n", database=db
+        )
+        assert "saved 1 table(s)" in output
+        code, output, shell = run_script(
+            f".open {directory}\n.tables\n.quit\n"
+        )
+        assert "opened 1 table(s)" in output
+        assert "movies" in shell.database
+
+    def test_load_csv(self, tmp_path):
+        from repro.relational.csvio import save_csv
+
+        save_csv(Table(["x"], [(1,), (2,)]), tmp_path / "nums.csv")
+        code, output, shell = run_script(
+            f".load {tmp_path / 'nums.csv'}\n.quit\n"
+        )
+        assert "loaded 2 row(s) into table nums" in output
+        assert "nums" in shell.database
+
+    def test_eof_exits_cleanly(self):
+        code, output, _ = run_script("CREATE TABLE t (x);\n")
+        assert code == 0
+
+    def test_skyline_stats_line(self, db):
+        code, output, _ = run_script(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX;\n.quit\n",
+            database=db,
+        )
+        assert "group comparisons" in output
+
+
+class TestDeleteUpdate:
+    @pytest.fixture
+    def populated(self):
+        database = Database()
+        execute_statement("CREATE TABLE t (k, v)", database)
+        execute_statement(
+            "INSERT INTO t VALUES ('a', 1), ('b', 2), ('c', 3)", database
+        )
+        return database
+
+    def test_delete_where(self, populated):
+        result = execute_statement(
+            "DELETE FROM t WHERE v >= 2", populated
+        )
+        assert "deleted 2 row(s)" in result.message
+        assert populated["t"].rows == [("a", 1)]
+
+    def test_delete_all(self, populated):
+        result = execute_statement("DELETE FROM t", populated)
+        assert "deleted 3 row(s)" in result.message
+        assert len(populated["t"]) == 0
+        # schema survives an empty delete
+        assert populated.schema("t") == ["k", "v"]
+
+    def test_delete_with_complex_where(self, populated):
+        execute_statement(
+            "DELETE FROM t WHERE k IN ('a', 'c') OR v BETWEEN 2 AND 2",
+            populated,
+        )
+        assert populated["t"].rows == []
+
+    def test_update_where(self, populated):
+        result = execute_statement(
+            "UPDATE t SET v = 10 WHERE k = 'a'", populated
+        )
+        assert "updated 1 row(s)" in result.message
+        assert ("a", 10) in populated["t"].rows
+        assert ("b", 2) in populated["t"].rows
+
+    def test_update_all_multi_assign(self, populated):
+        result = execute_statement(
+            "UPDATE t SET v = 0, k = 'z'", populated
+        )
+        assert "updated 3 row(s)" in result.message
+        assert populated["t"].rows == [("z", 0)] * 3
+
+    def test_update_unknown_column(self, populated):
+        with pytest.raises(KeyError):
+            execute_statement("UPDATE t SET nope = 1", populated)
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_statement("DELETE t")
+        with pytest.raises(ParseError):
+            parse_statement("UPDATE t v = 1")
+        with pytest.raises(ParseError):
+            parse_statement("UPDATE t SET v = other_col")
+
+    def test_shell_dml_flow(self):
+        code, output, _ = run_script(
+            "CREATE TABLE t (k, v);\n"
+            "INSERT INTO t VALUES ('a', 1), ('b', 2);\n"
+            "UPDATE t SET v = 5 WHERE k = 'a';\n"
+            "DELETE FROM t WHERE v = 2;\n"
+            "SELECT * FROM t;\n"
+            ".quit\n"
+        )
+        assert code == 0
+        assert "updated 1 row(s)" in output
+        assert "deleted 1 row(s)" in output
+        assert "5" in output

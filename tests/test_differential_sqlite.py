@@ -1,0 +1,167 @@
+"""Differential testing: our query engine vs. sqlite on shared SQL.
+
+For the dialect subset that standard SQL also speaks (SELECT / WHERE /
+GROUP BY / HAVING / ORDER BY / LIMIT — everything except SKYLINE OF),
+random tables and queries must produce identical results on our executor
+and on sqlite3.  This pins the relational substrate to a reference
+implementation rather than to our own expectations.
+"""
+
+import sqlite3
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.executor import execute
+from repro.relational.table import Table
+
+COLUMNS = ("grp", "a", "b")
+
+
+def random_table(rng: np.random.Generator, rows: int) -> Table:
+    data = [
+        (
+            f"g{int(rng.integers(0, 4))}",
+            int(rng.integers(-5, 6)),
+            int(rng.integers(0, 10)),
+        )
+        for _ in range(rows)
+    ]
+    return Table(COLUMNS, data)
+
+
+def run_sqlite(table: Table, sql: str):
+    connection = sqlite3.connect(":memory:")
+    try:
+        connection.execute("CREATE TABLE t (grp TEXT, a INTEGER, b INTEGER)")
+        connection.executemany("INSERT INTO t VALUES (?, ?, ?)", table.rows)
+        return [tuple(row) for row in connection.execute(sql)]
+    finally:
+        connection.close()
+
+
+def run_ours(table: Table, sql: str):
+    result = execute(sql, {"t": table})
+    return [tuple(row) for row in result.table.rows]
+
+
+def assert_same_rows(table: Table, sql: str, ordered: bool):
+    ours = run_ours(table, sql)
+    reference = run_sqlite(table, sql)
+    if ordered:
+        assert ours == reference, sql
+    else:
+        assert sorted(map(repr, ours)) == sorted(map(repr, reference)), sql
+
+
+WHERE_CLAUSES = [
+    "",
+    "WHERE a > 0",
+    "WHERE a >= 2 AND b < 7",
+    "WHERE a = 1 OR b = 3",
+    "WHERE NOT (a < 0)",
+    "WHERE a BETWEEN -2 AND 2",
+    "WHERE grp IN ('g0', 'g2')",
+    "WHERE grp NOT IN ('g1')",
+    "WHERE a != 0 AND (b > 2 OR grp = 'g3')",
+]
+
+
+class TestDifferentialSelect:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=len(WHERE_CLAUSES) - 1),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_where_filters(self, rows, clause_index, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, rows)
+        sql = f"SELECT grp, a, b FROM t {WHERE_CLAUSES[clause_index]}"
+        assert_same_rows(table, sql, ordered=False)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_order_and_limit(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, rows)
+        # Unambiguous total order: ORDER BY every column.
+        sql = "SELECT grp, a, b FROM t ORDER BY grp, a, b LIMIT 7"
+        assert_same_rows(table, sql, ordered=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_group_by_aggregates(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, rows)
+        sql = (
+            "SELECT grp, count(*), sum(a), min(b), max(b)"
+            " FROM t GROUP BY grp ORDER BY grp"
+        )
+        assert_same_rows(table, sql, ordered=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_having(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, rows)
+        sql = (
+            "SELECT grp, count(*) FROM t GROUP BY grp"
+            " HAVING count(*) >= 2 ORDER BY grp"
+        )
+        assert_same_rows(table, sql, ordered=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_avg_aggregate(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, rows)
+        sql = "SELECT grp, avg(a) FROM t GROUP BY grp ORDER BY grp"
+        ours = run_ours(table, sql)
+        reference = run_sqlite(table, sql)
+        assert len(ours) == len(reference)
+        for mine, theirs in zip(ours, reference):
+            assert mine[0] == theirs[0]
+            assert mine[1] == pytest.approx(theirs[1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_projection_and_alias(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, rows)
+        sql = "SELECT a AS alpha, b FROM t WHERE b > 4 ORDER BY alpha, b"
+        ours = run_ours(table, sql)
+        reference = run_sqlite(
+            table, "SELECT a AS alpha, b FROM t WHERE b > 4 ORDER BY alpha, b"
+        )
+        assert ours == reference
+
+    def test_multi_key_group_by(self, rng):
+        table = random_table(rng, 40)
+        sql = (
+            "SELECT grp, a, count(*) FROM t GROUP BY grp, a"
+            " ORDER BY grp, a"
+        )
+        assert_same_rows(table, sql, ordered=True)
+
+    def test_distinct_semantics_via_group_by(self, rng):
+        table = random_table(rng, 30)
+        sql = "SELECT grp FROM t GROUP BY grp ORDER BY grp"
+        assert_same_rows(table, sql, ordered=True)

@@ -1,0 +1,172 @@
+"""Unit and property tests for record-level dominance."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dominance import (
+    Direction,
+    denormalize_values,
+    dominance_sign,
+    dominated_mask,
+    dominates,
+    normalize_values,
+    parse_directions,
+    strictly_dominates_all,
+)
+
+records = st.lists(
+    st.integers(min_value=-5, max_value=5), min_size=1, max_size=4
+)
+
+
+class TestDirection:
+    def test_from_string_max(self):
+        assert Direction.from_any("max") is Direction.MAX
+        assert Direction.from_any("MAX") is Direction.MAX
+        assert Direction.from_any("+") is Direction.MAX
+
+    def test_from_string_min(self):
+        assert Direction.from_any("min") is Direction.MIN
+        assert Direction.from_any("-") is Direction.MIN
+
+    def test_from_direction_is_identity(self):
+        assert Direction.from_any(Direction.MIN) is Direction.MIN
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            Direction.from_any("sideways")
+        with pytest.raises(ValueError):
+            Direction.from_any(42)
+
+    def test_str(self):
+        assert str(Direction.MAX) == "MAX"
+
+
+class TestParseDirections:
+    def test_none_defaults_to_max(self):
+        assert parse_directions(None, 3) == (Direction.MAX,) * 3
+
+    def test_single_value_broadcast(self):
+        assert parse_directions("min", 2) == (Direction.MIN, Direction.MIN)
+
+    def test_sequence(self):
+        assert parse_directions(["max", "min"], 2) == (
+            Direction.MAX,
+            Direction.MIN,
+        )
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            parse_directions(["max"], 2)
+
+    def test_zero_dimensions_raises(self):
+        with pytest.raises(ValueError):
+            parse_directions(None, 0)
+
+
+class TestNormalize:
+    def test_min_columns_negated(self):
+        values = normalize_values(
+            [[1.0, 2.0], [3.0, 4.0]], (Direction.MAX, Direction.MIN)
+        )
+        assert values.tolist() == [[1.0, -2.0], [3.0, -4.0]]
+
+    def test_roundtrip(self):
+        directions = (Direction.MIN, Direction.MAX, Direction.MIN)
+        original = np.array([[1.0, 2.0, 3.0], [-1.0, 0.0, 5.0]])
+        there = normalize_values(original, directions)
+        back = denormalize_values(there, directions)
+        assert np.array_equal(back, original)
+
+    def test_one_dimensional_input_promoted(self):
+        values = normalize_values([1.0, 2.0], (Direction.MAX, Direction.MAX))
+        assert values.shape == (1, 2)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            normalize_values([[1.0, 2.0]], (Direction.MAX,))
+
+    def test_does_not_mutate_input(self):
+        original = np.array([[1.0, 2.0]])
+        normalize_values(original, (Direction.MIN, Direction.MIN))
+        assert original.tolist() == [[1.0, 2.0]]
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([2, 2], [1, 1])
+
+    def test_dominance_with_tie(self):
+        assert dominates([2, 1], [1, 1])
+
+    def test_equal_records_do_not_dominate(self):
+        assert not dominates([1, 1], [1, 1])
+
+    def test_incomparable(self):
+        assert not dominates([2, 0], [0, 2])
+        assert not dominates([0, 2], [2, 0])
+
+    def test_paper_example_godfather_dominates_the_room(self):
+        assert dominates([531, 9.2], [10, 3.2])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dominates([1, 2], [1, 2, 3])
+
+    @given(records)
+    def test_irreflexive(self, r):
+        assert not dominates(r, r)
+
+    @given(records, records)
+    def test_asymmetric(self, r, s):
+        if len(r) != len(s):
+            return
+        assert not (dominates(r, s) and dominates(s, r))
+
+    @given(records, records, records)
+    def test_transitive(self, r, s, t):
+        if not (len(r) == len(s) == len(t)):
+            return
+        if dominates(r, s) and dominates(s, t):
+            assert dominates(r, t)
+
+
+class TestDominanceSign:
+    def test_positive(self):
+        assert dominance_sign([2, 2], [1, 1]) == 1
+
+    def test_negative(self):
+        assert dominance_sign([1, 1], [2, 2]) == -1
+
+    def test_incomparable_zero(self):
+        assert dominance_sign([2, 0], [0, 2]) == 0
+
+    def test_equal_zero(self):
+        assert dominance_sign([1, 1], [1, 1]) == 0
+
+    @given(records, records)
+    def test_consistent_with_dominates(self, r, s):
+        if len(r) != len(s):
+            return
+        sign = dominance_sign(r, s)
+        assert (sign == 1) == dominates(r, s)
+        assert (sign == -1) == dominates(s, r)
+
+
+class TestMaskHelpers:
+    def test_dominated_mask(self):
+        points = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 0.0]])
+        mask = dominated_mask(points, np.array([2.0, 2.0]))
+        assert mask.tolist() == [True, False, False]
+
+    def test_strictly_dominates_all(self):
+        points = np.array([[1.0, 1.0], [0.0, 2.0]])
+        assert strictly_dominates_all(np.array([2.0, 3.0]), points)
+        assert not strictly_dominates_all(np.array([2.0, 1.5]), points)
+
+    def test_strictly_dominates_all_empty(self):
+        assert strictly_dominates_all(
+            np.array([0.0, 0.0]), np.empty((0, 2))
+        )

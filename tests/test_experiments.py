@@ -1,0 +1,92 @@
+"""Tests for the figure-regeneration experiments (smoke scale)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    FIGURES,
+    SCALES,
+    FigureReport,
+    ablations,
+    figure8,
+    figure13b,
+    run_figure,
+    table2,
+)
+
+
+class TestRegistry:
+    def test_every_paper_figure_present(self):
+        assert {
+            "table2", "fig8", "fig10", "fig11", "fig12",
+            "fig13a", "fig13b", "fig13c", "fig14", "ablations",
+            "extensions",
+        } <= set(FIGURES)
+
+    def test_scales(self):
+        assert SCALES["paper"] == 1.0
+        assert SCALES["smoke"] < SCALES["small"] < 1.0
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            run_figure("fig99")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            figure8("galactic")
+
+
+class TestTable2:
+    def test_report_contains_paper_values(self):
+        report = table2()
+        assert isinstance(report, FigureReport)
+        for value in ("1.00", "0.94", "0.68", "0.00", "0.06", "0.26"):
+            assert value in report.text
+
+
+class TestSmokeFigures:
+    def test_fig8_shape(self):
+        report = figure8("smoke")
+        sql = [r for r in report.results if r.algorithm == "SQL"]
+        native = [r for r in report.results if r.algorithm != "SQL"]
+        assert sql and native
+        # the skyline agrees between SQL and native runs per sweep point
+        by_point = {}
+        for r in report.results:
+            by_point.setdefault(r.params["n_records"], set()).add(
+                r.skyline_keys
+            )
+        for point, skylines in by_point.items():
+            assert len(skylines) == 1, point
+        assert "speed-up over SQL" in report.text
+
+    def test_fig13b_only_index_methods(self):
+        report = figure13b("smoke")
+        assert {r.algorithm for r in report.results} == {"IN", "LO"}
+
+    def test_extensions_report(self):
+        report = run_figure("extensions", scale="smoke")
+        assert "LO (batch baseline)" in report.text
+        assert "skyline layers" in report.text
+
+    def test_ablations_results_consistent(self):
+        report = ablations("smoke")
+        skylines = {r.skyline_keys for r in report.results}
+        assert len(skylines) == 1  # every toggle returns the same skyline
+        assert "variant" in report.text
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "figure_id",
+        ["fig10", "fig11", "fig12", "fig13a", "fig13c", "fig14"],
+    )
+    def test_remaining_figures_run_at_smoke_scale(self, figure_id):
+        report = run_figure(figure_id, scale="smoke")
+        assert report.results
+        assert report.text.startswith("=")
+        # All native algorithms agree on every workload point.
+        by_point = {}
+        for r in report.results:
+            key = tuple(sorted(r.params.items()))
+            by_point.setdefault(key, set()).add(r.skyline_keys)
+        for key, skylines in by_point.items():
+            assert len(skylines) == 1, (figure_id, key)

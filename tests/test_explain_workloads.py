@@ -1,0 +1,130 @@
+"""Tests for the explain API, named workloads and NaN validation."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.explain import explain
+from repro.core.groups import GroupedDataset
+from repro.data.movies import figure1_directors_dataset
+from repro.data.workloads import WORKLOADS, load_workload, workload_names
+
+
+class TestExplain:
+    @pytest.fixture
+    def dataset(self):
+        return figure1_directors_dataset()
+
+    def test_excluded_group(self, dataset):
+        explanation = explain(dataset, "Nolan")
+        assert not explanation.in_skyline
+        assert [d.dominator for d in explanation.dominators] == ["Jackson"]
+        assert explanation.dominators[0].is_total
+        assert explanation.minimal_gamma is None
+        assert "NOT in the gamma=0.5 skyline" in explanation.summary()
+
+    def test_included_group(self, dataset):
+        explanation = explain(dataset, "Tarantino")
+        assert explanation.in_skyline
+        assert explanation.dominators == []
+        assert explanation.strongest_challenger is not None
+        assert explanation.strongest_challenger.probability == Fraction(1, 2)
+        assert "is in the gamma=0.5 skyline" in explanation.summary()
+
+    def test_gamma_dependent_exclusion(self):
+        dataset = GroupedDataset(
+            {
+                "strong": [[10, 10], [9, 9], [0, 0]],   # dominates 2/3
+                "weak": [[5, 5]],
+            }
+        )
+        at_half = explain(dataset, "weak", gamma=0.5)
+        assert not at_half.in_skyline
+        assert at_half.minimal_gamma == Fraction(2, 3)
+        at_two_thirds = explain(dataset, "weak", gamma=Fraction(2, 3))
+        assert at_two_thirds.in_skyline
+
+    def test_singleton_universe(self):
+        explanation = explain({"only": [[1.0, 1.0]]}, "only")
+        assert explanation.in_skyline
+        assert explanation.strongest_challenger is None
+        assert "no other groups" in explanation.summary()
+
+    def test_unknown_key(self, dataset):
+        with pytest.raises(KeyError):
+            explain(dataset, "Kubrick")
+
+    def test_dominators_sorted_by_strength(self):
+        dataset = GroupedDataset(
+            {
+                "total": [[9, 9]],
+                "partial": [[6, 6], [7, 7], [0, 0]],   # p = 4/6 > .5
+                "victim": [[5, 5], [4, 4]],
+            }
+        )
+        explanation = explain(dataset, "victim")
+        assert [d.dominator for d in explanation.dominators] == [
+            "total", "partial",
+        ]
+
+    def test_directions(self):
+        explanation = explain(
+            {"cheap": [[1.0]], "pricey": [[9.0]]},
+            "pricey",
+            directions=["min"],
+        )
+        assert not explanation.in_skyline
+
+
+class TestWorkloads:
+    def test_names_stable(self):
+        assert "paper-default" in workload_names()
+        assert "high-overlap" in workload_names()
+        assert workload_names() == sorted(WORKLOADS)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_all_load_at_tiny_scale(self, name):
+        dataset = load_workload(name, scale=0.02)
+        assert len(dataset) >= 1
+        assert dataset.total_records >= 50
+
+    def test_scale_grows_records(self):
+        small = load_workload("paper-default", 0.02)
+        bigger = load_workload("paper-default", 0.08)
+        assert bigger.total_records > small.total_records
+
+    def test_zipf_workload_is_heavy_tailed(self):
+        dataset = load_workload("zipf-heavy", 0.1)
+        sizes = sorted(group.size for group in dataset)
+        assert sizes[-1] > 3 * sizes[len(sizes) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            load_workload("galactic")
+        with pytest.raises(ValueError, match="scale"):
+            load_workload("paper-default", 0.0)
+
+
+class TestNanRejection:
+    def test_grouped_dataset_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            GroupedDataset({"a": [[1.0, float("nan")]]})
+
+    def test_skyline_rejects_nan(self):
+        from repro.core.skyline import skyline_mask
+
+        with pytest.raises(ValueError, match="NaN"):
+            skyline_mask(np.array([[1.0, np.nan]]))
+
+    def test_incremental_rejects_nan(self):
+        from repro.core.incremental import IncrementalAggregateSkyline
+
+        sky = IncrementalAggregateSkyline(dimensions=2)
+        with pytest.raises(ValueError, match="NaN"):
+            sky.insert("a", (1.0, float("nan")))
+
+    def test_infinite_values_allowed(self):
+        # inf is a legitimate (if extreme) preference value.
+        dataset = GroupedDataset({"a": [[np.inf, 1.0]], "b": [[1.0, 1.0]]})
+        assert dataset["a"].values[0][0] == np.inf

@@ -1,0 +1,227 @@
+"""Tests for the Fenwick tree, 2-d counting kernel and weighted dominance."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fastcount import count_dominating_pairs_2d
+from repro.core.gamma import count_dominating_pairs, dominance_probability
+from repro.core.weighted import (
+    count_weighted_dominating_pairs,
+    weighted_aggregate_skyline,
+    weighted_dominance_probability,
+)
+from repro.index.fenwick import FenwickTree
+from tests.conftest import exact_aggregate_skyline, random_grouped_dataset
+
+
+class TestFenwickTree:
+    def test_empty(self):
+        tree = FenwickTree(0)
+        assert len(tree) == 0
+        assert tree.total == 0
+        assert tree.suffix_sum(0) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_add_and_sums(self):
+        tree = FenwickTree(5)
+        tree.add(0, 2)
+        tree.add(3, 5)
+        tree.add(4, 1)
+        assert tree.total == 8
+        assert tree.prefix_sum(0) == 2
+        assert tree.prefix_sum(3) == 7
+        assert tree.prefix_sum(4) == 8
+        assert tree.prefix_sum(-1) == 0
+        assert tree.suffix_sum(0) == 8
+        assert tree.suffix_sum(3) == 6
+        assert tree.suffix_sum(4) == 1
+
+    def test_out_of_range_add(self):
+        tree = FenwickTree(2)
+        with pytest.raises(IndexError):
+            tree.add(2)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=0, max_value=9), max_size=30))
+    def test_sums_match_naive(self, additions):
+        tree = FenwickTree(10)
+        counts = [0] * 10
+        for index in additions:
+            tree.add(index)
+            counts[index] += 1
+        for boundary in range(10):
+            assert tree.prefix_sum(boundary) == sum(counts[: boundary + 1])
+            assert tree.suffix_sum(boundary) == sum(counts[boundary:])
+
+
+def naive_weighted(s, ws, r, wr):
+    total = 0
+    for a, w_a in zip(s, ws):
+        for b, w_b in zip(r, wr):
+            if all(x >= y for x, y in zip(a, b)) and any(
+                x > y for x, y in zip(a, b)
+            ):
+                total += w_a * w_b
+    return total
+
+
+class TestFastCount2d:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_matches_naive_with_heavy_ties(self, n_s, n_r, levels, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.integers(0, levels, size=(n_s, 2)).astype(float)
+        r = rng.integers(0, levels, size=(n_r, 2)).astype(float)
+        expected = naive_weighted(s, [1] * n_s, r, [1] * n_r)
+        assert count_dominating_pairs_2d(s, r) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_weighted_matches_naive(self, n_s, n_r, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.integers(0, 4, size=(n_s, 2)).astype(float)
+        r = rng.integers(0, 4, size=(n_r, 2)).astype(float)
+        ws = rng.integers(0, 5, size=n_s)
+        wr = rng.integers(0, 5, size=n_r)
+        assert count_dominating_pairs_2d(s, r, ws, wr) == naive_weighted(
+            s, ws, r, wr
+        )
+
+    def test_gamma_kernel_uses_fast_path_consistently(self, rng):
+        s = rng.integers(0, 100, size=(120, 2)).astype(float)
+        r = rng.integers(0, 100, size=(120, 2)).astype(float)
+        # 14 400 pairs: above the fast-path threshold.
+        fast = count_dominating_pairs(s, r)
+        naive = naive_weighted(s, [1] * 120, r, [1] * 120)
+        assert fast == naive
+
+    def test_wrong_dimensionality_rejected(self):
+        with pytest.raises(ValueError):
+            count_dominating_pairs_2d(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_weight_validation(self):
+        s = np.ones((2, 2))
+        with pytest.raises(ValueError):
+            count_dominating_pairs_2d(s, s, np.array([1.5, 1.0]), None)
+        with pytest.raises(ValueError):
+            count_dominating_pairs_2d(s, s, np.array([-1, 1]), None)
+        with pytest.raises(ValueError):
+            count_dominating_pairs_2d(s, s, np.array([1]), None)
+
+
+class TestWeightedDominance:
+    def test_uniform_weights_recover_definition3(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=4, max_group_size=5)
+        for s in dataset:
+            for r in dataset:
+                if s.key == r.key:
+                    continue
+                weighted = weighted_dominance_probability(
+                    s.values, [1] * s.size, r.values, [1] * r.size
+                )
+                assert weighted == dominance_probability(s, r)
+
+    def test_weights_shift_probability(self):
+        p = weighted_dominance_probability(
+            [[5, 5], [1, 1]], [9, 1], [[3, 3]], [1]
+        )
+        assert p == Fraction(9, 10)
+
+    def test_zero_weight_records_ignored(self):
+        p = weighted_dominance_probability(
+            [[5, 5], [1, 1]], [1, 0], [[3, 3]], [2]
+        )
+        assert p == 1
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_dominance_probability([[1, 1]], [0], [[2, 2]], [1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=3, max_value=5),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_higher_dimensional_weighted_count(self, n_s, n_r, d, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.integers(0, 3, size=(n_s, d)).astype(float)
+        r = rng.integers(0, 3, size=(n_r, d)).astype(float)
+        ws = rng.integers(1, 4, size=n_s)
+        wr = rng.integers(1, 4, size=n_r)
+        assert count_weighted_dominating_pairs(
+            s, ws, r, wr
+        ) == naive_weighted(s, ws, r, wr)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    def test_monotone_transformation_stability(self, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.integers(0, 5, size=(4, 2)).astype(float)
+        r = rng.integers(0, 5, size=(5, 2)).astype(float)
+        ws = rng.integers(1, 4, size=4)
+        wr = rng.integers(1, 4, size=5)
+        before = weighted_dominance_probability(s, ws, r, wr)
+        after = weighted_dominance_probability(s**3, ws, r**3, wr)
+        assert before == after
+
+
+class TestWeightedSkyline:
+    def test_uniform_weights_match_unweighted(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=6, max_group_size=4)
+        weighted_input = {
+            g.key: (g.values, [1] * g.size) for g in dataset
+        }
+        result = weighted_aggregate_skyline(weighted_input)
+        assert result.as_set() == exact_aggregate_skyline(dataset, 0.5)
+
+    def test_weights_flip_a_verdict(self):
+        # Unweighted, "mixed" wins only half the pairs against "steady";
+        # weighting its strong record makes it dominate.
+        groups_uniform = {
+            "mixed": ([[5, 5], [1, 1]], [1, 1]),
+            "steady": ([[3, 3]], [1]),
+        }
+        both = weighted_aggregate_skyline(groups_uniform)
+        assert both.as_set() == {"mixed", "steady"}
+        groups_weighted = {
+            "mixed": ([[5, 5], [1, 1]], [9, 1]),
+            "steady": ([[3, 3]], [1]),
+        }
+        only_mixed = weighted_aggregate_skyline(groups_weighted)
+        assert only_mixed.as_set() == {"mixed"}
+
+    def test_directions(self):
+        result = weighted_aggregate_skyline(
+            {"cheap": ([[1.0]], [3]), "pricey": ([[9.0]], [3])},
+            directions=["min"],
+        )
+        assert result.as_set() == {"cheap"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_aggregate_skyline({})
+
+    def test_stats(self):
+        result = weighted_aggregate_skyline(
+            {"a": ([[1, 1]], [1]), "b": ([[2, 2]], [1])}
+        )
+        assert result.stats.algorithm == "WNL"
+        assert result.stats.group_comparisons == 1

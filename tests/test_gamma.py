@@ -1,0 +1,255 @@
+"""Tests for γ-dominance machinery (Definition 3, Proposition 5 tooling)."""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gamma import (
+    DominanceMatrix,
+    GammaThresholds,
+    as_fraction,
+    count_dominating_pairs,
+    dominance_holds,
+    dominance_probability,
+    gamma_bar,
+    gamma_dominates,
+)
+from repro.core.groups import Group
+
+
+class TestAsFraction:
+    def test_float_exact(self):
+        assert as_fraction(0.5) == Fraction(1, 2)
+        assert as_fraction(0.75) == Fraction(3, 4)
+
+    def test_int(self):
+        assert as_fraction(1) == Fraction(1)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(2, 3)
+        assert as_fraction(f) is f
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction(float("nan"))
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction("0.5")
+
+
+class TestGammaBar:
+    def test_formula(self):
+        # gamma_bar = 1 - sqrt(1 - gamma) / 2
+        assert float(gamma_bar(0.5)) == pytest.approx(
+            1 - math.sqrt(0.5) / 2
+        )
+
+    def test_at_one(self):
+        assert gamma_bar(1.0) == Fraction(1)
+
+    def test_monotone(self):
+        previous = None
+        for gamma in (0.5, 0.6, 0.7, 0.8, 0.9, 0.99):
+            bar = float(gamma_bar(gamma))
+            if previous is not None:
+                assert bar > previous
+            previous = bar
+
+    def test_above_gamma_only_up_to_three_quarters(self):
+        # gamma_bar >= gamma iff gamma <= .75 (the bound is quadratic);
+        # GammaThresholds therefore clamps strong to max(gamma, gamma_bar).
+        assert float(gamma_bar(0.6)) > 0.6
+        assert gamma_bar(0.75) == Fraction(3, 4)
+        assert float(gamma_bar(0.9)) < 0.9
+
+    def test_strong_threshold_clamped(self):
+        thresholds = GammaThresholds(0.9)
+        assert thresholds.strong >= thresholds.gamma
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            gamma_bar(1.5)
+        with pytest.raises(ValueError):
+            gamma_bar(-0.1)
+
+
+class TestThresholds:
+    def test_rejects_unsound_gamma(self):
+        with pytest.raises(ValueError):
+            GammaThresholds(0.4)
+
+    def test_allow_unsafe(self):
+        thresholds = GammaThresholds(0.4, allow_unsafe=True)
+        # Floats convert exactly (binary), so compare as float.
+        assert float(thresholds.gamma) == 0.4
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            GammaThresholds(1.5)
+
+    def test_exceeds_strict_inequality(self):
+        thresholds = GammaThresholds(0.5)
+        # p exactly gamma must NOT dominate (Definition 3 uses >).
+        assert not thresholds.exceeds(1, 2)
+        assert thresholds.exceeds(2, 3)
+
+    def test_exceeds_p_equal_one(self):
+        thresholds = GammaThresholds(1.0)
+        assert thresholds.exceeds(4, 4)       # p = 1 clause
+        assert not thresholds.exceeds(3, 4)
+
+    def test_exceeds_strong(self):
+        thresholds = GammaThresholds(0.5)
+        # strong threshold is about .646 for gamma = .5
+        assert thresholds.exceeds_strong(2, 3)
+        assert not thresholds.exceeds_strong(3, 5)
+
+
+class TestDominanceHolds:
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            dominance_holds(0, 0, Fraction(1, 2))
+
+    @given(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=1, max_value=30),
+        st.fractions(min_value=0, max_value=1),
+    )
+    def test_matches_direct_fraction_comparison(self, count, total, threshold):
+        if count > total:
+            count = total
+        expected = (
+            Fraction(count, total) == 1 or Fraction(count, total) > threshold
+        )
+        assert dominance_holds(count, total, threshold) == expected
+
+
+def naive_pair_count(s_values, r_values):
+    count = 0
+    for s in s_values:
+        for r in r_values:
+            if all(a >= b for a, b in zip(s, r)) and any(
+                a > b for a, b in zip(s, r)
+            ):
+                count += 1
+    return count
+
+
+class TestPairCounting:
+    def test_known_example(self):
+        s = np.array([[2.0, 2.0], [0.0, 0.0]])
+        r = np.array([[1.0, 1.0]])
+        assert count_dominating_pairs(s, r) == 1
+
+    def test_empty(self):
+        assert count_dominating_pairs(np.empty((0, 2)), np.ones((3, 2))) == 0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            count_dominating_pairs(np.ones((1, 2)), np.ones((1, 3)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            count_dominating_pairs(np.ones(3), np.ones((1, 3)))
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_matches_naive_oracle(self, n_s, n_r, d, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.integers(0, 4, size=(n_s, d)).astype(float)
+        r = rng.integers(0, 4, size=(n_r, d)).astype(float)
+        assert count_dominating_pairs(s, r) == naive_pair_count(s, r)
+
+    def test_blocking_does_not_change_result(self, rng):
+        s = rng.integers(0, 5, size=(37, 3)).astype(float)
+        r = rng.integers(0, 5, size=(23, 3)).astype(float)
+        full = count_dominating_pairs(s, r)
+        for block in (1, 7, 64, 10_000):
+            assert count_dominating_pairs(s, r, block_size=block) == full
+
+
+class TestDominanceProbability:
+    def test_total_domination(self):
+        p = dominance_probability(
+            np.array([[5.0, 5.0]]), np.array([[1.0, 1.0], [2.0, 2.0]])
+        )
+        assert p == 1
+
+    def test_accepts_groups(self):
+        s = Group("s", np.array([[3.0, 3.0]]))
+        r = Group("r", np.array([[1.0, 1.0], [5.0, 5.0]]))
+        assert dominance_probability(s, r) == Fraction(1, 2)
+
+    def test_gamma_dominates_ties_excluded(self):
+        s = np.array([[3.0, 3.0]])
+        r = np.array([[1.0, 1.0], [5.0, 5.0]])
+        # p = 1/2 exactly: not > .5, so no dominance at gamma = .5
+        assert not gamma_dominates(s, r, 0.5)
+
+    def test_gamma_dominates_p_one_clause_at_gamma_one(self):
+        s = np.array([[3.0, 3.0]])
+        r = np.array([[1.0, 1.0]])
+        assert gamma_dominates(s, r, 1.0)
+
+    def test_gamma_dominates_unsafe_gate(self):
+        s = np.array([[3.0, 3.0]])
+        r = np.array([[1.0, 1.0], [5.0, 5.0], [6.0, 6.0]])
+        with pytest.raises(ValueError):
+            gamma_dominates(s, r, 0.3)
+        assert gamma_dominates(s, r, 0.3, allow_unsafe=True)
+
+
+class TestDominanceMatrix:
+    def test_between_matches_probability(self, rng):
+        s = rng.integers(0, 4, size=(5, 2)).astype(float)
+        r = rng.integers(0, 4, size=(4, 2)).astype(float)
+        matrix = DominanceMatrix.between(s, r)
+        assert matrix.shape == (5, 4)
+        assert matrix.pos() == dominance_probability(s, r)
+
+    def test_paper_proof_example(self):
+        # The RS and ST matrices from the Proposition-5 proof.
+        rs = DominanceMatrix(
+            np.array([[1, 0], [1, 1], [1, 0], [1, 0]])
+        )
+        st_matrix = DominanceMatrix(np.array([[1, 0, 0], [1, 1, 1]]))
+        rt = rs.compose(st_matrix)
+        assert rs.pos() == Fraction(5, 8)
+        assert st_matrix.pos() == Fraction(2, 3)
+        assert rt.pos() == Fraction(1, 2)
+
+    def test_compose_dimension_check(self):
+        a = DominanceMatrix(np.ones((2, 3)))
+        b = DominanceMatrix(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            a.compose(b)
+
+    def test_compose_is_domination_matrix_of_composition(self, rng):
+        """Product entries correspond to real record dominance (via S)."""
+        r = rng.integers(0, 4, size=(4, 2)).astype(float)
+        s = rng.integers(0, 4, size=(3, 2)).astype(float)
+        t = rng.integers(0, 4, size=(5, 2)).astype(float)
+        rs = DominanceMatrix.between(r, s)
+        st_matrix = DominanceMatrix.between(s, t)
+        rt_direct = DominanceMatrix.between(r, t)
+        composed = rs.compose(st_matrix)
+        # Every composed entry must be a true dominance (transitivity).
+        assert np.all(~composed.matrix | rt_direct.matrix)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            DominanceMatrix(np.ones(3))
+
+    def test_pos_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DominanceMatrix(np.ones((0, 2))).pos()

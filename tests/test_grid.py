@@ -1,0 +1,93 @@
+"""Tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.grid import GridIndex
+
+
+def brute_force_window(points, low, high):
+    low = np.asarray(low, dtype=float)
+    high = np.asarray(high, dtype=float)
+    return {
+        i
+        for i, p in enumerate(points)
+        if bool(np.all(p >= low) and np.all(p <= high))
+    }
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridIndex([1.0], [0.0])
+        with pytest.raises(ValueError):
+            GridIndex([0.0], [1.0], cells_per_dim=0)
+        with pytest.raises(ValueError):
+            GridIndex([0.0, 0.0], [1.0])
+
+    def test_degenerate_domain(self):
+        """All values equal in one dimension must still work."""
+        index = GridIndex([0.0, 5.0], [1.0, 5.0], cells_per_dim=4)
+        index.insert_point([0.5, 5.0], "x")
+        assert index.search_window([0.0, 5.0], [1.0, 5.0]) == ["x"]
+
+    def test_point_dimension_checked(self):
+        index = GridIndex([0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            index.insert_point([0.5], "x")
+
+    def test_len(self):
+        index = GridIndex([0.0], [1.0])
+        index.insert_point([0.5], 1)
+        index.insert_point([0.6], 2)
+        assert len(index) == 2
+
+
+class TestQueries:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    def test_matches_brute_force(self, n, d, cells, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 10, size=(n, d))
+        index = GridIndex([0.0] * d, [10.0] * d, cells_per_dim=cells)
+        for i, p in enumerate(points):
+            index.insert_point(p, i)
+        corner_a = rng.uniform(0, 10, size=d)
+        corner_b = rng.uniform(0, 10, size=d)
+        low = np.minimum(corner_a, corner_b)
+        high = np.maximum(corner_a, corner_b)
+        assert set(index.search_window(low, high)) == brute_force_window(
+            points, low, high
+        )
+
+    def test_window_with_infinity(self):
+        index = GridIndex([0.0, 0.0], [10.0, 10.0], cells_per_dim=4)
+        for i, p in enumerate([[1.0, 1.0], [5.0, 5.0], [9.0, 2.0]]):
+            index.insert_point(p, i)
+        found = index.search_window([2.0, 2.0], [np.inf, np.inf])
+        assert set(found) == {1, 2}
+        assert set(index.search_window([2.0, 3.0], [np.inf, np.inf])) == {1}
+
+    def test_window_outside_domain(self):
+        index = GridIndex([0.0], [1.0])
+        index.insert_point([0.5], "x")
+        assert index.search_window([2.0], [3.0]) == []
+
+    def test_points_on_domain_border(self):
+        index = GridIndex([0.0], [1.0], cells_per_dim=4)
+        index.insert_point([1.0], "top")
+        index.insert_point([0.0], "bottom")
+        assert set(index.search_window([0.0], [1.0])) == {"top", "bottom"}
+        assert index.search_window([1.0], [1.0]) == ["top"]
+
+    def test_invalid_window_rejected(self):
+        index = GridIndex([0.0], [1.0])
+        with pytest.raises(ValueError):
+            index.search_window([1.0], [0.0])

@@ -1,0 +1,141 @@
+"""Tests for groups, bounding boxes and grouped datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import Direction
+from repro.core.groups import BoundingBox, Group, GroupedDataset
+
+
+class TestBoundingBox:
+    def test_of_values(self):
+        box = BoundingBox.of(np.array([[1.0, 5.0], [3.0, 2.0]]))
+        assert box.min_corner.tolist() == [1.0, 2.0]
+        assert box.max_corner.tolist() == [3.0, 5.0]
+
+    def test_single_record_box_is_point(self):
+        box = BoundingBox.of(np.array([[4.0, 4.0]]))
+        assert box.min_corner.tolist() == box.max_corner.tolist()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of(np.empty((0, 2)))
+
+    def test_invalid_corners_raise(self):
+        with pytest.raises(ValueError):
+            BoundingBox(np.array([2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            BoundingBox(np.array([1.0, 1.0]), np.array([2.0]))
+
+    def test_contains_point(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        assert box.contains_point([1.0, 1.0])
+        assert box.contains_point([0.0, 2.0])
+        assert not box.contains_point([3.0, 1.0])
+
+    def test_intersects(self):
+        a = BoundingBox(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        b = BoundingBox(np.array([2.0, 2.0]), np.array([3.0, 3.0]))
+        c = BoundingBox(np.array([2.1, 2.1]), np.array([3.0, 3.0]))
+        assert a.intersects(b)       # touching counts
+        assert not a.intersects(c)
+
+    def test_equality(self):
+        a = BoundingBox(np.array([0.0]), np.array([1.0]))
+        b = BoundingBox(np.array([0.0]), np.array([1.0]))
+        c = BoundingBox(np.array([0.0]), np.array([2.0]))
+        assert a == b
+        assert a != c
+
+    def test_dimensions(self):
+        box = BoundingBox(np.zeros(3), np.ones(3))
+        assert box.dimensions == 3
+
+
+class TestGroup:
+    def test_basic_properties(self):
+        group = Group("a", np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert group.size == 2
+        assert group.dimensions == 2
+        assert len(group) == 2
+        assert group.key == "a"
+
+    def test_bbox_cached(self):
+        group = Group("a", np.array([[1.0, 2.0], [3.0, 0.0]]))
+        box = group.bbox
+        assert box is group.bbox
+        assert box.min_corner.tolist() == [1.0, 0.0]
+
+    def test_empty_group_raises(self):
+        with pytest.raises(ValueError):
+            Group("a", np.empty((0, 2)))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            Group("a", np.array([1.0, 2.0]))
+
+    def test_iteration(self):
+        group = Group("a", np.array([[1.0], [2.0]]))
+        assert [row.tolist() for row in group] == [[1.0], [2.0]]
+
+
+class TestGroupedDataset:
+    def test_from_mapping(self):
+        ds = GroupedDataset({"a": [[1, 2]], "b": [[3, 4], [5, 6]]})
+        assert len(ds) == 2
+        assert ds.total_records == 3
+        assert ds.dimensions == 2
+        assert ds.keys() == ["a", "b"]
+        assert "a" in ds and "missing" not in ds
+
+    def test_group_indices_follow_insertion_order(self):
+        ds = GroupedDataset({"x": [[1, 1]], "y": [[2, 2]]})
+        assert ds["x"].index == 0
+        assert ds["y"].index == 1
+
+    def test_min_directions_negate(self):
+        ds = GroupedDataset({"a": [[1.0, 2.0]]}, directions=["max", "min"])
+        assert ds["a"].values.tolist() == [[1.0, -2.0]]
+
+    def test_original_values_roundtrip(self):
+        ds = GroupedDataset({"a": [[1.0, 2.0]]}, directions=["max", "min"])
+        assert ds.original_values("a").tolist() == [[1.0, 2.0]]
+
+    def test_from_records(self):
+        ds = GroupedDataset.from_records(
+            records=[[1, 1], [2, 2], [3, 3]],
+            keys=["a", "b", "a"],
+        )
+        assert ds["a"].size == 2
+        assert ds["b"].size == 1
+
+    def test_from_group_sequence(self):
+        groups = [Group("a", np.array([[1.0, 1.0]]))]
+        ds = GroupedDataset(groups)
+        assert ds.keys() == ["a"]
+
+    def test_group_sequence_type_checked(self):
+        with pytest.raises(TypeError):
+            GroupedDataset([("a", [[1, 2]])])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            GroupedDataset({})
+
+    def test_duplicate_keys_raise(self):
+        groups = [
+            Group("a", np.array([[1.0]])),
+            Group("a", np.array([[2.0]])),
+        ]
+        with pytest.raises(ValueError):
+            GroupedDataset(groups)
+
+    def test_single_record_group_promoted(self):
+        ds = GroupedDataset({"a": [1.0, 2.0]})
+        assert ds["a"].values.shape == (1, 2)
+
+    def test_groups_returns_copy(self):
+        ds = GroupedDataset({"a": [[1, 2]]})
+        listing = ds.groups
+        listing.clear()
+        assert len(ds) == 1

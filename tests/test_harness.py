@@ -1,0 +1,178 @@
+"""Tests for the experiment harness (runner + reporting)."""
+
+import pytest
+
+from repro.core.groups import GroupedDataset
+from repro.harness.reporting import (
+    format_figure,
+    series_table,
+    shape_checks,
+    speedup_table,
+)
+from repro.harness.runner import RunResult, run_algorithms, sweep
+
+
+@pytest.fixture
+def dataset():
+    return GroupedDataset(
+        {"top": [[9, 9], [8, 8]], "mid": [[5, 5]], "low": [[1, 1]]}
+    )
+
+
+class TestRunner:
+    def test_run_algorithms_basic(self, dataset):
+        results = run_algorithms(
+            dataset,
+            algorithms=("NL", "LO"),
+            experiment="unit",
+            params={"n": 4},
+        )
+        assert [r.algorithm for r in results] == ["NL", "LO"]
+        for result in results:
+            assert result.skyline_size == 1
+            assert result.skyline_keys == frozenset({"top"})
+            assert result.elapsed_seconds >= 0
+            assert result.params == {"n": 4}
+
+    def test_sql_included(self, dataset):
+        results = run_algorithms(dataset, algorithms=("SQL",))
+        assert results[0].skyline_keys == frozenset({"top"})
+
+    def test_repeats_keep_minimum(self, dataset):
+        results = run_algorithms(dataset, algorithms=("NL",), repeats=3)
+        assert len(results) == 1
+
+    def test_repeats_validation(self, dataset):
+        with pytest.raises(ValueError):
+            run_algorithms(dataset, repeats=0)
+
+    def test_verify_consistency_passes_on_agreement(self, dataset):
+        run_algorithms(
+            dataset,
+            algorithms=("NL", "TR", "SI", "IN", "LO"),
+            verify_consistency=True,
+        )
+
+    def test_algorithm_options_forwarded(self, dataset):
+        results = run_algorithms(
+            dataset,
+            algorithms=("NL",),
+            algorithm_options={"NL": {"use_stopping_rule": False}},
+        )
+        # Without the stopping rule every record pair is examined.
+        assert results[0].record_pairs == 2 * (2 * 1 + 2 * 1 + 1 * 1)
+
+    def test_sweep(self):
+        def factory(n):
+            return GroupedDataset(
+                {f"g{i}": [[float(i), float(i)]] for i in range(n)}
+            )
+
+        results = sweep(
+            experiment="unit",
+            parameter="groups",
+            values=[2, 4],
+            dataset_factory=factory,
+            algorithms=("NL",),
+        )
+        assert len(results) == 2
+        assert results[0].params["groups"] == 2
+        assert results[1].params["groups"] == 4
+
+
+def _fake_results():
+    make = lambda p, a, t: RunResult(
+        experiment="x",
+        params={"n": p},
+        algorithm=a,
+        elapsed_seconds=t,
+        group_comparisons=p,
+        record_pairs=p * 10,
+        skyline_size=1,
+    )
+    return [
+        make(10, "SQL", 1.0),
+        make(10, "NL", 0.5),
+        make(10, "LO", 0.1),
+        make(20, "SQL", 4.0),
+        make(20, "NL", 1.0),
+        make(20, "LO", 0.2),
+    ]
+
+
+class TestReporting:
+    def test_series_table_layout(self):
+        table = series_table(_fake_results(), "n")
+        assert table.columns == ("n", "SQL", "NL", "LO")
+        assert [r[0] for r in table.rows] == [10, 20]
+        assert table.rows[0][1] == 1.0
+
+    def test_series_table_other_metric(self):
+        table = series_table(_fake_results(), "n", metric="group_comparisons")
+        assert table.rows[0][1] == 10
+
+    def test_series_table_custom_formatter(self):
+        table = series_table(
+            _fake_results(), "n", formatter=lambda v: f"{v:.1f}s"
+        )
+        assert table.rows[0][1] == "1.0s"
+
+    def test_speedup_table(self):
+        table = speedup_table(_fake_results(), "n", baseline="SQL")
+        assert table.columns == ("n", "NL vs SQL", "LO vs SQL")
+        assert table.rows[0][1] == 2.0
+        assert table.rows[1][2] == 20.0
+
+    def test_speedup_unknown_baseline(self):
+        with pytest.raises(ValueError):
+            speedup_table(_fake_results(), "n", baseline="GPU")
+
+    def test_shape_checks(self):
+        results = _fake_results()
+        assert shape_checks(results, "n", faster="LO", slower="SQL")
+        assert not shape_checks(results, "n", faster="SQL", slower="LO")
+        assert not shape_checks([], "n", faster="LO", slower="SQL")
+
+    def test_format_figure(self):
+        table = series_table(_fake_results(), "n")
+        text = format_figure(
+            "fig0", "a caption", "an expectation", [("panel", table)]
+        )
+        assert "fig0: a caption" in text
+        assert "paper shape: an expectation" in text
+        assert "-- panel --" in text
+        assert "SQL" in text
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        from repro.harness.persistence import load_results, save_results
+
+        results = _fake_results()
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert len(loaded) == len(results)
+        for original, restored in zip(results, loaded):
+            assert restored.algorithm == original.algorithm
+            assert restored.params == original.params
+            assert restored.elapsed_seconds == original.elapsed_seconds
+            assert restored.group_comparisons == original.group_comparisons
+
+    def test_skyline_keys_stringified(self, tmp_path):
+        from repro.harness.persistence import results_from_json, results_to_json
+        from repro.harness.runner import RunResult
+
+        result = RunResult(
+            "x", {"n": 1}, "NL", 0.1, 1, 1, 2,
+            skyline_keys=frozenset({("team", 1999), "solo"}),
+        )
+        restored = results_from_json(results_to_json([result]))[0]
+        assert restored.skyline_size == 2
+        assert "solo" in restored.skyline_keys
+
+    def test_version_check(self):
+        from repro.harness.persistence import results_from_json
+
+        with pytest.raises(ValueError, match="version"):
+            results_from_json('{"version": 99, "results": []}')

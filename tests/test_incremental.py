@@ -1,0 +1,161 @@
+"""Tests for the incrementally maintained aggregate skyline."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import make_algorithm
+from repro.core.incremental import IncrementalAggregateSkyline
+from tests.conftest import exact_aggregate_skyline
+
+
+class TestBasics:
+    def test_empty(self):
+        sky = IncrementalAggregateSkyline(dimensions=2)
+        assert len(sky) == 0
+        assert sky.skyline() == []
+        assert sky.to_dataset() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalAggregateSkyline(dimensions=0)
+
+    def test_single_group(self):
+        sky = IncrementalAggregateSkyline(dimensions=2)
+        sky.insert("a", (1.0, 2.0))
+        assert sky.skyline() == ["a"]
+        assert sky.group_size("a") == 1
+        assert sky.total_records == 1
+
+    def test_insert_updates_result(self):
+        sky = IncrementalAggregateSkyline(dimensions=2)
+        sky.insert("tarantino", (557, 9.0))
+        sky.insert("wiseau", (10, 3.2))
+        assert sky.skyline() == ["tarantino"]
+        # A late masterpiece rescues Wiseau.
+        sky.insert("wiseau", (600, 9.5))
+        assert set(sky.skyline()) == {"tarantino", "wiseau"}
+
+    def test_delete_restores_previous_state(self):
+        sky = IncrementalAggregateSkyline(dimensions=2)
+        sky.insert("a", (5, 5))
+        sky.insert("b", (1, 1))
+        sky.insert("b", (9, 9))
+        assert set(sky.skyline()) == {"a", "b"}
+        sky.delete("b", (9, 9))
+        assert sky.skyline() == ["a"]
+
+    def test_delete_last_record_drops_group(self):
+        sky = IncrementalAggregateSkyline(dimensions=1)
+        sky.insert("solo", (1.0,))
+        sky.delete("solo", (1.0,))
+        assert len(sky) == 0
+
+    def test_delete_missing(self):
+        sky = IncrementalAggregateSkyline(dimensions=1)
+        sky.insert("a", (1.0,))
+        with pytest.raises(KeyError):
+            sky.delete("b", (1.0,))
+        with pytest.raises(ValueError):
+            sky.delete("a", (2.0,))
+
+    def test_drop_group(self):
+        sky = IncrementalAggregateSkyline(dimensions=1)
+        sky.insert("a", (1.0,))
+        sky.insert("b", (2.0,))
+        sky.drop_group("b")
+        assert sky.skyline() == ["a"]
+        with pytest.raises(KeyError):
+            sky.drop_group("b")
+
+    def test_duplicate_records_counted(self):
+        sky = IncrementalAggregateSkyline(dimensions=1)
+        sky.insert("a", (5.0,))
+        sky.insert("a", (5.0,))
+        sky.insert("b", (1.0,))
+        assert sky.pair_count("a", "b") == 2
+        sky.delete("a", (5.0,))
+        assert sky.pair_count("a", "b") == 1
+
+    def test_min_directions(self):
+        sky = IncrementalAggregateSkyline(dimensions=1, directions=["min"])
+        sky.insert("cheap", (1.0,))
+        sky.insert("pricey", (9.0,))
+        assert sky.skyline() == ["cheap"]
+
+
+class TestAgainstBatchOracle:
+    def test_probability_matches_batch(self):
+        sky = IncrementalAggregateSkyline(dimensions=2)
+        sky.insert_many("t", [(557, 9.0), (313, 8.2)])
+        sky.insert_many("w", [(10, 3.2), (1, 3.0)])
+        assert sky.probability("t", "w") == 1
+        assert sky.probability("w", "t") == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # group
+                st.integers(min_value=0, max_value=4),   # x
+                st.integers(min_value=0, max_value=4),   # y
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.sampled_from([0.5, 0.75, 1.0]),
+    )
+    def test_streaming_inserts_match_batch(self, stream, gamma):
+        sky = IncrementalAggregateSkyline(dimensions=2)
+        for group, x, y in stream:
+            sky.insert(f"g{group}", (float(x), float(y)))
+        dataset = sky.to_dataset()
+        assert dataset is not None
+        expected = exact_aggregate_skyline(dataset, gamma)
+        assert set(sky.skyline(gamma)) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    def test_insert_then_delete_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        sky = IncrementalAggregateSkyline(dimensions=2)
+        base = [
+            (f"g{rng.integers(0, 3)}", (float(rng.integers(0, 4)),
+                                        float(rng.integers(0, 4))))
+            for _ in range(10)
+        ]
+        for key, record in base:
+            sky.insert(key, record)
+        reference = set(sky.skyline())
+        extra = [
+            (f"g{rng.integers(0, 3)}", (float(rng.integers(0, 4)),
+                                        float(rng.integers(0, 4))))
+            for _ in range(5)
+        ]
+        for key, record in extra:
+            sky.insert(key, record)
+        for key, record in reversed(extra):
+            sky.delete(key, record)
+        assert set(sky.skyline()) == reference
+
+    def test_profile_matches_algorithms(self):
+        sky = IncrementalAggregateSkyline(dimensions=2)
+        sky.insert_many("best", [(10, 10)])
+        sky.insert_many("half", [(5, 20), (5, 5)])
+        sky.insert_many("worst", [(1, 1)])
+        profile = sky.profile()
+        assert profile.minimal_gamma("worst") is None
+        assert profile.degree("half") == Fraction(1, 2)
+
+        dataset = sky.to_dataset()
+        nl = make_algorithm("NL", 0.5).compute(dataset)
+        assert set(profile.skyline_at(0.5)) == nl.as_set()
+
+    def test_to_dataset_roundtrip_with_min_directions(self):
+        sky = IncrementalAggregateSkyline(dimensions=2, directions=["min", "max"])
+        sky.insert("a", (2.0, 3.0))
+        dataset = sky.to_dataset()
+        assert dataset.original_values("a").tolist() == [[2.0, 3.0]]

@@ -1,0 +1,135 @@
+"""End-to-end integration flows across subsystems.
+
+Each test exercises a realistic multi-module pipeline: CLI generation →
+CSV → query dialect → algorithms → persistence → reload, the way a
+downstream user would chain the pieces.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.algorithms import make_algorithm
+from repro.core.cube import skyline_cube
+from repro.data.nba import STAT_COLUMNS, nba_table
+from repro.data.store import load_grouped, save_grouped
+from repro.harness.persistence import load_results, save_results
+from repro.harness.runner import run_algorithms
+from repro.query.executor import execute
+from repro.query.parser import parse
+from repro.query.render import render_query
+from repro.relational.csvio import load_csv, save_csv
+from repro.relational.operators import grouped_dataset_from_table
+
+
+class TestCsvToQueryPipeline:
+    def test_generate_then_query_then_rank(self, tmp_path, capsys):
+        csv_path = tmp_path / "workload.csv"
+        assert main(
+            [
+                "generate", "--records", "300", "--dims", "2",
+                "--group-size", "30", "--distribution", "anticorrelated",
+                "--out", str(csv_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        # Query the generated file through the SQL dialect.
+        table = load_csv(csv_path)
+        result = execute(
+            "SELECT group, count(*) AS n FROM workload GROUP BY group"
+            " SKYLINE OF a0 MAX, a1 MAX USING ALGORITHM LO PRUNE SAFE"
+            " ORDER BY group",
+            {"workload": table},
+        )
+        assert result.skyline_result is not None
+        surviving_sql = {row[0] for row in result.table.rows}
+
+        # The same computation through the Python API must agree.
+        dataset = grouped_dataset_from_table(table, ["group"], ["a0", "a1"])
+        api = make_algorithm("NL", 0.5, prune_policy="safe").compute(dataset)
+        assert surviving_sql == api.as_set()
+
+        # ...and the stats/rank commands run on the same file.
+        assert main(
+            [
+                "stats", "--csv", str(csv_path),
+                "--group-by", "group", "--of", "a0:max,a1:max",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "suggested algorithm" in out
+
+    def test_nba_csv_round_trip_preserves_results(self, tmp_path):
+        table = nba_table(seed=3, target_rows=600)
+        path = tmp_path / "nba.csv"
+        save_csv(table, path)
+        reloaded = load_csv(path)
+        measures = list(STAT_COLUMNS[:4])
+        direct = grouped_dataset_from_table(table, ["team"], measures)
+        roundtripped = grouped_dataset_from_table(
+            reloaded, ["team"], measures
+        )
+        a = make_algorithm("LO", 0.5).compute(direct)
+        b = make_algorithm("LO", 0.5).compute(roundtripped)
+        assert a.as_set() == b.as_set()
+
+
+class TestBinaryStoreToAlgorithms:
+    def test_store_reload_compute(self, tmp_path):
+        table = nba_table(seed=5, target_rows=500)
+        dataset = grouped_dataset_from_table(
+            table, ["pos"], ["pts", "reb", "ast"]
+        )
+        path = tmp_path / "nba.npz"
+        save_grouped(dataset, path)
+        reloaded = load_grouped(path)
+        for name in ("NL", "LO", "AD"):
+            original = make_algorithm(name, 0.5).compute(dataset)
+            restored = make_algorithm(name, 0.5).compute(reloaded)
+            assert original.as_set() == restored.as_set(), name
+
+
+class TestBenchmarkingPipeline:
+    def test_measure_persist_compare(self, tmp_path, capsys):
+        table = nba_table(seed=9, target_rows=400)
+        dataset = grouped_dataset_from_table(table, ["pos"], ["pts", "reb"])
+        results = run_algorithms(
+            dataset, algorithms=("NL", "LO"), experiment="e2e",
+            params={"rows": 400},
+        )
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        save_results(results, path_a)
+        save_results(results, path_b)
+        loaded = load_results(path_a)
+        assert {r.algorithm for r in loaded} == {"NL", "LO"}
+        assert main(["compare", str(path_a), str(path_b)]) == 0
+        assert "speed-up" in capsys.readouterr().out
+
+
+class TestQueryRenderingPipeline:
+    def test_programmatic_query_runs(self):
+        table = nba_table(seed=2, target_rows=300)
+        ast = parse(
+            "SELECT team FROM nba WHERE year >= 1990 GROUP BY team"
+            " SKYLINE OF pts MAX, reb MAX WITH GAMMA 0.6"
+        )
+        rendered = render_query(ast)
+        first = execute(ast, {"nba": table})
+        second = execute(rendered, {"nba": table})
+        assert first.table == second.table
+
+
+class TestCubeOverRealSchema:
+    def test_cube_matches_figure14_panels(self):
+        table = nba_table(seed=7, target_rows=500)
+        measures = ["pts", "reb", "ast", "stl"]
+        cube = skyline_cube(
+            table, ["team", "year"], measures, algorithm="LO"
+        )
+        # The cube's team panel equals a direct Figure-14-style run.
+        direct = grouped_dataset_from_table(table, ["team"], measures)
+        expected = make_algorithm("LO", 0.5).compute(direct)
+        assert cube[("team",)].as_set() == expected.as_set()
+        summary = cube.summary_table()
+        assert len(summary) == 3

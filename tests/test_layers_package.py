@@ -1,0 +1,143 @@
+"""Tests for skyline layers and the package surface."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.layers import skyline_layers
+from repro.data.movies import figure1_directors_dataset
+from tests.conftest import exact_aggregate_skyline, random_grouped_dataset
+
+
+class TestSkylineLayers:
+    def test_movie_layers(self):
+        layers = skyline_layers(figure1_directors_dataset(), algorithm="NL")
+        assert sorted(layers.layers[0]) == [
+            "Coppola", "Jackson", "Kershner", "Tarantino",
+        ]
+        assert sorted(layers.layers[1]) == ["Cameron", "Nolan"]
+        assert layers.layers[2] == ["Wiseau"]
+        assert layers.cycle_layer is None
+        assert layers.layer_of("Wiseau") == 3
+        assert len(layers) == 3
+
+    def test_first_layer_is_the_skyline(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=7, max_group_size=4)
+        layers = skyline_layers(dataset, algorithm="NL", prune_policy="safe")
+        assert set(layers.layers[0]) == exact_aggregate_skyline(dataset, 0.5)
+
+    def test_layers_partition_all_groups(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=8, max_group_size=4)
+        layers = skyline_layers(dataset, algorithm="NL")
+        ranking = layers.ranking()
+        assert set(ranking) == set(dataset.keys())
+        total = sum(len(layer) for layer in layers)
+        assert total == len(dataset)
+
+    def test_cycle_fallback_peels_by_degree(self):
+        cycle = {
+            "harbor": [[52, 4.1], [55, 5.0], [49, 3.2]],
+            "summit": [[60, 6.5], [23, -4.0], [58, 6.0]],
+            "prairie": [[41, 0.5], [43, 0.8], [61, 7.0]],
+            "gorge": [[10, -9.0]],
+        }
+        layers = skyline_layers(cycle, algorithm="NL")
+        assert layers.cycle_layer == 1
+        # least-dominated first (summit's worst dominator is 5/9), strictly
+        # dominated last.
+        assert layers.layers[0] == ["summit"]
+        assert layers.layers[-1] == ["gorge"]
+
+    def test_max_layers_truncation(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=8, max_group_size=4)
+        layers = skyline_layers(dataset, algorithm="NL", max_layers=1)
+        assert len(layers) <= 2
+        assert sum(len(layer) for layer in layers) == len(dataset)
+
+    def test_layer_of_unknown(self):
+        layers = skyline_layers({"a": [[1.0]]}, algorithm="NL")
+        with pytest.raises(KeyError):
+            layers.layer_of("zzz")
+
+    def test_directions(self):
+        layers = skyline_layers(
+            {"cheap": [[1.0]], "mid": [[5.0]], "pricey": [[9.0]]},
+            algorithm="NL",
+            directions=["min"],
+        )
+        assert layers.layers == [["cheap"], ["mid"], ["pricey"]]
+
+
+class TestPackageSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_core_all_resolves(self):
+        from repro import core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_subpackage_alls_resolve(self):
+        from repro import data, harness, index, query, relational
+
+        for module in (data, harness, index, query, relational):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_module_entrypoint_help(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode == 0
+        assert "aggskyline" in completed.stdout
+        for command in ("query", "skyline", "rank", "generate", "nba",
+                        "experiment", "compare", "stats", "shell"):
+            assert command in completed.stdout
+
+
+class TestCliShellCommand:
+    def test_shell_reads_stdin(self, tmp_path, monkeypatch, capsys):
+        import io
+
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("CREATE TABLE t (x);\n.tables\n.quit\n"),
+        )
+        assert main(["shell"]) == 0
+        out = capsys.readouterr().out
+        assert "created table t" in out
+
+    def test_shell_preloads_tables(self, tmp_path, monkeypatch, capsys):
+        import io
+
+        from repro.cli import main
+        from repro.relational.csvio import save_csv
+        from repro.relational.table import Table
+
+        save_csv(
+            Table(["g", "v"], [("a", 1), ("b", 2)]), tmp_path / "data.csv"
+        )
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("SELECT * FROM data;\n.quit\n")
+        )
+        assert main(["shell", "--table", f"data={tmp_path / 'data.csv'}"]) == 0
+        assert "b" in capsys.readouterr().out
+
+    def test_shell_bad_binding(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        assert main(["shell", "--table", "broken"]) == 2
+        assert "NAME=CSV" in capsys.readouterr().err

@@ -1,0 +1,155 @@
+"""Metamorphic properties of the aggregate-skyline operator.
+
+Transformations with a provable effect on the result — applied to random
+inputs, the operator must respond exactly as the theory predicts.  These
+complement the oracle-equivalence tests: they catch bugs that a buggy
+oracle would share.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import make_algorithm
+from repro.core.gamma import dominance_probability
+from repro.core.groups import GroupedDataset
+from tests.conftest import exact_aggregate_skyline, random_grouped_dataset
+
+
+def compute(dataset, gamma=0.5):
+    return make_algorithm("NL", gamma, prune_policy="safe").compute(
+        dataset
+    ).as_set()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000))
+def test_group_order_invariance(seed):
+    rng = np.random.default_rng(seed)
+    dataset = random_grouped_dataset(rng, n_groups=6, max_group_size=4)
+    groups = {g.key: g.values.copy() for g in dataset}
+    shuffled_keys = list(groups)
+    rng.shuffle(shuffled_keys)
+    shuffled = GroupedDataset({k: groups[k] for k in shuffled_keys})
+    assert compute(dataset) == compute(shuffled)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000))
+def test_record_order_invariance(seed):
+    rng = np.random.default_rng(seed)
+    dataset = random_grouped_dataset(rng, n_groups=5, max_group_size=5)
+    permuted = GroupedDataset(
+        {
+            g.key: g.values[rng.permutation(g.size)]
+            for g in dataset
+        }
+    )
+    assert compute(dataset) == compute(permuted)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1_000_000),
+    st.integers(min_value=2, max_value=4),
+)
+def test_uniform_record_duplication_invariance(seed, copies):
+    """p(S > R) is a ratio: copying every record k times cancels out."""
+    rng = np.random.default_rng(seed)
+    dataset = random_grouped_dataset(rng, n_groups=5, max_group_size=4)
+    duplicated = GroupedDataset(
+        {g.key: np.repeat(g.values, copies, axis=0) for g in dataset}
+    )
+    for s in dataset:
+        for r in dataset:
+            if s.key == r.key:
+                continue
+            assert dominance_probability(
+                s, r
+            ) == dominance_probability(
+                duplicated[s.key], duplicated[r.key]
+            )
+    assert compute(dataset) == compute(duplicated)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1_000_000),
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=-5.0, max_value=5.0),
+)
+def test_affine_invariance(seed, scale, shift):
+    """Positive scaling + translation are monotone: result unchanged."""
+    rng = np.random.default_rng(seed)
+    dataset = random_grouped_dataset(rng, n_groups=5, max_group_size=4)
+    transformed = GroupedDataset(
+        {g.key: g.values * scale + shift for g in dataset}
+    )
+    assert compute(dataset) == compute(transformed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000))
+def test_adding_a_floor_group_changes_nothing_else(seed):
+    """A group strictly below everything dominates nobody: the rest of the
+    result is untouched, and the new group is excluded (dominated)."""
+    rng = np.random.default_rng(seed)
+    dataset = random_grouped_dataset(rng, n_groups=5, max_group_size=4)
+    before = compute(dataset)
+    floor_value = min(float(g.values.min()) for g in dataset) - 10.0
+    extended = GroupedDataset(
+        {
+            **{g.key: g.values for g in dataset},
+            "__floor__": np.full((2, dataset.dimensions), floor_value),
+        }
+    )
+    after = compute(extended)
+    assert after == before
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000))
+def test_adding_a_ceiling_group_excludes_everyone(seed):
+    """A group strictly above everything totally dominates all groups."""
+    rng = np.random.default_rng(seed)
+    dataset = random_grouped_dataset(rng, n_groups=5, max_group_size=4)
+    ceiling_value = max(float(g.values.max()) for g in dataset) + 10.0
+    extended = GroupedDataset(
+        {
+            **{g.key: g.values for g in dataset},
+            "__ceiling__": np.full((1, dataset.dimensions), ceiling_value),
+        }
+    )
+    assert compute(extended, gamma=1.0) == {"__ceiling__"}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1_000_000),
+    st.sampled_from([(0.5, 0.6), (0.6, 0.8), (0.8, 1.0)]),
+)
+def test_result_monotone_in_gamma(seed, gammas):
+    """Raising γ makes domination harder: the skyline only grows."""
+    low, high = gammas
+    rng = np.random.default_rng(seed)
+    dataset = random_grouped_dataset(rng, n_groups=6, max_group_size=4)
+    assert compute(dataset, low) <= compute(dataset, high)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=1_000_000))
+def test_removing_a_group_never_shrinks_the_rest(seed):
+    """Dropping a group removes a potential dominator: every remaining
+    group that was in the skyline stays in it."""
+    rng = np.random.default_rng(seed)
+    dataset = random_grouped_dataset(rng, n_groups=5, max_group_size=4)
+    before = exact_aggregate_skyline(dataset, 0.5)
+    victim = dataset.keys()[0]
+    if len(dataset) == 1:
+        return
+    reduced = GroupedDataset(
+        {g.key: g.values for g in dataset if g.key != victim}
+    )
+    after = exact_aggregate_skyline(reduced, 0.5)
+    assert (before - {victim}) <= after

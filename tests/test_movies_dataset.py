@@ -1,0 +1,110 @@
+"""The curated movie datasets reproduce the paper's numbers exactly."""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core.dominance import dominates
+from repro.core.gamma import dominance_probability
+from repro.data.movies import (
+    MOVIE_ROWS,
+    director_filmographies,
+    directors_dataset,
+    figure1_directors_dataset,
+    movie_table,
+)
+
+
+class TestMovieTable:
+    def test_row_count_and_columns(self):
+        table = movie_table()
+        assert len(table) == 10
+        assert table.columns == ("title", "year", "director", "pop", "qual")
+
+    def test_contains_paper_rows(self):
+        table = movie_table()
+        titles = table.column_values("title")
+        assert "Pulp Fiction" in titles
+        assert "The Room" in titles
+
+    def test_figure1_dataset_groups(self):
+        dataset = figure1_directors_dataset()
+        assert set(dataset.keys()) == {
+            "Cameron", "Nolan", "Tarantino", "Kershner",
+            "Coppola", "Jackson", "Wiseau",
+        }
+        assert dataset["Tarantino"].size == 2
+        assert dataset["Jackson"].size == 1
+
+
+class TestTable2:
+    def test_exact_probabilities(self):
+        ds = directors_dataset()
+        expectations = {
+            ("Tarantino", "Wiseau"): Fraction(1),
+            ("Tarantino", "Fleischer"): Fraction(15, 16),
+            ("Tarantino", "Jackson"): Fraction(49, 72),
+            ("Wiseau", "Tarantino"): Fraction(0),
+            ("Fleischer", "Tarantino"): Fraction(1, 16),
+            ("Jackson", "Tarantino"): Fraction(19, 72),
+        }
+        for (s, r), expected in expectations.items():
+            assert dominance_probability(ds[s], ds[r]) == expected, (s, r)
+
+    def test_rounded_to_paper_values(self):
+        ds = directors_dataset()
+        rounded = {
+            (s, r): round(float(dominance_probability(ds[s], ds[r])), 2)
+            for s in ("Tarantino", "Wiseau", "Fleischer", "Jackson")
+            for r in ("Tarantino",)
+            if s != "Tarantino"
+        }
+        assert rounded[("Wiseau", "Tarantino")] == 0.00
+        assert rounded[("Fleischer", "Tarantino")] == 0.06
+        assert rounded[("Jackson", "Tarantino")] == 0.26
+
+    def test_probabilities_need_not_sum_to_one(self):
+        """The paper's remark on Tarantino vs Jackson: .68 + .26 < 1."""
+        ds = directors_dataset()
+        forward = dominance_probability(ds["Tarantino"], ds["Jackson"])
+        backward = dominance_probability(ds["Jackson"], ds["Tarantino"])
+        assert forward + backward < 1
+
+    def test_section21_walkthrough(self):
+        """Three Fleischer movies dominated by all 8 Tarantino movies, one
+        (Zombieland) by exactly six -> 30 of 32 combinations."""
+        films = director_filmographies()
+        tarantino = np.array([[p, q] for _, p, q in films["Tarantino"]])
+        counts = {}
+        for title, pop, qual in films["Fleischer"]:
+            counts[title] = sum(
+                dominates(t, (pop, qual)) for t in tarantino
+            )
+        assert counts["Zombieland"] == 6
+        assert sorted(counts.values()) == [6, 8, 8, 8]
+        assert sum(counts.values()) == 30
+
+    def test_strict_dominance_over_wiseau(self):
+        """Figure 5(a): even Tarantino's worst beats Wiseau's best."""
+        films = director_filmographies()
+        tarantino = [(p, q) for _, p, q in films["Tarantino"]]
+        wiseau = [(p, q) for _, p, q in films["Wiseau"]]
+        for t in tarantino:
+            for w in wiseau:
+                assert dominates(t, w)
+
+    def test_filmography_sizes(self):
+        films = director_filmographies()
+        assert len(films["Tarantino"]) == 8
+        assert len(films["Wiseau"]) == 2
+        assert len(films["Fleischer"]) == 4
+        assert len(films["Jackson"]) == 9
+
+    def test_filmographies_returns_copy(self):
+        films = director_filmographies()
+        films["Tarantino"].clear()
+        assert len(director_filmographies()["Tarantino"]) == 8
+
+    def test_movie_rows_constant_shape(self):
+        for row in MOVIE_ROWS:
+            assert len(row) == 5

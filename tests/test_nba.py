@@ -1,0 +1,91 @@
+"""Tests for the synthetic NBA player-season table."""
+
+import numpy as np
+import pytest
+
+from repro.data.nba import NBA_COLUMNS, STAT_COLUMNS, nba_player_names, nba_table
+from repro.relational.operators import grouped_dataset_from_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return nba_table(seed=7, target_rows=3000)
+
+
+class TestSchema:
+    def test_columns(self, table):
+        assert table.columns == NBA_COLUMNS
+        assert len(STAT_COLUMNS) == 8  # the paper's eight attributes
+
+    def test_row_count(self, table):
+        assert len(table) == 3000
+
+    def test_value_sanity(self, table):
+        pts = table.column_values("pts")
+        assert all(p >= 0 for p in pts)
+        assert max(pts) < 60  # no 60-ppg seasons
+        years = table.column_values("year")
+        assert min(years) >= 1979
+        assert max(years) <= 2010
+        games = table.column_values("gp")
+        assert min(games) >= 5 and max(games) <= 82
+        positions = set(table.column_values("pos"))
+        assert positions <= {"G", "F", "C"}
+
+    def test_determinism(self):
+        a = nba_table(seed=3, target_rows=500)
+        b = nba_table(seed=3, target_rows=500)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nba_table(target_rows=0)
+
+
+class TestGroupingStructure:
+    def test_player_careers_are_heavy_tailed(self, table):
+        dataset = grouped_dataset_from_table(table, ["player"], ["pts"])
+        sizes = [group.size for group in dataset]
+        assert max(sizes) >= 10
+        assert min(sizes) >= 1
+        assert max(sizes) <= 20
+        # many short careers, few long ones
+        assert sum(1 for s in sizes if s <= 4) > sum(
+            1 for s in sizes if s >= 10
+        )
+
+    def test_team_and_year_groups_are_coarse(self, table):
+        by_team = grouped_dataset_from_table(table, ["team"], ["pts"])
+        by_year = grouped_dataset_from_table(table, ["year"], ["pts"])
+        assert len(by_team) <= 30
+        assert len(by_year) <= 32
+        assert max(g.size for g in by_team) > 50
+
+    def test_positional_archetypes(self, table):
+        """Centers out-rebound and out-block guards; guards out-assist."""
+        rows = list(table.iter_dicts())
+        guards = [r for r in rows if r["pos"] == "G"]
+        centers = [r for r in rows if r["pos"] == "C"]
+        mean = lambda rs, c: float(np.mean([r[c] for r in rs]))
+        assert mean(centers, "reb") > mean(guards, "reb")
+        assert mean(centers, "blk") > mean(guards, "blk")
+        assert mean(guards, "ast") > mean(centers, "ast")
+        assert mean(guards, "tpm") > mean(centers, "tpm")
+
+    def test_three_point_era_effect(self, table):
+        rows = list(table.iter_dicts())
+        early = [r["tpm"] for r in rows if r["year"] < 1990]
+        late = [r["tpm"] for r in rows if r["year"] > 2000]
+        assert float(np.mean(late)) > float(np.mean(early))
+
+
+class TestNames:
+    def test_unique(self):
+        rng = np.random.default_rng(0)
+        names = nba_player_names(3000, rng)
+        assert len(set(names)) == 3000
+
+    def test_readable(self):
+        rng = np.random.default_rng(0)
+        for name in nba_player_names(50, rng):
+            assert 2 <= len(name.split()) <= 4

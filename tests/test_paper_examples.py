@@ -1,0 +1,160 @@
+"""End-to-end reproduction of the paper's introduction (Examples 1-3).
+
+Runs the exact SQL of the paper (modulo the SKYLINE extension's dialect)
+through the query layer and checks Figures 2, 3 and 4, plus the
+introduction's arguments about why neither sequential pipeline computes the
+aggregate skyline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import dominates
+from repro.core.gamma import dominance_probability
+from repro.core.skyline import skyline_mask
+from repro.data.movies import MOVIE_ROWS, figure1_directors_dataset, movie_table
+from repro.query import execute
+
+
+@pytest.fixture
+def catalog():
+    return {"movies": movie_table()}
+
+
+class TestExample1RecordSkyline:
+    def test_figure2(self, catalog):
+        result = execute(
+            "SELECT * FROM movies SKYLINE OF pop MAX, qual MAX", catalog
+        )
+        titles = {row[0] for row in result.table.rows}
+        assert titles == {"Pulp Fiction", "The Godfather"}
+
+    def test_projection(self, catalog):
+        result = execute(
+            "SELECT title FROM movies SKYLINE OF pop MAX, qual MAX"
+            " ORDER BY title",
+            catalog,
+        )
+        assert result.table.rows == [("Pulp Fiction",), ("The Godfather",)]
+
+
+class TestExample2AggregateQuery:
+    def test_figure3(self, catalog):
+        result = execute(
+            "SELECT director, max(pop), max(qual) FROM movies"
+            " GROUP BY director HAVING max(qual) >= 8.0",
+            catalog,
+        )
+        rows = {row[0]: (row[1], row[2]) for row in result.table.rows}
+        assert rows == {
+            "Cameron": (404, 8.6),
+            "Nolan": (371, 8.3),
+            "Tarantino": (557, 9.0),
+            "Kershner": (362, 8.8),
+            "Coppola": (531, 9.2),
+            "Jackson": (518, 8.7),
+        }
+
+
+class TestExample3AggregateSkyline:
+    @pytest.mark.parametrize("algorithm", ["NL", "TR", "SI", "IN", "LO"])
+    def test_figure4b(self, catalog, algorithm):
+        result = execute(
+            "SELECT director FROM movies GROUP BY director"
+            f" SKYLINE OF pop MAX, qual MAX USING ALGORITHM {algorithm}",
+            catalog,
+        )
+        directors = {row[0] for row in result.table.rows}
+        assert directors == {"Coppola", "Jackson", "Kershner", "Tarantino"}
+
+    def test_skyline_result_attached(self, catalog):
+        result = execute(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX",
+            catalog,
+        )
+        assert result.skyline_result is not None
+        assert len(result.skyline_result) == 4
+
+
+class TestSequentialPipelinesDiffer:
+    def test_skyline_then_group_loses_jackson(self):
+        """Figure 4(a): the record skyline keeps only 2 directors."""
+        values = [(pop, qual) for *_, pop, qual in MOVIE_ROWS]
+        directors = [d for _, _, d, _, _ in MOVIE_ROWS]
+        mask = skyline_mask(values)
+        surviving = {d for d, keep in zip(directors, mask) if keep}
+        assert surviving == {"Tarantino", "Coppola"}
+        # Jackson is in the aggregate skyline but not here.
+        assert "Jackson" not in surviving
+
+    def test_group_then_skyline_unfair_to_nolan(self):
+        """Figure 3's maxima say Cameron beats Nolan, yet no Cameron movie
+        dominates Nolan's only movie (the paper's §1.3 argument)."""
+        cameron_max = (404, 8.6)
+        nolan_max = (371, 8.3)
+        assert dominates(cameron_max, nolan_max)
+
+        cameron_movies = [
+            (pop, qual)
+            for _, _, d, pop, qual in MOVIE_ROWS
+            if d == "Cameron"
+        ]
+        nolan_movie = next(
+            (pop, qual)
+            for _, _, d, pop, qual in MOVIE_ROWS
+            if d == "Nolan"
+        )
+        assert not any(dominates(m, nolan_movie) for m in cameron_movies)
+
+    def test_cameron_never_dominates_nolan_at_record_level(self):
+        dataset = figure1_directors_dataset()
+        p = dominance_probability(dataset["Cameron"], dataset["Nolan"])
+        # No Cameron movie dominates Batman Begins, so the group-level
+        # probability is zero - the aggregate operator cannot repeat the
+        # max-aggregation mistake.
+        assert p == 0
+
+    def test_nolan_still_out_for_another_reason(self):
+        """Nolan leaves the aggregate skyline only because The Lord of the
+        Rings (Jackson) dominates Batman Begins outright."""
+        dataset = figure1_directors_dataset()
+        ejectors = [
+            other
+            for other in dataset.keys()
+            if other != "Nolan"
+            and float(
+                dominance_probability(dataset[other], dataset["Nolan"])
+            ) > 0.5
+        ]
+        assert ejectors == ["Jackson"]
+        assert dominates((518, 8.7), (371, 8.3))
+
+
+class TestStarsVsGalaxies:
+    def test_aggregate_skyline_is_not_superset_of_record_skyline_directors(
+        self,
+    ):
+        """The title's point: galaxies are judged as wholes.
+
+        Every director of a record-skyline movie happens to be in the
+        aggregate skyline here, but the converse fails: Jackson and
+        Kershner enter only at the group level.
+        """
+        values = [(pop, qual) for *_, pop, qual in MOVIE_ROWS]
+        directors = [d for _, _, d, _, _ in MOVIE_ROWS]
+        mask = skyline_mask(values)
+        star_directors = {d for d, keep in zip(directors, mask) if keep}
+        galaxy_directors = {"Coppola", "Jackson", "Kershner", "Tarantino"}
+        assert star_directors < galaxy_directors
+
+    def test_proposition3_means_no_containment_either_way(self):
+        """A group holding a skyline record can still be ejected."""
+        dataset = {
+            "G1": np.array([[5.0, 5.0], [1.0, 1.0], [1.0, 2.0]]),
+            "G2": np.array([[2.0, 3.0]]),
+        }
+        from repro import aggregate_skyline
+
+        result = aggregate_skyline(dataset, gamma=0.5, algorithm="NL")
+        assert result.as_set() == {"G2"}

@@ -1,0 +1,326 @@
+"""Executable versions of the paper's theoretical results (Section 2-3).
+
+Covers: Proposition 1 (asymmetry for γ >= .5, inconsistency below),
+Property 2 (stability to updates, with the corrected ε — see DESIGN.md),
+Proposition 2 (stability to monotone transformations), Proposition 3
+(skyline containment fails, the paper's exact counterexample), Theorem 1
+(the tension between containment and stability, concrete witness),
+Proposition 4 (non-transitivity, the Figure-6 configuration) and
+Proposition 5 (weak transitivity at γ̄).
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import make_algorithm
+from repro.core.gamma import (
+    GammaThresholds,
+    dominance_holds,
+    dominance_probability,
+    gamma_bar,
+    gamma_dominates,
+)
+from repro.core.groups import GroupedDataset
+from repro.core.skyline import skyline_mask
+
+
+# ----------------------------------------------------------------------
+# Proposition 1: asymmetry
+# ----------------------------------------------------------------------
+
+
+class TestAsymmetry:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from([0.5, 0.6, 0.8, 1.0]),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    def test_no_mutual_domination_at_half_or_above(self, n1, n2, gamma, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.integers(0, 4, size=(n1, 2)).astype(float)
+        r = rng.integers(0, 4, size=(n2, 2)).astype(float)
+        assert not (
+            gamma_dominates(s, r, gamma) and gamma_dominates(r, s, gamma)
+        )
+
+    def test_mutual_domination_possible_below_half(self):
+        """The inconsistency the paper warns about for γ < .5."""
+        r = np.array([[2.0, 2.0], [0.0, 0.0]])
+        s = np.array([[1.0, 1.0], [1.0, 1.0]])
+        gamma = 0.4
+        assert gamma_dominates(r, s, gamma, allow_unsafe=True)
+        assert gamma_dominates(s, r, gamma, allow_unsafe=True)
+
+
+# ----------------------------------------------------------------------
+# Property 2: stability to updates
+# ----------------------------------------------------------------------
+
+
+class TestUpdateStability:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    def test_bound_on_random_removals(self, n_r, n_s, seed):
+        """γ(1-ε) <= γ' <= γ(1+ε) with ε = (|R|-|R'|) / |R'|.
+
+        The paper states ε with denominator |R|, but its own algebra
+        (γ' <= γ·|R|/|R'|) only matches ε = (|R|-|R'|)/|R'|; removing the
+        dominated half of a group can double γ, violating the |R| version.
+        """
+        rng = np.random.default_rng(seed)
+        r = rng.integers(0, 5, size=(n_r, 2)).astype(float)
+        s = rng.integers(0, 5, size=(n_s, 2)).astype(float)
+        keep = max(1, int(rng.integers(1, n_r + 1)))
+        r_prime = r[:keep]
+
+        gamma = dominance_probability(r, s)
+        gamma_prime = dominance_probability(r_prime, s)
+        epsilon = Fraction(n_r - keep, keep)
+        assert gamma_prime <= gamma * (1 + epsilon)
+        assert gamma_prime >= gamma * (1 + epsilon) - epsilon
+
+    def test_paper_epsilon_version_fails(self):
+        """Witness that the printed ε = (|R|-|R'|)/|R| bound is too tight."""
+        r = np.array([[9.0, 9.0], [0.0, 0.0]])
+        s = np.array([[5.0, 5.0]])
+        gamma = dominance_probability(r, s)       # 1/2
+        r_prime = r[:1]
+        gamma_prime = dominance_probability(r_prime, s)  # 1
+        epsilon_paper = Fraction(1, 2)            # (|R|-|R'|) / |R|
+        assert gamma_prime > gamma * (1 + epsilon_paper)
+
+    def test_single_bad_movie_changes_little(self):
+        """The motivating scenario: one flop cannot sink a great director."""
+        great = np.array([[9.0, 9.0]] * 20)
+        rival = np.array([[5.0, 5.0]] * 5)
+        before = dominance_probability(great, rival)
+        with_flop = np.vstack([great, [[0.0, 0.0]]])
+        after = dominance_probability(with_flop, rival)
+        assert before == 1
+        assert after >= Fraction(20, 21)
+
+
+# ----------------------------------------------------------------------
+# Proposition 2: stability to monotone transformations
+# ----------------------------------------------------------------------
+
+MONOTONE_FUNCTIONS = [
+    lambda x: x,
+    lambda x: 2.0 * x + 1.0,
+    lambda x: x**3,
+    lambda x: np.exp(x / 4.0),
+    lambda x: np.where(x > 2, x * 10.0, x),  # monotone, wildly non-linear
+]
+
+
+class TestMonotoneStability:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    def test_probability_invariant(self, n1, n2, f1, f2, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.integers(0, 5, size=(n1, 2)).astype(float)
+        r = rng.integers(0, 5, size=(n2, 2)).astype(float)
+        phi1 = MONOTONE_FUNCTIONS[f1]
+        phi2 = MONOTONE_FUNCTIONS[f2]
+        s_t = np.column_stack([phi1(s[:, 0]), phi2(s[:, 1])])
+        r_t = np.column_stack([phi1(r[:, 0]), phi2(r[:, 1])])
+        assert dominance_probability(s, r) == dominance_probability(s_t, r_t)
+
+    def test_average_based_comparison_is_not_stable(self):
+        """The paper's §1.3 argument: averages break under monotone maps.
+
+        Two groups whose averages are ordered one way swap order after a
+        monotone transformation, while γ-dominance is unchanged.
+        """
+        a = np.array([[10.0], [5.0]])
+        b = np.array([[7.4], [7.4]])
+        assert a.mean() > b.mean()
+        squash = lambda x: np.minimum(x, 9.0)  # monotone (non-strictly)
+        assert squash(a).mean() < squash(b).mean()
+
+
+# ----------------------------------------------------------------------
+# Proposition 3 / Theorem 1: skyline containment fails
+# ----------------------------------------------------------------------
+
+
+class TestSkylineContainment:
+    def test_paper_counterexample(self):
+        """G1 holds the record skyline point (5,5) yet is group-dominated."""
+        g1 = np.array([[5.0, 5.0], [1.0, 1.0], [1.0, 2.0]])
+        g2 = np.array([[2.0, 3.0]])
+        assert dominance_probability(g2, g1) == Fraction(2, 3)
+
+        dataset = GroupedDataset({"G1": g1, "G2": g2})
+        result = make_algorithm("NL", 0.5).compute(dataset)
+        assert result.as_set() == {"G2"}
+
+        # ... although G1 contains the unique record-skyline maximum.
+        union = np.vstack([g1, g2])
+        mask = skyline_mask(union)
+        assert mask.tolist() == [True, False, False, False]
+
+    def test_theorem1_tension_witness(self):
+        """Adding one superstar record cannot rescue a flooded group."""
+        flooded = np.vstack([np.zeros((9, 2)), [[99.0, 99.0]]])
+        rival = np.full((3, 2), 5.0)
+        dataset = GroupedDataset({"flooded": flooded, "rival": rival})
+        # rival dominates 9/10 of flooded's records: out at gamma=.5 even
+        # though flooded contains the global skyline record.
+        result = make_algorithm("NL", 0.5).compute(dataset)
+        assert result.as_set() == {"rival"}
+        union_mask = skyline_mask(np.vstack([flooded, rival]))
+        assert union_mask[9]  # the superstar is the record skyline
+
+
+# ----------------------------------------------------------------------
+# Proposition 4: non-transitivity (Figure 6)
+# ----------------------------------------------------------------------
+
+
+def figure6_groups():
+    r = np.array([[2.0, 2.0], [8.0, 1.0], [2.0, 3.0], [3.0, 2.0]])
+    s = np.array([[1.0, 1.0], [7.0, 0.5]])
+    t = np.array([[0.0, 0.0], [6.0, 0.0], [5.0, 0.0]])
+    return r, s, t
+
+
+class TestNonTransitivity:
+    def test_figure6_probabilities(self):
+        r, s, t = figure6_groups()
+        assert dominance_probability(r, s) == Fraction(5, 8)
+        assert dominance_probability(s, t) == Fraction(2, 3)
+        assert dominance_probability(r, t) == Fraction(1, 2)
+
+    def test_figure6_breaks_transitivity_at_half(self):
+        r, s, t = figure6_groups()
+        assert gamma_dominates(r, s, 0.5)
+        assert gamma_dominates(s, t, 0.5)
+        assert not gamma_dominates(r, t, 0.5)
+
+
+# ----------------------------------------------------------------------
+# Proposition 5: weak transitivity
+# ----------------------------------------------------------------------
+
+
+class TestWeakTransitivity:
+    @pytest.mark.parametrize("gamma", [0.5, 0.6, 0.7, 0.75])
+    def test_weak_transitivity_holds_on_random_triples(self, gamma):
+        """If R >_γ̄ S and S >_γ̄ T then R >_γ T, scanned over many triples.
+
+        Offsets between the three groups make the premises fire often; the
+        test requires at least a handful of firings so it cannot pass
+        vacuously.
+        """
+        bar = gamma_bar(gamma)
+        rng = np.random.default_rng(42)
+        fired = 0
+        for _ in range(400):
+            base = rng.uniform(0, 1, size=(3,))
+            r = rng.uniform(0.5, 1.4, size=(4, 2)) + base[0]
+            s = rng.uniform(0.2, 1.0, size=(3, 2)) + base[1] * 0.5
+            t = rng.uniform(0.0, 0.8, size=(5, 2))
+            p_rs = dominance_probability(r, s)
+            p_st = dominance_probability(s, t)
+            premises = dominance_holds(
+                p_rs.numerator, p_rs.denominator, bar
+            ) and dominance_holds(p_st.numerator, p_st.denominator, bar)
+            if not premises:
+                continue
+            fired += 1
+            p_rt = dominance_probability(r, t)
+            assert dominance_holds(
+                p_rt.numerator, p_rt.denominator, Fraction(gamma)
+            ), (p_rs, p_st, p_rt)
+        assert fired >= 5
+
+    def test_gamma_bar_premise_is_necessary(self):
+        """At plain γ the implication fails (Figure 6 again)."""
+        r, s, t = figure6_groups()
+        bar = gamma_bar(0.5)  # ~0.646
+        p_rs = dominance_probability(r, s)  # 5/8 = .625 < γ̄
+        assert not dominance_holds(p_rs.numerator, p_rs.denominator, bar)
+
+    def test_strong_threshold_in_algorithms_at_high_gamma(self):
+        """strong >= γ always (the clamp); at γ=.9, γ̄ alone would be .84."""
+        thresholds = GammaThresholds(0.9)
+        assert float(gamma_bar(0.9)) < 0.9
+        assert thresholds.strong >= thresholds.gamma
+
+
+# ----------------------------------------------------------------------
+# Domination cycles: the aggregate skyline can be EMPTY
+# ----------------------------------------------------------------------
+
+
+class TestDominationCycles:
+    """Unlike the record skyline (always non-empty), the aggregate skyline
+    can be empty: asymmetry holds pairwise but transitivity does not, so
+    three groups can γ-dominate each other in a cycle, leaving no group
+    undominated.  The paper does not discuss this consequence; we pin it
+    down and check every algorithm handles it consistently."""
+
+    @pytest.fixture
+    def cycle(self):
+        # Harbor > Prairie, Summit > Harbor, Prairie > Summit (all at 2/3
+        # or 5/9 > 1/2); discovered while scripting examples/sql_session.
+        return GroupedDataset(
+            {
+                "harbor": [[52, 4.1], [55, 5.0], [49, 3.2]],
+                "summit": [[60, 6.5], [23, -4.0], [58, 6.0]],
+                "prairie": [[41, 0.5], [43, 0.8], [61, 7.0]],
+            }
+        )
+
+    def test_cycle_probabilities(self, cycle):
+        p = lambda s, r: dominance_probability(cycle[s], cycle[r])
+        assert p("summit", "harbor") == Fraction(6, 9)
+        assert p("harbor", "prairie") == Fraction(6, 9)
+        assert p("prairie", "summit") == Fraction(5, 9)
+
+    def test_skyline_is_empty(self, cycle):
+        for name in ("NL", "TR", "SI", "IN", "LO", "AD", "SQL"):
+            result = make_algorithm(name, 0.5, **(
+                {} if name == "SQL" else {"prune_policy": "safe"}
+            )).compute(cycle)
+            assert result.keys == [], name
+
+    def test_gamma_knob_breaks_the_cycle(self, cycle):
+        # At gamma = 5/9 the weakest edge (prairie > summit) needs p > 5/9
+        # and drops out: summit resurfaces alone.
+        result = make_algorithm("NL", Fraction(5, 9)).compute(cycle)
+        assert result.as_set() == {"summit"}
+        # At gamma = 2/3 all three edges are gone: everyone is back.
+        result = make_algorithm("NL", Fraction(2, 3)).compute(cycle)
+        assert len(result) == 3
+
+    def test_profile_reports_cycle_thresholds(self, cycle):
+        from repro.core.api import gamma_profile
+
+        profile = gamma_profile(cycle)
+        # Nobody is admitted at .5 (the cycle), and each group enters
+        # exactly at its strongest dominator's probability.
+        assert profile.skyline_at(0.5) == []
+        assert profile.minimal_gamma("summit") == Fraction(5, 9)
+        assert profile.minimal_gamma("harbor") == Fraction(6, 9)
+        assert profile.minimal_gamma("prairie") == Fraction(6, 9)
+        assert set(profile.skyline_at(Fraction(2, 3))) == {
+            "harbor", "summit", "prairie",
+        }

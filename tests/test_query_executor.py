@@ -1,0 +1,366 @@
+"""Tests for planning and executing queries end to end."""
+
+import pytest
+
+from repro.query.executor import execute
+from repro.query.planner import PlanError
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def catalog():
+    movies = Table(
+        ["title", "year", "director", "pop", "qual"],
+        [
+            ("Avatar", 2009, "Cameron", 404, 8.0),
+            ("Batman Begins", 2005, "Nolan", 371, 8.3),
+            ("Kill Bill", 2003, "Tarantino", 313, 8.2),
+            ("Pulp Fiction", 1994, "Tarantino", 557, 9.0),
+            ("The Room", 2003, "Wiseau", 10, 3.2),
+        ],
+    )
+    return {"movies": movies}
+
+
+class TestPlainSelect:
+    def test_select_star(self, catalog):
+        result = execute("SELECT * FROM movies", catalog)
+        assert len(result) == 5
+        assert result.table.columns == (
+            "title", "year", "director", "pop", "qual"
+        )
+
+    def test_projection_and_alias(self, catalog):
+        result = execute("SELECT title AS t, pop FROM movies", catalog)
+        assert result.table.columns == ("t", "pop")
+
+    def test_where(self, catalog):
+        result = execute(
+            "SELECT title FROM movies WHERE year >= 2003 AND pop > 100",
+            catalog,
+        )
+        titles = {r[0] for r in result.table.rows}
+        assert titles == {"Avatar", "Batman Begins", "Kill Bill"}
+
+    def test_where_string(self, catalog):
+        result = execute(
+            "SELECT title FROM movies WHERE director = 'Tarantino'",
+            catalog,
+        )
+        assert len(result) == 2
+
+    def test_order_limit(self, catalog):
+        result = execute(
+            "SELECT title FROM movies ORDER BY pop DESC LIMIT 2", catalog
+        )
+        assert [r[0] for r in result.table.rows] == [
+            "Pulp Fiction", "Avatar",
+        ]
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(PlanError, match="unknown table"):
+            execute("SELECT * FROM nothing", catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(PlanError, match="unknown column"):
+            execute("SELECT rating FROM movies", catalog)
+
+    def test_iteration_and_len(self, catalog):
+        result = execute("SELECT title FROM movies LIMIT 3", catalog)
+        assert len(list(result)) == 3
+        assert "title" in result.to_text()
+
+
+class TestGroupByQueries:
+    def test_aggregates(self, catalog):
+        result = execute(
+            "SELECT director, count(*) AS movies, max(pop)"
+            " FROM movies GROUP BY director ORDER BY director",
+            catalog,
+        )
+        rows = {r[0]: (r[1], r[2]) for r in result.table.rows}
+        assert rows["Tarantino"] == (2, 557)
+
+    def test_having(self, catalog):
+        result = execute(
+            "SELECT director FROM movies GROUP BY director"
+            " HAVING count(*) >= 2",
+            catalog,
+        )
+        assert [r[0] for r in result.table.rows] == ["Tarantino"]
+
+    def test_having_requires_group_by(self, catalog):
+        with pytest.raises(PlanError, match="HAVING requires"):
+            execute("SELECT title FROM movies HAVING count(*) > 1", catalog)
+
+    def test_selected_column_must_be_grouped(self, catalog):
+        with pytest.raises(PlanError, match="GROUP BY"):
+            execute("SELECT title FROM movies GROUP BY director", catalog)
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(PlanError, match="not allowed in WHERE"):
+            execute(
+                "SELECT title FROM movies WHERE max(pop) > 1", catalog
+            )
+
+    def test_having_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(PlanError, match="HAVING may only"):
+            execute(
+                "SELECT director FROM movies GROUP BY director"
+                " HAVING year > 2000",
+                catalog,
+            )
+
+
+class TestRecordSkylineQueries:
+    def test_skyline(self, catalog):
+        result = execute(
+            "SELECT title FROM movies SKYLINE OF pop MAX, qual MAX",
+            catalog,
+        )
+        assert {r[0] for r in result.table.rows} == {"Pulp Fiction"}
+
+    def test_skyline_min(self, catalog):
+        result = execute(
+            "SELECT title FROM movies SKYLINE OF year MIN, qual MAX",
+            catalog,
+        )
+        titles = {r[0] for r in result.table.rows}
+        assert "Pulp Fiction" in titles
+
+    def test_skyline_after_where(self, catalog):
+        result = execute(
+            "SELECT title FROM movies WHERE year >= 2003"
+            " SKYLINE OF pop MAX, qual MAX",
+            catalog,
+        )
+        titles = {r[0] for r in result.table.rows}
+        assert titles == {"Avatar", "Batman Begins"}
+
+    def test_empty_input(self, catalog):
+        result = execute(
+            "SELECT title FROM movies WHERE year > 3000"
+            " SKYLINE OF pop MAX",
+            catalog,
+        )
+        assert len(result) == 0
+
+
+class TestAggregateSkylineQueries:
+    def test_basic(self, catalog):
+        result = execute(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX",
+            catalog,
+        )
+        directors = {r[0] for r in result.table.rows}
+        assert directors == {"Cameron", "Nolan", "Tarantino"}
+
+    def test_select_star_yields_group_columns(self, catalog):
+        result = execute(
+            "SELECT * FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX",
+            catalog,
+        )
+        assert result.table.columns == ("director",)
+
+    def test_aggregates_over_survivors(self, catalog):
+        result = execute(
+            "SELECT director, count(*) AS n FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX ORDER BY director",
+            catalog,
+        )
+        rows = dict(result.table.rows)
+        assert rows == {"Cameron": 1, "Nolan": 1, "Tarantino": 2}
+
+    def test_gamma_and_algorithm(self, catalog):
+        result = execute(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX WITH GAMMA 1.0"
+            " USING ALGORITHM NL",
+            catalog,
+        )
+        assert result.skyline_result is not None
+        assert result.skyline_result.gamma == 1.0
+        assert result.skyline_result.stats.algorithm == "NL"
+
+    def test_having_filters_before_skyline(self, catalog):
+        # Restricting to directors with >= 2 movies leaves only Tarantino.
+        result = execute(
+            "SELECT director FROM movies GROUP BY director"
+            " HAVING count(*) >= 2 SKYLINE OF pop MAX, qual MAX",
+            catalog,
+        )
+        assert [r[0] for r in result.table.rows] == ["Tarantino"]
+
+    def test_having_eliminating_everything(self, catalog):
+        result = execute(
+            "SELECT director FROM movies GROUP BY director"
+            " HAVING count(*) >= 10 SKYLINE OF pop MAX",
+            catalog,
+        )
+        assert len(result) == 0
+
+    def test_where_empty_then_skyline(self, catalog):
+        result = execute(
+            "SELECT director FROM movies WHERE year > 3000"
+            " GROUP BY director SKYLINE OF pop MAX",
+            catalog,
+        )
+        assert len(result) == 0
+
+    def test_algorithm_options_forwarded(self, catalog):
+        result = execute(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX USING ALGORITHM TR",
+            catalog,
+            prune_policy="safe",
+        )
+        directors = {r[0] for r in result.table.rows}
+        assert directors == {"Cameron", "Nolan", "Tarantino"}
+
+    def test_multi_column_grouping(self, catalog):
+        result = execute(
+            "SELECT director, year FROM movies GROUP BY director, year"
+            " SKYLINE OF pop MAX, qual MAX",
+            catalog,
+        )
+        assert ("Tarantino", 1994) in result.table.rows
+
+    def test_gamma_without_skyline_rejected(self, catalog):
+        with pytest.raises(PlanError, match="WITH GAMMA"):
+            execute(
+                "SELECT director FROM movies GROUP BY director"
+                " WITH GAMMA 0.5",
+                catalog,
+            )
+
+    def test_algorithm_without_group_by_rejected(self, catalog):
+        with pytest.raises(PlanError, match="USING ALGORITHM"):
+            execute(
+                "SELECT title FROM movies SKYLINE OF pop MAX"
+                " USING ALGORITHM NL",
+                catalog,
+            )
+
+
+class TestDialectExtensions:
+    def test_between(self, catalog):
+        result = execute(
+            "SELECT title FROM movies WHERE year BETWEEN 2000 AND 2006",
+            catalog,
+        )
+        titles = {r[0] for r in result.table.rows}
+        assert titles == {"Batman Begins", "Kill Bill", "The Room"}
+
+    def test_in_list(self, catalog):
+        result = execute(
+            "SELECT title FROM movies"
+            " WHERE director IN ('Tarantino', 'Wiseau')",
+            catalog,
+        )
+        assert len(result) == 3
+
+    def test_not_in(self, catalog):
+        result = execute(
+            "SELECT title FROM movies"
+            " WHERE director NOT IN ('Tarantino', 'Wiseau')",
+            catalog,
+        )
+        assert len(result) == 2
+
+    def test_prune_policy_applied(self, catalog):
+        result = execute(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX USING ALGORITHM TR PRUNE SAFE",
+            catalog,
+        )
+        assert result.skyline_result is not None
+        directors = {r[0] for r in result.table.rows}
+        assert directors == {"Cameron", "Nolan", "Tarantino"}
+
+    def test_prune_without_skyline_rejected(self, catalog):
+        from repro.query.parser import parse
+
+        query = parse(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX PRUNE SAFE"
+        )
+        query.skyline = []
+        with pytest.raises(PlanError, match="PRUNE"):
+            execute(query, catalog)
+
+
+class TestWeightByClause:
+    @pytest.fixture
+    def games(self):
+        return {
+            "t": Table(
+                ["grp", "score", "quality", "games"],
+                [
+                    ("mixed", 5.0, 5.0, 9),
+                    ("mixed", 1.0, 1.0, 1),
+                    ("steady", 3.0, 3.0, 1),
+                ],
+            )
+        }
+
+    def test_weight_by_changes_verdict(self, games):
+        unweighted = execute(
+            "SELECT grp FROM t GROUP BY grp"
+            " SKYLINE OF score MAX, quality MAX",
+            games,
+        )
+        weighted = execute(
+            "SELECT grp FROM t GROUP BY grp"
+            " SKYLINE OF score MAX, quality MAX WEIGHT BY games",
+            games,
+        )
+        assert {r[0] for r in unweighted.table.rows} == {"mixed", "steady"}
+        assert {r[0] for r in weighted.table.rows} == {"mixed"}
+        assert weighted.skyline_result.stats.algorithm == "WNL"
+
+    def test_weight_by_with_gamma(self, games):
+        result = execute(
+            "SELECT grp FROM t GROUP BY grp"
+            " SKYLINE OF score MAX WEIGHT BY games WITH GAMMA 0.95",
+            games,
+        )
+        assert {r[0] for r in result.table.rows} == {"mixed", "steady"}
+
+    def test_weight_requires_aggregate_skyline(self, games):
+        with pytest.raises(PlanError, match="WEIGHT BY"):
+            execute(
+                "SELECT grp FROM t SKYLINE OF score MAX WEIGHT BY games",
+                games,
+            )
+
+    def test_weight_unknown_column(self, games):
+        with pytest.raises(PlanError, match="unknown column"):
+            execute(
+                "SELECT grp FROM t GROUP BY grp"
+                " SKYLINE OF score MAX WEIGHT BY minutes",
+                games,
+            )
+
+    def test_weight_conflicts_with_algorithm(self, games):
+        with pytest.raises(PlanError, match="weighted engine"):
+            execute(
+                "SELECT grp FROM t GROUP BY grp"
+                " SKYLINE OF score MAX WEIGHT BY games USING ALGORITHM LO",
+                games,
+            )
+
+    def test_non_integer_weights_rejected(self):
+        catalog = {
+            "t": Table(
+                ["grp", "score", "w"],
+                [("a", 1.0, 1.5), ("b", 2.0, 1)],
+            )
+        }
+        with pytest.raises(PlanError, match="integer"):
+            execute(
+                "SELECT grp FROM t GROUP BY grp"
+                " SKYLINE OF score MAX WEIGHT BY w",
+                catalog,
+            )

@@ -1,0 +1,230 @@
+"""Tests for the tokenizer and parser of the SKYLINE SQL dialect."""
+
+import pytest
+
+from repro.core.dominance import Direction
+from repro.query.ast_nodes import AggCall, ColumnRef, Comparison, Literal, Logical, Not
+from repro.query.parser import ParseError, parse
+from repro.query.tokenizer import TokenizeError, tokenize
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        tokens = tokenize("SELECT a, 1.5 FROM t WHERE x >= 'it''s'")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "IDENT", "IDENT", "OP", "NUMBER", "IDENT", "IDENT",
+            "IDENT", "IDENT", "OP", "STRING", "EOF",
+        ]
+
+    def test_string_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(TokenizeError):
+            tokenize("SELECT @")
+
+    def test_numbers(self):
+        assert tokenize("3")[0].text == "3"
+        assert tokenize("3.25")[0].text == "3.25"
+        assert tokenize(".5")[0].kind == "NUMBER"  # leading-dot decimals
+        assert tokenize("0.5")[0].text == "0.5"
+
+    def test_operators(self):
+        kinds = [t.text for t in tokenize("<= >= != <> = < > ( ) , *")[:-1]]
+        assert kinds == ["<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "*"]
+
+
+class TestParserBasics:
+    def test_select_star(self):
+        query = parse("SELECT * FROM movies")
+        assert query.select_star
+        assert query.table == "movies"
+
+    def test_select_columns(self):
+        query = parse("SELECT a, b FROM t")
+        assert [item.expression.name for item in query.select] == ["a", "b"]
+
+    def test_alias(self):
+        query = parse("SELECT max(pop) AS best FROM t GROUP BY d")
+        assert query.select[0].alias == "best"
+        assert query.select[0].output_name == "best"
+
+    def test_aggregate_default_name(self):
+        query = parse("SELECT max(pop) FROM t GROUP BY d")
+        assert query.select[0].output_name == "max(pop)"
+
+    def test_count_star(self):
+        query = parse("SELECT count(*) FROM t GROUP BY d")
+        call = query.select[0].expression
+        assert isinstance(call, AggCall)
+        assert call.column == "*"
+
+    def test_keywords_case_insensitive(self):
+        query = parse("select a from t group by a")
+        assert query.group_by == ["a"]
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t banana")
+
+
+class TestParserClauses:
+    def test_where_comparison(self):
+        query = parse("SELECT * FROM t WHERE year > 2000")
+        assert isinstance(query.where, Comparison)
+        assert query.where.op == ">"
+        assert isinstance(query.where.left, ColumnRef)
+        assert query.where.right == Literal(2000)
+
+    def test_where_logic_precedence(self):
+        query = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(query.where, Logical)
+        assert query.where.op == "OR"
+        assert isinstance(query.where.operands[1], Logical)
+        assert query.where.operands[1].op == "AND"
+
+    def test_where_not_and_parens(self):
+        query = parse("SELECT * FROM t WHERE NOT (a = 1 OR b = 2)")
+        assert isinstance(query.where, Not)
+        assert isinstance(query.where.operand, Logical)
+
+    def test_string_literal(self):
+        query = parse("SELECT * FROM t WHERE name = 'ann'")
+        assert query.where.right == Literal("ann")
+
+    def test_neq_normalised(self):
+        query = parse("SELECT * FROM t WHERE a <> 1")
+        assert query.where.op == "!="
+
+    def test_group_by_multiple(self):
+        query = parse("SELECT a, b FROM t GROUP BY a, b")
+        assert query.group_by == ["a", "b"]
+
+    def test_having_aggregate(self):
+        query = parse(
+            "SELECT d FROM t GROUP BY d HAVING max(q) >= 8.0"
+        )
+        assert isinstance(query.having, Comparison)
+        assert isinstance(query.having.left, AggCall)
+
+    def test_order_and_limit(self):
+        query = parse("SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 5")
+        assert query.order_by[0].descending
+        assert not query.order_by[1].descending
+        assert query.limit == 5
+
+    def test_limit_requires_number(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t LIMIT many")
+
+
+class TestSkylineClause:
+    def test_example3(self):
+        query = parse(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX"
+        )
+        assert query.is_aggregate_skyline
+        assert [s.column for s in query.skyline] == ["pop", "qual"]
+        assert all(s.direction is Direction.MAX for s in query.skyline)
+
+    def test_min_direction(self):
+        query = parse("SELECT * FROM t SKYLINE OF price MIN, rating MAX")
+        assert query.skyline[0].direction is Direction.MIN
+        assert query.is_record_skyline
+
+    def test_direction_defaults_to_max(self):
+        query = parse("SELECT * FROM t SKYLINE OF price, rating")
+        assert all(s.direction is Direction.MAX for s in query.skyline)
+
+    def test_with_gamma(self):
+        query = parse(
+            "SELECT d FROM t GROUP BY d SKYLINE OF a MAX WITH GAMMA 0.75"
+        )
+        assert query.gamma == 0.75
+
+    def test_gamma_requires_number(self):
+        with pytest.raises(ParseError):
+            parse("SELECT d FROM t GROUP BY d SKYLINE OF a WITH GAMMA big")
+
+    def test_using_algorithm(self):
+        query = parse(
+            "SELECT d FROM t GROUP BY d SKYLINE OF a USING ALGORITHM in"
+        )
+        assert query.algorithm == "IN"
+
+    def test_skyline_of_requires_of(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t SKYLINE pop MAX")
+
+
+class TestBetweenAndIn:
+    def test_between_desugars_to_conjunction(self):
+        from repro.query.ast_nodes import Comparison, Logical
+
+        query = parse("SELECT * FROM t WHERE year BETWEEN 1990 AND 2000")
+        assert isinstance(query.where, Logical)
+        assert query.where.op == "AND"
+        first, second = query.where.operands
+        assert isinstance(first, Comparison) and first.op == ">="
+        assert isinstance(second, Comparison) and second.op == "<="
+
+    def test_in_list(self):
+        from repro.query.ast_nodes import Comparison, Logical
+
+        query = parse("SELECT * FROM t WHERE d IN ('a', 'b', 'c')")
+        assert isinstance(query.where, Logical)
+        assert query.where.op == "OR"
+        assert all(
+            isinstance(c, Comparison) and c.op == "="
+            for c in query.where.operands
+        )
+
+    def test_in_single_value(self):
+        from repro.query.ast_nodes import Comparison
+
+        query = parse("SELECT * FROM t WHERE d IN ('a')")
+        assert isinstance(query.where, Comparison)
+
+    def test_not_in(self):
+        from repro.query.ast_nodes import Not
+
+        query = parse("SELECT * FROM t WHERE d NOT IN ('a', 'b')")
+        assert isinstance(query.where, Not)
+
+    def test_between_inside_logic(self):
+        query = parse(
+            "SELECT * FROM t WHERE year BETWEEN 1 AND 2 AND pop > 3"
+        )
+        from repro.query.ast_nodes import Comparison, Logical
+
+        # BETWEEN binds its own AND: the outer conjunction has the
+        # desugared range check as its first operand.
+        assert isinstance(query.where, Logical)
+        assert len(query.where.operands) == 2
+        inner, tail = query.where.operands
+        assert isinstance(inner, Logical) and inner.op == "AND"
+        assert isinstance(tail, Comparison) and tail.op == ">"
+
+    def test_prune_clause(self):
+        query = parse(
+            "SELECT d FROM t GROUP BY d SKYLINE OF a"
+            " USING ALGORITHM LO PRUNE SAFE"
+        )
+        assert query.prune_policy == "safe"
+
+    def test_prune_invalid_policy(self):
+        with pytest.raises(ParseError):
+            parse(
+                "SELECT d FROM t GROUP BY d SKYLINE OF a PRUNE aggressively"
+            )

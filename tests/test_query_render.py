@@ -1,0 +1,150 @@
+"""Round-trip property: parse(render(query)) == query."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import Direction
+from repro.query.ast_nodes import (
+    AggCall,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Logical,
+    Not,
+    OrderSpec,
+    Query,
+    SelectItem,
+    SkylineSpec,
+)
+from repro.query.parser import parse
+from repro.query.render import render_expression, render_query
+
+# ----------------------------------------------------------------------
+# strategies for random (valid) query ASTs
+# ----------------------------------------------------------------------
+
+identifiers = st.sampled_from(["pop", "qual", "year", "director", "title"])
+
+literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(Literal),
+    st.sampled_from([0.5, 2.25, -1.5]).map(Literal),
+    st.sampled_from(["ann", "it's", "x y"]).map(Literal),
+)
+
+column_refs = identifiers.map(ColumnRef)
+
+comparisons = st.builds(
+    Comparison,
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    column_refs,
+    literals,
+)
+
+
+def expressions(depth=2):
+    if depth == 0:
+        return comparisons
+    sub = expressions(depth - 1)
+    return st.one_of(
+        comparisons,
+        st.builds(Not, sub),
+        st.builds(
+            lambda op, ops: Logical(op, tuple(ops)),
+            st.sampled_from(["AND", "OR"]),
+            st.lists(sub, min_size=2, max_size=3),
+        ),
+    )
+
+
+select_items = st.one_of(
+    column_refs.map(lambda c: SelectItem(c)),
+    st.builds(
+        SelectItem,
+        st.builds(AggCall, st.sampled_from(["max", "min", "avg"]), identifiers),
+        st.sampled_from([None, "alias_a", "alias_b"]),
+    ),
+)
+
+queries = st.builds(
+    Query,
+    table=st.sampled_from(["movies", "stats"]),
+    select_star=st.booleans(),
+    select=st.lists(select_items, min_size=1, max_size=3),
+    where=st.one_of(st.none(), expressions()),
+    group_by=st.lists(identifiers, min_size=0, max_size=2, unique=True),
+    skyline=st.lists(
+        st.builds(
+            SkylineSpec, identifiers, st.sampled_from(list(Direction))
+        ),
+        min_size=0,
+        max_size=2,
+    ),
+    order_by=st.lists(
+        st.builds(OrderSpec, identifiers, st.booleans()),
+        min_size=0,
+        max_size=2,
+    ),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=99)),
+)
+
+
+def _normalise(query: Query) -> Query:
+    """Make a random AST self-consistent (parser invariants)."""
+    if query.select_star:
+        query.select = []
+    if query.skyline and query.group_by:
+        query.gamma = 0.75
+        if len(query.skyline) % 2:
+            query.weight = "year"        # WEIGHT BY excludes ALGORITHM
+        else:
+            query.algorithm = "NL"
+        query.prune_policy = "safe"
+    return query
+
+
+class TestRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(queries)
+    def test_parse_render_roundtrip(self, query):
+        query = _normalise(query)
+        rendered = render_query(query)
+        reparsed = parse(rendered)
+        assert reparsed.table == query.table
+        assert reparsed.select_star == query.select_star
+        assert reparsed.select == query.select
+        assert reparsed.where == query.where
+        assert reparsed.group_by == query.group_by
+        assert reparsed.skyline == query.skyline
+        assert reparsed.weight == query.weight
+        assert reparsed.gamma == query.gamma
+        assert reparsed.algorithm == query.algorithm
+        assert reparsed.prune_policy == query.prune_policy
+        assert reparsed.order_by == query.order_by
+        assert reparsed.limit == query.limit
+
+    @settings(max_examples=60, deadline=None)
+    @given(expressions(3))
+    def test_expression_roundtrip(self, expression):
+        rendered = render_expression(expression)
+        query = parse(f"SELECT * FROM t WHERE {rendered}")
+        assert query.where == expression
+
+    def test_string_escaping(self):
+        expression = Comparison("=", ColumnRef("title"), Literal("it's"))
+        rendered = render_expression(expression)
+        assert "''" in rendered
+        assert parse(f"SELECT * FROM t WHERE {rendered}").where == expression
+
+    def test_example3_render(self):
+        query = parse(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX"
+        )
+        rendered = render_query(query)
+        assert "SKYLINE OF pop MAX, qual MAX" in rendered
+        assert parse(rendered) == query
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TypeError):
+            render_expression("not an expression")

@@ -1,0 +1,178 @@
+"""Tests for aggregates, GROUP BY, the skyline bridge and CSV I/O."""
+
+import pytest
+
+from repro.relational.aggregates import (
+    AGGREGATE_FUNCTIONS,
+    aggregate_label,
+    apply_aggregate,
+)
+from repro.relational.csvio import dumps_csv, load_csv, loads_csv, save_csv
+from repro.relational.operators import (
+    AggregateSpec,
+    group_by,
+    grouped_dataset_from_table,
+)
+from repro.relational.table import Table
+
+
+class TestAggregates:
+    def test_registry(self):
+        assert set(AGGREGATE_FUNCTIONS) == {"count", "sum", "avg", "min", "max"}
+
+    def test_basic_values(self):
+        values = [3, 1, 2]
+        assert apply_aggregate("count", values) == 3
+        assert apply_aggregate("sum", values) == 6
+        assert apply_aggregate("avg", values) == 2
+        assert apply_aggregate("min", values) == 1
+        assert apply_aggregate("MAX", values) == 3
+
+    def test_nones_ignored(self):
+        assert apply_aggregate("count", [1, None, 2]) == 2
+        assert apply_aggregate("sum", [1, None]) == 1
+
+    def test_all_none(self):
+        assert apply_aggregate("sum", [None]) is None
+        assert apply_aggregate("avg", []) is None
+        assert apply_aggregate("count", []) == 0
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            apply_aggregate("median", [1])
+
+    def test_label(self):
+        assert aggregate_label("MAX", "qual") == "max(qual)"
+
+
+@pytest.fixture
+def sales():
+    return Table(
+        ["region", "product", "amount"],
+        [
+            ("north", "ale", 10),
+            ("north", "bock", 20),
+            ("south", "ale", 5),
+            ("south", "bock", 7),
+            ("south", "cider", 9),
+        ],
+    )
+
+
+class TestGroupBy:
+    def test_counts_and_sums(self, sales):
+        result = group_by(
+            sales,
+            ["region"],
+            aggregates=[
+                AggregateSpec("count", "*"),
+                AggregateSpec("sum", "amount"),
+            ],
+        )
+        rows = {r[0]: (r[1], r[2]) for r in result.rows}
+        assert rows == {"north": (2, 30), "south": (3, 21)}
+        assert result.columns == ("region", "count(*)", "sum(amount)")
+
+    def test_alias(self, sales):
+        result = group_by(
+            sales,
+            ["region"],
+            aggregates=[AggregateSpec("sum", "amount", alias="total")],
+        )
+        assert result.columns == ("region", "total")
+
+    def test_having(self, sales):
+        result = group_by(
+            sales,
+            ["region"],
+            aggregates=[AggregateSpec("sum", "amount")],
+            having=lambda row: row["sum(amount)"] > 25,
+        )
+        assert [r[0] for r in result.rows] == ["north"]
+
+    def test_multi_key(self, sales):
+        result = group_by(sales, ["region", "product"])
+        assert len(result) == 5
+
+    def test_star_only_for_count(self, sales):
+        with pytest.raises(ValueError):
+            group_by(
+                sales, ["region"], aggregates=[AggregateSpec("sum", "*")]
+            )
+
+
+class TestGroupedDatasetBridge:
+    def test_single_key_flat(self, sales):
+        dataset = grouped_dataset_from_table(sales, ["region"], ["amount"])
+        assert set(dataset.keys()) == {"north", "south"}
+        assert dataset["south"].size == 3
+
+    def test_multi_key_tuple(self, sales):
+        dataset = grouped_dataset_from_table(
+            sales, ["region", "product"], ["amount"]
+        )
+        assert ("north", "ale") in dataset
+
+    def test_directions(self, sales):
+        dataset = grouped_dataset_from_table(
+            sales, ["region"], ["amount"], directions=["min"]
+        )
+        # normalised to higher-better: negated
+        assert dataset["north"].values.max() == -10
+
+    def test_requires_measures(self, sales):
+        with pytest.raises(ValueError):
+            grouped_dataset_from_table(sales, ["region"], [])
+
+
+class TestCsv:
+    def test_roundtrip(self, sales, tmp_path):
+        path = tmp_path / "sales.csv"
+        save_csv(sales, path)
+        loaded = load_csv(path)
+        assert loaded == sales
+
+    def test_type_inference(self):
+        table = loads_csv("a,b,c,d\n1,2.5,x,\n")
+        assert table.rows == [(1, 2.5, "x", None)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            loads_csv("")
+
+    def test_quoting(self):
+        table = Table(["name"], [("a,b",), ('say "hi"',)])
+        assert loads_csv(dumps_csv(table)) == table
+
+    def test_none_serialised_as_empty(self):
+        table = Table(["x", "y"], [(None, 1)])
+        text = dumps_csv(table)
+        assert text == "x,y\n,1\n"
+
+
+class TestWeightedBridge:
+    def test_weighted_groups(self, sales):
+        from repro.relational.operators import weighted_groups_from_table
+
+        groups = weighted_groups_from_table(
+            sales, ["region"], ["amount"], weight="amount"
+        )
+        records, weights = groups["north"]
+        assert records == [(10.0,), (20.0,)]
+        assert weights == [10, 20]
+
+    def test_feeds_weighted_skyline(self, sales):
+        from repro.core.weighted import weighted_aggregate_skyline
+        from repro.relational.operators import weighted_groups_from_table
+
+        groups = weighted_groups_from_table(
+            sales, ["region"], ["amount"], weight="amount"
+        )
+        result = weighted_aggregate_skyline(groups)
+        assert "north" in result.as_set()
+
+    def test_requires_measures(self, sales):
+        from repro.relational.operators import weighted_groups_from_table
+
+        with pytest.raises(ValueError):
+            weighted_groups_from_table(sales, ["region"], [], weight="amount")

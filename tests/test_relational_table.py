@@ -1,0 +1,154 @@
+"""Tests for the in-memory relational table."""
+
+import pytest
+
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def people():
+    return Table(
+        ["name", "city", "age"],
+        [
+            ("ann", "aarhus", 34),
+            ("bob", "genoa", 28),
+            ("cyn", "aarhus", 41),
+            ("dee", "genoa", 28),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_basic(self, people):
+        assert len(people) == 4
+        assert people.columns == ("name", "city", "age")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table(["a", "a"], [])
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            Table(["a", "b"], [(1,)])
+
+    def test_from_dicts(self):
+        table = Table.from_dicts(
+            [{"x": 1, "y": 2}, {"x": 3, "y": 4}]
+        )
+        assert table.columns == ("x", "y")
+        assert table.rows == [(1, 2), (3, 4)]
+
+    def test_from_dicts_missing_key_becomes_none(self):
+        table = Table.from_dicts([{"x": 1}], columns=["x", "y"])
+        assert table.rows == [(1, None)]
+
+    def test_from_dicts_empty_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table.from_dicts([])
+
+    def test_equality(self, people):
+        clone = Table(people.columns, people.rows)
+        assert people == clone
+        assert people != Table(["a"], [])
+
+
+class TestAccessors:
+    def test_column_values(self, people):
+        assert people.column_values("age") == [34, 28, 41, 28]
+
+    def test_unknown_column(self, people):
+        with pytest.raises(KeyError, match="no column"):
+            people.column_position("salary")
+
+    def test_row_dict_and_iter_dicts(self, people):
+        first = next(people.iter_dicts())
+        assert first == {"name": "ann", "city": "aarhus", "age": 34}
+
+
+class TestOperators:
+    def test_select(self, people):
+        young = people.select(lambda row: row["age"] < 30)
+        assert [r[0] for r in young.rows] == ["bob", "dee"]
+
+    def test_project(self, people):
+        names = people.project(["name"])
+        assert names.columns == ("name",)
+        assert len(names) == 4
+
+    def test_project_reorders(self, people):
+        flipped = people.project(["age", "name"])
+        assert flipped.rows[0] == (34, "ann")
+
+    def test_rename(self, people):
+        renamed = people.rename({"city": "town"})
+        assert renamed.columns == ("name", "town", "age")
+
+    def test_extend(self, people):
+        extended = people.extend("next_age", lambda row: row["age"] + 1)
+        assert extended.rows[0][-1] == 35
+
+    def test_extend_duplicate_rejected(self, people):
+        with pytest.raises(ValueError):
+            people.extend("age", lambda row: 0)
+
+    def test_distinct(self):
+        table = Table(["x"], [(1,), (1,), (2,)])
+        assert table.distinct().rows == [(1,), (2,)]
+
+    def test_order_by_single(self, people):
+        by_age = people.order_by(["age"])
+        assert [r[2] for r in by_age.rows] == [28, 28, 34, 41]
+
+    def test_order_by_descending_and_stable(self, people):
+        ordered = people.order_by([("age", True), "name"])
+        assert [r[0] for r in ordered.rows] == ["cyn", "ann", "bob", "dee"]
+
+    def test_order_by_multiple_keys(self, people):
+        ordered = people.order_by(["city", ("age", True)])
+        assert [r[0] for r in ordered.rows] == ["cyn", "ann", "bob", "dee"]
+
+    def test_limit(self, people):
+        assert len(people.limit(2)) == 2
+        assert len(people.limit(100)) == 4
+        with pytest.raises(ValueError):
+            people.limit(-1)
+
+    def test_join(self, people):
+        cities = Table(
+            ["city", "country"],
+            [("aarhus", "DK"), ("genoa", "IT")],
+        )
+        joined = people.join(cities, on=["city"])
+        assert joined.columns == ("name", "city", "age", "country")
+        assert len(joined) == 4
+        row = dict(zip(joined.columns, joined.rows[0]))
+        assert row["country"] == "DK"
+
+    def test_join_drops_unmatched(self, people):
+        cities = Table(["city", "country"], [("aarhus", "DK")])
+        joined = people.join(cities, on=["city"])
+        assert len(joined) == 2
+
+    def test_join_unknown_column(self, people):
+        with pytest.raises(KeyError):
+            people.join(Table(["z"], []), on=["z"])
+
+    def test_group_rows(self, people):
+        partitions = people.group_rows(["city"])
+        assert set(partitions) == {("aarhus",), ("genoa",)}
+        assert len(partitions[("genoa",)]) == 2
+
+
+class TestPresentation:
+    def test_to_text_contains_header_and_rows(self, people):
+        text = people.to_text()
+        assert "name" in text and "ann" in text
+
+    def test_to_text_truncation(self, people):
+        text = people.to_text(max_rows=2)
+        assert "2 more rows" in text
+
+    def test_float_formatting(self):
+        table = Table(["x"], [(1.5,), (2.0,)])
+        text = table.to_text()
+        assert "1.5" in text and "2" in text

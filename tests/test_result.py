@@ -1,0 +1,60 @@
+"""Tests for result and statistics types."""
+
+import time
+
+from repro.core.result import AggregateSkylineResult, AlgorithmStats, Timer
+
+
+class TestAlgorithmStats:
+    def test_defaults(self):
+        stats = AlgorithmStats()
+        assert stats.group_comparisons == 0
+        assert stats.elapsed_seconds == 0.0
+
+    def test_as_dict_roundtrip(self):
+        stats = AlgorithmStats(
+            algorithm="NL",
+            group_comparisons=3,
+            record_pairs_examined=50,
+            bbox_shortcuts=1,
+            groups_skipped=2,
+            index_candidates=4,
+            elapsed_seconds=0.25,
+        )
+        data = stats.as_dict()
+        assert data["algorithm"] == "NL"
+        assert data["record_pairs_examined"] == 50
+        assert set(data) == {
+            "algorithm", "group_comparisons", "record_pairs_examined",
+            "bbox_shortcuts", "groups_skipped", "index_candidates",
+            "elapsed_seconds",
+        }
+
+
+class TestAggregateSkylineResult:
+    def test_container_protocol(self):
+        result = AggregateSkylineResult(keys=["a", "b"], gamma=0.5)
+        assert len(result) == 2
+        assert list(result) == ["a", "b"]
+        assert "a" in result and "c" not in result
+        assert result.as_set() == {"a", "b"}
+
+    def test_default_stats(self):
+        result = AggregateSkylineResult(keys=[], gamma=1.0)
+        assert result.stats.algorithm == ""
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= first

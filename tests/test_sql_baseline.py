@@ -1,0 +1,98 @@
+"""Tests for the direct SQL implementation (Algorithm 1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.algorithms.sql_baseline import (
+    SqlBaselineAlgorithm,
+    build_skyline_sql,
+)
+from repro.core.groups import GroupedDataset
+from repro.data.movies import figure1_directors_dataset
+
+
+class TestQueryText:
+    def test_two_dimensions_structure(self):
+        sql = build_skyline_sql(2, Fraction(1, 2))
+        assert "Y.a0 >= X.a0" in sql
+        assert "Y.a1 >= X.a1" in sql
+        assert "Y.a0 > X.a0 OR Y.a1 > X.a1" in sql
+        assert "GROUP BY X.gid, Y.gid" in sql
+        # gamma = 1/2 appears as integer cross multiplication
+        assert "COUNT(*) * 2 > 1 * (X.num * Y.num)" in sql
+        # Definition 3's p = 1 clause
+        assert "COUNT(*) = X.num * Y.num" in sql
+
+    def test_one_dimension(self):
+        sql = build_skyline_sql(1, Fraction(3, 4))
+        assert "Y.a0 >= X.a0" in sql
+        assert "COUNT(*) * 4 > 3 * (X.num * Y.num)" in sql
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            build_skyline_sql(0, Fraction(1, 2))
+
+
+class TestExecution:
+    def test_figure4b(self):
+        result = SqlBaselineAlgorithm(0.5).compute(
+            figure1_directors_dataset()
+        )
+        assert result.as_set() == {
+            "Coppola", "Jackson", "Kershner", "Tarantino"
+        }
+
+    def test_gamma_one_requires_full_domination(self):
+        dataset = GroupedDataset(
+            {"a": [[2, 2], [0, 0]], "b": [[1, 1]], "c": [[0.5, 0.5]]}
+        )
+        # b fully dominates c; a only half-dominates b.
+        result = SqlBaselineAlgorithm(1.0).compute(dataset)
+        assert result.as_set() == {"a", "b"}
+
+    def test_self_comparison_excluded(self):
+        # A single heterogeneous group must never eliminate itself.
+        dataset = GroupedDataset({"solo": [[0, 0], [1, 1], [2, 2]]})
+        result = SqlBaselineAlgorithm(0.5).compute(dataset)
+        assert result.keys == ["solo"]
+
+    def test_keys_preserved_in_dataset_order(self):
+        dataset = GroupedDataset(
+            {"z": [[5, 5]], "a": [[6, 6]], "m": [[5.5, 5.5]]}
+        )
+        result = SqlBaselineAlgorithm(0.5).compute(dataset)
+        assert result.keys == ["a"]
+
+    def test_three_dimensions(self):
+        dataset = GroupedDataset(
+            {
+                "good": [[3, 3, 3], [4, 4, 4]],
+                "bad": [[1, 1, 1], [2, 2, 2]],
+                "odd": [[5, 0, 0]],
+            }
+        )
+        result = SqlBaselineAlgorithm(0.5).compute(dataset)
+        assert result.as_set() == {"good", "odd"}
+
+    def test_create_indexes_option(self):
+        dataset = GroupedDataset({"a": [[1, 1]], "b": [[2, 2]]})
+        result = SqlBaselineAlgorithm(0.5, create_indexes=True).compute(
+            dataset
+        )
+        assert result.as_set() == {"b"}
+
+    def test_stats_reported(self):
+        result = SqlBaselineAlgorithm(0.5).compute(
+            GroupedDataset({"a": [[1, 1]]})
+        )
+        assert result.stats.algorithm == "SQL"
+        assert result.stats.elapsed_seconds >= 0
+
+    def test_min_directions_via_dataset(self):
+        # Normalisation happens in GroupedDataset, the SQL sees maximise-only.
+        dataset = GroupedDataset(
+            {"cheap": [[1.0]], "pricey": [[9.0]]}, directions=["min"]
+        )
+        result = SqlBaselineAlgorithm(0.5).compute(dataset)
+        assert result.as_set() == {"cheap"}

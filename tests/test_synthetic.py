@@ -1,0 +1,151 @@
+"""Tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    DISTRIBUTIONS,
+    SyntheticSpec,
+    generate_grouped,
+    generate_points,
+    uniform_group_sizes,
+    zipf_group_sizes,
+)
+
+
+class TestPoints:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_shape_and_range(self, distribution, rng):
+        points = generate_points(500, 4, distribution, rng)
+        assert points.shape == (500, 4)
+        assert points.min() >= 0.0
+        assert points.max() <= 1.0
+
+    def test_zero_points(self, rng):
+        assert generate_points(0, 3, "independent", rng).shape == (0, 3)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_points(-1, 2, "independent", rng)
+        with pytest.raises(ValueError):
+            generate_points(10, 0, "independent", rng)
+        with pytest.raises(ValueError):
+            generate_points(10, 2, "gaussian", rng)
+
+    def test_correlated_has_positive_correlation(self, rng):
+        points = generate_points(3000, 2, "correlated", rng)
+        assert np.corrcoef(points[:, 0], points[:, 1])[0, 1] > 0.5
+
+    def test_anticorrelated_has_negative_correlation(self, rng):
+        points = generate_points(3000, 2, "anticorrelated", rng)
+        assert np.corrcoef(points[:, 0], points[:, 1])[0, 1] < -0.3
+
+    def test_independent_near_zero_correlation(self, rng):
+        points = generate_points(3000, 2, "independent", rng)
+        assert abs(np.corrcoef(points[:, 0], points[:, 1])[0, 1]) < 0.1
+
+
+class TestGroupSizes:
+    def test_uniform_exact(self):
+        sizes = uniform_group_sizes(10, 3)
+        assert sorted(sizes) == [3, 3, 4]
+        assert sum(sizes) == 10
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_group_sizes(2, 3)
+        with pytest.raises(ValueError):
+            uniform_group_sizes(2, 0)
+
+    def test_zipf_sum_and_minimum(self):
+        sizes = zipf_group_sizes(1000, 50, exponent=1.0)
+        assert sum(sizes) == 1000
+        assert min(sizes) >= 1
+        assert len(sizes) == 50
+
+    def test_zipf_heavy_tail(self):
+        sizes = zipf_group_sizes(1000, 50, exponent=1.0)
+        # rank-1 group much larger than the median group
+        assert sizes[0] > 5 * sorted(sizes)[25]
+
+    def test_zipf_zero_exponent_is_uniformish(self):
+        sizes = zipf_group_sizes(100, 10, exponent=0.0)
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_group_sizes(5, 10)
+        with pytest.raises(ValueError):
+            zipf_group_sizes(10, 0)
+        with pytest.raises(ValueError):
+            zipf_group_sizes(10, 2, exponent=-1)
+
+
+class TestGeneratedDatasets:
+    def test_defaults_match_paper(self):
+        spec = SyntheticSpec()
+        assert spec.n_records == 10_000
+        assert spec.avg_group_size == 100
+        assert spec.dimensions == 5
+        assert spec.group_spread == 0.2
+        assert spec.group_count == 100
+
+    def test_total_records_and_groups(self):
+        spec = SyntheticSpec(n_records=500, avg_group_size=50, dimensions=3)
+        dataset = generate_grouped(spec)
+        assert dataset.total_records == 500
+        assert len(dataset) == 10
+        assert dataset.dimensions == 3
+
+    def test_spread_bounds_group_extent(self):
+        spec = SyntheticSpec(
+            n_records=400, avg_group_size=100, group_spread=0.1, seed=3
+        )
+        dataset = generate_grouped(spec)
+        for group in dataset:
+            extent = group.bbox.max_corner - group.bbox.min_corner
+            assert np.all(extent <= 0.1 + 1e-12)
+
+    def test_reproducible(self):
+        spec = SyntheticSpec(n_records=300, avg_group_size=30, seed=11)
+        a = generate_grouped(spec)
+        b = generate_grouped(spec)
+        for key in a.keys():
+            assert np.array_equal(a[key].values, b[key].values)
+
+    def test_different_seeds_differ(self):
+        a = generate_grouped(SyntheticSpec(n_records=300, avg_group_size=30, seed=1))
+        b = generate_grouped(SyntheticSpec(n_records=300, avg_group_size=30, seed=2))
+        assert not np.array_equal(a["g0"].values, b["g0"].values)
+
+    def test_zipf_sizes_used(self):
+        spec = SyntheticSpec(
+            n_records=1000,
+            avg_group_size=20,
+            size_distribution="zipf",
+            zipf_exponent=1.2,
+            seed=0,
+        )
+        dataset = generate_grouped(spec)
+        sizes = sorted(group.size for group in dataset)
+        assert sizes[-1] > 5 * sizes[len(sizes) // 2]
+        assert dataset.total_records == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_grouped(SyntheticSpec(n_records=0))
+        with pytest.raises(ValueError):
+            generate_grouped(SyntheticSpec(group_spread=1.5))
+        with pytest.raises(ValueError):
+            generate_grouped(SyntheticSpec(distribution="weird"))
+        with pytest.raises(ValueError):
+            generate_grouped(SyntheticSpec(size_distribution="pareto"))
+        with pytest.raises(ValueError):
+            generate_grouped(SyntheticSpec(avg_group_size=0))
+
+    def test_key_prefix(self):
+        spec = SyntheticSpec(
+            n_records=100, avg_group_size=50, key_prefix="cls"
+        )
+        dataset = generate_grouped(spec)
+        assert all(str(key).startswith("cls") for key in dataset.keys())

@@ -1,0 +1,146 @@
+"""Metamorphic properties of weighted γ-dominance + dataset set-ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.groups import GroupedDataset
+from repro.core.weighted import (
+    weighted_aggregate_skyline,
+    weighted_dominance_probability,
+)
+from tests.conftest import exact_aggregate_skyline, random_grouped_dataset
+
+
+def random_weighted_pair(seed):
+    rng = np.random.default_rng(seed)
+    n_s, n_r = int(rng.integers(1, 6)), int(rng.integers(1, 6))
+    s = rng.integers(0, 4, size=(n_s, 2)).astype(float)
+    r = rng.integers(0, 4, size=(n_r, 2)).astype(float)
+    ws = rng.integers(1, 5, size=n_s)
+    wr = rng.integers(1, 5, size=n_r)
+    return s, ws, r, wr
+
+
+class TestWeightedMetamorphic:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=1_000_000),
+        st.integers(min_value=2, max_value=5),
+    )
+    def test_uniform_weight_scaling_invariance(self, seed, factor):
+        """Multiplying every weight in a group by k cancels in the ratio."""
+        s, ws, r, wr = random_weighted_pair(seed)
+        base = weighted_dominance_probability(s, ws, r, wr)
+        scaled = weighted_dominance_probability(
+            s, ws * factor, r, wr * factor
+        )
+        assert base == scaled
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    def test_record_splitting_invariance(self, seed):
+        """A record of weight 2 equals two copies of weight 1."""
+        s, ws, r, wr = random_weighted_pair(seed)
+        # Double the first record's weight...
+        ws_doubled = ws.copy()
+        ws_doubled[0] *= 2
+        merged = weighted_dominance_probability(s, ws_doubled, r, wr)
+        # ...versus appending an identical copy carrying the extra weight.
+        s_split = np.vstack([s, s[0:1]])
+        ws_split = np.concatenate([ws, [ws[0]]])
+        split = weighted_dominance_probability(s_split, ws_split, r, wr)
+        assert merged == split
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    def test_asymmetry_holds_for_weights(self, seed):
+        """p_w(S>R) + p_w(R>S) <= 1, so no mutual domination at γ >= .5."""
+        s, ws, r, wr = random_weighted_pair(seed)
+        forward = weighted_dominance_probability(s, ws, r, wr)
+        backward = weighted_dominance_probability(r, wr, s, ws)
+        assert forward + backward <= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    def test_weighted_skyline_affine_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        groups = {
+            f"g{i}": (
+                rng.integers(0, 5, size=(int(rng.integers(1, 4)), 2)).astype(
+                    float
+                ),
+                rng.integers(1, 4, size=0).tolist(),
+            )
+            for i in range(4)
+        }
+        groups = {
+            key: (records, rng.integers(1, 4, size=len(records)).tolist())
+            for key, (records, _) in groups.items()
+        }
+        base = weighted_aggregate_skyline(groups).as_set()
+        shifted = {
+            key: (np.asarray(records) * 3.0 + 7.0, weights)
+            for key, (records, weights) in groups.items()
+        }
+        assert weighted_aggregate_skyline(shifted).as_set() == base
+
+
+class TestDatasetSetOps:
+    def test_subset(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=6, max_group_size=4)
+        keys = dataset.keys()[:3]
+        sub = dataset.subset(keys)
+        assert sub.keys() == keys
+        for key in keys:
+            assert np.array_equal(sub[key].values, dataset[key].values)
+
+    def test_subset_unknown_key(self, rng):
+        dataset = random_grouped_dataset(rng, n_groups=3)
+        with pytest.raises(KeyError):
+            dataset.subset(["nope"])
+
+    def test_subset_preserves_directions(self):
+        dataset = GroupedDataset(
+            {"a": [[1.0, 2.0]], "b": [[3.0, 4.0]]}, directions=["min", "max"]
+        )
+        sub = dataset.subset(["a"])
+        assert sub.directions == dataset.directions
+        assert sub.original_values("a").tolist() == [[1.0, 2.0]]
+
+    def test_merge_disjoint(self):
+        a = GroupedDataset({"x": [[1.0, 1.0]]})
+        b = GroupedDataset({"y": [[2.0, 2.0]]})
+        merged = a.merge(b)
+        assert set(merged.keys()) == {"x", "y"}
+
+    def test_merge_shared_keys_concatenates(self):
+        a = GroupedDataset({"x": [[1.0, 1.0]]})
+        b = GroupedDataset({"x": [[2.0, 2.0]], "y": [[3.0, 3.0]]})
+        merged = a.merge(b)
+        assert merged["x"].size == 2
+
+    def test_merge_direction_mismatch(self):
+        a = GroupedDataset({"x": [[1.0]]}, directions=["min"])
+        b = GroupedDataset({"x": [[1.0]]})
+        with pytest.raises(ValueError, match="directions"):
+            a.merge(b)
+
+    def test_merge_dimension_mismatch(self):
+        a = GroupedDataset({"x": [[1.0]]})
+        b = GroupedDataset({"x": [[1.0, 2.0]]})
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_partition_merge_skyline_consistency(self, rng):
+        """Splitting a dataset and merging it back is the identity for the
+        operator — the distributive sanity behind partitioned execution."""
+        dataset = random_grouped_dataset(rng, n_groups=6, max_group_size=4)
+        keys = dataset.keys()
+        first = dataset.subset(keys[:3])
+        second = dataset.subset(keys[3:])
+        rebuilt = first.merge(second)
+        assert exact_aggregate_skyline(rebuilt, 0.5) == exact_aggregate_skyline(
+            dataset, 0.5
+        )
