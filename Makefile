@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= smoke
 
-.PHONY: install test bench bench-small bench-paper examples figures clean
+.PHONY: install test bench bench-small bench-paper examples figures metrics-demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -31,6 +31,10 @@ figures:
 	@for fig in table2 fig8 fig10 fig11 fig12 fig13a fig13b fig13c fig14 ablations extensions; do \
 		$(PYTHON) -m repro experiment $$fig --scale $(SCALE); \
 	done
+
+# Run a tiny workload and dump the metrics registry (docs/observability.md).
+metrics-demo:
+	$(PYTHON) -m repro metrics --demo
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis

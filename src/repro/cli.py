@@ -10,16 +10,36 @@ Subcommands
 ``generate``   Emit a synthetic grouped workload as CSV.
 ``nba``        Emit the synthetic NBA player-season table as CSV.
 ``experiment`` Regenerate one of the paper's figures/tables.
-``compare``    Diff two saved benchmark result files.
+``compare``    Diff two saved benchmark result files (wall-clock *and*
+               work-counter deltas).
+``metrics``    Dump the process metrics registry (Prometheus or JSON).
+
+Observability flags (``query``, ``skyline``, ``experiment``)
+------------------------------------------------------------
+``--trace[=FILE]``
+    Record per-phase spans.  Bare ``--trace`` prints a human-readable span
+    tree after the result; ``--trace=trace.jsonl`` appends one JSON span
+    tree per root span instead.  (Use the ``=`` form for files — argparse
+    would otherwise swallow the next positional argument.)
+``--metrics[=FILE]``
+    Collect the metrics registry for this invocation.  ``--metrics`` or
+    ``--metrics -`` prints Prometheus text exposition; ``--metrics=m.json``
+    writes JSON, any other path writes Prometheus text.
+``--progress`` (``skyline`` only)
+    Run the anytime engine with heartbeat lines (groups decided, pairs
+    examined, ETA from the pair budget) on stderr.
 
 Examples::
 
     aggskyline generate --records 2000 --dims 3 --out data.csv
     aggskyline skyline --csv data.csv --group-by group \
         --of a0:max,a1:max,a2:max --gamma 0.5 --algorithm LO
+    aggskyline skyline --csv data.csv --group-by group --of a0:max \
+        --trace --metrics -
     aggskyline query --table movies=movies.csv \
         "SELECT director FROM movies GROUP BY director SKYLINE OF pop MAX, qual MAX"
     aggskyline experiment fig10 --scale smoke
+    aggskyline metrics --demo --format prometheus
 """
 
 from __future__ import annotations
@@ -28,6 +48,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import obs
 from .core.api import aggregate_skyline
 from .core.dominance import Direction
 from .data.nba import nba_table
@@ -41,6 +62,27 @@ from .relational.table import Table
 __all__ = ["main", "build_parser"]
 
 
+def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="record spans; bare flag prints a tree, --trace=FILE writes"
+        " JSONL (use the = form for files)",
+    )
+    subparser.add_argument(
+        "--metrics",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="collect metrics; '-' prints Prometheus text, *.json writes"
+        " JSON, other paths write Prometheus text",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="aggskyline",
@@ -49,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     query = commands.add_parser("query", help="run a SKYLINE SQL query")
+    _add_obs_flags(query)
     query.add_argument("sql", help="the query text")
     query.add_argument(
         "--table",
@@ -71,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sky.add_argument("--gamma", type=float, default=0.5)
     sky.add_argument("--algorithm", default="LO")
+    sky.add_argument(
+        "--progress",
+        action="store_true",
+        help="run the anytime engine with heartbeat lines on stderr",
+    )
+    _add_obs_flags(sky)
 
     rank = commands.add_parser(
         "rank", help="rank groups by minimal admitting gamma"
@@ -113,6 +162,25 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("figure", choices=sorted(FIGURES))
     experiment.add_argument(
         "--scale", default="small", choices=sorted(SCALES)
+    )
+    _add_obs_flags(experiment)
+
+    metrics = commands.add_parser(
+        "metrics", help="dump the process metrics registry"
+    )
+    metrics.add_argument(
+        "--format",
+        dest="format",
+        default="prometheus",
+        choices=("prometheus", "json"),
+    )
+    metrics.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small synthetic workload first so the dump is non-empty",
+    )
+    metrics.add_argument(
+        "--out", default="-", help="output path ('-' for stdout)"
     )
 
     compare = commands.add_parser(
@@ -164,11 +232,63 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "stats": _cmd_stats,
         "shell": _cmd_shell,
+        "metrics": _cmd_metrics,
     }[args.command]
-    return handler(args)
+    obs_state = _setup_obs(args)
+    try:
+        return handler(args)
+    finally:
+        _emit_obs(args, obs_state)
 
 
 # ----------------------------------------------------------------------
+# observability plumbing (--trace / --metrics)
+# ----------------------------------------------------------------------
+
+
+def _setup_obs(args):
+    """Enable tracing/metrics for this invocation when requested."""
+    trace_target = getattr(args, "trace", None)
+    metrics_target = getattr(args, "metrics", None)
+    sink = None
+    if trace_target is not None:
+        sink = obs.InMemorySink(capacity=256)
+        obs.enable_tracing(sink)
+    if metrics_target is not None:
+        obs.enable_metrics(obs.MetricsRegistry())
+    return sink
+
+
+def _emit_obs(args, sink) -> None:
+    trace_target = getattr(args, "trace", None)
+    metrics_target = getattr(args, "metrics", None)
+    if trace_target is not None and sink is not None:
+        if trace_target == "-":
+            for span in sink.traces:
+                print("\n" + obs.render_trace(span))
+        else:
+            jsonl = obs.JsonlSink(trace_target)
+            try:
+                for span in sink.traces:
+                    jsonl.emit(span)
+            finally:
+                jsonl.close()
+            print(
+                f"wrote {len(sink.traces)} trace(s) to {trace_target}",
+                file=sys.stderr,
+            )
+        obs.disable_tracing()
+    if metrics_target is not None:
+        registry = obs.get_registry()
+        if metrics_target == "-":
+            print("\n" + registry.to_prometheus(), end="")
+        elif metrics_target.endswith(".json"):
+            with open(metrics_target, "w", encoding="utf-8") as handle:
+                handle.write(registry.to_json() + "\n")
+        else:
+            with open(metrics_target, "w", encoding="utf-8") as handle:
+                handle.write(registry.to_prometheus())
+        obs.disable_metrics()
 
 
 def _cmd_query(args) -> int:
@@ -197,6 +317,8 @@ def _cmd_skyline(args) -> int:
     keys = [c.strip() for c in args.group_by.split(",") if c.strip()]
     measures, directions = _parse_measures(args.of)
     dataset = grouped_dataset_from_table(table, keys, measures, directions)
+    if args.progress:
+        return _skyline_with_progress(args, dataset)
     result = aggregate_skyline(
         dataset, gamma=args.gamma, algorithm=args.algorithm
     )
@@ -209,6 +331,54 @@ def _cmd_skyline(args) -> int:
         f" {stats.group_comparisons} group comparisons,"
         f" {stats.record_pairs_examined} record pairs"
     )
+    return 0
+
+
+def _skyline_with_progress(args, dataset) -> int:
+    """Anytime engine with heartbeat lines (exact Definition-2 result)."""
+    from .core.anytime import AnytimeAggregateSkyline
+
+    engine = AnytimeAggregateSkyline(dataset, gamma=args.gamma)
+    reporter = obs.ProgressReporter(
+        lambda event: print(event.describe(), file=sys.stderr),
+        min_interval=0.5,
+    )
+    confirmed = engine.run(progress=reporter)
+    out = Table(["group"], [[_render_key(k)] for k in confirmed])
+    print(out.to_text())
+    print(
+        f"\n[anytime] gamma={args.gamma:g};"
+        f" {len(confirmed)}/{len(dataset)} groups survive;"
+        f" {engine.pairs_examined} record pairs"
+        f" (budget {engine.pair_budget})"
+    )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    registry = obs.get_registry()
+    if args.demo:
+        # Exercise the engine so the dump shows real series.
+        spec = SyntheticSpec(
+            n_records=400, avg_group_size=20, dimensions=3, seed=11
+        )
+        dataset = generate_grouped(spec)
+        obs.enable_metrics(registry)
+        try:
+            for name in ("NL", "LO"):
+                aggregate_skyline(dataset, gamma=0.5, algorithm=name)
+        finally:
+            obs.disable_metrics()
+    text = (
+        registry.to_json() + "\n"
+        if args.format == "json"
+        else registry.to_prometheus()
+    )
+    if args.out == "-":
+        print(text, end="")
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
     return 0
 
 
@@ -357,6 +527,14 @@ def _cmd_compare(args) -> int:
             rows,
         ).to_text()
     )
+    # Work-counter deltas (only shown when some counter actually moved):
+    # a genuine perf win reduces comparisons/pairs, not just wall-clock.
+    from .harness.reporting import counter_delta_table
+
+    deltas = counter_delta_table(baseline, contender)
+    if len(deltas):
+        print("\nwork-counter deltas:")
+        print(deltas.to_text())
     return 0
 
 

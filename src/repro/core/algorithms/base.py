@@ -28,6 +28,8 @@ from __future__ import annotations
 import abc
 from typing import Hashable, List, Optional
 
+from ...obs import metrics as obs_metrics
+from ...obs import tracing as obs_tracing
 from ..comparator import ComparisonOutcome, GroupComparator
 from ..gamma import GammaLike, GammaThresholds
 from ..groups import Group, GroupedDataset
@@ -36,6 +38,57 @@ from ..result import AggregateSkylineResult, AlgorithmStats, Timer
 __all__ = ["AggregateSkylineAlgorithm", "GroupState", "PRUNE_POLICIES"]
 
 PRUNE_POLICIES = ("paper", "safe")
+
+
+def _record_run_metrics(registry, stats: AlgorithmStats) -> None:
+    """Flush one run's end-of-run counters into ``registry``.
+
+    Runs once per ``compute()`` (a handful of locked adds), so it is always
+    on; the registry therefore reconciles exactly with
+    :class:`~repro.core.result.AlgorithmStats` after every run.
+    """
+    label = {"algorithm": stats.algorithm or "?"}
+    registry.counter(
+        "skyline_runs_total",
+        "Aggregate-skyline computations",
+        ("algorithm",),
+    ).inc(1, **label)
+    registry.counter(
+        "skyline_group_comparisons_total",
+        "Group-vs-group comparisons (Equation 3 outer term)",
+        ("algorithm",),
+    ).inc(stats.group_comparisons, **label)
+    registry.counter(
+        "skyline_record_pairs_total",
+        "Record-pair dominance checks (Equation 4 inner term)",
+        ("algorithm",),
+    ).inc(stats.record_pairs_examined, **label)
+    registry.counter(
+        "skyline_bbox_shortcuts_total",
+        "Comparisons fully resolved by MBB corners",
+        ("algorithm",),
+    ).inc(stats.bbox_shortcuts, **label)
+    registry.counter(
+        "skyline_groups_skipped_total",
+        "Candidate groups skipped by the pruning policy",
+        ("algorithm",),
+    ).inc(stats.groups_skipped, **label)
+    registry.counter(
+        "skyline_index_candidates_total",
+        "Groups returned by index window queries",
+        ("algorithm",),
+    ).inc(stats.index_candidates, **label)
+    registry.counter(
+        "skyline_stopping_rule_exits_total",
+        "Comparisons decided early by the Section-3.3 stopping rule",
+        ("algorithm",),
+    ).inc(stats.stopping_rule_exits, **label)
+    registry.histogram(
+        "skyline_run_seconds",
+        "Wall-clock time of one aggregate-skyline computation",
+        ("algorithm",),
+        buckets=obs_metrics.DEFAULT_LATENCY_BUCKETS,
+    ).observe(stats.elapsed_seconds, **label)
 
 
 class GroupState:
@@ -102,14 +155,39 @@ class AggregateSkylineAlgorithm(abc.ABC):
     # ------------------------------------------------------------------
 
     def compute(self, dataset: GroupedDataset) -> AggregateSkylineResult:
-        """Run the algorithm and return surviving group keys plus stats."""
+        """Run the algorithm and return surviving group keys plus stats.
+
+        Observability: a root ``skyline.compute`` span (with a nested
+        ``skyline.candidates`` phase span around the candidate loop) is
+        recorded when tracing is enabled, and the end-of-run counters are
+        always flushed into the process-global metrics registry.
+        """
+        tracer = obs_tracing.get_tracer()
         self.comparator.reset_stats()
         self._groups_skipped = 0
         self._index_candidates = 0
         state = GroupState(len(dataset))
         groups = dataset.groups
-        with Timer() as timer:
-            self._run(groups, state)
+        bound_metrics = obs_metrics.is_enabled()
+        if bound_metrics:
+            self.comparator.bind_metrics(
+                obs_metrics.get_registry(), algorithm=self.name
+            )
+        root = tracer.span(
+            "skyline.compute",
+            algorithm=self.name,
+            groups=len(groups),
+            gamma=float(self.thresholds.gamma),
+            prune_policy=self.prune_policy,
+        )
+        try:
+            with root:
+                with Timer() as timer:
+                    with tracer.span("skyline.candidates"):
+                        self._run(groups, state)
+        finally:
+            if bound_metrics:
+                self.comparator.unbind_metrics()
         stats = AlgorithmStats(
             algorithm=self.name,
             group_comparisons=self.comparator.comparisons,
@@ -117,12 +195,23 @@ class AggregateSkylineAlgorithm(abc.ABC):
             bbox_shortcuts=self.comparator.bbox_shortcuts,
             groups_skipped=self._groups_skipped,
             index_candidates=self._index_candidates,
+            stopping_rule_exits=self.comparator.stopping_rule_exits,
             elapsed_seconds=timer.elapsed,
         )
+        keys = state.surviving_keys(groups)
+        if root.is_recording:
+            root.set_attribute("survivors", len(keys))
+            root.set_attribute("group_comparisons", stats.group_comparisons)
+            root.set_attribute(
+                "record_pairs_examined", stats.record_pairs_examined
+            )
+            root.set_attribute("bbox_shortcuts", stats.bbox_shortcuts)
+        _record_run_metrics(obs_metrics.get_registry(), stats)
         return AggregateSkylineResult(
-            keys=state.surviving_keys(groups),
+            keys=keys,
             gamma=float(self.thresholds.gamma),
             stats=stats,
+            trace=root if root.is_recording else None,
         )
 
     # ------------------------------------------------------------------

@@ -21,6 +21,8 @@ import numpy as np
 
 from ...index.grid import GridIndex
 from ...index.rtree import Rect, RTree
+from ...obs import metrics as obs_metrics
+from ...obs import tracing as obs_tracing
 from ..gamma import GammaLike
 from ..groups import Group
 from .base import AggregateSkylineAlgorithm, GroupState
@@ -85,7 +87,11 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
     def _run(self, groups: List[Group], state: GroupState) -> None:
         if not groups:
             return
-        index = self._build_index(groups)
+        tracer = obs_tracing.get_tracer()
+        with tracer.span(
+            "index.build", backend=self.index_backend, groups=len(groups)
+        ):
+            index = self._build_index(groups)
         dimensions = groups[0].dimensions
         upper = np.full(dimensions, np.inf)
 
@@ -111,7 +117,30 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
                     # other groups' own window queries will redo anyway).
                     if self.prune_policy == "safe" or outcome.d21_strong:
                         break
+        self._flush_index_obs(index, tracer)
         self._final_sweep(groups, state)
+
+    def _flush_index_obs(self, index, tracer) -> None:
+        """Record window-query counters on the current span and registry."""
+        queries = getattr(index, "window_queries", 0)
+        candidates = getattr(index, "candidates_returned", 0)
+        span = tracer.current_span()
+        if span.is_recording:
+            span.set_attribute("index_backend", self.index_backend)
+            span.set_attribute("index_window_queries", queries)
+            span.set_attribute("index_window_candidates", candidates)
+        registry = obs_metrics.get_registry()
+        labels = {"backend": self.index_backend, "algorithm": self.name}
+        registry.counter(
+            "index_window_queries_total",
+            "Window queries issued by index-driven algorithms",
+            ("backend", "algorithm"),
+        ).inc(queries, **labels)
+        registry.counter(
+            "index_window_candidates_total",
+            "Candidate groups returned by index window queries",
+            ("backend", "algorithm"),
+        ).inc(candidates, **labels)
 
     def _final_sweep(self, groups: List[Group], state: GroupState) -> None:
         """Hook for subclasses; the plain indexed algorithm needs nothing."""

@@ -24,8 +24,9 @@ incremental refinement plus the sound partial answers
 from __future__ import annotations
 
 import enum
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Tuple, Union
 
+from ..obs.progress import ProgressEvent, ProgressReporter
 from .comparator import _DirectionalCount
 from .gamma import GammaLike, GammaThresholds
 from .groups import GroupedDataset
@@ -87,6 +88,11 @@ class AnytimeAggregateSkyline:
                 self._probes[(i, j)] = probe
                 if probe.decide(self.thresholds.gamma) is None:
                     self._undecided_pairs.append((i, j))
+        #: Upper bound on record-pair checks still possible after the MBB
+        #: pre-classification — the denominator for progress ETAs.
+        self.pair_budget = sum(
+            probe.pending for probe in self._probes.values()
+        )
         self._refresh_statuses()
 
     # ------------------------------------------------------------------
@@ -138,11 +144,53 @@ class AnytimeAggregateSkyline:
         self.pairs_examined += spent
         return self.done
 
-    def run(self, pair_budget_per_step: int = 4096) -> List[Hashable]:
-        """Refine to completion; returns the exact skyline keys."""
+    def run(
+        self,
+        pair_budget_per_step: int = 4096,
+        progress: Union[
+            None, ProgressReporter, Callable[[ProgressEvent], None]
+        ] = None,
+    ) -> List[Hashable]:
+        """Refine to completion; returns the exact skyline keys.
+
+        ``progress`` is either a :class:`~repro.obs.progress.ProgressReporter`
+        or a plain callback (wrapped in a reporter with a 0.5s heartbeat);
+        it receives throttled events with groups decided / total, record
+        pairs examined, and an ETA from the remaining pair budget.
+        """
+        reporter = self._coerce_reporter(progress)
+
+        def heartbeat() -> None:
+            if reporter is None:
+                return
+            decided = sum(
+                1 for s in self._status if s is not GroupStatus.UNDECIDED
+            )
+            reporter.update(
+                done=decided,
+                total=len(self._status),
+                pairs_examined=self.pairs_examined,
+                pair_budget=self.pair_budget,
+                phase="anytime-skyline",
+                force=self.done,
+            )
+
         while not self.done:
             self.step(pair_budget_per_step)
+            heartbeat()
+        if reporter is not None and reporter.events_emitted == 0:
+            # Everything was decided by the MBB pre-classification before
+            # the first step; still report the (instant) completion.
+            heartbeat()
         return self.confirmed()
+
+    @staticmethod
+    def _coerce_reporter(progress) -> Optional[ProgressReporter]:
+        if progress is None:
+            return None
+        if isinstance(progress, ProgressReporter):
+            return progress
+        return ProgressReporter(progress, min_interval=0.5)
 
     # ------------------------------------------------------------------
     # status derivation

@@ -254,11 +254,52 @@ class GroupComparator:
         self.comparisons = 0
         self.pairs_examined = 0
         self.bbox_shortcuts = 0
+        self.stopping_rule_exits = 0
+        # detailed (per-comparison) observability instruments; ``None`` keeps
+        # the hot path at a single branch when metrics are disabled.
+        self._obs_pairs_hist = None
+        self._obs_exit_counter = None
+        self._obs_shortcut_counter = None
 
     def reset_stats(self) -> None:
         self.comparisons = 0
         self.pairs_examined = 0
         self.bbox_shortcuts = 0
+        self.stopping_rule_exits = 0
+
+    def bind_metrics(self, registry, algorithm: str = "") -> None:
+        """Attach per-comparison instruments from ``registry``.
+
+        Records a histogram of record pairs examined per comparison (its
+        shape exposes the stopping rule's block granularity), plus counters
+        for stopping-rule early exits and MBB shortcuts.  Costs one branch
+        and up to three locked updates per ``compare()`` — only bind when
+        :func:`repro.obs.metrics.enable` was requested.
+        """
+        from ..obs.metrics import DEFAULT_COUNT_BUCKETS
+
+        labels = {"algorithm": algorithm or "?"}
+        self._obs_pairs_hist = registry.histogram(
+            "comparator_pairs_per_compare",
+            "Record pairs examined by one group-vs-group comparison",
+            ("algorithm",),
+            buckets=DEFAULT_COUNT_BUCKETS,
+        ).labels(**labels)
+        self._obs_exit_counter = registry.counter(
+            "comparator_stopping_rule_exits_total",
+            "Comparisons decided by the stopping rule before exhaustion",
+            ("algorithm",),
+        ).labels(**labels)
+        self._obs_shortcut_counter = registry.counter(
+            "comparator_bbox_shortcut_total",
+            "Comparisons fully resolved by MBB corners (Figure 9)",
+            ("algorithm",),
+        ).labels(**labels)
+
+    def unbind_metrics(self) -> None:
+        self._obs_pairs_hist = None
+        self._obs_exit_counter = None
+        self._obs_shortcut_counter = None
 
     def compare(
         self,
@@ -334,4 +375,16 @@ class GroupComparator:
         self.pairs_examined += pairs
         if shortcut:
             self.bbox_shortcuts += 1
+        early_exit = self.use_stopping_rule and any(
+            direction is not None and direction.pending > 0
+            for direction in (forward, backward)
+        )
+        if early_exit:
+            self.stopping_rule_exits += 1
+        if self._obs_pairs_hist is not None:
+            self._obs_pairs_hist.observe(pairs)
+            if early_exit:
+                self._obs_exit_counter.inc()
+            if shortcut:
+                self._obs_shortcut_counter.inc()
         return outcome

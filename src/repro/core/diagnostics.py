@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
+from ..obs.metrics import get_registry
 from .algorithms.adaptive import estimate_overlap
 from .groups import GroupedDataset
 
@@ -48,12 +49,30 @@ class DatasetStatistics:
 def dataset_statistics(
     dataset: GroupedDataset, overlap_samples: int = 256
 ) -> DatasetStatistics:
-    """Measure the shape parameters the evaluation section sweeps."""
+    """Measure the shape parameters the evaluation section sweeps.
+
+    Raises ``ValueError`` on datasets with no groups or with empty groups
+    (their zero sizes would poison the size-skew ratio and the pair
+    budget).  The pair budget is also published to the process-global
+    metrics registry as the ``skyline_dataset_pair_budget`` gauge.
+    """
     sizes = np.array([group.size for group in dataset])
+    if sizes.size == 0:
+        raise ValueError("dataset_statistics needs at least one group")
+    if int(sizes.min()) == 0:
+        empty = [group.key for group in dataset if group.size == 0]
+        raise ValueError(
+            f"dataset contains empty groups {empty!r}; drop them before"
+            " computing shape statistics"
+        )
     median = float(np.median(sizes))
     pair_budget = int(
         (int(sizes.sum()) ** 2 - int((sizes**2).sum())) // 2
     )
+    get_registry().gauge(
+        "skyline_dataset_pair_budget",
+        "Worst-case record pairs of the last diagnosed dataset (Eq. 3/4)",
+    ).set(pair_budget)
     return DatasetStatistics(
         groups=len(dataset),
         records=int(sizes.sum()),

@@ -16,7 +16,8 @@ class AlgorithmStats:
     The paper analyses algorithms by the number of group comparisons
     (Equation 3's outer term) and record-level dominance checks (Equation 4's
     inner term); both are tracked here, plus wall-clock time and counters for
-    the individual optimisations.
+    the individual optimisations.  The same counters are flushed into the
+    process-global :mod:`repro.obs.metrics` registry after every run.
     """
 
     algorithm: str = ""
@@ -25,7 +26,22 @@ class AlgorithmStats:
     bbox_shortcuts: int = 0
     groups_skipped: int = 0
     index_candidates: int = 0
+    stopping_rule_exits: int = 0
     elapsed_seconds: float = 0.0
+
+    @property
+    def pairs_per_second(self) -> float:
+        """Record-pair throughput (0 when no time was measured)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.record_pairs_examined / self.elapsed_seconds
+
+    @property
+    def shortcut_hit_rate(self) -> float:
+        """Fraction of group comparisons fully resolved by MBB corners."""
+        if self.group_comparisons <= 0:
+            return 0.0
+        return self.bbox_shortcuts / self.group_comparisons
 
     def as_dict(self) -> dict:
         return {
@@ -35,7 +51,11 @@ class AlgorithmStats:
             "bbox_shortcuts": self.bbox_shortcuts,
             "groups_skipped": self.groups_skipped,
             "index_candidates": self.index_candidates,
+            "stopping_rule_exits": self.stopping_rule_exits,
             "elapsed_seconds": self.elapsed_seconds,
+            # derived rates (for dashboards and benchmark diffs)
+            "pairs_per_second": self.pairs_per_second,
+            "shortcut_hit_rate": self.shortcut_hit_rate,
         }
 
 
@@ -44,12 +64,16 @@ class AggregateSkylineResult:
     """Output of an aggregate-skyline query.
 
     ``keys`` are the surviving group keys in input order; ``gamma`` is the
-    threshold the query ran with, ``stats`` the work counters.
+    threshold the query ran with, ``stats`` the work counters.  When tracing
+    is enabled (:func:`repro.obs.tracing.enable_tracing`), ``trace`` holds
+    the root :class:`~repro.obs.tracing.Span` of the run; render it with
+    :func:`repro.obs.tracing.render_trace`.
     """
 
     keys: List[Hashable]
     gamma: float
     stats: AlgorithmStats = field(default_factory=AlgorithmStats)
+    trace: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __iter__(self):
         return iter(self.keys)
@@ -71,16 +95,51 @@ class AggregateSkylineResult:
 
 
 class Timer:
-    """Minimal context-manager stopwatch used by algorithms and benches."""
+    """Reusable, re-entrant context-manager stopwatch.
+
+    * ``elapsed`` can be read *while running* (live value) — progress
+      callbacks poll it mid-run.
+    * Re-entering an already running timer nests (depth counting): only the
+      outermost exit stops the clock, so helper functions can share their
+      caller's timer without clobbering ``_start``.
+    * Reuse after completion restarts the measurement (each outermost
+      ``with`` block times itself).
+    * ``__exit__`` without a matching ``__enter__`` raises ``RuntimeError``
+      instead of failing an ``assert`` (which ``python -O`` would skip).
+    """
 
     def __init__(self) -> None:
-        self.elapsed = 0.0
+        self._elapsed = 0.0
         self._start: Optional[float] = None
+        self._depth = 0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds of the current (live) or last completed measurement."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    def reset(self) -> None:
+        if self._depth:
+            raise RuntimeError("cannot reset a running Timer")
+        self._elapsed = 0.0
+        self._start = None
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        if self._depth == 0:
+            self._start = time.perf_counter()
+        self._depth += 1
         return self
 
     def __exit__(self, *exc_info) -> None:
-        assert self._start is not None
-        self.elapsed = time.perf_counter() - self._start
+        if self._depth == 0 or self._start is None:
+            raise RuntimeError("Timer.__exit__ without matching __enter__")
+        self._depth -= 1
+        if self._depth == 0:
+            self._elapsed = time.perf_counter() - self._start
+            self._start = None

@@ -24,8 +24,8 @@ __all__ = [
 _FORMAT_VERSION = 1
 
 
-def _result_to_dict(result: RunResult) -> dict:
-    return {
+def _result_to_dict(result: RunResult, include_obs: bool = True) -> dict:
+    data = {
         "experiment": result.experiment,
         "params": dict(result.params),
         "algorithm": result.algorithm,
@@ -37,6 +37,15 @@ def _result_to_dict(result: RunResult) -> dict:
         # output is deterministic.
         "skyline_keys": sorted(map(str, result.skyline_keys)),
     }
+    if include_obs:
+        # Observability payloads (collected with run_algorithms(...,
+        # collect_obs=True)): span tree + metrics-registry snapshot, so
+        # ``aggskyline compare`` can diff counters, not just wall-clock.
+        if result.trace is not None:
+            data["trace"] = result.trace
+        if result.metrics is not None:
+            data["metrics"] = result.metrics
+    return data
 
 
 def _result_from_dict(data: dict) -> RunResult:
@@ -49,14 +58,24 @@ def _result_from_dict(data: dict) -> RunResult:
         record_pairs=int(data["record_pairs"]),
         skyline_size=int(data["skyline_size"]),
         skyline_keys=frozenset(data.get("skyline_keys", ())),
+        trace=data.get("trace"),
+        metrics=data.get("metrics"),
     )
 
 
-def results_to_json(results: Sequence[RunResult]) -> str:
-    """Serialise measurements (stable ordering, versioned envelope)."""
+def results_to_json(
+    results: Sequence[RunResult], include_obs: bool = True
+) -> str:
+    """Serialise measurements (stable ordering, versioned envelope).
+
+    ``include_obs=False`` strips the optional trace/metrics payloads for
+    compact files.
+    """
     payload = {
         "version": _FORMAT_VERSION,
-        "results": [_result_to_dict(r) for r in results],
+        "results": [
+            _result_to_dict(r, include_obs=include_obs) for r in results
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -76,8 +95,14 @@ def results_from_json(text: str) -> List[RunResult]:
     return [_result_from_dict(d) for d in payload["results"]]
 
 
-def save_results(results: Sequence[RunResult], path: Union[str, Path]) -> None:
-    Path(path).write_text(results_to_json(results) + "\n")
+def save_results(
+    results: Sequence[RunResult],
+    path: Union[str, Path],
+    include_obs: bool = True,
+) -> None:
+    Path(path).write_text(
+        results_to_json(results, include_obs=include_obs) + "\n"
+    )
 
 
 def load_results(path: Union[str, Path]) -> List[RunResult]:

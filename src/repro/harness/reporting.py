@@ -18,6 +18,7 @@ __all__ = [
     "format_figure",
     "speedup_table",
     "shape_checks",
+    "counter_delta_table",
 ]
 
 
@@ -89,6 +90,54 @@ def speedup_table(
                 row.append(round(base / measured, 2))
         rows.append(row)
     return Table([parameter, *(f"{a} vs {baseline}" for a in others)], rows)
+
+
+def counter_delta_table(
+    baseline: Sequence[RunResult],
+    contender: Sequence[RunResult],
+    metrics: Sequence[str] = ("group_comparisons", "record_pairs"),
+) -> Table:
+    """Diff work counters between two runs of the same measurement points.
+
+    Matches results by (experiment, params, algorithm) and reports, for each
+    requested counter, the before/after values and the ratio — so a perf PR
+    can show it *reduced work*, not just that the machine was faster.  Rows
+    where every counter is unchanged are omitted.
+    """
+
+    def key_of(result: RunResult):
+        return (
+            result.experiment,
+            tuple(sorted((k, str(v)) for k, v in result.params.items())),
+            result.algorithm,
+        )
+
+    contenders = {key_of(r): r for r in contender}
+    columns: List[str] = ["experiment", "algorithm", "params"]
+    for metric in metrics:
+        columns.extend(
+            [f"{metric} before", f"{metric} after", f"{metric} ratio"]
+        )
+    rows: List[List[object]] = []
+    for before in baseline:
+        after = contenders.get(key_of(before))
+        if after is None:
+            continue
+        changed = False
+        row: List[object] = [
+            before.experiment,
+            before.algorithm,
+            ",".join(f"{k}={v}" for k, v in before.params.items()),
+        ]
+        for metric in metrics:
+            old = getattr(before, metric)
+            new = getattr(after, metric)
+            ratio = round(new / old, 3) if old else None
+            row.extend([old, new, ratio])
+            changed = changed or old != new
+        if changed:
+            rows.append(row)
+    return Table(columns, rows)
 
 
 def format_figure(

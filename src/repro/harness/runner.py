@@ -14,6 +14,8 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..core.algorithms import make_algorithm
 from ..core.groups import GroupedDataset
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 
 __all__ = ["RunResult", "run_algorithms", "sweep"]
 
@@ -22,7 +24,14 @@ DEFAULT_ALGORITHMS = ("NL", "TR", "SI", "IN", "LO")
 
 @dataclass
 class RunResult:
-    """One (workload point, algorithm) measurement."""
+    """One (workload point, algorithm) measurement.
+
+    ``trace`` / ``metrics`` are optional observability payloads (span tree
+    and metrics-registry snapshot as plain dicts), collected when
+    :func:`run_algorithms` runs with ``collect_obs=True`` and persisted by
+    :mod:`repro.harness.persistence` so ``aggskyline compare`` can diff
+    counter deltas, not just wall-clock.
+    """
 
     experiment: str
     params: Dict[str, object]
@@ -32,6 +41,8 @@ class RunResult:
     record_pairs: int
     skyline_size: int
     skyline_keys: frozenset = field(default_factory=frozenset, repr=False)
+    trace: Optional[dict] = field(default=None, repr=False)
+    metrics: Optional[dict] = field(default=None, repr=False)
 
 
 def run_algorithms(
@@ -43,6 +54,7 @@ def run_algorithms(
     algorithm_options: Optional[Mapping[str, Mapping]] = None,
     repeats: int = 1,
     verify_consistency: bool = False,
+    collect_obs: bool = False,
 ) -> List[RunResult]:
     """Run each named algorithm on ``dataset`` and collect measurements.
 
@@ -52,18 +64,40 @@ def run_algorithms(
     if the algorithms disagree on the skyline — useful while developing
     benches, off by default because the paper-faithful pruning policy is
     allowed to deviate on adversarial inputs (see DESIGN.md).
+
+    ``collect_obs=True`` runs every measurement under a scoped tracer and a
+    fresh metrics registry and attaches the serialized span tree and
+    registry snapshot to the returned :class:`RunResult` records (the
+    per-algorithm run span feeds the saved benchmark JSON).
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     options = dict(algorithm_options or {})
     results: List[RunResult] = []
+    tracer = obs_tracing.get_tracer()
     for name in algorithms:
         best: Optional[RunResult] = None
         for _ in range(repeats):
             engine = make_algorithm(name, gamma, **options.get(name, {}))
-            started = time.perf_counter()
-            outcome = engine.compute(dataset)
-            elapsed = time.perf_counter() - started
+            trace_payload = None
+            metrics_payload = None
+            with tracer.span(
+                "bench.run", experiment=experiment, algorithm=name
+            ):
+                if collect_obs:
+                    scoped_tracer = obs_tracing.Tracer()
+                    with obs_metrics.use_registry() as registry:
+                        with obs_tracing.use_tracer(scoped_tracer):
+                            started = time.perf_counter()
+                            outcome = engine.compute(dataset)
+                            elapsed = time.perf_counter() - started
+                        if outcome.trace is not None:
+                            trace_payload = outcome.trace.to_dict()
+                        metrics_payload = registry.as_dict()
+                else:
+                    started = time.perf_counter()
+                    outcome = engine.compute(dataset)
+                    elapsed = time.perf_counter() - started
             measured = RunResult(
                 experiment=experiment,
                 params=dict(params or {}),
@@ -73,6 +107,8 @@ def run_algorithms(
                 record_pairs=outcome.stats.record_pairs_examined,
                 skyline_size=len(outcome),
                 skyline_keys=frozenset(outcome.keys),
+                trace=trace_payload,
+                metrics=metrics_payload,
             )
             if best is None or measured.elapsed_seconds < best.elapsed_seconds:
                 best = measured
@@ -101,6 +137,7 @@ def sweep(
     algorithm_options: Optional[Mapping[str, Mapping]] = None,
     extra_params: Optional[Mapping[str, object]] = None,
     repeats: int = 1,
+    collect_obs: bool = False,
 ) -> List[RunResult]:
     """Run ``algorithms`` for each value of a swept parameter.
 
@@ -121,6 +158,7 @@ def sweep(
                 params=params,
                 algorithm_options=algorithm_options,
                 repeats=repeats,
+                collect_obs=collect_obs,
             )
         )
     return results

@@ -48,6 +48,11 @@ class GridIndex:
         self._cell_width = extent / cells_per_dim
         self._cells: Dict[Tuple[int, ...], List[Tuple[np.ndarray, Any]]] = {}
         self._size = 0
+        # lightweight observability counters (read by the IN/LO algorithms
+        # and flushed into the metrics registry after a run)
+        self.window_queries = 0
+        self.candidates_returned = 0
+        self.cells_visited = 0
 
     @property
     def dimensions(self) -> int:
@@ -71,6 +76,7 @@ class GridIndex:
         hi = np.asarray(high, dtype=np.float64)
         if np.any(lo > hi):
             raise ValueError("window low exceeds high")
+        self.window_queries += 1
         # Clamp the window into the domain to enumerate candidate cells.
         lo_clamped = np.maximum(lo, self.low)
         hi_clamped = np.minimum(hi, self.high)
@@ -80,10 +86,14 @@ class GridIndex:
         last = self._cell_of(hi_clamped)
         ranges = [range(a, b + 1) for a, b in zip(first, last)]
         results: List[Any] = []
+        visited = 0
         for cell in product(*ranges):
+            visited += 1
             for point, item in self._cells.get(cell, ()):
                 if bool(np.all(point >= lo) and np.all(point <= hi)):
                     results.append(item)
+        self.cells_visited += visited
+        self.candidates_returned += len(results)
         return results
 
     def __len__(self) -> int:

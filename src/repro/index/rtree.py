@@ -80,6 +80,11 @@ class RTree:
             raise ValueError("min_entries must be in [1, max_entries // 2]")
         self._root = _Node(leaf=True)
         self._size = 0
+        # lightweight observability counters (read by the IN/LO algorithms
+        # and flushed into the metrics registry after a run)
+        self.window_queries = 0
+        self.candidates_returned = 0
+        self.nodes_visited = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -162,11 +167,14 @@ class RTree:
         """
         window = Rect(low, high)
         results: List[Any] = []
+        self.window_queries += 1
         if self._root.rect is None:
             return results
+        visited = 0
         stack = [self._root]
         while stack:
             node = stack.pop()
+            visited += 1
             if node.rect is None or not window.intersects(node.rect):
                 continue
             if node.leaf:
@@ -177,6 +185,8 @@ class RTree:
                 for child in node.children:
                     if child.rect is not None and window.intersects(child.rect):
                         stack.append(child)
+        self.nodes_visited += visited
+        self.candidates_returned += len(results)
         return results
 
     def __len__(self) -> int:

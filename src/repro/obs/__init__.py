@@ -1,0 +1,80 @@
+"""repro.obs — observability substrate for the skyline engine.
+
+Three pillars, threaded through every engine layer:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` with
+  ``Counter`` / ``Gauge`` / ``Histogram`` instruments, labels, and
+  Prometheus / JSON exporters.  Every ``compute()`` flushes its
+  end-of-run :class:`~repro.core.result.AlgorithmStats` counters into the
+  process-global registry; detailed per-comparison instruments switch on
+  with :func:`repro.obs.metrics.enable`.
+* :mod:`repro.obs.tracing` — span-based tracing with nesting, attributes,
+  events, ring-buffer / JSONL sinks and a tree renderer.  Disabled by
+  default via a shared no-op tracer, enabled with
+  :func:`repro.obs.tracing.enable_tracing`.
+* :mod:`repro.obs.progress` — throttled heartbeat callbacks with an ETA
+  extrapolated from the dataset's record-pair budget, consumed by the
+  anytime engine and the CLI.
+
+See ``docs/observability.md`` for the full guide.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    get_registry,
+    log_buckets,
+    set_registry,
+    use_registry,
+)
+from .metrics import enable as enable_metrics
+from .metrics import disable as disable_metrics
+from .metrics import is_enabled as metrics_enabled
+from .progress import ProgressEvent, ProgressReporter, eta_from_pair_budget
+from .tracing import (
+    InMemorySink,
+    JsonlSink,
+    NOOP_TRACER,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    render_trace,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "log_buckets",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "ProgressEvent",
+    "ProgressReporter",
+    "eta_from_pair_budget",
+    "InMemorySink",
+    "JsonlSink",
+    "NOOP_TRACER",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "render_trace",
+    "set_tracer",
+    "use_tracer",
+]

@@ -1,0 +1,131 @@
+"""Progress / heartbeat callbacks for long-running skyline computations.
+
+The anytime engine (:mod:`repro.core.anytime`) refines group verdicts in
+record-pair increments; the worst case is bounded by the *pair budget* of
+:func:`repro.core.diagnostics.dataset_statistics`.  This module turns those
+two numbers into throttled heartbeat events with an ETA, for CLIs and
+services that want to show "42/100 groups decided, ~3s left" instead of a
+silent spinner.
+
+Usage::
+
+    reporter = ProgressReporter(lambda e: print(e.describe()), min_interval=0.5)
+    engine.run(progress=reporter)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["ProgressEvent", "ProgressReporter", "eta_from_pair_budget"]
+
+
+def eta_from_pair_budget(
+    pairs_examined: int, pair_budget: Optional[int], elapsed_seconds: float
+) -> Optional[float]:
+    """Remaining seconds, extrapolated from the pair-examination rate.
+
+    Returns ``None`` when no budget is known or no work happened yet.
+    """
+    if not pair_budget or pairs_examined <= 0 or elapsed_seconds <= 0:
+        return None
+    rate = pairs_examined / elapsed_seconds
+    remaining = max(0, pair_budget - pairs_examined)
+    return remaining / rate
+
+
+@dataclass
+class ProgressEvent:
+    """One heartbeat: how far along a computation is."""
+
+    phase: str
+    done: int
+    total: int
+    pairs_examined: int = 0
+    pair_budget: Optional[int] = None
+    elapsed_seconds: float = 0.0
+    eta_seconds: Optional[float] = None
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+    @property
+    def finished(self) -> bool:
+        return self.total > 0 and self.done >= self.total
+
+    def describe(self) -> str:
+        parts = [f"{self.phase or 'progress'}: {self.done}/{self.total}"]
+        if self.pairs_examined:
+            parts.append(f"{self.pairs_examined} pairs")
+        parts.append(f"{self.elapsed_seconds:.1f}s elapsed")
+        if self.eta_seconds is not None:
+            parts.append(f"~{self.eta_seconds:.1f}s left")
+        return ", ".join(parts)
+
+
+class ProgressReporter:
+    """Wraps a callback with throttling and ETA computation.
+
+    Parameters
+    ----------
+    callback:
+        Called with a :class:`ProgressEvent` at most every ``min_interval``
+        seconds (final/forced events always go through).
+    min_interval:
+        Heartbeat floor in seconds; ``0`` emits on every update.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        callback: Callable[[ProgressEvent], None],
+        min_interval: float = 0.5,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if min_interval < 0:
+            raise ValueError("min_interval must be >= 0")
+        self._callback = callback
+        self._min_interval = min_interval
+        self._clock = clock
+        self._started = clock()
+        self._last_emit: Optional[float] = None
+        self.events_emitted = 0
+
+    def update(
+        self,
+        done: int,
+        total: int,
+        pairs_examined: int = 0,
+        pair_budget: Optional[int] = None,
+        phase: str = "",
+        force: bool = False,
+    ) -> Optional[ProgressEvent]:
+        """Maybe emit a heartbeat; returns the event if one was emitted."""
+        now = self._clock()
+        finished = total > 0 and done >= total
+        if not (force or finished):
+            if (
+                self._last_emit is not None
+                and now - self._last_emit < self._min_interval
+            ):
+                return None
+        elapsed = now - self._started
+        event = ProgressEvent(
+            phase=phase,
+            done=done,
+            total=total,
+            pairs_examined=pairs_examined,
+            pair_budget=pair_budget,
+            elapsed_seconds=elapsed,
+            eta_seconds=eta_from_pair_budget(
+                pairs_examined, pair_budget, elapsed
+            ),
+        )
+        self._last_emit = now
+        self.events_emitted += 1
+        self._callback(event)
+        return event

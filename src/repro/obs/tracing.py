@@ -1,0 +1,363 @@
+"""Span-based tracing for the skyline engine.
+
+A :class:`Tracer` produces :class:`Span` context managers with monotonic
+timestamps, parent/child nesting, per-span attributes and events.  Finished
+*root* spans are handed to a sink: the ring-buffer :class:`InMemorySink`
+(default) or the append-only :class:`JsonlSink`.  :func:`render_trace`
+pretty-prints a span tree for terminals.
+
+Overhead discipline
+-------------------
+The process-global tracer defaults to :data:`NOOP_TRACER`, whose ``span()``
+returns a shared, stateless no-op span — entering it is two cheap method
+calls and no allocation, so instrumentation points can be left in hot code
+unconditionally.  :func:`enable_tracing` swaps in a recording tracer;
+callers that need to branch can check ``span.is_recording``.
+
+Example::
+
+    from repro.obs import tracing
+
+    tracer = tracing.enable_tracing()
+    with tracer.span("skyline.compute", algorithm="LO") as root:
+        with tracer.span("index.build"):
+            ...
+    print(tracing.render_trace(root))
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "NOOP_SPAN",
+    "InMemorySink",
+    "JsonlSink",
+    "render_trace",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "enable_tracing",
+    "disable_tracing",
+]
+
+
+class Span:
+    """One timed operation; a context manager that nests automatically."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "events",
+        "children",
+        "start_wall",
+        "_start",
+        "_end",
+        "_tracer",
+    )
+
+    is_recording = True
+
+    def __init__(self, name: str, tracer: "Tracer", attributes: Optional[Dict] = None):
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.events: List[Dict[str, object]] = []
+        self.children: List["Span"] = []
+        self.start_wall: Optional[float] = None
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+        self._tracer = tracer
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.start_wall = time.time()
+        self._start = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._end = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    # -- recording ------------------------------------------------------
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes) -> None:
+        offset = (
+            time.perf_counter() - self._start
+            if self._start is not None
+            else 0.0
+        )
+        self.events.append(
+            {"name": name, "offset_seconds": offset, **attributes}
+        )
+
+    @property
+    def duration_seconds(self) -> float:
+        """Elapsed time; live while the span is still open."""
+        if self._start is None:
+            return 0.0
+        end = self._end if self._end is not None else time.perf_counter()
+        return end - self._start
+
+    @property
+    def ended(self) -> bool:
+        return self._end is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_unix": self.start_wall,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Span({self.name!r}, {self.duration_seconds * 1e3:.2f}ms,"
+            f" children={len(self.children)})"
+        )
+
+
+class _NoopSpan:
+    """Shared, stateless span used when tracing is disabled."""
+
+    __slots__ = ()
+
+    is_recording = False
+    name = ""
+    attributes: Dict[str, object] = {}
+    events: List[Dict[str, object]] = []
+    children: List["Span"] = []
+    duration_seconds = 0.0
+    ended = False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class InMemorySink:
+    """Ring buffer of the most recent finished root spans."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._spans: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def emit(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def traces(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append every finished root span as one JSON line."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+class Tracer:
+    """Produces spans; tracks the per-thread span stack for nesting."""
+
+    enabled = True
+
+    def __init__(self, sink=None):
+        self.sink = sink if sink is not None else InMemorySink()
+        self._local = threading.local()
+
+    def span(self, name: str, **attributes) -> Span:
+        return Span(name, self, attributes)
+
+    def current_span(self):
+        """Innermost open span of this thread (``NOOP_SPAN`` if none)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else NOOP_SPAN
+
+    # -- internal -------------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+        if not stack:
+            self.sink.emit(span)
+
+
+class NoopTracer:
+    """Near-zero-cost tracer used while tracing is disabled."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def current_span(self) -> _NoopSpan:
+        return NOOP_SPAN
+
+
+NOOP_TRACER = NoopTracer()
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _format_attributes(attributes: Dict[str, object]) -> str:
+    if not attributes:
+        return ""
+    inner = " ".join(f"{k}={v}" for k, v in attributes.items())
+    return f"  [{inner}]"
+
+
+def render_trace(span, max_depth: Optional[int] = None) -> str:
+    """Human-readable tree of a span and its descendants."""
+    if not getattr(span, "is_recording", False):
+        return "(no trace recorded)"
+    lines: List[str] = []
+
+    def walk(node, prefix: str, child_prefix: str, depth: int) -> None:
+        lines.append(
+            f"{prefix}{node.name}  {_format_duration(node.duration_seconds)}"
+            f"{_format_attributes(node.attributes)}"
+        )
+        for event in node.events:
+            name = event.get("name", "event")
+            offset = event.get("offset_seconds", 0.0)
+            lines.append(
+                f"{child_prefix}· {name} @{_format_duration(float(offset))}"
+            )
+        if max_depth is not None and depth >= max_depth:
+            if node.children:
+                lines.append(f"{child_prefix}… ({len(node.children)} spans)")
+            return
+        for i, child in enumerate(node.children):
+            last = i == len(node.children) - 1
+            branch = "└─ " if last else "├─ "
+            extend = "   " if last else "│  "
+            walk(child, child_prefix + branch, child_prefix + extend, depth + 1)
+
+    walk(span, "", "", 0)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# process-global tracer
+# ----------------------------------------------------------------------
+
+_tracer = NOOP_TRACER
+_state_lock = threading.Lock()
+
+
+def get_tracer():
+    """The process-global tracer (no-op unless tracing was enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer) -> object:
+    """Replace the global tracer (returns the previous one)."""
+    global _tracer
+    with _state_lock:
+        previous, _tracer = _tracer, tracer
+    return previous
+
+
+def enable_tracing(sink=None) -> Tracer:
+    """Install (and return) a recording tracer as the global tracer."""
+    tracer = Tracer(sink=sink)
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Back to the no-op tracer."""
+    set_tracer(NOOP_TRACER)
+
+
+@contextmanager
+def use_tracer(tracer=None):
+    """Scope the global tracer (a fresh recording tracer by default)."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

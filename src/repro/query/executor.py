@@ -19,6 +19,7 @@ from ..core.algorithms import make_algorithm
 from ..core.groups import GroupedDataset
 from ..core.result import AggregateSkylineResult
 from ..core.skyline import skyline_mask
+from ..obs import tracing as obs_tracing
 from ..relational.operators import AggregateSpec, group_by
 from ..relational.table import Row, Table
 from .ast_nodes import AggCall, ColumnRef, Query
@@ -34,15 +35,22 @@ DEFAULT_ALGORITHM = "LO"
 
 
 class QueryResult:
-    """A result table plus, for skyline queries, the engine-level result."""
+    """A result table plus, for skyline queries, the engine-level result.
+
+    ``trace`` is the root span of the execution when tracing is enabled
+    (:func:`repro.obs.tracing.enable_tracing`), else ``None``; render it
+    with :func:`repro.obs.tracing.render_trace`.
+    """
 
     def __init__(
         self,
         table: Table,
         skyline_result: Optional[AggregateSkylineResult] = None,
+        trace: Optional[object] = None,
     ):
         self.table = table
         self.skyline_result = skyline_result
+        self.trace = trace
 
     def __len__(self) -> int:
         return len(self.table)
@@ -70,19 +78,29 @@ def execute(
             f"unknown table {ast.table!r}; catalog has {sorted(catalog)}"
         )
     table = catalog[ast.table]
-    plan = plan_query(ast, table)
+    tracer = obs_tracing.get_tracer()
+    with tracer.span("query.execute", table=ast.table) as root:
+        with tracer.span("query.plan"):
+            plan = plan_query(ast, table)
 
-    working = table
-    if plan.where_predicate is not None:
-        working = working.select(plan.where_predicate)
+        working = table
+        if plan.where_predicate is not None:
+            with tracer.span("query.scan", rows_in=len(table)) as scan:
+                working = working.select(plan.where_predicate)
+                scan.set_attribute("rows_out", len(working))
 
-    if ast.is_aggregate_skyline:
-        return _run_aggregate_skyline(plan, working, algorithm_options)
-    if ast.is_record_skyline:
-        return _run_record_skyline(plan, working)
-    if ast.group_by:
-        return _run_group_by(plan, working)
-    return _run_plain_select(plan, working)
+        if ast.is_aggregate_skyline:
+            result = _run_aggregate_skyline(plan, working, algorithm_options)
+        elif ast.is_record_skyline:
+            result = _run_record_skyline(plan, working)
+        elif ast.group_by:
+            result = _run_group_by(plan, working)
+        else:
+            result = _run_plain_select(plan, working)
+        root.set_attribute("rows_out", len(result))
+    if root.is_recording:
+        result.trace = root
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -113,15 +131,19 @@ def _run_record_skyline(plan: QueryPlan, working: Table) -> QueryResult:
     if len(working) == 0:
         result = working
     else:
-        values = [
-            [float(row[working.column_position(c)]) for c in measures]
-            for row in working.rows
-        ]
-        mask = skyline_mask(values, directions)
-        result = Table(
-            working.columns,
-            [row for row, keep in zip(working.rows, mask) if keep],
-        )
+        with obs_tracing.get_tracer().span(
+            "query.skyline", rows_in=len(working), record_level=True
+        ) as span:
+            values = [
+                [float(row[working.column_position(c)]) for c in measures]
+                for row in working.rows
+            ]
+            mask = skyline_mask(values, directions)
+            result = Table(
+                working.columns,
+                [row for row, keep in zip(working.rows, mask) if keep],
+            )
+            span.set_attribute("rows_out", len(result))
     result, ordered = _order_early(ast, result)
     if not ast.select_star:
         result = result.project(
@@ -132,17 +154,22 @@ def _run_record_skyline(plan: QueryPlan, working: Table) -> QueryResult:
 
 def _run_group_by(plan: QueryPlan, working: Table) -> QueryResult:
     ast = plan.query
-    grouped = group_by(
-        working,
-        ast.group_by,
-        aggregates=plan.aggregate_specs(),
-        having=plan.having_predicate,
-    )
+    tracer = obs_tracing.get_tracer()
+    with tracer.span("query.group_by", rows_in=len(working)) as span:
+        grouped = group_by(
+            working,
+            ast.group_by,
+            aggregates=plan.aggregate_specs(),
+            having=plan.having_predicate,
+        )
+        span.set_attribute("groups", len(grouped))
     # Order before projection so ORDER BY may use grouping columns and
     # aggregates that the SELECT list drops (standard SQL behaviour).
-    grouped, ordered = _order_early(ast, grouped)
-    projected = _project_grouped(plan, grouped)
-    return QueryResult(_order_and_limit(ast, projected, skip_order=ordered))
+    with tracer.span("query.order_limit"):
+        grouped, ordered = _order_early(ast, grouped)
+        projected = _project_grouped(plan, grouped)
+        final = _order_and_limit(ast, projected, skip_order=ordered)
+    return QueryResult(final)
 
 
 def _run_aggregate_skyline(
@@ -151,14 +178,19 @@ def _run_aggregate_skyline(
     algorithm_options: Dict[str, Any],
 ) -> QueryResult:
     ast = plan.query
+    tracer = obs_tracing.get_tracer()
     if len(working) == 0:
         empty = Table(_output_columns(plan), [])
         return QueryResult(empty, None)
 
     # HAVING first: it restricts which groups even compete in the skyline.
-    partitions = working.group_rows(ast.group_by)
+    with tracer.span("query.group_by", rows_in=len(working)) as span:
+        partitions = working.group_rows(ast.group_by)
+        span.set_attribute("groups", len(partitions))
     if plan.having_predicate is not None:
-        partitions = _filter_partitions(plan, working, partitions)
+        with tracer.span("query.having", groups_in=len(partitions)) as span:
+            partitions = _filter_partitions(plan, working, partitions)
+            span.set_attribute("groups_out", len(partitions))
         if not partitions:
             return QueryResult(Table(_output_columns(plan), []), None)
 
@@ -167,41 +199,48 @@ def _run_aggregate_skyline(
     positions = [working.column_position(c) for c in measures]
     gamma = ast.gamma if ast.gamma is not None else DEFAULT_GAMMA
 
-    if ast.weight is not None:
-        skyline_result = _weighted_skyline(
-            plan, working, partitions, positions, directions, gamma
-        )
-    else:
-        groups: Dict[Hashable, List[Tuple[float, ...]]] = {
-            key: [tuple(float(row[p]) for p in positions) for row in rows]
-            for key, rows in partitions.items()
-        }
-        dataset = GroupedDataset(groups, directions=directions)
+    with tracer.span(
+        "query.skyline", groups=len(partitions), gamma=float(gamma)
+    ) as span:
+        if ast.weight is not None:
+            skyline_result = _weighted_skyline(
+                plan, working, partitions, positions, directions, gamma
+            )
+        else:
+            groups: Dict[Hashable, List[Tuple[float, ...]]] = {
+                key: [tuple(float(row[p]) for p in positions) for row in rows]
+                for key, rows in partitions.items()
+            }
+            dataset = GroupedDataset(groups, directions=directions)
 
-        options = dict(algorithm_options)
-        if ast.prune_policy is not None:
-            options.setdefault("prune_policy", ast.prune_policy)
-        algorithm = make_algorithm(
-            ast.algorithm or DEFAULT_ALGORITHM,
-            gamma,
-            **options,
-        )
-        skyline_result = algorithm.compute(dataset)
+            options = dict(algorithm_options)
+            if ast.prune_policy is not None:
+                options.setdefault("prune_policy", ast.prune_policy)
+            algorithm = make_algorithm(
+                ast.algorithm or DEFAULT_ALGORITHM,
+                gamma,
+                **options,
+            )
+            skyline_result = algorithm.compute(dataset)
+        span.set_attribute("algorithm", skyline_result.stats.algorithm)
+        span.set_attribute("survivors", len(skyline_result))
     surviving = skyline_result.as_set()
 
-    kept_rows = [
-        row
-        for key, rows in partitions.items()
-        if key in surviving
-        for row in rows
-    ]
-    restricted = Table(working.columns, kept_rows)
-    grouped = group_by(restricted, ast.group_by, aggregates=plan.aggregate_specs())
-    grouped, ordered = _order_early(ast, grouped)
-    projected = _project_grouped(plan, grouped)
-    return QueryResult(
-        _order_and_limit(ast, projected, skip_order=ordered), skyline_result
-    )
+    with tracer.span("query.order_limit"):
+        kept_rows = [
+            row
+            for key, rows in partitions.items()
+            if key in surviving
+            for row in rows
+        ]
+        restricted = Table(working.columns, kept_rows)
+        grouped = group_by(
+            restricted, ast.group_by, aggregates=plan.aggregate_specs()
+        )
+        grouped, ordered = _order_early(ast, grouped)
+        projected = _project_grouped(plan, grouped)
+        final = _order_and_limit(ast, projected, skip_order=ordered)
+    return QueryResult(final, skyline_result)
 
 
 # ----------------------------------------------------------------------

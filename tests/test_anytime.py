@@ -123,3 +123,34 @@ class TestProgressiveRefinement:
             dataset, gamma
         )
         assert anytime.candidates() == anytime.confirmed()
+
+
+class TestProgressIntegration:
+    def test_run_emits_progress_events(self, chain):
+        from repro.obs.progress import ProgressReporter
+
+        events = []
+        engine = AnytimeAggregateSkyline(chain, gamma=1.0)
+        reporter = ProgressReporter(events.append, min_interval=0.0)
+        keys = engine.run(pair_budget_per_step=1, progress=reporter)
+        assert keys  # exact answer still produced
+        assert events, "run() should emit at least the final heartbeat"
+        final = events[-1]
+        assert final.finished
+        assert final.done == final.total == 3
+        assert final.phase == "anytime-skyline"
+
+    def test_run_accepts_plain_callable(self):
+        dataset = generate_grouped(
+            SyntheticSpec(n_records=80, avg_group_size=8, dimensions=3,
+                          distribution="anticorrelated", seed=5)
+        )
+        events = []
+        engine = AnytimeAggregateSkyline(dataset, gamma=0.75)
+        engine.run(pair_budget_per_step=64, progress=events.append)
+        assert events and events[-1].finished
+
+    def test_pair_budget_exposed(self, chain):
+        engine = AnytimeAggregateSkyline(chain, gamma=1.0)
+        assert engine.pair_budget >= 0
+        assert engine.pairs_examined <= engine.pair_budget

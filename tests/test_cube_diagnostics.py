@@ -155,3 +155,54 @@ class TestDiagnostics:
         )
         stats = dataset_statistics(dataset)
         assert stats.size_skew > 3
+
+
+class TestDiagnosticsGuards:
+    """Input validation and metrics publishing of dataset_statistics."""
+
+    def test_zero_group_dataset_rejected(self):
+        class _Hollow:
+            dimensions = 2
+            groups = []
+
+            def __iter__(self):
+                return iter(self.groups)
+
+            def __len__(self):
+                return 0
+
+        with pytest.raises(ValueError, match="at least one group"):
+            dataset_statistics(_Hollow())
+
+    def test_empty_group_rejected_with_key_in_message(self):
+        from types import SimpleNamespace
+
+        class _WithEmpty:
+            dimensions = 2
+
+            def __init__(self):
+                self.groups = [
+                    SimpleNamespace(key="full", size=3),
+                    SimpleNamespace(key="hollow", size=0),
+                ]
+
+            def __iter__(self):
+                return iter(self.groups)
+
+            def __len__(self):
+                return len(self.groups)
+
+        with pytest.raises(ValueError, match="hollow"):
+            dataset_statistics(_WithEmpty())
+
+    def test_pair_budget_gauge_published(self):
+        from repro.obs.metrics import use_registry
+
+        dataset = GroupedDataset(
+            {"a": [[1, 1]] * 2, "b": [[2, 2]] * 3}
+        )
+        with use_registry() as registry:
+            stats = dataset_statistics(dataset)
+            gauge = registry.get("skyline_dataset_pair_budget")
+            assert gauge is not None
+            assert gauge.value() == stats.pair_budget == 6

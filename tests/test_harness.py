@@ -176,3 +176,92 @@ class TestPersistence:
 
         with pytest.raises(ValueError, match="version"):
             results_from_json('{"version": 99, "results": []}')
+
+
+class TestObsPayloads:
+    """trace/metrics payloads flow through persistence and diff tables."""
+
+    def _result_with_obs(self):
+        return RunResult(
+            experiment="x",
+            params={"n": 10},
+            algorithm="LO",
+            elapsed_seconds=0.1,
+            group_comparisons=5,
+            record_pairs=50,
+            skyline_size=1,
+            trace={"name": "bench.run", "children": []},
+            metrics={"skyline_runs_total": {"type": "counter"}},
+        )
+
+    def test_obs_payloads_roundtrip(self):
+        from repro.harness.persistence import (
+            results_from_json,
+            results_to_json,
+        )
+
+        restored = results_from_json(
+            results_to_json([self._result_with_obs()])
+        )[0]
+        assert restored.trace == {"name": "bench.run", "children": []}
+        assert restored.metrics == {
+            "skyline_runs_total": {"type": "counter"}
+        }
+
+    def test_obs_payloads_stripped_when_disabled(self):
+        import json as _json
+
+        from repro.harness.persistence import results_to_json
+
+        payload = _json.loads(
+            results_to_json([self._result_with_obs()], include_obs=False)
+        )
+        record = payload["results"][0]
+        assert "trace" not in record and "metrics" not in record
+
+    def test_run_algorithms_collect_obs(self):
+        from repro.data.synthetic import SyntheticSpec, generate_grouped
+        from repro.harness.runner import run_algorithms
+
+        dataset = generate_grouped(
+            SyntheticSpec(n_records=60, avg_group_size=10, dimensions=2)
+        )
+        results = run_algorithms(
+            dataset, ["NL"], gamma=0.75, experiment="t",
+            params={"n": 60}, collect_obs=True,
+        )
+        (result,) = results
+        assert result.trace is not None
+        # The captured payload is the algorithm's own root span.
+        assert result.trace["name"] == "skyline.compute"
+        assert "skyline_runs_total" in result.metrics
+
+    def test_counter_delta_table_reports_changes(self):
+        from repro.harness.reporting import counter_delta_table
+
+        before = _fake_results()
+        after = [
+            RunResult(
+                experiment=r.experiment,
+                params=dict(r.params),
+                algorithm=r.algorithm,
+                elapsed_seconds=r.elapsed_seconds,
+                group_comparisons=r.group_comparisons // 2 or 1,
+                record_pairs=r.record_pairs,
+                skyline_size=r.skyline_size,
+            )
+            for r in before
+        ]
+        table = counter_delta_table(before, after)
+        assert "group_comparisons before" in table.columns
+        assert len(table.rows) == len(before)
+        first = table.rows[0]
+        idx = table.columns.index("group_comparisons ratio")
+        assert first[idx] == 0.5
+
+    def test_counter_delta_table_empty_when_unchanged(self):
+        from repro.harness.reporting import counter_delta_table
+
+        results = _fake_results()
+        table = counter_delta_table(results, results)
+        assert len(table.rows) == 0

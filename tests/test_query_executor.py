@@ -364,3 +364,60 @@ class TestWeightByClause:
                 " SKYLINE OF score MAX WEIGHT BY w",
                 catalog,
             )
+
+
+class TestExecutorTracing:
+    """Plan-stage spans recorded by query/executor.py."""
+
+    def _traced(self, sql, catalog):
+        from repro.obs.tracing import InMemorySink, Tracer, use_tracer
+
+        with use_tracer(Tracer(InMemorySink())):
+            return execute(sql, catalog)
+
+    def test_trace_none_under_noop_tracer(self, catalog):
+        result = execute("SELECT * FROM movies", catalog)
+        assert result.trace is None
+
+    def test_plain_select_span_nesting(self, catalog):
+        result = self._traced(
+            "SELECT title FROM movies WHERE year > 2000", catalog
+        )
+        trace = result.trace
+        assert trace is not None
+        assert trace.name == "query.execute"
+        assert trace.attributes["table"] == "movies"
+        names = [c.name for c in trace.children]
+        assert names[:2] == ["query.plan", "query.scan"]
+        scan = trace.children[1]
+        assert scan.attributes["rows_in"] == 5
+        assert scan.attributes["rows_out"] == 4
+
+    def test_skyline_query_span_nesting(self, catalog):
+        result = self._traced(
+            "SELECT director FROM movies GROUP BY director"
+            " SKYLINE OF pop MAX, qual MAX USING ALGORITHM LO",
+            catalog,
+        )
+        names = [c.name for c in result.trace.children]
+        assert "query.group_by" in names
+        assert "query.skyline" in names
+        skyline = next(
+            c for c in result.trace.children if c.name == "query.skyline"
+        )
+        assert skyline.attributes["algorithm"] == "LO"
+        assert skyline.attributes["survivors"] == len(result)
+        # The algorithm's own root span nests under the executor's.
+        assert any(
+            g.name == "skyline.compute" for g in skyline.children
+        )
+
+    def test_group_by_query_spans(self, catalog):
+        result = self._traced(
+            "SELECT director, count(*) AS n FROM movies"
+            " GROUP BY director ORDER BY n DESC",
+            catalog,
+        )
+        names = [c.name for c in result.trace.children]
+        assert "query.group_by" in names
+        assert "query.order_limit" in names

@@ -19,6 +19,7 @@ class TestAlgorithmStats:
             bbox_shortcuts=1,
             groups_skipped=2,
             index_candidates=4,
+            stopping_rule_exits=1,
             elapsed_seconds=0.25,
         )
         data = stats.as_dict()
@@ -27,8 +28,25 @@ class TestAlgorithmStats:
         assert set(data) == {
             "algorithm", "group_comparisons", "record_pairs_examined",
             "bbox_shortcuts", "groups_skipped", "index_candidates",
-            "elapsed_seconds",
+            "stopping_rule_exits", "elapsed_seconds",
+            "pairs_per_second", "shortcut_hit_rate",
         }
+
+    def test_derived_rates(self):
+        stats = AlgorithmStats(
+            algorithm="LO",
+            group_comparisons=10,
+            record_pairs_examined=500,
+            bbox_shortcuts=4,
+            elapsed_seconds=0.5,
+        )
+        assert stats.pairs_per_second == 1000.0
+        assert stats.shortcut_hit_rate == 0.4
+
+    def test_derived_rates_guard_zero_division(self):
+        stats = AlgorithmStats()
+        assert stats.pairs_per_second == 0.0
+        assert stats.shortcut_hit_rate == 0.0
 
 
 class TestAggregateSkylineResult:
