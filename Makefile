@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= smoke
 
-.PHONY: install test bench bench-small bench-paper examples figures metrics-demo clean
+.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -35,6 +35,10 @@ figures:
 # Run a tiny workload and dump the metrics registry (docs/observability.md).
 metrics-demo:
 	$(PYTHON) -m repro metrics --demo
+
+# Serial-vs-parallel comparison table on a pool of 2 (docs/parallel.md).
+parallel-demo:
+	$(PYTHON) -m repro experiment parallel --scale $(SCALE) --workers 2
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis

@@ -1,0 +1,81 @@
+"""Serial-vs-parallel speedup of the PAR extension.
+
+Regenerates the ``parallel`` comparison table (NL baseline vs ``PAR`` at
+1/2/4 workers on a >= 200-group anti-correlated workload) and asserts the
+determinism contract: every configuration returns the same skyline and does
+exactly the same number of record-pair probes.  The wall-clock speedup
+assertion is gated on the host actually having the cores — on a 1-core
+container the pool can only add overhead, which the saved results record
+honestly.
+"""
+
+import os
+
+import pytest
+from conftest import BENCH_SCALE, make_workload, regenerate
+
+from repro.core.algorithms import make_algorithm
+
+MIN_CORES_FOR_SPEEDUP = 4
+EXPECTED_SPEEDUP = 1.5
+
+
+def _times_by_workers(report):
+    """{workers: elapsed} — the NL baseline is recorded as workers=0."""
+    return {
+        int(r.params["workers"]): r.elapsed_seconds for r in report.results
+    }
+
+
+def test_parallel_regenerate(benchmark):
+    report = regenerate(benchmark, "parallel")
+    assert "results identical across worker counts: yes" in report.text
+
+    skylines = {r.skyline_keys for r in report.results}
+    assert len(skylines) == 1
+    pair_counts = {r.record_pairs for r in report.results}
+    assert len(pair_counts) == 1  # two-phase PAR does exactly NL's work
+
+    # The workload must be wide enough for the claim to mean something.
+    assert all(
+        len(r.skyline_keys) <= r.params["groups"] for r in report.results
+    )
+    assert report.results[0].params["groups"] >= 200
+
+    times = _times_by_workers(report)
+    if (os.cpu_count() or 1) >= MIN_CORES_FOR_SPEEDUP:
+        speedup = times[0] / times[4]
+        assert speedup >= EXPECTED_SPEEDUP, (
+            f"PAR at 4 workers only {speedup:.2f}x over serial NL"
+        )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(BENCH_SCALE, dimensions=3, seed=17)
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    return make_algorithm("NL", 0.5).compute(workload)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_par_by_worker_count(benchmark, workload, reference, workers):
+    engine = make_algorithm("PAR", 0.5, workers=workers)
+    result = benchmark.pedantic(
+        engine.compute, args=(workload,), iterations=1, rounds=2
+    )
+    assert result.as_set() == reference.as_set()
+    assert (
+        result.stats.record_pairs_examined
+        == reference.stats.record_pairs_examined
+    )
+
+
+def test_bench_nl_baseline(benchmark, workload, reference):
+    engine = make_algorithm("NL", 0.5)
+    result = benchmark.pedantic(
+        engine.compute, args=(workload,), iterations=1, rounds=2
+    )
+    assert result.as_set() == reference.as_set()

@@ -115,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
     sky.add_argument("--gamma", type=float, default=0.5)
     sky.add_argument("--algorithm", default="LO")
     sky.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compute on a process pool of N workers (forces the PAR"
+        " algorithm; 1 runs the same kernel in-process)",
+    )
+    sky.add_argument(
         "--progress",
         action="store_true",
         help="run the anytime engine with heartbeat lines on stderr",
@@ -162,6 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("figure", choices=sorted(FIGURES))
     experiment.add_argument(
         "--scale", default="small", choices=sorted(SCALES)
+    )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-pool size for worker-aware figures (e.g. 'parallel');"
+        " other figures ignore it",
     )
     _add_obs_flags(experiment)
 
@@ -319,8 +335,15 @@ def _cmd_skyline(args) -> int:
     dataset = grouped_dataset_from_table(table, keys, measures, directions)
     if args.progress:
         return _skyline_with_progress(args, dataset)
+    algorithm = args.algorithm
+    options = {}
+    if args.workers is not None:
+        # --workers implies the parallel algorithm: it is the only engine
+        # with a worker pool, and forcing it keeps the flag meaningful.
+        algorithm = "PAR"
+        options["workers"] = args.workers
     result = aggregate_skyline(
-        dataset, gamma=args.gamma, algorithm=args.algorithm
+        dataset, gamma=args.gamma, algorithm=algorithm, **options
     )
     out = Table(["group"], [[_render_key(k)] for k in result.keys])
     print(out.to_text())
@@ -483,7 +506,7 @@ def _cmd_nba(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    report = run_figure(args.figure, scale=args.scale)
+    report = run_figure(args.figure, scale=args.scale, workers=args.workers)
     print(report.text)
     return 0
 

@@ -10,6 +10,7 @@ The registry maps the paper's evaluation names to implementations:
 ``LO``  IN plus bounding-box approximation (Section 3.3)
 ``SQL`` Direct SQL implementation on sqlite (Algorithm 1)
 ``AD``  Adaptive LO/SI dispatch by estimated overlap (extension)
+``PAR`` Parallel chunked nested loop on a worker pool (extension)
 ======  =======================================================
 """
 
@@ -23,6 +24,7 @@ from .base import AggregateSkylineAlgorithm, GroupState, PRUNE_POLICIES
 from .indexed import IndexedAlgorithm
 from .indexed_bbox import IndexedBBoxAlgorithm
 from .nested_loop import NestedLoopAlgorithm
+from .parallel import ParallelSkylineAlgorithm
 from .sorted_access import SortedAlgorithm
 from .sql_baseline import SqlBaselineAlgorithm, build_skyline_sql
 from .transitive import TransitiveAlgorithm
@@ -33,6 +35,7 @@ __all__ = [
     "PRUNE_POLICIES",
     "NestedLoopAlgorithm",
     "AdaptiveAlgorithm",
+    "ParallelSkylineAlgorithm",
     "TransitiveAlgorithm",
     "SortedAlgorithm",
     "IndexedAlgorithm",
@@ -51,6 +54,7 @@ ALGORITHMS = {
     "IN": IndexedAlgorithm,
     "LO": IndexedBBoxAlgorithm,
     "SQL": SqlBaselineAlgorithm,
+    "PAR": ParallelSkylineAlgorithm,
 }
 
 

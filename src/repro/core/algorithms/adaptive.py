@@ -21,6 +21,7 @@ from typing import List
 
 import numpy as np
 
+from ...parallel.partition import pair_from_index, sample_pair_indices
 from ..gamma import GammaLike
 from ..groups import Group
 from .base import AggregateSkylineAlgorithm, GroupState
@@ -32,18 +33,26 @@ __all__ = ["AdaptiveAlgorithm"]
 
 def estimate_overlap(groups: List[Group], sample_pairs: int = 256,
                      seed: int = 0) -> float:
-    """Fraction of sampled group pairs whose MBBs intersect."""
+    """Fraction of sampled group pairs whose MBBs intersect.
+
+    Pairs are sampled *without replacement* from the upper-triangular pair
+    space (via :func:`repro.parallel.partition.sample_pair_indices`), so the
+    probe budget is never wasted on duplicate pairs; when the budget covers
+    the whole pair space the estimate is exact.  ``seed`` makes the estimate
+    reproducible — :class:`AdaptiveAlgorithm` exposes it as a constructor
+    parameter.
+    """
     n = len(groups)
     if n < 2:
         return 0.0
     rng = np.random.default_rng(seed)
+    indices = sample_pair_indices(n, sample_pairs, rng)
     hits = 0
-    samples = min(sample_pairs, n * (n - 1) // 2)
-    for _ in range(samples):
-        i, j = rng.choice(n, size=2, replace=False)
-        if groups[int(i)].bbox.intersects(groups[int(j)].bbox):
+    for k in indices:
+        i, j = pair_from_index(k, n)
+        if groups[i].bbox.intersects(groups[j].bbox):
             hits += 1
-    return hits / samples
+    return hits / len(indices)
 
 
 class AdaptiveAlgorithm(AggregateSkylineAlgorithm):
@@ -60,6 +69,7 @@ class AdaptiveAlgorithm(AggregateSkylineAlgorithm):
         block_size: int = 1024,
         overlap_threshold: float = 0.65,
         sample_pairs: int = 256,
+        seed: int = 0,
     ):
         super().__init__(
             gamma,
@@ -72,13 +82,15 @@ class AdaptiveAlgorithm(AggregateSkylineAlgorithm):
             raise ValueError("overlap_threshold must lie in [0, 1]")
         self.overlap_threshold = overlap_threshold
         self.sample_pairs = sample_pairs
+        #: Seed of the overlap estimator's pair sampling (reproducibility).
+        self.seed = seed
         #: Set after each compute(): which strategy ran and why.
         self.chosen_strategy = ""
         self.estimated_overlap = 0.0
 
     def _run(self, groups: List[Group], state: GroupState) -> None:
         self.estimated_overlap = estimate_overlap(
-            groups, sample_pairs=self.sample_pairs
+            groups, sample_pairs=self.sample_pairs, seed=self.seed
         )
         if self.estimated_overlap >= self.overlap_threshold:
             delegate: AggregateSkylineAlgorithm = SortedAlgorithm(
@@ -97,9 +109,32 @@ class AdaptiveAlgorithm(AggregateSkylineAlgorithm):
                 block_size=self.comparator.block_size,
             )
             self.chosen_strategy = "LO"
-        # Run the delegate against the same state, then adopt its counters
-        # so the reported statistics reflect the work actually done.
-        delegate._run(groups, state)
-        self.comparator = delegate.comparator
-        self._groups_skipped = delegate._groups_skipped
-        self._index_candidates = delegate._index_candidates
+        # Share this run's detailed observability instruments (bound by
+        # compute() under the "AD" label) so the delegate's per-comparison
+        # work is recorded too.
+        delegate.comparator._obs_pairs_hist = self.comparator._obs_pairs_hist
+        delegate.comparator._obs_exit_counter = (
+            self.comparator._obs_exit_counter
+        )
+        delegate.comparator._obs_shortcut_counter = (
+            self.comparator._obs_shortcut_counter
+        )
+        # Run the delegate against the same state, then snapshot its counter
+        # *values* so the reported statistics reflect the work actually done.
+        # (Adopting the delegate's comparator/counters by reference — as an
+        # earlier version did — permanently swapped this instance's
+        # configuration for the delegate's: a second compute() then ran with
+        # the delegate's ``use_bbox``/``block_size`` and double-counted the
+        # previous run's statistics.)
+        try:
+            delegate._run(groups, state)
+        finally:
+            delegate.comparator.unbind_metrics()
+        self.comparator.absorb(
+            comparisons=delegate.comparator.comparisons,
+            pairs_examined=delegate.comparator.pairs_examined,
+            bbox_shortcuts=delegate.comparator.bbox_shortcuts,
+            stopping_rule_exits=delegate.comparator.stopping_rule_exits,
+        )
+        self._groups_skipped += delegate._groups_skipped
+        self._index_candidates += delegate._index_candidates

@@ -1,0 +1,191 @@
+"""Parallel aggregate skyline ("PAR"): group-pair chunks on a worker pool.
+
+The aggregate skyline is quadratic twice over — O(m^2) group comparisons,
+each up to O(n^2) record pairs (Equations 3-4 of the paper) — but the
+comparison matrix decomposes into independent units, the structure group-
+skyline work such as *Aggregate Skyline Join Queries* (Bhattacharya & Teja)
+and *Efficient Contour Computation of Group-based Skyline* (Yu et al.)
+exploits.  ``PAR`` partitions the upper-triangular pair space into chunks
+(:mod:`repro.parallel.partition`) and runs them on a process pool
+(:mod:`repro.parallel.executor`), shipping the group ndarrays to the
+workers exactly once.
+
+Determinism contract (see ``docs/parallel.md``)
+-----------------------------------------------
+* ``exchange_interval == 0`` (default) — the *two-phase* scheme: a parallel
+  compare-everything pass followed by a serial verdict merge.  Every pair is
+  compared exactly once in full, so the result **and every work counter**
+  are bit-identical to serial ``NL`` for any worker count, under either
+  pruning policy.
+* ``exchange_interval > 0`` — the *pruning exchange*: workers share group
+  verdict flags and skip redundant probes.  The skyline keeps the serial
+  policy's guarantee (``safe`` stays exact, ``paper`` may be a superset on
+  adversarial inputs, like serial ``TR``), but the work counters become
+  schedule-dependent.
+
+Statistics of the pool workers are merged into the parent's comparator, so
+``AlgorithmStats`` — and therefore the observability registry flushed by
+:meth:`~repro.core.algorithms.base.AggregateSkylineAlgorithm.compute` —
+reconciles exactly with the work actually performed across all processes;
+the per-chunk breakdown is kept in :attr:`ParallelSkylineAlgorithm.
+worker_stats`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...obs import tracing as obs_tracing
+from ...parallel.executor import (
+    ChunkOutcome,
+    WorkerConfig,
+    apply_verdicts,
+    compare_span,
+    execute_chunks,
+    resolve_workers,
+)
+from ...parallel.partition import chunk_ranges, pair_count
+from ..gamma import GammaLike
+from ..groups import Group
+from ..result import AlgorithmStats
+from .base import AggregateSkylineAlgorithm, GroupState
+
+__all__ = ["ParallelSkylineAlgorithm"]
+
+
+class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
+    """Chunked nested-loop skyline on a process pool (extension)."""
+
+    name = "PAR"
+
+    def __init__(
+        self,
+        gamma: GammaLike = 0.5,
+        use_stopping_rule: bool = True,
+        use_bbox: bool = False,
+        prune_policy: str = "paper",
+        block_size: int = 1024,
+        workers: Optional[int] = None,
+        chunks_per_worker: int = 4,
+        exchange_interval: int = 0,
+        pool_timeout: float = 300.0,
+    ):
+        super().__init__(
+            gamma,
+            use_stopping_rule=use_stopping_rule,
+            use_bbox=use_bbox,
+            prune_policy=prune_policy,
+            block_size=block_size,
+        )
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be >= 1")
+        if exchange_interval < 0:
+            raise ValueError("exchange_interval must be >= 0")
+        if pool_timeout <= 0:
+            raise ValueError("pool_timeout must be positive")
+        #: Effective worker count (explicit > $REPRO_WORKERS > cpu-derived).
+        self.workers = resolve_workers(workers)
+        self.chunks_per_worker = chunks_per_worker
+        self.exchange_interval = exchange_interval
+        self.pool_timeout = pool_timeout
+        #: Per-chunk worker statistics of the last compute() (pooled runs).
+        self.worker_stats: List[AlgorithmStats] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def _mode(self) -> str:
+        return "exchange" if self.exchange_interval > 0 else "two-phase"
+
+    def _run(self, groups: List[Group], state: GroupState) -> None:
+        self.worker_stats = []
+        n = len(groups)
+        total = pair_count(n)
+        if total == 0:
+            return
+        spans = chunk_ranges(total, self.workers * self.chunks_per_worker)
+        tracer = obs_tracing.get_tracer()
+        span_attrs = dict(
+            workers=self.workers,
+            chunks=len(spans),
+            pairs=total,
+            mode=self._mode,
+        )
+        if self.workers == 1:
+            with tracer.span("parallel.chunks", **span_attrs):
+                self._run_inline(groups, state, spans, n)
+            return
+        config = WorkerConfig(
+            gamma=self.thresholds.gamma,
+            use_stopping_rule=self.comparator.use_stopping_rule,
+            use_bbox=self.comparator.use_bbox,
+            block_size=self.comparator.block_size,
+            prune_policy=self.prune_policy,
+            exchange_interval=self.exchange_interval,
+        )
+        with tracer.span("parallel.chunks", **span_attrs) as chunk_span:
+            outcomes = execute_chunks(
+                groups, config, spans, self.workers, self.pool_timeout
+            )
+            if chunk_span.is_recording:
+                for outcome in outcomes:
+                    chunk_span.add_event(
+                        "chunk",
+                        start=outcome.start,
+                        stop=outcome.stop,
+                        pid=outcome.worker_pid,
+                        pairs_examined=outcome.pairs_examined,
+                        elapsed_seconds=outcome.elapsed_seconds,
+                    )
+        with tracer.span("parallel.merge", chunks=len(outcomes)):
+            self._merge(outcomes, state)
+
+    # ------------------------------------------------------------------
+
+    def _run_inline(self, groups, state, spans, n) -> None:
+        """``workers == 1``: same kernel and chunk layout, no pool."""
+        flags = bytearray(n) if self.exchange_interval > 0 else None
+        for span in spans:
+            verdicts, skipped = compare_span(
+                groups,
+                self.comparator,
+                span,
+                prune_policy=self.prune_policy,
+                flags=flags,
+                exchange_interval=self.exchange_interval,
+            )
+            self._groups_skipped += skipped
+            apply_verdicts(state, verdicts)
+
+    def _merge(self, outcomes: List[ChunkOutcome], state: GroupState) -> None:
+        """Serial phase: fold worker verdicts and counters into this run."""
+        exits = 0
+        shortcuts = 0
+        for outcome in outcomes:
+            apply_verdicts(state, outcome.verdicts)
+            self.comparator.absorb(
+                comparisons=outcome.comparisons,
+                pairs_examined=outcome.pairs_examined,
+                bbox_shortcuts=outcome.bbox_shortcuts,
+                stopping_rule_exits=outcome.stopping_rule_exits,
+            )
+            self._groups_skipped += outcome.pairs_skipped
+            exits += outcome.stopping_rule_exits
+            shortcuts += outcome.bbox_shortcuts
+            self.worker_stats.append(
+                AlgorithmStats(
+                    algorithm=f"{self.name}.worker",
+                    group_comparisons=outcome.comparisons,
+                    record_pairs_examined=outcome.pairs_examined,
+                    bbox_shortcuts=outcome.bbox_shortcuts,
+                    groups_skipped=outcome.pairs_skipped,
+                    stopping_rule_exits=outcome.stopping_rule_exits,
+                    elapsed_seconds=outcome.elapsed_seconds,
+                )
+            )
+        # Detailed per-comparison instruments cannot observe remote
+        # comparisons one by one, but the event *counters* still reconcile.
+        if self.comparator._obs_exit_counter is not None and exits:
+            self.comparator._obs_exit_counter.inc(exits)
+        if self.comparator._obs_shortcut_counter is not None and shortcuts:
+            self.comparator._obs_shortcut_counter.inc(shortcuts)

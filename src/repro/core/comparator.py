@@ -267,6 +267,27 @@ class GroupComparator:
         self.bbox_shortcuts = 0
         self.stopping_rule_exits = 0
 
+    def absorb(
+        self,
+        comparisons: int = 0,
+        pairs_examined: int = 0,
+        bbox_shortcuts: int = 0,
+        stopping_rule_exits: int = 0,
+    ) -> None:
+        """Add externally accumulated counter *values* to this comparator.
+
+        Used when work was done elsewhere on this comparator's behalf — a
+        delegate algorithm (:class:`~repro.core.algorithms.adaptive.
+        AdaptiveAlgorithm`) or a pool worker (:mod:`repro.parallel`) — so the
+        owning algorithm's end-of-run statistics reflect the merged totals
+        without swapping comparator objects (swapping would leak the
+        delegate's configuration into later runs).
+        """
+        self.comparisons += int(comparisons)
+        self.pairs_examined += int(pairs_examined)
+        self.bbox_shortcuts += int(bbox_shortcuts)
+        self.stopping_rule_exits += int(stopping_rule_exits)
+
     def bind_metrics(self, registry, algorithm: str = "") -> None:
         """Attach per-comparison instruments from ``registry``.
 

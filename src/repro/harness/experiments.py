@@ -549,6 +549,89 @@ def extensions(scale: str = "small") -> FigureReport:
     return report
 
 
+def parallel_scaling(
+    scale: str = "small", workers: "int | None" = None
+) -> FigureReport:
+    """Extension: serial ``NL`` vs ``PAR`` at increasing worker counts.
+
+    A >= 200-group anti-correlated workload is solved once by the serial
+    nested loop and once per worker count by the parallel chunked executor
+    (deterministic two-phase mode, so every run returns the byte-identical
+    skyline and the identical record-pair count — only the wall clock may
+    move).  ``workers`` extends the default ``1, 2, 4`` ladder with an
+    explicit top rung (``aggskyline experiment parallel --workers 8``).
+    """
+    from ..relational.table import Table as _Table
+
+    factor = _factor(scale)
+    n_records = _scaled(10_000, factor, minimum=4_000)
+    group_size = max(10, n_records // 200)  # at least ~200 groups
+    spec = _synthetic(
+        n_records, "anticorrelated", dimensions=5, avg_group_size=group_size
+    )
+    dataset = generate_grouped(spec)
+    worker_counts = sorted({1, 2, 4} | ({workers} if workers else set()))
+
+    results = run_algorithms(
+        dataset,
+        algorithms=("NL",),
+        experiment="parallel",
+        params={"workers": 0, "groups": len(dataset)},
+    )
+    for count in worker_counts:
+        results.extend(
+            run_algorithms(
+                dataset,
+                algorithms=("PAR",),
+                experiment="parallel",
+                params={"workers": count, "groups": len(dataset)},
+                workers=count,
+            )
+        )
+
+    serial = results[0]
+    rows = [["NL (serial)", round(serial.elapsed_seconds, 4),
+             serial.record_pairs, serial.skyline_size, 1.0]]
+    identical = True
+    for measured in results[1:]:
+        rows.append(
+            [
+                f"PAR workers={measured.workers}",
+                round(measured.elapsed_seconds, 4),
+                measured.record_pairs,
+                measured.skyline_size,
+                round(serial.elapsed_seconds / measured.elapsed_seconds, 2)
+                if measured.elapsed_seconds
+                else None,
+            ]
+        )
+        identical = identical and (
+            measured.skyline_keys == serial.skyline_keys
+            and measured.record_pairs == serial.record_pairs
+        )
+    table = _Table(
+        ["configuration", "time (s)", "record pairs", "skyline", "speed-up"],
+        rows,
+    )
+    caption = (
+        f"parallel group-pair execution on {len(dataset)} groups"
+        f" ({dataset.total_records} records, anti-correlated)"
+    )
+    expectation = (
+        "identical skylines and record-pair counts at every worker count;"
+        " wall-clock drops as workers are added (hardware permitting)"
+    )
+    report = FigureReport("parallel", caption, expectation, results=results)
+    body = [("serial vs parallel", table)]
+    report.text = format_figure("parallel", caption, expectation, body)
+    report.text += (
+        "\nresults identical across worker counts: "
+        + ("yes" if identical else "NO (investigate!)")
+        + "\n"
+    )
+    return report
+
+
 FIGURES: Dict[str, Callable[[str], FigureReport]] = {
     "table2": table2,
     "fig8": figure8,
@@ -561,15 +644,27 @@ FIGURES: Dict[str, Callable[[str], FigureReport]] = {
     "fig14": figure14,
     "ablations": ablations,
     "extensions": extensions,
+    "parallel": parallel_scaling,
 }
 
+#: Figures whose builder accepts a ``workers`` keyword.
+_WORKER_AWARE_FIGURES = frozenset({"parallel"})
 
-def run_figure(figure_id: str, scale: str = "small") -> FigureReport:
-    """Regenerate one figure by id (see :data:`FIGURES`)."""
+
+def run_figure(
+    figure_id: str, scale: str = "small", workers: "int | None" = None
+) -> FigureReport:
+    """Regenerate one figure by id (see :data:`FIGURES`).
+
+    ``workers`` is forwarded to worker-aware figures (currently
+    ``"parallel"``) and ignored by the serial reproductions.
+    """
     try:
         builder = FIGURES[figure_id]
     except KeyError:
         raise ValueError(
             f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}"
         ) from None
+    if workers is not None and figure_id in _WORKER_AWARE_FIGURES:
+        return builder(scale, workers=workers)
     return builder(scale)

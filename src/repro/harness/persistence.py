@@ -37,6 +37,10 @@ def _result_to_dict(result: RunResult, include_obs: bool = True) -> dict:
         # output is deterministic.
         "skyline_keys": sorted(map(str, result.skyline_keys)),
     }
+    if result.workers is not None:
+        # Worker-pool size of parallel measurements; omitted (not null) for
+        # serial runs so pre-parallel files round-trip byte-identically.
+        data["workers"] = result.workers
     if include_obs:
         # Observability payloads (collected with run_algorithms(...,
         # collect_obs=True)): span tree + metrics-registry snapshot, so
@@ -60,6 +64,9 @@ def _result_from_dict(data: dict) -> RunResult:
         skyline_keys=frozenset(data.get("skyline_keys", ())),
         trace=data.get("trace"),
         metrics=data.get("metrics"),
+        workers=(
+            int(data["workers"]) if data.get("workers") is not None else None
+        ),
     )
 
 

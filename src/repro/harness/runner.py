@@ -17,9 +17,12 @@ from ..core.groups import GroupedDataset
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 
-__all__ = ["RunResult", "run_algorithms", "sweep"]
+__all__ = ["RunResult", "run_algorithms", "sweep", "PARALLEL_ALGORITHMS"]
 
 DEFAULT_ALGORITHMS = ("NL", "TR", "SI", "IN", "LO")
+
+#: Algorithms whose constructor accepts a ``workers`` pool size.
+PARALLEL_ALGORITHMS = ("PAR",)
 
 
 @dataclass
@@ -43,6 +46,9 @@ class RunResult:
     skyline_keys: frozenset = field(default_factory=frozenset, repr=False)
     trace: Optional[dict] = field(default=None, repr=False)
     metrics: Optional[dict] = field(default=None, repr=False)
+    #: Worker-pool size the measurement ran with (``None`` = serial /
+    #: unspecified); persisted so saved benchmarks record their parallelism.
+    workers: Optional[int] = None
 
 
 def run_algorithms(
@@ -55,6 +61,7 @@ def run_algorithms(
     repeats: int = 1,
     verify_consistency: bool = False,
     collect_obs: bool = False,
+    workers: Optional[int] = None,
 ) -> List[RunResult]:
     """Run each named algorithm on ``dataset`` and collect measurements.
 
@@ -69,6 +76,10 @@ def run_algorithms(
     fresh metrics registry and attaches the serialized span tree and
     registry snapshot to the returned :class:`RunResult` records (the
     per-algorithm run span feeds the saved benchmark JSON).
+
+    ``workers`` sizes the pool for algorithms that parallelise (currently
+    ``"PAR"``; serial algorithms ignore it) and is recorded on their
+    :class:`RunResult` so persisted measurements carry their parallelism.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -76,9 +87,13 @@ def run_algorithms(
     results: List[RunResult] = []
     tracer = obs_tracing.get_tracer()
     for name in algorithms:
+        engine_options = dict(options.get(name, {}))
+        if workers is not None and name in PARALLEL_ALGORITHMS:
+            engine_options.setdefault("workers", workers)
+        result_workers = engine_options.get("workers")
         best: Optional[RunResult] = None
         for _ in range(repeats):
-            engine = make_algorithm(name, gamma, **options.get(name, {}))
+            engine = make_algorithm(name, gamma, **engine_options)
             trace_payload = None
             metrics_payload = None
             with tracer.span(
@@ -109,6 +124,7 @@ def run_algorithms(
                 skyline_keys=frozenset(outcome.keys),
                 trace=trace_payload,
                 metrics=metrics_payload,
+                workers=result_workers,
             )
             if best is None or measured.elapsed_seconds < best.elapsed_seconds:
                 best = measured
@@ -138,6 +154,7 @@ def sweep(
     extra_params: Optional[Mapping[str, object]] = None,
     repeats: int = 1,
     collect_obs: bool = False,
+    workers: Optional[int] = None,
 ) -> List[RunResult]:
     """Run ``algorithms`` for each value of a swept parameter.
 
@@ -159,6 +176,7 @@ def sweep(
                 algorithm_options=algorithm_options,
                 repeats=repeats,
                 collect_obs=collect_obs,
+                workers=workers,
             )
         )
     return results

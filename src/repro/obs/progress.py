@@ -93,6 +93,7 @@ class ProgressReporter:
         self._clock = clock
         self._started = clock()
         self._last_emit: Optional[float] = None
+        self._finished_emitted = False
         self.events_emitted = 0
 
     def update(
@@ -104,9 +105,17 @@ class ProgressReporter:
         phase: str = "",
         force: bool = False,
     ) -> Optional[ProgressEvent]:
-        """Maybe emit a heartbeat; returns the event if one was emitted."""
+        """Maybe emit a heartbeat; returns the event if one was emitted.
+
+        The "finished" heartbeat (``done >= total``) bypasses throttling but
+        is emitted exactly once: any further post-completion update — even a
+        forced one — is suppressed, so callers that poll after completion do
+        not re-announce the finish.
+        """
         now = self._clock()
         finished = total > 0 and done >= total
+        if finished and self._finished_emitted:
+            return None
         if not (force or finished):
             if (
                 self._last_emit is not None
@@ -126,6 +135,8 @@ class ProgressReporter:
             ),
         )
         self._last_emit = now
+        if finished:
+            self._finished_emitted = True
         self.events_emitted += 1
         self._callback(event)
         return event

@@ -1,0 +1,67 @@
+"""repro.parallel — parallel group-pair execution subsystem.
+
+Layers (bottom-up):
+
+* :mod:`repro.parallel.partition` — linear indexing and chunking of the
+  upper-triangular group-pair space (pure math, no engine imports; also
+  backs the adaptive dispatcher's duplicate-free overlap sampling).
+* :mod:`repro.parallel.executor` — the process-pool driver: one-shot data
+  shipping (fork-inherited or pickled once per worker), the chunk kernel,
+  the lock-free pruning-exchange flags, and a pool timeout so a wedged pool
+  fails fast instead of hanging.
+* :class:`~repro.core.algorithms.parallel.ParallelSkylineAlgorithm` — the
+  ``PAR`` algorithm gluing both into the standard
+  :class:`~repro.core.algorithms.base.AggregateSkylineAlgorithm` template
+  (re-exported here lazily to avoid an import cycle with
+  ``repro.core.algorithms``).
+
+See ``docs/parallel.md`` for the architecture and determinism guarantees.
+"""
+
+from .executor import (
+    ChunkOutcome,
+    PoolTimeoutError,
+    WorkerConfig,
+    apply_verdicts,
+    compare_span,
+    execute_chunks,
+    preferred_start_method,
+    resolve_workers,
+)
+from .partition import (
+    chunk_ranges,
+    index_of_pair,
+    iter_pairs,
+    pair_count,
+    pair_from_index,
+    sample_pair_indices,
+)
+
+__all__ = [
+    "ChunkOutcome",
+    "PoolTimeoutError",
+    "WorkerConfig",
+    "apply_verdicts",
+    "compare_span",
+    "execute_chunks",
+    "preferred_start_method",
+    "resolve_workers",
+    "chunk_ranges",
+    "index_of_pair",
+    "iter_pairs",
+    "pair_count",
+    "pair_from_index",
+    "sample_pair_indices",
+    "ParallelSkylineAlgorithm",
+]
+
+
+def __getattr__(name: str):
+    # Lazy re-export: the algorithm lives in repro.core.algorithms (it
+    # subclasses the shared base class); importing it eagerly here would
+    # cycle with repro.core.algorithms -> repro.parallel.
+    if name == "ParallelSkylineAlgorithm":
+        from ..core.algorithms.parallel import ParallelSkylineAlgorithm
+
+        return ParallelSkylineAlgorithm
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,328 @@
+"""Process-pool execution of group-pair comparison chunks.
+
+This is the machinery behind ``PAR``
+(:class:`repro.core.algorithms.parallel.ParallelSkylineAlgorithm`): the
+upper-triangular group-pair matrix is cut into contiguous linear-index
+chunks (:mod:`repro.parallel.partition`), each chunk is compared by a pool
+worker with its own :class:`~repro.core.comparator.GroupComparator`, and the
+parent merges the compact verdict lists plus the per-chunk work counters.
+
+Shipping the data once
+----------------------
+Group ndarrays are **never pickled per task**.  The pool is created with an
+initializer that receives the full group list once:
+
+* under the ``fork`` start method (Linux default) the worker inherits the
+  parent's memory copy-on-write — zero serialization;
+* under ``spawn`` the initializer arguments are pickled **once per worker**
+  at pool start-up.
+
+Tasks submitted afterwards are just ``(start, stop)`` linear-index ranges,
+and results are compact ``(i, j, verdict-bits)`` triples for the (typically
+sparse) pairs where some dominance verdict fired.
+
+Pruning exchange
+----------------
+With ``exchange_interval > 0`` the workers additionally share a byte per
+group (bit 0 = dominated, bit 1 = strongly dominated) in a lock-free
+``RawArray``.  Every ``exchange_interval`` pairs a worker refreshes its
+local snapshot and skips work the rest of the pool has already made
+redundant:
+
+* ``prune_policy="paper"`` — pairs with a *strongly* dominated endpoint are
+  skipped entirely (the serial Algorithm-3 rule; the result carries the same
+  superset-of-Definition-2 guarantee as serial ``TR``);
+* ``prune_policy="safe"`` — only comparison *directions* that can no longer
+  change any verdict are dropped, so the result stays exactly the
+  Definition-2 skyline regardless of scheduling.
+
+Flag writes are monotonic 0->1, so the unlocked read-modify-write races are
+benign: a lost update can only cost a pruning opportunity, never
+correctness — the authoritative verdicts always travel back to the parent
+in the chunk results.  With ``exchange_interval == 0`` (the default) every
+pair is compared exactly once in full, which makes the run — results *and*
+work counters — bit-identical to serial ``NL`` for any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from multiprocessing import sharedctypes
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.comparator import GroupComparator
+from ..core.gamma import GammaThresholds
+from ..core.groups import Group
+from .partition import iter_pairs
+
+__all__ = [
+    "D12",
+    "D12_STRONG",
+    "D21",
+    "D21_STRONG",
+    "WorkerConfig",
+    "ChunkOutcome",
+    "resolve_workers",
+    "preferred_start_method",
+    "compare_span",
+    "apply_verdicts",
+    "execute_chunks",
+    "PoolTimeoutError",
+]
+
+#: Verdict bit flags packed into one int per pair (forward = g_i over g_j).
+D12, D12_STRONG, D21, D21_STRONG = 1, 2, 4, 8
+
+#: Flag-byte bits of the shared pruning-exchange array.
+_FLAG_DOMINATED, _FLAG_STRONG = 1, 2
+
+#: Environment variable consulted when ``workers`` is not given explicitly.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+class PoolTimeoutError(RuntimeError):
+    """The worker pool failed to deliver results within ``pool_timeout``."""
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit value, else ``$REPRO_WORKERS``,
+    else ``min(4, cpu_count)``."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if env:
+            workers = int(env)
+        else:
+            workers = min(4, os.cpu_count() or 1)
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def preferred_start_method() -> str:
+    """``fork`` when the platform offers it (zero-copy data shipping)."""
+    return "fork" if "fork" in mp.get_all_start_methods() else \
+        mp.get_start_method(allow_none=False)
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Comparator + policy configuration shipped to each worker once."""
+
+    gamma: object  # GammaLike; Fractions/floats pickle fine
+    use_stopping_rule: bool = True
+    use_bbox: bool = False
+    block_size: int = 1024
+    prune_policy: str = "paper"
+    exchange_interval: int = 0
+
+
+@dataclass
+class ChunkOutcome:
+    """What one chunk sent back: verdicts + the worker's work counters."""
+
+    start: int
+    stop: int
+    verdicts: List[Tuple[int, int, int]] = field(default_factory=list)
+    comparisons: int = 0
+    pairs_examined: int = 0
+    bbox_shortcuts: int = 0
+    stopping_rule_exits: int = 0
+    pairs_skipped: int = 0
+    elapsed_seconds: float = 0.0
+    worker_pid: int = 0
+
+
+def _encode(outcome) -> int:
+    code = 0
+    if outcome.d12:
+        code |= D12
+    if outcome.d12_strong:
+        code |= D12_STRONG
+    if outcome.d21:
+        code |= D21
+    if outcome.d21_strong:
+        code |= D21_STRONG
+    return code
+
+
+def apply_verdicts(state, verdicts: Sequence[Tuple[int, int, int]]) -> None:
+    """Apply packed pair verdicts to a group-state (NL merge semantics)."""
+    for i, j, code in verdicts:
+        if code & D12_STRONG:
+            state.mark_strong(j)
+        elif code & D12:
+            state.mark_dominated(j)
+        if code & D21_STRONG:
+            state.mark_strong(i)
+        elif code & D21:
+            state.mark_dominated(i)
+
+
+def compare_span(
+    groups: Sequence[Group],
+    comparator: GroupComparator,
+    span: Tuple[int, int],
+    *,
+    prune_policy: str = "paper",
+    flags=None,
+    exchange_interval: int = 0,
+) -> Tuple[List[Tuple[int, int, int]], int]:
+    """Compare every pair in ``span`` (linear indices); the chunk kernel.
+
+    Returns ``(verdicts, pairs_skipped)`` where ``verdicts`` holds only the
+    pairs for which some dominance predicate fired.  ``flags`` (any
+    byte-indexable, byte-assignable buffer — a shared ``RawArray`` in pool
+    workers, a plain ``bytearray`` inline) enables the pruning exchange; the
+    kernel refreshes its snapshot of it every ``exchange_interval`` pairs.
+    """
+    start, stop = span
+    n = len(groups)
+    verdicts: List[Tuple[int, int, int]] = []
+    skipped = 0
+    exchanging = flags is not None and exchange_interval > 0
+    local = bytes(flags) if exchanging else b""
+    since_refresh = 0
+    for i, j in iter_pairs(start, stop, n):
+        if exchanging:
+            if since_refresh >= exchange_interval:
+                local = bytes(flags)
+                since_refresh = 0
+            since_refresh += 1
+            if prune_policy == "paper":
+                if (local[i] | local[j]) & _FLAG_STRONG:
+                    skipped += 1
+                    continue
+                need_forward = need_backward = True
+            else:
+                need_forward = not local[j] & _FLAG_DOMINATED
+                need_backward = not local[i] & _FLAG_DOMINATED
+                if not (need_forward or need_backward):
+                    skipped += 1
+                    continue
+            outcome = comparator.compare(
+                groups[i],
+                groups[j],
+                need_forward=need_forward,
+                need_backward=need_backward,
+            )
+        else:
+            outcome = comparator.compare(groups[i], groups[j])
+        code = _encode(outcome)
+        if not code:
+            continue
+        verdicts.append((i, j, code))
+        if exchanging:
+            # Publish monotonic marks (benign unlocked read-modify-write:
+            # a lost bit only costs pruning, never correctness).
+            if code & D12_STRONG:
+                flags[j] |= _FLAG_DOMINATED | _FLAG_STRONG
+            elif code & D12:
+                flags[j] |= _FLAG_DOMINATED
+            if code & D21_STRONG:
+                flags[i] |= _FLAG_DOMINATED | _FLAG_STRONG
+            elif code & D21:
+                flags[i] |= _FLAG_DOMINATED
+    return verdicts, skipped
+
+
+# ----------------------------------------------------------------------
+# pool plumbing: per-worker globals set once by the initializer
+# ----------------------------------------------------------------------
+
+_WORKER_GROUPS: Optional[Sequence[Group]] = None
+_WORKER_COMPARATOR: Optional[GroupComparator] = None
+_WORKER_CONFIG: Optional[WorkerConfig] = None
+_WORKER_FLAGS = None
+
+
+def _init_worker(groups, config: WorkerConfig, flags) -> None:
+    """Pool initializer: receive the dataset once, build one comparator."""
+    global _WORKER_GROUPS, _WORKER_COMPARATOR, _WORKER_CONFIG, _WORKER_FLAGS
+    _WORKER_GROUPS = groups
+    _WORKER_CONFIG = config
+    _WORKER_FLAGS = flags
+    _WORKER_COMPARATOR = GroupComparator(
+        GammaThresholds(config.gamma),
+        use_stopping_rule=config.use_stopping_rule,
+        use_bbox=config.use_bbox,
+        block_size=config.block_size,
+    )
+
+
+def _run_chunk(span: Tuple[int, int]) -> ChunkOutcome:
+    """Task body executed in a pool worker: one chunk, counters reset."""
+    assert _WORKER_GROUPS is not None and _WORKER_COMPARATOR is not None
+    config = _WORKER_CONFIG
+    comparator = _WORKER_COMPARATOR
+    comparator.reset_stats()
+    started = time.perf_counter()
+    verdicts, skipped = compare_span(
+        _WORKER_GROUPS,
+        comparator,
+        span,
+        prune_policy=config.prune_policy,
+        flags=_WORKER_FLAGS,
+        exchange_interval=config.exchange_interval,
+    )
+    return ChunkOutcome(
+        start=span[0],
+        stop=span[1],
+        verdicts=verdicts,
+        comparisons=comparator.comparisons,
+        pairs_examined=comparator.pairs_examined,
+        bbox_shortcuts=comparator.bbox_shortcuts,
+        stopping_rule_exits=comparator.stopping_rule_exits,
+        pairs_skipped=skipped,
+        elapsed_seconds=time.perf_counter() - started,
+        worker_pid=os.getpid(),
+    )
+
+
+def execute_chunks(
+    groups: Sequence[Group],
+    config: WorkerConfig,
+    spans: Sequence[Tuple[int, int]],
+    workers: int,
+    pool_timeout: float = 300.0,
+) -> List[ChunkOutcome]:
+    """Run ``spans`` over a ``workers``-sized process pool; ordered results.
+
+    The dataset travels to the pool exactly once (see the module docstring);
+    afterwards only tiny span tuples and compact verdict lists cross the
+    process boundary.  A deadlocked or wedged pool raises
+    :class:`PoolTimeoutError` after ``pool_timeout`` seconds instead of
+    hanging the caller (and CI) forever.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if not spans:
+        return []
+    ctx = mp.get_context(preferred_start_method())
+    flags = (
+        sharedctypes.RawArray("B", len(groups))
+        if config.exchange_interval > 0
+        else None
+    )
+    pool = ctx.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(list(groups), config, flags),
+    )
+    try:
+        pending = pool.map_async(_run_chunk, list(spans), chunksize=1)
+        try:
+            outcomes = pending.get(timeout=pool_timeout)
+        except mp.TimeoutError:
+            raise PoolTimeoutError(
+                f"parallel skyline pool produced no result within"
+                f" {pool_timeout:.0f}s ({workers} workers,"
+                f" {len(spans)} chunks); pool terminated"
+            ) from None
+    finally:
+        pool.terminate()
+        pool.join()
+    return outcomes

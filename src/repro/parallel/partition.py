@@ -1,0 +1,126 @@
+"""Pair-space partitioning for parallel group-pair execution.
+
+The aggregate skyline's outer loop ranges over the *upper triangle* of the
+m x m group-comparison matrix (Equation 3 of the paper): the unordered pairs
+``(i, j)`` with ``i < j``.  This module gives that triangle a flat,
+row-major *linear index* so it can be
+
+* cut into contiguous, near-equal chunks for a worker pool
+  (:func:`chunk_ranges` + :func:`iter_pairs`), and
+* sampled without replacement for cheap dataset diagnostics
+  (:func:`sample_pair_indices`, used by the adaptive dispatcher's overlap
+  estimator).
+
+Everything here is pure integer math (plus an optional numpy RNG for
+sampling) — no engine imports — so both :mod:`repro.core` and
+:mod:`repro.parallel` can depend on it without cycles.
+
+Linear layout (``n = 4``)::
+
+    k:      0      1      2      3      4      5
+    pair: (0,1)  (0,2)  (0,3)  (1,2)  (1,3)  (2,3)
+
+``index_of_pair`` and :func:`pair_from_index` are exact inverses for every
+``0 <= k < pair_count(n)`` (see ``tests/test_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "pair_count",
+    "index_of_pair",
+    "pair_from_index",
+    "iter_pairs",
+    "chunk_ranges",
+    "sample_pair_indices",
+]
+
+
+def pair_count(n: int) -> int:
+    """Number of unordered pairs over ``n`` items: ``n * (n - 1) / 2``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return n * (n - 1) // 2
+
+
+def index_of_pair(i: int, j: int, n: int) -> int:
+    """Row-major linear index of the pair ``(i, j)`` with ``i < j < n``."""
+    if not 0 <= i < j < n:
+        raise ValueError(f"need 0 <= i < j < n, got i={i}, j={j}, n={n}")
+    return i * n - i * (i + 1) // 2 + (j - i - 1)
+
+
+def pair_from_index(k: int, n: int) -> Tuple[int, int]:
+    """Inverse of :func:`index_of_pair` (exact integer arithmetic).
+
+    Solves the row ``i`` from the triangular-number inequality with
+    ``math.isqrt`` — no floating point, so it stays exact for huge ``n``.
+    """
+    total = pair_count(n)
+    if not 0 <= k < total:
+        raise ValueError(f"pair index {k} out of range for n={n}")
+    # Count pairs from the *end*: row i is the unique row with
+    # rem(i+1) <= total - 1 - k < rem(i), where rem(i) = C(n - i, 2).
+    rest = total - 1 - k
+    i = n - 2 - (math.isqrt(8 * rest + 1) - 1) // 2
+    j = k - (i * n - i * (i + 1) // 2) + i + 1
+    return i, j
+
+
+def iter_pairs(start: int, stop: int, n: int) -> Iterator[Tuple[int, int]]:
+    """Yield the pairs with linear indices ``start <= k < stop``.
+
+    Decodes ``start`` once and then walks the triangle incrementally, so the
+    per-pair cost is O(1) regardless of where the chunk sits.
+    """
+    if start >= stop:
+        return
+    i, j = pair_from_index(start, n)
+    for _ in range(stop - start):
+        yield i, j
+        j += 1
+        if j >= n:
+            i += 1
+            j = i + 1
+
+
+def chunk_ranges(total: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into up to ``chunks`` contiguous, near-equal
+    ``(start, stop)`` ranges (never more ranges than items; deterministic)."""
+    if chunks < 1:
+        raise ValueError("chunks must be positive")
+    if total <= 0:
+        return []
+    chunks = min(chunks, total)
+    base, remainder = divmod(total, chunks)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for c in range(chunks):
+        size = base + (1 if c < remainder else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def sample_pair_indices(n: int, samples: int, rng) -> Sequence[int]:
+    """``samples`` *distinct* linear pair indices drawn with ``rng``.
+
+    Sampling is without replacement (no pair is probed twice — the old
+    overlap estimator could waste its budget on duplicates).  Small pair
+    spaces are permuted outright; large ones use rejection sampling into a
+    set, which is fast while ``samples`` is well below ``pair_count(n)``.
+    """
+    total = pair_count(n)
+    samples = min(samples, total)
+    if samples <= 0:
+        return []
+    if total <= 4 * samples:
+        return [int(k) for k in rng.permutation(total)[:samples]]
+    chosen: set = set()
+    while len(chosen) < samples:
+        draw = rng.integers(0, total, size=samples - len(chosen))
+        chosen.update(int(k) for k in draw)
+    return sorted(chosen)

@@ -70,6 +70,49 @@ class TestAdaptiveAlgorithm:
         with pytest.raises(ValueError):
             AdaptiveAlgorithm(0.5, overlap_threshold=1.5)
 
+    def test_repeated_compute_is_stable(self):
+        # Regression: an earlier version adopted the delegate's comparator
+        # (and its counters) by reference, so a second compute() ran with
+        # the delegate's configuration and double-counted the first run.
+        algorithm = AdaptiveAlgorithm(0.5)
+        dataset = workload(spread=0.05, seed=9)
+        first = algorithm.compute(dataset)
+        second = algorithm.compute(dataset)
+        assert second.as_set() == first.as_set()
+        assert (
+            second.stats.group_comparisons == first.stats.group_comparisons
+        )
+        assert (
+            second.stats.record_pairs_examined
+            == first.stats.record_pairs_examined
+        )
+
+    def test_comparator_configuration_survives_compute(self):
+        algorithm = AdaptiveAlgorithm(0.5, use_bbox=True, block_size=512)
+        comparator = algorithm.comparator
+        algorithm.compute(workload(spread=0.05))
+        assert algorithm.comparator is comparator
+        assert algorithm.comparator.use_bbox is True
+        assert algorithm.comparator.block_size == 512
+
+    def test_overlap_estimate_is_seeded(self):
+        dataset = workload(spread=0.4, seed=2)
+        # Same seed -> same estimate; the seed is a constructor parameter.
+        a = AdaptiveAlgorithm(0.5, seed=42, sample_pairs=16)
+        b = AdaptiveAlgorithm(0.5, seed=42, sample_pairs=16)
+        a.compute(dataset)
+        b.compute(dataset)
+        assert a.estimated_overlap == b.estimated_overlap
+
+    def test_overlap_sampling_deduplicates(self):
+        # Budget >= pair space: the estimate is exact, hence seed-free.
+        dataset = workload(spread=0.4, seed=2)
+        estimates = {
+            estimate_overlap(dataset.groups, sample_pairs=10**6, seed=s)
+            for s in (0, 1, 7)
+        }
+        assert len(estimates) == 1
+
 
 class TestAsciiChart:
     def test_contains_markers_and_legend(self):

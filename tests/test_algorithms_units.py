@@ -30,7 +30,7 @@ def small_dataset():
 class TestRegistry:
     def test_registry_contents(self):
         assert set(ALGORITHMS) == {
-            "NL", "TR", "SI", "IN", "LO", "SQL", "AD",
+            "NL", "TR", "SI", "IN", "LO", "SQL", "AD", "PAR",
         }
 
     def test_make_algorithm_case_insensitive(self):

@@ -101,6 +101,21 @@ class TestSkylineCommand:
         assert code == 0
         assert "Wiseau" in capsys.readouterr().out
 
+    def test_workers_forces_parallel_algorithm(self, movies_csv, capsys):
+        code = main(
+            [
+                "skyline",
+                "--csv", movies_csv,
+                "--group-by", "director",
+                "--of", "pop:max,qual:max",
+                "--workers", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[PAR]" in out
+        assert "Tarantino" in out and "Coppola" in out
+
 
 class TestGenerateCommands:
     def test_generate(self, tmp_path, capsys):

@@ -75,6 +75,15 @@ class TestSmokeFigures:
         assert "variant" in report.text
 
     @pytest.mark.slow
+    def test_parallel_figure_identical_across_worker_counts(self):
+        report = run_figure("parallel", scale="smoke")
+        assert "results identical across worker counts: yes" in report.text
+        skylines = {r.skyline_keys for r in report.results}
+        assert len(skylines) == 1
+        pair_counts = {r.record_pairs for r in report.results}
+        assert len(pair_counts) == 1  # two-phase PAR does exactly NL's work
+
+    @pytest.mark.slow
     @pytest.mark.parametrize(
         "figure_id",
         ["fig10", "fig11", "fig12", "fig13a", "fig13c", "fig14"],

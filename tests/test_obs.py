@@ -364,6 +364,23 @@ class TestProgress:
         assert [e.done for e in events] == [1, 10]
         assert events[-1].finished
 
+    def test_finished_event_emitted_only_once(self):
+        # Regression: callers that keep polling after completion (the
+        # anytime engine's heartbeat loop does) used to re-emit a
+        # "finished" line on every update.
+        fake_time = [0.0]
+        events = []
+        reporter = ProgressReporter(
+            events.append, min_interval=0.0, clock=lambda: fake_time[0]
+        )
+        reporter.update(5, 10)
+        for _ in range(4):
+            fake_time[0] += 1.0
+            reporter.update(10, 10)
+        finished = [e for e in events if e.finished]
+        assert len(finished) == 1
+        assert reporter.events_emitted == 2
+
     def test_describe_mentions_eta(self):
         event = obs_progress.ProgressEvent(
             phase="probe",
@@ -397,11 +414,12 @@ def reconciliation_dataset() -> GroupedDataset:
 
 
 class TestStatsRegistryReconciliation:
-    @pytest.mark.parametrize("name", ["NL", "TR", "SI", "IN", "LO"])
+    @pytest.mark.parametrize("name", ["NL", "TR", "SI", "IN", "LO", "PAR"])
     def test_counters_match_stats(self, name, reconciliation_dataset):
         registry = MetricsRegistry()
+        options = {"workers": 2} if name == "PAR" else {}
         with use_registry(registry):
-            result = make_algorithm(name, 0.75).compute(
+            result = make_algorithm(name, 0.75, **options).compute(
                 reconciliation_dataset
             )
         stats = result.stats

@@ -1,0 +1,440 @@
+"""Tests for the parallel subsystem (repro.parallel + the PAR algorithm).
+
+The determinism contract under test: with ``exchange_interval == 0`` (the
+default two-phase scheme) ``PAR`` must be bit-identical to serial ``NL`` —
+same skyline, same group-comparison count, same record-pair count — for any
+worker count and under either pruning policy.  With pruning exchange on,
+``safe`` stays exactly the Definition-2 skyline and ``paper`` may only be a
+superset (the serial TR guarantee).
+"""
+
+from __future__ import annotations
+
+import signal
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import make_algorithm
+from repro.core.algorithms.parallel import ParallelSkylineAlgorithm
+from repro.data.synthetic import SyntheticSpec, generate_grouped
+from repro.harness.persistence import results_from_json, results_to_json
+from repro.harness.runner import RunResult, run_algorithms
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.parallel import (
+    PoolTimeoutError,
+    WorkerConfig,
+    chunk_ranges,
+    execute_chunks,
+    index_of_pair,
+    iter_pairs,
+    pair_count,
+    pair_from_index,
+    resolve_workers,
+    sample_pair_indices,
+)
+from repro.parallel.executor import WORKERS_ENV_VAR
+from tests.conftest import exact_aggregate_skyline, random_grouped_dataset
+
+DISTRIBUTIONS = ("independent", "correlated", "anticorrelated")
+POLICIES = ("paper", "safe")
+
+
+@pytest.fixture(autouse=True)
+def _deadlock_guard():
+    """Per-test wall-clock ceiling: a wedged pool fails, it doesn't hang.
+
+    CI adds pytest-timeout on top; this fixture is the local fallback for
+    environments where that plugin is not installed (POSIX only).
+    """
+    if not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):  # pragma: no cover - only on deadlock
+        raise RuntimeError("parallel test exceeded the 120s deadlock guard")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(120)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def workload(distribution: str, n_records: int = 300, seed: int = 5):
+    return generate_grouped(
+        SyntheticSpec(
+            n_records=n_records,
+            avg_group_size=15,
+            dimensions=3,
+            distribution=distribution,
+            group_spread=0.4,
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {d: workload(d) for d in DISTRIBUTIONS}
+
+
+# ---------------------------------------------------------------------------
+# Partitioning math
+# ---------------------------------------------------------------------------
+
+
+class TestPartition:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 8, 33])
+    def test_pair_count_matches_enumeration(self, n):
+        expected = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        assert pair_count(n) == len(expected)
+        assert list(iter_pairs(0, pair_count(n), n)) == expected
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 50])
+    def test_index_round_trip_exhaustive(self, n):
+        for k in range(pair_count(n)):
+            i, j = pair_from_index(k, n)
+            assert 0 <= i < j < n
+            assert index_of_pair(i, j, n) == k
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=2, max_value=100_000), st.data())
+    def test_index_round_trip_property(self, n, data):
+        k = data.draw(
+            st.integers(min_value=0, max_value=pair_count(n) - 1)
+        )
+        assert index_of_pair(*pair_from_index(k, n), n) == k
+
+    def test_iter_pairs_is_a_slice_of_the_triangle(self):
+        n = 9
+        full = list(iter_pairs(0, pair_count(n), n))
+        for start, stop in [(0, 5), (7, 20), (11, 11), (30, pair_count(n))]:
+            assert list(iter_pairs(start, stop, n)) == full[start:stop]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            index_of_pair(3, 3, 5)
+        with pytest.raises(ValueError):
+            pair_from_index(pair_count(6), 6)
+        with pytest.raises(ValueError):
+            pair_count(-1)
+
+    @pytest.mark.parametrize(
+        "total,chunks", [(10, 3), (10, 10), (10, 25), (1, 4), (97, 8)]
+    )
+    def test_chunk_ranges_cover_exactly(self, total, chunks):
+        ranges = chunk_ranges(total, chunks)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == total
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+        sizes = [stop - start for start, stop in ranges]
+        assert max(sizes) - min(sizes) <= 1
+        assert len(ranges) == min(total, chunks)
+
+    def test_chunk_ranges_edge_cases(self):
+        assert chunk_ranges(0, 4) == []
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+
+    def test_sample_pair_indices_without_replacement(self):
+        rng = np.random.default_rng(0)
+        indices = sample_pair_indices(40, 200, rng)
+        assert len(indices) == len(set(indices)) == 200
+        assert all(0 <= k < pair_count(40) for k in indices)
+
+    def test_sample_pair_indices_exhausts_small_spaces(self):
+        # Budget >= pair space: every pair exactly once, any seed.
+        for seed in (0, 1, 99):
+            rng = np.random.default_rng(seed)
+            indices = sample_pair_indices(6, 1000, rng)
+            assert sorted(indices) == list(range(pair_count(6)))
+
+    def test_sample_pair_indices_empty(self):
+        rng = np.random.default_rng(0)
+        assert list(sample_pair_indices(1, 10, rng)) == []
+        assert list(sample_pair_indices(10, 0, rng)) == []
+
+
+# ---------------------------------------------------------------------------
+# Worker resolution
+# ---------------------------------------------------------------------------
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        assert resolve_workers(None) == 2
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers(None) >= 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+# ---------------------------------------------------------------------------
+# PAR == NL equivalence (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    @pytest.mark.parametrize("prune_policy", POLICIES)
+    def test_two_phase_identical_to_nested_loop(
+        self, distribution, prune_policy, datasets
+    ):
+        dataset = datasets[distribution]
+        reference = make_algorithm(
+            "NL", 0.5, prune_policy=prune_policy
+        ).compute(dataset)
+        for workers in (1, 2, 4):
+            result = make_algorithm(
+                "PAR", 0.5, prune_policy=prune_policy, workers=workers
+            ).compute(dataset)
+            context = f"{distribution}/{prune_policy}/workers={workers}"
+            assert result.as_set() == reference.as_set(), context
+            assert (
+                result.stats.group_comparisons
+                == reference.stats.group_comparisons
+            ), context
+            assert (
+                result.stats.record_pairs_examined
+                == reference.stats.record_pairs_examined
+            ), context
+            assert (
+                result.stats.stopping_rule_exits
+                == reference.stats.stopping_rule_exits
+            ), context
+
+    def test_repeated_compute_is_stable(self, datasets):
+        algorithm = make_algorithm("PAR", 0.5, workers=2)
+        first = algorithm.compute(datasets["independent"])
+        second = algorithm.compute(datasets["independent"])
+        assert first.as_set() == second.as_set()
+        assert (
+            first.stats.record_pairs_examined
+            == second.stats.record_pairs_examined
+        )
+
+    def test_worker_stats_sum_to_parent_totals(self, datasets):
+        algorithm = ParallelSkylineAlgorithm(0.5, workers=2)
+        result = algorithm.compute(datasets["anticorrelated"])
+        assert algorithm.worker_stats  # pooled run keeps the breakdown
+        assert (
+            sum(s.group_comparisons for s in algorithm.worker_stats)
+            == result.stats.group_comparisons
+        )
+        assert (
+            sum(s.record_pairs_examined for s in algorithm.worker_stats)
+            == result.stats.record_pairs_examined
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_inline_kernel_matches_oracle_in_safe_mode(
+        self, n_groups, max_size, seed
+    ):
+        # workers=1 runs the chunk kernel in-process: cheap enough for a
+        # property test against the Definition-2 brute-force oracle.
+        rng = np.random.default_rng(seed)
+        dataset = random_grouped_dataset(
+            rng, n_groups=n_groups, max_group_size=max_size
+        )
+        expected = exact_aggregate_skyline(dataset, 0.5)
+        result = make_algorithm(
+            "PAR", 0.5, prune_policy="safe", workers=1
+        ).compute(dataset)
+        assert result.as_set() == expected
+
+
+# ---------------------------------------------------------------------------
+# Pruning exchange (exchange_interval > 0)
+# ---------------------------------------------------------------------------
+
+
+class TestPruningExchange:
+    def test_safe_policy_stays_exact(self, datasets):
+        dataset = datasets["anticorrelated"]
+        expected = make_algorithm(
+            "NL", 0.5, prune_policy="safe"
+        ).compute(dataset)
+        for workers in (1, 2):
+            result = make_algorithm(
+                "PAR",
+                0.5,
+                prune_policy="safe",
+                workers=workers,
+                exchange_interval=4,
+            ).compute(dataset)
+            assert result.as_set() == expected.as_set(), workers
+
+    def test_paper_policy_is_superset(self, datasets):
+        dataset = datasets["correlated"]
+        expected = exact_aggregate_skyline(dataset, 0.5)
+        result = make_algorithm(
+            "PAR",
+            0.5,
+            prune_policy="paper",
+            workers=2,
+            exchange_interval=4,
+        ).compute(dataset)
+        assert result.as_set() >= expected
+
+    def test_exchange_can_skip_work(self, datasets):
+        dataset = datasets["correlated"]
+        full = make_algorithm("PAR", 0.5, workers=1).compute(dataset)
+        pruned = make_algorithm(
+            "PAR", 0.5, workers=1, exchange_interval=1
+        ).compute(dataset)
+        assert (
+            pruned.stats.record_pairs_examined
+            <= full.stats.record_pairs_examined
+        )
+
+
+# ---------------------------------------------------------------------------
+# Pool mechanics / failure modes
+# ---------------------------------------------------------------------------
+
+
+class TestExecutor:
+    def test_empty_spans(self, datasets):
+        config = WorkerConfig(gamma=0.5)
+        assert execute_chunks(
+            datasets["independent"].groups, config, [], workers=2
+        ) == []
+
+    def test_invalid_worker_count(self, datasets):
+        config = WorkerConfig(gamma=0.5)
+        with pytest.raises(ValueError):
+            execute_chunks(
+                datasets["independent"].groups, config, [(0, 1)], workers=0
+            )
+
+    def test_wedged_pool_fails_fast(self):
+        # A timeout far below pool start-up cost must surface as
+        # PoolTimeoutError (not a hang) and terminate the pool.
+        dataset = workload("anticorrelated", n_records=1500)
+        groups = dataset.groups
+        spans = chunk_ranges(pair_count(len(groups)), 8)
+        with pytest.raises(PoolTimeoutError):
+            execute_chunks(
+                groups,
+                WorkerConfig(gamma=0.5),
+                spans,
+                workers=2,
+                pool_timeout=1e-4,
+            )
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ParallelSkylineAlgorithm(0.5, chunks_per_worker=0)
+        with pytest.raises(ValueError):
+            ParallelSkylineAlgorithm(0.5, exchange_interval=-1)
+        with pytest.raises(ValueError):
+            ParallelSkylineAlgorithm(0.5, pool_timeout=0.0)
+
+    def test_registered(self):
+        assert isinstance(
+            make_algorithm("PAR", workers=1), ParallelSkylineAlgorithm
+        )
+
+
+# ---------------------------------------------------------------------------
+# Observability reconciliation across process boundaries
+# ---------------------------------------------------------------------------
+
+
+class TestParallelObservability:
+    def test_registry_reconciles_with_pooled_stats(self, datasets):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = make_algorithm("PAR", 0.5, workers=2).compute(
+                datasets["independent"]
+            )
+
+        def counter_value(metric: str) -> float:
+            return registry.counter(
+                metric, "", labelnames=("algorithm",)
+            ).value(algorithm="PAR")
+
+        stats = result.stats
+        assert counter_value("skyline_runs_total") == 1
+        assert (
+            counter_value("skyline_group_comparisons_total")
+            == stats.group_comparisons
+        )
+        assert (
+            counter_value("skyline_record_pairs_total")
+            == stats.record_pairs_examined
+        )
+        assert (
+            counter_value("skyline_stopping_rule_exits_total")
+            == stats.stopping_rule_exits
+        )
+
+
+# ---------------------------------------------------------------------------
+# Harness plumbing (--workers end to end)
+# ---------------------------------------------------------------------------
+
+
+class TestHarnessWorkers:
+    def test_runner_forwards_workers_to_parallel_algorithms(self, datasets):
+        results = run_algorithms(
+            datasets["independent"],
+            algorithms=("NL", "PAR"),
+            workers=1,
+            experiment="t",
+        )
+        by_algorithm = {r.algorithm: r for r in results}
+        assert by_algorithm["NL"].workers is None
+        assert by_algorithm["PAR"].workers == 1
+        assert (
+            by_algorithm["PAR"].skyline_keys
+            == by_algorithm["NL"].skyline_keys
+        )
+        assert (
+            by_algorithm["PAR"].record_pairs
+            == by_algorithm["NL"].record_pairs
+        )
+
+    def _result(self, workers):
+        return RunResult(
+            experiment="e",
+            params={"x": 1},
+            algorithm="PAR" if workers else "NL",
+            elapsed_seconds=0.25,
+            group_comparisons=3,
+            record_pairs=5,
+            skyline_size=1,
+            skyline_keys=frozenset({"g0"}),
+            workers=workers,
+        )
+
+    def test_workers_round_trip_through_persistence(self):
+        loaded = results_from_json(results_to_json([self._result(2)]))
+        assert loaded[0].workers == 2
+
+    def test_serial_results_omit_the_workers_key(self):
+        text = results_to_json([self._result(None)])
+        assert '"workers"' not in text
+        assert results_from_json(text)[0].workers is None
