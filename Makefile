@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= smoke
 
-.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo clean
+.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -39,6 +39,12 @@ metrics-demo:
 # Serial-vs-parallel comparison table on a pool of 2 (docs/parallel.md).
 parallel-demo:
 	$(PYTHON) -m repro experiment parallel --scale $(SCALE) --workers 2
+
+# PAR + parallel-IN speedup benchmarks: both schedulers, steal counts
+# (benchmarks/results/parallel_in_zipf_$(SCALE).txt; docs/parallel.md).
+parallel-bench:
+	REPRO_BENCH_SCALE=$(SCALE) $(PYTHON) -m pytest \
+		benchmarks/bench_parallel_speedup.py
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis

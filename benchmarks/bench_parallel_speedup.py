@@ -1,23 +1,35 @@
-"""Serial-vs-parallel speedup of the PAR extension.
+"""Serial-vs-parallel speedup of the pooled algorithms.
 
-Regenerates the ``parallel`` comparison table (NL baseline vs ``PAR`` at
-1/2/4 workers on a >= 200-group anti-correlated workload) and asserts the
-determinism contract: every configuration returns the same skyline and does
-exactly the same number of record-pair probes.  The wall-clock speedup
-assertion is gated on the host actually having the cores — on a 1-core
-container the pool can only add overhead, which the saved results record
-honestly.
+Two workloads, two claims:
+
+* **PAR on anti-correlated** — regenerates the ``parallel`` comparison
+  table (NL baseline vs ``PAR`` at 1/2/4 workers) and asserts the
+  two-phase determinism contract: every configuration returns the same
+  skyline and does exactly the same number of record-pair probes.
+* **IN on Zipfian group sizes** — the work-stealing showcase.  The same
+  indexed computation runs at 1/2/4 workers under both schedulers; the
+  independent-candidate discipline means results *and* counters match
+  the inline (``workers=1``) kernel bit-for-bit, while the stealing
+  scheduler rebalances the skewed slabs.  Steal counts and per-config
+  timings are written to ``benchmarks/results/``.
+
+Wall-clock speedup assertions are gated on the host actually having the
+cores — on a 1-core container the pool can only add overhead, which the
+saved results record honestly.
 """
 
 import os
+import time
 
 import pytest
-from conftest import BENCH_SCALE, make_workload, regenerate
+from conftest import BENCH_SCALE, RESULTS_DIR, make_workload, regenerate
 
+from repro import ExecutionConfig
 from repro.core.algorithms import make_algorithm
 
 MIN_CORES_FOR_SPEEDUP = 4
 EXPECTED_SPEEDUP = 1.5
+SCHEDULERS = ("static", "stealing")
 
 
 def _times_by_workers(report):
@@ -25,6 +37,11 @@ def _times_by_workers(report):
     return {
         int(r.params["workers"]): r.elapsed_seconds for r in report.results
     }
+
+
+# ----------------------------------------------------------------------
+# PAR on anti-correlated: the two-phase determinism contract
+# ----------------------------------------------------------------------
 
 
 def test_parallel_regenerate(benchmark):
@@ -60,9 +77,16 @@ def reference(workload):
     return make_algorithm("NL", 0.5).compute(workload)
 
 
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
 @pytest.mark.parametrize("workers", [1, 2, 4])
-def test_bench_par_by_worker_count(benchmark, workload, reference, workers):
-    engine = make_algorithm("PAR", 0.5, workers=workers)
+def test_bench_par_by_worker_count(
+    benchmark, workload, reference, workers, scheduler
+):
+    engine = make_algorithm(
+        "PAR",
+        0.5,
+        execution=ExecutionConfig(workers=workers, scheduler=scheduler),
+    )
     result = benchmark.pedantic(
         engine.compute, args=(workload,), iterations=1, rounds=2
     )
@@ -71,6 +95,12 @@ def test_bench_par_by_worker_count(benchmark, workload, reference, workers):
         result.stats.record_pairs_examined
         == reference.stats.record_pairs_examined
     )
+    run = getattr(engine, "last_pool_run", None)
+    if run is not None:
+        benchmark.extra_info["chunks"] = len(run.outcomes)
+        benchmark.extra_info["steals"] = sum(
+            1 for o in run.outcomes if o.stolen
+        )
 
 
 def test_bench_nl_baseline(benchmark, workload, reference):
@@ -79,3 +109,117 @@ def test_bench_nl_baseline(benchmark, workload, reference):
         engine.compute, args=(workload,), iterations=1, rounds=2
     )
     assert result.as_set() == reference.as_set()
+
+
+# ----------------------------------------------------------------------
+# IN on Zipfian group sizes: work stealing on skewed slabs
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def zipf_workload():
+    return make_workload(
+        BENCH_SCALE, dimensions=3, size_distribution="zipf", seed=23
+    )
+
+
+@pytest.fixture(scope="module")
+def zipf_inline(zipf_workload):
+    """The workers=1 inline kernel: the determinism-contract baseline."""
+    return make_algorithm(
+        "IN", 0.5, execution=ExecutionConfig(workers=1)
+    ).compute(zipf_workload)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_in_zipf_by_worker_count(
+    benchmark, zipf_workload, zipf_inline, workers, scheduler
+):
+    engine = make_algorithm(
+        "IN",
+        0.5,
+        execution=ExecutionConfig(workers=workers, scheduler=scheduler),
+    )
+    result = benchmark.pedantic(
+        engine.compute, args=(zipf_workload,), iterations=1, rounds=2
+    )
+    # independent-candidate discipline: identical skyline AND counters
+    # for any worker count / scheduler.
+    assert result.as_set() == zipf_inline.as_set()
+    assert (
+        result.stats.record_pairs_examined
+        == zipf_inline.stats.record_pairs_examined
+    )
+    assert (
+        result.stats.group_comparisons == zipf_inline.stats.group_comparisons
+    )
+    run = getattr(engine, "last_pool_run", None)
+    if run is not None:
+        benchmark.extra_info["chunks"] = len(run.outcomes)
+        benchmark.extra_info["steals"] = sum(
+            1 for o in run.outcomes if o.stolen
+        )
+
+
+def test_in_zipf_speedup_report(zipf_workload, zipf_inline):
+    """Time serial IN vs the pool under both schedulers; save the table.
+
+    The >= 1.5x assertion for 4 workers under stealing is gated on
+    ``os.cpu_count() >= 4`` — anything smaller and the pool is pure
+    overhead, which the saved report records honestly.
+    """
+    rows = []
+
+    start = time.perf_counter()
+    serial = make_algorithm("IN", 0.5).compute(zipf_workload)
+    serial_t = time.perf_counter() - start
+    assert serial.as_set() == zipf_inline.as_set()
+    rows.append(("serial", "-", serial_t, 0, 0))
+
+    stealing_4 = None
+    for scheduler in SCHEDULERS:
+        for workers in (1, 2, 4):
+            engine = make_algorithm(
+                "IN",
+                0.5,
+                execution=ExecutionConfig(
+                    workers=workers, scheduler=scheduler
+                ),
+            )
+            start = time.perf_counter()
+            result = engine.compute(zipf_workload)
+            elapsed = time.perf_counter() - start
+            assert result.as_set() == zipf_inline.as_set()
+            run = getattr(engine, "last_pool_run", None)
+            chunks = len(run.outcomes) if run is not None else 0
+            steals = (
+                sum(1 for o in run.outcomes if o.stolen)
+                if run is not None
+                else 0
+            )
+            rows.append((f"workers={workers}", scheduler, elapsed, chunks, steals))
+            if scheduler == "stealing" and workers == 4:
+                stealing_4 = elapsed
+
+    lines = [
+        f"IN on Zipfian group sizes (scale={BENCH_SCALE}, "
+        f"cpus={os.cpu_count()})",
+        f"{'config':<12} {'scheduler':<10} {'seconds':>9} "
+        f"{'chunks':>7} {'steals':>7}",
+    ]
+    for config, scheduler, elapsed, chunks, steals in rows:
+        lines.append(
+            f"{config:<12} {scheduler:<10} {elapsed:>9.4f} "
+            f"{chunks:>7} {steals:>7}"
+        )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / f"parallel_in_zipf_{BENCH_SCALE}.txt"
+    out_path.write_text("\n".join(lines) + "\n")
+
+    if (os.cpu_count() or 1) >= MIN_CORES_FOR_SPEEDUP:
+        assert stealing_4 is not None
+        speedup = serial_t / stealing_4
+        assert speedup >= EXPECTED_SPEEDUP, (
+            f"IN at 4 workers (stealing) only {speedup:.2f}x over serial"
+        )

@@ -51,6 +51,7 @@ from typing import List, Optional
 from . import obs
 from .core.api import aggregate_skyline
 from .core.dominance import Direction
+from .core.execution import ExecutionConfig
 from .data.nba import nba_table
 from .data.synthetic import SyntheticSpec, generate_grouped
 from .harness.experiments import FIGURES, SCALES, run_figure
@@ -101,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind a table name to a CSV file (repeatable)",
     )
     query.add_argument("--max-rows", type=int, default=None)
+    query.add_argument(
+        "--execution",
+        default=None,
+        metavar="SPEC",
+        help="execution config as 'key=value,...' (e.g."
+        " 'workers=4,scheduler=stealing'); applies to the pooled"
+        " USING ALGORITHM engines (PAR, IN, LO)",
+    )
 
     sky = commands.add_parser("skyline", help="aggregate skyline of a CSV")
     sky.add_argument("--csv", required=True, help="input CSV file")
@@ -120,7 +129,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="compute on a process pool of N workers (forces the PAR"
-        " algorithm; 1 runs the same kernel in-process)",
+        " algorithm; 1 runs the same kernel in-process; deprecated in"
+        " favour of --execution workers=N)",
+    )
+    sky.add_argument(
+        "--execution",
+        default=None,
+        metavar="SPEC",
+        help="execution config as 'key=value,...' (e.g."
+        " 'workers=4,scheduler=stealing,shm=auto'); applies to the"
+        " pooled algorithms (PAR, IN, LO)",
     )
     sky.add_argument(
         "--progress",
@@ -316,7 +334,7 @@ def _cmd_query(args) -> int:
                   file=sys.stderr)
             return 2
         catalog[name] = load_csv(path)
-    result = execute(args.sql, catalog)
+    result = execute(args.sql, catalog, execution=args.execution)
     print(result.to_text(max_rows=args.max_rows))
     if result.skyline_result is not None:
         stats = result.skyline_result.stats
@@ -336,14 +354,20 @@ def _cmd_skyline(args) -> int:
     if args.progress:
         return _skyline_with_progress(args, dataset)
     algorithm = args.algorithm
-    options = {}
+    execution = (
+        ExecutionConfig.from_spec(args.execution) if args.execution else None
+    )
     if args.workers is not None:
-        # --workers implies the parallel algorithm: it is the only engine
-        # with a worker pool, and forcing it keeps the flag meaningful.
+        # Deprecated shortcut: --workers implies the PAR algorithm, the
+        # pre-ExecutionConfig behaviour.  --execution workers=N keeps the
+        # chosen algorithm (PAR/IN/LO all parallelise now).
         algorithm = "PAR"
-        options["workers"] = args.workers
+        if execution is None:
+            execution = ExecutionConfig(workers=args.workers)
+        elif execution.workers is None:
+            execution = execution.replace(workers=args.workers)
     result = aggregate_skyline(
-        dataset, gamma=args.gamma, algorithm=algorithm, **options
+        dataset, gamma=args.gamma, algorithm=algorithm, execution=execution
     )
     out = Table(["group"], [[_render_key(k)] for k in result.keys])
     print(out.to_text())

@@ -6,6 +6,7 @@ from .api import (
     aggregate_skyline_from_records,
     gamma_profile,
 )
+from .execution import ExecutionConfig, coerce_execution
 from .comparator import ComparisonOutcome, GroupComparator
 from .contribution import RecordContribution, record_contributions, removal_impact
 from .cube import SkylineCube, skyline_cube
@@ -51,6 +52,8 @@ __all__ = [
     "aggregate_skyline_from_records",
     "gamma_profile",
     "GammaProfile",
+    "ExecutionConfig",
+    "coerce_execution",
     "GroupComparator",
     "ComparisonOutcome",
     "Direction",

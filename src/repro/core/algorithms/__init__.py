@@ -16,8 +16,9 @@ The registry maps the paper's evaluation names to implementations:
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
+from ..execution import ExecutionConfig, coerce_execution, normalize_options, suggest
 from ..gamma import GammaLike
 from .adaptive import AdaptiveAlgorithm
 from .base import AggregateSkylineAlgorithm, GroupState, PRUNE_POLICIES
@@ -61,12 +62,40 @@ ALGORITHMS = {
 def make_algorithm(
     name: str,
     gamma: GammaLike = 0.5,
+    execution: Optional[ExecutionConfig] = None,
     **options,
 ) -> Union[AggregateSkylineAlgorithm, SqlBaselineAlgorithm]:
-    """Instantiate an algorithm by its paper name (case-insensitive)."""
+    """Instantiate an algorithm by its paper name (case-insensitive).
+
+    This is the single validation point for algorithm options:
+
+    * *execution* — an :class:`~repro.core.execution.ExecutionConfig`
+      (or a mapping / ``"workers=4,scheduler=stealing"`` spec string)
+      describing how supporting algorithms (``PAR``, ``IN``, ``LO``)
+      run on the process pool.  Passing one to an algorithm that does
+      not support pooled execution raises :class:`ValueError`.
+    * legacy execution keys in *options* (``workers``, ``scheduler``,
+      ``shm``, ``exchange_interval``, ``chunk_size``, ``pool_timeout``)
+      are lifted into an :class:`ExecutionConfig` with a single
+      :class:`DeprecationWarning`; an explicit *execution* wins.
+    * unknown option names raise :class:`ValueError` with a
+      did-you-mean suggestion instead of a bare ``TypeError``.
+    """
     key = name.strip().upper()
     if key not in ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+            + suggest(key, ALGORITHMS)
         )
-    return ALGORITHMS[key](gamma, **options)
+    cls = ALGORITHMS[key]
+    execution = coerce_execution(execution)
+    options, execution = normalize_options(key, cls, options, execution)
+    if getattr(cls, "supports_execution", False):
+        if execution is not None:
+            options["execution"] = execution
+    elif execution is not None:
+        raise ValueError(
+            f"algorithm {key!r} does not accept an execution config; only"
+            " pool-backed algorithms (PAR, IN, LO) do"
+        )
+    return cls(gamma, **options)

@@ -15,7 +15,7 @@ verdict is already sealed can be skipped entirely without affecting others.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -23,9 +23,21 @@ from ...index.grid import GridIndex
 from ...index.rtree import Rect, RTree
 from ...obs import metrics as obs_metrics
 from ...obs import tracing as obs_tracing
+from ...parallel.executor import (
+    PoolRun,
+    WorkerConfig,
+    apply_verdicts,
+    compare_candidate_span,
+    run_spans,
+)
+from ...parallel.partition import chunk_ranges
+from ...parallel.scheduler import guided_spans
+from ..execution import ExecutionConfig, coerce_execution
 from ..gamma import GammaLike
 from ..groups import Group
+from ..result import AlgorithmStats
 from .base import AggregateSkylineAlgorithm, GroupState
+from .pooled import absorb_outcomes, flush_pool_metrics, record_chunk_events
 from .sorted_access import SORT_KEYS
 
 __all__ = ["IndexedAlgorithm"]
@@ -38,6 +50,9 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
 
     name = "IN"
 
+    #: Accepts ``execution=ExecutionConfig(...)`` (see ``core.execution``).
+    supports_execution = True
+
     def __init__(
         self,
         gamma: GammaLike = 0.5,
@@ -48,6 +63,7 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
         sort_key: str = "size_corner",
         index_backend: str = "rtree",
         grid_cells_per_dim: int = 8,
+        execution: Optional[ExecutionConfig] = None,
     ):
         super().__init__(
             gamma,
@@ -65,6 +81,23 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
         self.sort_key = SORT_KEYS[sort_key]
         self.index_backend = index_backend
         self.grid_cells_per_dim = grid_cells_per_dim
+        #: ``None`` (or ``workers=None``) keeps the serial Algorithm-5 loop
+        #: untouched; a config with ``workers`` set runs the parallel
+        #: candidate-slab path (see :meth:`_run_parallel`).
+        self.execution = coerce_execution(execution)
+        if (
+            self.execution is not None
+            and self.execution.parallel
+            and self.index_backend != "rtree"
+        ):
+            raise ValueError(
+                "parallel IN/LO requires index_backend='rtree' (the flat"
+                " R-tree is the only index that ships to pool workers)"
+            )
+        #: Per-chunk worker statistics of the last compute() (pooled runs).
+        self.worker_stats: List[AlgorithmStats] = []
+        #: Full PoolRun of the last pooled compute(); None otherwise.
+        self.last_pool_run: Optional[PoolRun] = None
 
     _verdicts_are_independent = True
 
@@ -85,7 +118,12 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
         return index
 
     def _run(self, groups: List[Group], state: GroupState) -> None:
+        self.worker_stats = []
+        self.last_pool_run = None
         if not groups:
+            return
+        if self.execution is not None and self.execution.parallel:
+            self._run_parallel(groups, state)
             return
         tracer = obs_tracing.get_tracer()
         with tracer.span(
@@ -120,10 +158,106 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
         self._flush_index_obs(index, tracer)
         self._final_sweep(groups, state)
 
+    # ------------------------------------------------------------------
+    # parallel candidate-slab path
+    # ------------------------------------------------------------------
+
+    def _run_parallel(self, groups: List[Group], state: GroupState) -> None:
+        """Parallel Algorithm 5: candidate slabs against a shared index.
+
+        The STR-bulk-loaded R-tree is built once and frozen to a
+        :class:`~repro.index.rtree.FlatRTree`; workers reconstruct it
+        read-only from shipped flat arrays (shared memory on spawn
+        platforms, inherited pages under fork).  Each worker takes a slab
+        of candidate groups and runs the window-query + γ-comparison
+        inner loop under the *independent-candidate* discipline (see
+        :func:`repro.parallel.executor.compare_candidate_span`): every
+        group's verdict is a pure function of its own deterministic
+        window loop, so results **and all work counters** are identical
+        for any worker count, chunking and steal order — and exactly the
+        Definition-2 skyline.
+        """
+        execution = self.execution
+        assert execution is not None
+        tracer = obs_tracing.get_tracer()
+        with tracer.span(
+            "index.build", backend=self.index_backend, groups=len(groups)
+        ):
+            index = self._build_index(groups).pack()
+        n = len(groups)
+        order = sorted(range(n), key=lambda i: self.sort_key(groups[i]))
+        workers = execution.resolve_workers()
+        scheduler = execution.scheduler
+        span_attrs = dict(workers=workers, candidates=n, scheduler=scheduler)
+
+        if workers == 1:
+            # Inline degenerate case: same kernel and index, no pool.
+            with tracer.span("parallel.chunks", **span_attrs):
+                verdicts, _, index_candidates = compare_candidate_span(
+                    groups, self.comparator, index, order, (0, n)
+                )
+                apply_verdicts(state, verdicts)
+                self._index_candidates += index_candidates
+            self._flush_index_counts(
+                index.window_queries, index.candidates_returned, tracer
+            )
+            self._final_sweep(groups, state)
+            return
+
+        min_chunk = execution.chunk_size
+        if min_chunk is None:
+            min_chunk = max(1, n // (workers * 16))
+        if scheduler == "stealing":
+            spans = guided_spans(n, workers, min_chunk=min_chunk)
+        else:
+            spans = chunk_ranges(n, workers * 4)
+        config = WorkerConfig(
+            gamma=self.thresholds.gamma,
+            use_stopping_rule=self.comparator.use_stopping_rule,
+            use_bbox=self.comparator.use_bbox,
+            block_size=self.comparator.block_size,
+            prune_policy=self.prune_policy,
+        )
+        with tracer.span("parallel.chunks", **span_attrs) as chunk_span:
+            run = run_spans(
+                groups,
+                config,
+                spans,
+                workers,
+                pool_timeout=execution.pool_timeout,
+                scheduler=scheduler,
+                shm=execution.shm,
+                kind="candidates",
+                index=index,
+                order=order,
+            )
+            record_chunk_events(chunk_span, run)
+        with tracer.span("parallel.merge", chunks=len(run.outcomes)):
+            self.last_pool_run = run
+            for outcome in run.outcomes:
+                apply_verdicts(state, outcome.verdicts)
+            absorb_outcomes(self, run.outcomes, self.worker_stats)
+            flush_pool_metrics(self.name, scheduler, run)
+            self._flush_index_counts(
+                sum(outcome.window_queries for outcome in run.outcomes),
+                sum(outcome.index_candidates for outcome in run.outcomes),
+                tracer,
+            )
+        self._final_sweep(groups, state)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
     def _flush_index_obs(self, index, tracer) -> None:
         """Record window-query counters on the current span and registry."""
-        queries = getattr(index, "window_queries", 0)
-        candidates = getattr(index, "candidates_returned", 0)
+        self._flush_index_counts(
+            getattr(index, "window_queries", 0),
+            getattr(index, "candidates_returned", 0),
+            tracer,
+        )
+
+    def _flush_index_counts(self, queries: int, candidates: int, tracer) -> None:
         span = tracer.current_span()
         if span.is_recording:
             span.set_attribute("index_backend", self.index_backend)

@@ -9,6 +9,9 @@ and C) are counted in bulk so only "region B" pairs reach the nested loop.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..execution import ExecutionConfig
 from ..gamma import GammaLike
 from .indexed import IndexedAlgorithm
 
@@ -29,6 +32,7 @@ class IndexedBBoxAlgorithm(IndexedAlgorithm):
         sort_key: str = "size_corner",
         index_backend: str = "rtree",
         grid_cells_per_dim: int = 8,
+        execution: Optional[ExecutionConfig] = None,
     ):
         super().__init__(
             gamma,
@@ -39,4 +43,5 @@ class IndexedBBoxAlgorithm(IndexedAlgorithm):
             sort_key=sort_key,
             index_backend=index_backend,
             grid_cells_per_dim=grid_cells_per_dim,
+            execution=execution,
         )

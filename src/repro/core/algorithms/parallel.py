@@ -6,9 +6,22 @@ comparison matrix decomposes into independent units, the structure group-
 skyline work such as *Aggregate Skyline Join Queries* (Bhattacharya & Teja)
 and *Efficient Contour Computation of Group-based Skyline* (Yu et al.)
 exploits.  ``PAR`` partitions the upper-triangular pair space into chunks
-(:mod:`repro.parallel.partition`) and runs them on a process pool
-(:mod:`repro.parallel.executor`), shipping the group ndarrays to the
-workers exactly once.
+(:mod:`repro.parallel.partition` / :mod:`repro.parallel.scheduler`) and
+runs them on a process pool (:mod:`repro.parallel.executor`), shipping the
+group ndarrays to the workers exactly once — inherited copy-on-write under
+``fork``, or through ``multiprocessing.shared_memory`` on spawn platforms.
+
+Scheduling (``ExecutionConfig.scheduler``)
+------------------------------------------
+* ``"static"`` — the near-equal contiguous chunking of PR 2, handed to
+  ``Pool.map``.  Lowest overhead for uniform workloads.
+* ``"stealing"`` — guided decreasing chunk sizes owned round-robin by
+  worker slots; a drained slot steals small chunks from the tail of the
+  most-loaded victim.  This is the remedy for skewed (Zipfian) group
+  sizes, where equal *pair counts* are wildly unequal *work*.
+
+Because both schedulers execute every chunk exactly once with the same
+kernel, the determinism contract below is scheduler-independent.
 
 Determinism contract (see ``docs/parallel.md``)
 -----------------------------------------------
@@ -16,7 +29,7 @@ Determinism contract (see ``docs/parallel.md``)
   compare-everything pass followed by a serial verdict merge.  Every pair is
   compared exactly once in full, so the result **and every work counter**
   are bit-identical to serial ``NL`` for any worker count, under either
-  pruning policy.
+  pruning policy and either scheduler.
 * ``exchange_interval > 0`` — the *pruning exchange*: workers share group
   verdict flags and skip redundant probes.  The skyline keeps the serial
   policy's guarantee (``safe`` stays exact, ``paper`` may be a superset on
@@ -28,7 +41,8 @@ Statistics of the pool workers are merged into the parent's comparator, so
 :meth:`~repro.core.algorithms.base.AggregateSkylineAlgorithm.compute` —
 reconciles exactly with the work actually performed across all processes;
 the per-chunk breakdown is kept in :attr:`ParallelSkylineAlgorithm.
-worker_stats`.
+worker_stats` and the scheduling telemetry (steal and idle counters,
+chunk-latency histogram) flows into the metrics registry.
 """
 
 from __future__ import annotations
@@ -37,18 +51,20 @@ from typing import List, Optional
 
 from ...obs import tracing as obs_tracing
 from ...parallel.executor import (
-    ChunkOutcome,
+    PoolRun,
     WorkerConfig,
     apply_verdicts,
     compare_span,
-    execute_chunks,
-    resolve_workers,
+    run_spans,
 )
 from ...parallel.partition import chunk_ranges, pair_count
+from ...parallel.scheduler import guided_spans
+from ..execution import ExecutionConfig, coerce_execution
 from ..gamma import GammaLike
 from ..groups import Group
 from ..result import AlgorithmStats
 from .base import AggregateSkylineAlgorithm, GroupState
+from .pooled import absorb_outcomes, flush_pool_metrics, record_chunk_events
 
 __all__ = ["ParallelSkylineAlgorithm"]
 
@@ -57,6 +73,9 @@ class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
     """Chunked nested-loop skyline on a process pool (extension)."""
 
     name = "PAR"
+
+    #: Accepts ``execution=ExecutionConfig(...)`` (see ``core.execution``).
+    supports_execution = True
 
     def __init__(
         self,
@@ -69,6 +88,7 @@ class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
         chunks_per_worker: int = 4,
         exchange_interval: int = 0,
         pool_timeout: float = 300.0,
+        execution: Optional[ExecutionConfig] = None,
     ):
         super().__init__(
             gamma,
@@ -79,17 +99,29 @@ class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
         )
         if chunks_per_worker < 1:
             raise ValueError("chunks_per_worker must be >= 1")
-        if exchange_interval < 0:
-            raise ValueError("exchange_interval must be >= 0")
-        if pool_timeout <= 0:
-            raise ValueError("pool_timeout must be positive")
+        execution = coerce_execution(execution)
+        if execution is None:
+            # Legacy construction shape; ExecutionConfig validates the values.
+            execution = ExecutionConfig(
+                workers=workers,
+                exchange_interval=exchange_interval,
+                pool_timeout=pool_timeout,
+            )
+        #: The unified execution configuration driving this instance.
+        self.execution = execution
         #: Effective worker count (explicit > $REPRO_WORKERS > cpu-derived).
-        self.workers = resolve_workers(workers)
+        self.workers = execution.resolve_workers()
         self.chunks_per_worker = chunks_per_worker
-        self.exchange_interval = exchange_interval
-        self.pool_timeout = pool_timeout
+        self.exchange_interval = execution.exchange_interval
+        self.pool_timeout = execution.pool_timeout
+        self.scheduler = execution.scheduler
+        self.shm = execution.shm
+        self.chunk_size = execution.chunk_size
         #: Per-chunk worker statistics of the last compute() (pooled runs).
         self.worker_stats: List[AlgorithmStats] = []
+        #: Full PoolRun of the last pooled compute() (chunk outcomes +
+        #: per-slot scheduling reports); None for inline runs.
+        self.last_pool_run: Optional[PoolRun] = None
 
     # ------------------------------------------------------------------
 
@@ -97,19 +129,26 @@ class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
     def _mode(self) -> str:
         return "exchange" if self.exchange_interval > 0 else "two-phase"
 
+    def _spans(self, total: int):
+        if self.scheduler == "stealing":
+            return guided_spans(total, self.workers, min_chunk=self.chunk_size)
+        return chunk_ranges(total, self.workers * self.chunks_per_worker)
+
     def _run(self, groups: List[Group], state: GroupState) -> None:
         self.worker_stats = []
+        self.last_pool_run = None
         n = len(groups)
         total = pair_count(n)
         if total == 0:
             return
-        spans = chunk_ranges(total, self.workers * self.chunks_per_worker)
+        spans = self._spans(total)
         tracer = obs_tracing.get_tracer()
         span_attrs = dict(
             workers=self.workers,
             chunks=len(spans),
             pairs=total,
             mode=self._mode,
+            scheduler=self.scheduler,
         )
         if self.workers == 1:
             with tracer.span("parallel.chunks", **span_attrs):
@@ -124,21 +163,18 @@ class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
             exchange_interval=self.exchange_interval,
         )
         with tracer.span("parallel.chunks", **span_attrs) as chunk_span:
-            outcomes = execute_chunks(
-                groups, config, spans, self.workers, self.pool_timeout
+            run = run_spans(
+                groups,
+                config,
+                spans,
+                self.workers,
+                pool_timeout=self.pool_timeout,
+                scheduler=self.scheduler,
+                shm=self.shm,
             )
-            if chunk_span.is_recording:
-                for outcome in outcomes:
-                    chunk_span.add_event(
-                        "chunk",
-                        start=outcome.start,
-                        stop=outcome.stop,
-                        pid=outcome.worker_pid,
-                        pairs_examined=outcome.pairs_examined,
-                        elapsed_seconds=outcome.elapsed_seconds,
-                    )
-        with tracer.span("parallel.merge", chunks=len(outcomes)):
-            self._merge(outcomes, state)
+            record_chunk_events(chunk_span, run)
+        with tracer.span("parallel.merge", chunks=len(run.outcomes)):
+            self._merge(run, state)
 
     # ------------------------------------------------------------------
 
@@ -157,35 +193,10 @@ class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
             self._groups_skipped += skipped
             apply_verdicts(state, verdicts)
 
-    def _merge(self, outcomes: List[ChunkOutcome], state: GroupState) -> None:
+    def _merge(self, run: PoolRun, state: GroupState) -> None:
         """Serial phase: fold worker verdicts and counters into this run."""
-        exits = 0
-        shortcuts = 0
-        for outcome in outcomes:
+        self.last_pool_run = run
+        for outcome in run.outcomes:
             apply_verdicts(state, outcome.verdicts)
-            self.comparator.absorb(
-                comparisons=outcome.comparisons,
-                pairs_examined=outcome.pairs_examined,
-                bbox_shortcuts=outcome.bbox_shortcuts,
-                stopping_rule_exits=outcome.stopping_rule_exits,
-            )
-            self._groups_skipped += outcome.pairs_skipped
-            exits += outcome.stopping_rule_exits
-            shortcuts += outcome.bbox_shortcuts
-            self.worker_stats.append(
-                AlgorithmStats(
-                    algorithm=f"{self.name}.worker",
-                    group_comparisons=outcome.comparisons,
-                    record_pairs_examined=outcome.pairs_examined,
-                    bbox_shortcuts=outcome.bbox_shortcuts,
-                    groups_skipped=outcome.pairs_skipped,
-                    stopping_rule_exits=outcome.stopping_rule_exits,
-                    elapsed_seconds=outcome.elapsed_seconds,
-                )
-            )
-        # Detailed per-comparison instruments cannot observe remote
-        # comparisons one by one, but the event *counters* still reconcile.
-        if self.comparator._obs_exit_counter is not None and exits:
-            self.comparator._obs_exit_counter.inc(exits)
-        if self.comparator._obs_shortcut_counter is not None and shortcuts:
-            self.comparator._obs_shortcut_counter.inc(shortcuts)
+        absorb_outcomes(self, run.outcomes, self.worker_stats)
+        flush_pool_metrics(self.name, self.scheduler, run)

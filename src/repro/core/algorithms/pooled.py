@@ -1,0 +1,139 @@
+"""Shared merge and observability plumbing for pooled algorithm runs.
+
+Both ``PAR`` (pair chunks) and the parallel IN/LO path (candidate slabs)
+end a pooled run the same way: absorb the workers' counters into the
+parent comparator so ``AlgorithmStats`` — and therefore the always-on
+metrics flush — reconciles exactly with the work done across all
+processes, keep the per-chunk breakdown for inspection, and record the
+scheduling telemetry (chunk latency, steal and idle counters) that the
+work-stealing scheduler produces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...obs import metrics as obs_metrics
+from ...parallel.executor import ChunkOutcome, PoolRun
+from ..result import AlgorithmStats
+
+__all__ = ["absorb_outcomes", "flush_pool_metrics", "record_chunk_events"]
+
+#: Chunk latency buckets: 10µs … 100s in decades.
+CHUNK_SECONDS_BUCKETS = obs_metrics.log_buckets(1e-5, 10.0, 8)
+
+
+def absorb_outcomes(
+    algorithm,
+    outcomes: List[ChunkOutcome],
+    worker_stats: Optional[List[AlgorithmStats]] = None,
+) -> None:
+    """Fold worker counters into ``algorithm``'s comparator and stats.
+
+    Updates the parent comparator (so the stats built by ``compute()``
+    cover all processes), the index-candidate and skip tallies, the
+    opt-in obs event counters, and appends one ``<name>.worker``
+    :class:`AlgorithmStats` per chunk to *worker_stats* when given.
+    """
+    exits = 0
+    shortcuts = 0
+    for outcome in outcomes:
+        algorithm.comparator.absorb(
+            comparisons=outcome.comparisons,
+            pairs_examined=outcome.pairs_examined,
+            bbox_shortcuts=outcome.bbox_shortcuts,
+            stopping_rule_exits=outcome.stopping_rule_exits,
+        )
+        algorithm._groups_skipped += outcome.pairs_skipped
+        algorithm._index_candidates += outcome.index_candidates
+        exits += outcome.stopping_rule_exits
+        shortcuts += outcome.bbox_shortcuts
+        if worker_stats is not None:
+            worker_stats.append(
+                AlgorithmStats(
+                    algorithm=f"{algorithm.name}.worker",
+                    group_comparisons=outcome.comparisons,
+                    record_pairs_examined=outcome.pairs_examined,
+                    bbox_shortcuts=outcome.bbox_shortcuts,
+                    groups_skipped=outcome.pairs_skipped,
+                    index_candidates=outcome.index_candidates,
+                    stopping_rule_exits=outcome.stopping_rule_exits,
+                    elapsed_seconds=outcome.elapsed_seconds,
+                )
+            )
+    # Detailed per-comparison instruments cannot observe remote
+    # comparisons one by one, but the event *counters* still reconcile.
+    if algorithm.comparator._obs_exit_counter is not None and exits:
+        algorithm.comparator._obs_exit_counter.inc(exits)
+    if algorithm.comparator._obs_shortcut_counter is not None and shortcuts:
+        algorithm.comparator._obs_shortcut_counter.inc(shortcuts)
+
+
+def flush_pool_metrics(algorithm_name: str, scheduler: str, run: PoolRun) -> None:
+    """Record pooled-run scheduling telemetry in the metrics registry.
+
+    Always on (a handful of locked adds once per run), like the end-of-run
+    counter flush in ``compute()``:
+
+    * ``parallel_chunks_total`` — chunks executed;
+    * ``parallel_steals_total`` — chunks executed by a slot that stole
+      them from another slot's queue (stealing scheduler only);
+    * ``parallel_worker_idle_seconds_total`` — time worker slots spent in
+      the claim loop rather than comparing;
+    * ``parallel_chunk_seconds`` — per-chunk latency histogram.
+    """
+    registry = obs_metrics.get_registry()
+    labels = {"algorithm": algorithm_name, "scheduler": scheduler}
+    names = ("algorithm", "scheduler")
+    registry.counter(
+        "parallel_chunks_total",
+        "Chunks executed by pooled skyline runs",
+        names,
+    ).inc(len(run.outcomes), **labels)
+    steals = sum(report.chunks_stolen for report in run.reports)
+    registry.counter(
+        "parallel_steals_total",
+        "Chunks executed by a worker slot that stole them",
+        names,
+    ).inc(steals, **labels)
+    idle = sum(report.idle_seconds for report in run.reports)
+    registry.counter(
+        "parallel_worker_idle_seconds_total",
+        "Seconds worker slots spent claiming instead of comparing",
+        names,
+    ).inc(idle, **labels)
+    histogram = registry.histogram(
+        "parallel_chunk_seconds",
+        "Wall-clock latency of one pooled chunk",
+        names,
+        buckets=CHUNK_SECONDS_BUCKETS,
+    )
+    for outcome in run.outcomes:
+        histogram.observe(outcome.elapsed_seconds, **labels)
+
+
+def record_chunk_events(span, run: PoolRun) -> None:
+    """Attach one trace event per chunk (and per worker report) to *span*."""
+    if not span.is_recording:
+        return
+    for outcome in run.outcomes:
+        span.add_event(
+            "chunk",
+            start=outcome.start,
+            stop=outcome.stop,
+            pid=outcome.worker_pid,
+            slot=outcome.slot,
+            stolen=outcome.stolen,
+            pairs_examined=outcome.pairs_examined,
+            elapsed_seconds=outcome.elapsed_seconds,
+        )
+    for report in run.reports:
+        span.add_event(
+            "worker",
+            slot=report.slot,
+            pid=report.worker_pid,
+            chunks_done=report.chunks_done,
+            chunks_stolen=report.chunks_stolen,
+            idle_seconds=report.idle_seconds,
+            busy_seconds=report.busy_seconds,
+        )

@@ -27,6 +27,7 @@ from typing import Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple,
 
 from .algorithms import make_algorithm
 from .dominance import Direction
+from .execution import ExecutionConfig
 from .gamma import GammaLike, GammaThresholds, dominance_probability
 from .groups import GroupedDataset
 from .result import AggregateSkylineResult
@@ -34,6 +35,7 @@ from .result import AggregateSkylineResult
 __all__ = [
     "aggregate_skyline",
     "aggregate_skyline_from_records",
+    "ExecutionConfig",
     "GammaProfile",
     "gamma_profile",
 ]
@@ -58,6 +60,7 @@ def aggregate_skyline(
     directions: Union[None, str, Direction, Sequence] = None,
     gamma: GammaLike = 0.5,
     algorithm: str = "LO",
+    execution: Optional[ExecutionConfig] = None,
     **options,
 ) -> AggregateSkylineResult:
     """Compute the aggregate skyline of a set of groups (Definition 2).
@@ -77,12 +80,17 @@ def aggregate_skyline(
     algorithm:
         ``"NL"``, ``"TR"``, ``"SI"``, ``"IN"``, ``"LO"`` (default) or
         ``"SQL"``.
+    execution:
+        An :class:`ExecutionConfig` (or mapping / ``"k=v,..."`` spec)
+        selecting the pooled execution path of ``PAR`` / ``IN`` / ``LO``:
+        worker count, chunk scheduler, shared-memory shipping.  ``None``
+        (default) keeps the serial code path untouched.
     options:
         Forwarded to the algorithm constructor (e.g. ``prune_policy``,
         ``use_stopping_rule``, ``sort_key``, ``index_backend``).
     """
     dataset = _coerce_dataset(groups, directions)
-    engine = make_algorithm(algorithm, gamma, **options)
+    engine = make_algorithm(algorithm, gamma, execution=execution, **options)
     return engine.compute(dataset)
 
 
@@ -92,11 +100,14 @@ def aggregate_skyline_from_records(
     directions: Union[None, str, Direction, Sequence] = None,
     gamma: GammaLike = 0.5,
     algorithm: str = "LO",
+    execution: Optional[ExecutionConfig] = None,
     **options,
 ) -> AggregateSkylineResult:
     """GROUP BY ``keys`` then compute the aggregate skyline of the groups."""
     dataset = GroupedDataset.from_records(records, keys, directions=directions)
-    return aggregate_skyline(dataset, gamma=gamma, algorithm=algorithm, **options)
+    return aggregate_skyline(
+        dataset, gamma=gamma, algorithm=algorithm, execution=execution, **options
+    )
 
 
 class GammaProfile:

@@ -1,0 +1,343 @@
+"""Unified execution configuration for parallel-capable algorithms.
+
+This module is the single validation point for everything that controls
+*how* an algorithm runs (as opposed to *what* it computes): pool size,
+chunk scheduling policy, shared-memory shipping, the pruning-exchange
+interval and the pool timeout.  Prior to this module the same knobs were
+scattered over per-algorithm ``**options`` (``workers=`` forcing ``PAR``,
+raw ``exchange_interval=`` kwargs, an ad-hoc ``processes=`` on the
+partitioned baseline) — a stringly-typed surface where a misspelled
+option was silently ignored.
+
+The public surface:
+
+* :class:`ExecutionConfig` — a frozen dataclass validated on
+  construction, accepted by :func:`repro.core.api.aggregate_skyline`,
+  :func:`repro.core.algorithms.make_algorithm`,
+  :func:`repro.harness.runner.run_algorithms` / ``sweep`` and the SQL
+  ``USING ALGORITHM`` path.
+* :func:`coerce_execution` — accept ``None`` / ``ExecutionConfig`` /
+  mapping / ``"k=v,k=v"`` spec string and return a validated config.
+* :func:`normalize_options` — the compatibility shim: lifts legacy
+  execution kwargs out of an ``**options`` dict (with a single
+  :class:`DeprecationWarning`) and rejects unknown options with a
+  did-you-mean suggestion instead of silently dropping them.
+"""
+
+from __future__ import annotations
+
+import difflib
+import inspect
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping, Optional, Tuple
+
+__all__ = [
+    "ExecutionConfig",
+    "SCHEDULERS",
+    "coerce_execution",
+    "normalize_options",
+    "suggest",
+]
+
+#: Valid chunk-scheduling policies.
+#:
+#: * ``"static"`` — the PR-2 behaviour: near-equal contiguous spans, one
+#:   batch per worker share, no runtime rebalancing.
+#: * ``"stealing"`` — guided decreasing chunk sizes owned round-robin by
+#:   worker slots; a worker that drains its own list steals from the
+#:   tail of the largest remaining victim list.
+SCHEDULERS: Tuple[str, ...] = ("static", "stealing")
+
+# Legacy per-algorithm option names that now live on ExecutionConfig.
+# ``normalize_options`` lifts these out of ``**options`` dicts.
+_LEGACY_EXECUTION_KEYS: Tuple[str, ...] = (
+    "workers",
+    "scheduler",
+    "shm",
+    "exchange_interval",
+    "chunk_size",
+    "pool_timeout",
+)
+
+
+def suggest(name: str, candidates) -> str:
+    """Return a did-you-mean suffix for *name* against *candidates*.
+
+    Empty string when nothing is close enough — callers can append the
+    result to an error message unconditionally.
+    """
+
+    matches = difflib.get_close_matches(str(name), list(candidates), n=1, cutoff=0.6)
+    if matches:
+        return f" (did you mean {matches[0]!r}?)"
+    return ""
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a parallel-capable algorithm should execute.
+
+    All fields have conservative defaults; the zero-argument
+    ``ExecutionConfig()`` means "serial, but via the unified path".
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``None`` keeps the algorithm's serial code path
+        untouched (byte-for-byte the pre-parallel behaviour).  ``1``
+        runs the parallel kernel inline — no pool, no pickling — which
+        is the degenerate case of the determinism contract.  ``>= 2``
+        spins up a process pool.
+    scheduler:
+        ``"static"`` (near-equal contiguous chunks) or ``"stealing"``
+        (guided decreasing chunks + work stealing).
+    shm:
+        Ship group payloads via ``multiprocessing.shared_memory``.
+        ``None`` auto-selects: shm on spawn platforms (where the
+        alternative is pickling the payload per worker), plain
+        inheritance under fork.  ``True`` / ``False`` force it.
+    exchange_interval:
+        Pruning-exchange refresh period in pairs for the ``PAR`` pair
+        matrix (0 disables — the deterministic two-phase mode).
+    chunk_size:
+        Minimum chunk size (pairs or candidate groups) for the stealing
+        scheduler; ``None`` picks a heuristic from the input size.
+    pool_timeout:
+        Seconds to wait for pool results before raising
+        :class:`repro.parallel.PoolTimeoutError`.
+    """
+
+    workers: Optional[int] = None
+    scheduler: str = "static"
+    shm: Optional[bool] = None
+    exchange_interval: int = 0
+    chunk_size: Optional[int] = None
+    pool_timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; expected one of "
+                f"{SCHEDULERS}{suggest(self.scheduler, SCHEDULERS)}"
+            )
+        if self.workers is not None:
+            if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+                raise ValueError(f"workers must be an int or None, got {self.workers!r}")
+            if self.workers < 1:
+                raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not isinstance(self.exchange_interval, int) or isinstance(self.exchange_interval, bool):
+            raise ValueError(
+                f"exchange_interval must be an int, got {self.exchange_interval!r}"
+            )
+        if self.exchange_interval < 0:
+            raise ValueError(
+                f"exchange_interval must be >= 0, got {self.exchange_interval}"
+            )
+        if self.chunk_size is not None:
+            if not isinstance(self.chunk_size, int) or isinstance(self.chunk_size, bool):
+                raise ValueError(f"chunk_size must be an int or None, got {self.chunk_size!r}")
+            if self.chunk_size < 1:
+                raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if not self.pool_timeout > 0:
+            raise ValueError(f"pool_timeout must be > 0, got {self.pool_timeout!r}")
+        if self.shm is not None and not isinstance(self.shm, bool):
+            raise ValueError(f"shm must be a bool or None, got {self.shm!r}")
+
+    # ------------------------------------------------------------------
+    # derived views
+
+    @property
+    def parallel(self) -> bool:
+        """True when a pool (or the inline parallel kernel) is requested."""
+
+        return self.workers is not None
+
+    def resolve_workers(self) -> int:
+        """Resolve :attr:`workers` through the standard fallback chain.
+
+        Explicit value → ``$REPRO_WORKERS`` → ``min(4, cpu_count)``.
+        """
+
+        from ..parallel.executor import resolve_workers
+
+        return resolve_workers(self.workers)
+
+    def replace(self, **changes: Any) -> "ExecutionConfig":
+        """Return a copy with *changes* applied (re-validated)."""
+
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+
+    def to_dict(self) -> dict:
+        """Compact dict for persistence: defaults are omitted."""
+
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionConfig":
+        """Build a config from a mapping, rejecting unknown keys."""
+
+        valid = {f.name for f in fields(cls)}
+        kwargs = {}
+        for key, value in dict(data).items():
+            if key not in valid:
+                raise ValueError(
+                    f"unknown execution option {key!r}{suggest(key, valid)}"
+                )
+            kwargs[key] = value
+        return cls(**kwargs)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ExecutionConfig":
+        """Parse a CLI-style ``"key=value,key=value"`` spec.
+
+        Values are coerced per-field: ints for ``workers`` /
+        ``exchange_interval`` / ``chunk_size``, float for
+        ``pool_timeout``, bool-ish strings for ``shm``.
+        """
+
+        data: dict = {}
+        spec = spec.strip()
+        if not spec:
+            return cls()
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(
+                    f"bad execution spec item {item!r}; expected key=value"
+                )
+            key, _, raw = item.partition("=")
+            key = key.strip()
+            raw = raw.strip()
+            data[key] = _coerce_field(key, raw)
+        return cls.from_dict(data)
+
+
+def _coerce_field(key: str, raw: str) -> Any:
+    """Coerce a string spec value to the field's type."""
+
+    if key in ("workers", "chunk_size"):
+        if raw.lower() in ("none", ""):
+            return None
+        return int(raw)
+    if key == "exchange_interval":
+        return int(raw)
+    if key == "pool_timeout":
+        return float(raw)
+    if key == "shm":
+        lowered = raw.lower()
+        if lowered in ("none", "auto", ""):
+            return None
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"bad boolean for shm: {raw!r}")
+    # unknown keys fall through to from_dict's validation with the raw string
+    return raw
+
+
+def coerce_execution(execution: Any) -> Optional[ExecutionConfig]:
+    """Accept the various ways callers may hand us an execution config.
+
+    ``None`` → ``None`` (serial legacy path); an :class:`ExecutionConfig`
+    passes through; a mapping goes through :meth:`ExecutionConfig.from_dict`;
+    a string through :meth:`ExecutionConfig.from_spec`.
+    """
+
+    if execution is None:
+        return None
+    if isinstance(execution, ExecutionConfig):
+        return execution
+    if isinstance(execution, str):
+        return ExecutionConfig.from_spec(execution)
+    if isinstance(execution, Mapping):
+        return ExecutionConfig.from_dict(execution)
+    raise TypeError(
+        "execution must be None, an ExecutionConfig, a mapping or a "
+        f"'key=value,...' spec string, got {type(execution).__name__}"
+    )
+
+
+def _deprecated(message: str) -> None:
+    warnings.warn(message, DeprecationWarning, stacklevel=4)
+
+
+def normalize_options(
+    name: str,
+    cls: type,
+    options: Mapping[str, Any],
+    execution: Optional[ExecutionConfig] = None,
+    *,
+    warn: bool = True,
+) -> Tuple[dict, Optional[ExecutionConfig]]:
+    """Validate ``**options`` for algorithm *cls* and lift legacy keys.
+
+    Returns ``(clean_options, execution)`` where ``clean_options``
+    contains only keys accepted by ``cls.__init__`` and ``execution`` is
+    the merged execution config (the explicit one wins over legacy
+    kwargs).  Legacy execution keys found in *options* emit one
+    :class:`DeprecationWarning` pointing at :class:`ExecutionConfig`.
+    Unknown option names raise :class:`TypeError` (what the constructor
+    would have raised) with a did-you-mean suggestion appended.
+    """
+
+    options = dict(options)
+
+    # 1. lift legacy execution kwargs ----------------------------------
+    legacy: dict = {}
+    for key in _LEGACY_EXECUTION_KEYS:
+        if key in options:
+            legacy[key] = options.pop(key)
+    if legacy:
+        if warn:
+            _deprecated(
+                f"passing {sorted(legacy)} as algorithm options is deprecated; "
+                "use execution=ExecutionConfig(...) instead"
+            )
+        if execution is None:
+            execution = ExecutionConfig.from_dict(legacy)
+        else:
+            # explicit execution config wins; only fill gaps from legacy
+            fill = {
+                key: value
+                for key, value in legacy.items()
+                if key not in execution.to_dict()
+            }
+            if fill:
+                execution = execution.replace(**fill)
+
+    # 2. validate remaining option names against the constructor -------
+    try:
+        signature = inspect.signature(cls.__init__)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return options, execution
+    params = signature.parameters
+    accepts_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    if not accepts_kwargs:
+        valid = {
+            pname
+            for pname, p in params.items()
+            if pname != "self"
+            and p.kind
+            in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        }
+        for key in options:
+            if key not in valid:
+                hint = suggest(key, valid | set(_LEGACY_EXECUTION_KEYS))
+                raise TypeError(
+                    f"unknown option {key!r} for algorithm {name!r}{hint}"
+                )
+    return options, execution

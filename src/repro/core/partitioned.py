@@ -14,11 +14,13 @@ is sound for *groups* despite the loss of transitivity:
    locally.  Each candidate is therefore verified against **all** original
    groups with one-directional probes.
 
-With ``processes > 1`` the local phase fans out over a
-``multiprocessing`` pool (each worker re-materialises its partition from
-the pickled payload); the default runs the same two phases serially, which
-already helps because the local phase shrinks the candidate set that the
-expensive all-groups verification must touch.
+With ``processes > 1`` the local phase fans out through the shared pool
+executor (:func:`repro.parallel.executor.map_tasks`), inheriting its
+start-method resolution and :class:`~repro.parallel.executor.
+PoolTimeoutError` fail-fast — previously an ad-hoc ``multiprocessing.Pool``
+here could hang forever on a wedged worker.  The default runs the same two
+phases serially, which already helps because the local phase shrinks the
+candidate set that the expensive all-groups verification must touch.
 """
 
 from __future__ import annotations
@@ -99,11 +101,14 @@ def partitioned_aggregate_skyline(
     partitions: int = 4,
     processes: Optional[int] = None,
     directions: Union[None, str, Direction, list, tuple] = None,
+    pool_timeout: float = 300.0,
 ) -> AggregateSkylineResult:
     """Exact aggregate skyline via local-then-merge execution.
 
     ``processes=None`` (default) runs the local phase serially;
-    ``processes=k`` uses a ``multiprocessing`` pool of ``k`` workers.
+    ``processes=k`` fans it out over the shared pool executor with ``k``
+    workers, raising :class:`repro.parallel.PoolTimeoutError` after
+    ``pool_timeout`` seconds instead of hanging on a wedged pool.
     """
     dataset = _coerce_dataset(groups, directions)
     thresholds = GammaThresholds(gamma)
@@ -121,10 +126,14 @@ def partitioned_aggregate_skyline(
             for bucket in buckets
         ]
         if processes is not None and processes > 1 and len(payloads) > 1:
-            import multiprocessing
+            from ..parallel.executor import map_tasks
 
-            with multiprocessing.Pool(processes) as pool:
-                local_survivors = pool.map(_local_skyline, payloads)
+            local_survivors = map_tasks(
+                _local_skyline,
+                payloads,
+                workers=processes,
+                pool_timeout=pool_timeout,
+            )
         else:
             local_survivors = [_local_skyline(p) for p in payloads]
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from ..core.execution import ExecutionConfig
 from ..core.gamma import dominance_probability
 from ..data.movies import directors_dataset
 from ..data.nba import STAT_COLUMNS, nba_table
@@ -585,7 +586,7 @@ def parallel_scaling(
                 algorithms=("PAR",),
                 experiment="parallel",
                 params={"workers": count, "groups": len(dataset)},
-                workers=count,
+                execution=ExecutionConfig(workers=count),
             )
         )
 

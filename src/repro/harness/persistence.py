@@ -41,6 +41,10 @@ def _result_to_dict(result: RunResult, include_obs: bool = True) -> dict:
         # Worker-pool size of parallel measurements; omitted (not null) for
         # serial runs so pre-parallel files round-trip byte-identically.
         data["workers"] = result.workers
+    if result.execution is not None:
+        # Compact ExecutionConfig snapshot (scheduler, shm, ...); optional
+        # like "workers" so pre-ExecutionConfig files round-trip unchanged.
+        data["execution"] = dict(result.execution)
     if include_obs:
         # Observability payloads (collected with run_algorithms(...,
         # collect_obs=True)): span tree + metrics-registry snapshot, so
@@ -66,6 +70,9 @@ def _result_from_dict(data: dict) -> RunResult:
         metrics=data.get("metrics"),
         workers=(
             int(data["workers"]) if data.get("workers") is not None else None
+        ),
+        execution=(
+            dict(data["execution"]) if data.get("execution") is not None else None
         ),
     )
 

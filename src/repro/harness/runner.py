@@ -9,10 +9,16 @@ and dominance checks — per algorithm, against the swept parameter).
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
-from ..core.algorithms import make_algorithm
+from ..core.algorithms import ALGORITHMS, make_algorithm
+from ..core.execution import (
+    _LEGACY_EXECUTION_KEYS,
+    ExecutionConfig,
+    coerce_execution,
+)
 from ..core.groups import GroupedDataset
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
@@ -21,7 +27,9 @@ __all__ = ["RunResult", "run_algorithms", "sweep", "PARALLEL_ALGORITHMS"]
 
 DEFAULT_ALGORITHMS = ("NL", "TR", "SI", "IN", "LO")
 
-#: Algorithms whose constructor accepts a ``workers`` pool size.
+#: Algorithms the deprecated ``workers=`` shortcut applies to.  The
+#: modern ``execution=ExecutionConfig(...)`` parameter instead reaches
+#: every algorithm whose class sets ``supports_execution`` (PAR, IN, LO).
 PARALLEL_ALGORITHMS = ("PAR",)
 
 
@@ -49,6 +57,10 @@ class RunResult:
     #: Worker-pool size the measurement ran with (``None`` = serial /
     #: unspecified); persisted so saved benchmarks record their parallelism.
     workers: Optional[int] = None
+    #: Compact :meth:`ExecutionConfig.to_dict` snapshot of the execution
+    #: config the measurement ran with (``None`` = serial legacy path);
+    #: persisted so saved benchmarks record scheduler/shm choices too.
+    execution: Optional[dict] = None
 
 
 def run_algorithms(
@@ -62,6 +74,7 @@ def run_algorithms(
     verify_consistency: bool = False,
     collect_obs: bool = False,
     workers: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> List[RunResult]:
     """Run each named algorithm on ``dataset`` and collect measurements.
 
@@ -77,23 +90,66 @@ def run_algorithms(
     registry snapshot to the returned :class:`RunResult` records (the
     per-algorithm run span feeds the saved benchmark JSON).
 
-    ``workers`` sizes the pool for algorithms that parallelise (currently
-    ``"PAR"``; serial algorithms ignore it) and is recorded on their
-    :class:`RunResult` so persisted measurements carry their parallelism.
+    ``execution`` is an :class:`~repro.core.execution.ExecutionConfig`
+    (or mapping / spec string) applied to every algorithm that supports
+    pooled execution (``PAR``, ``IN``, ``LO``); serial algorithms ignore
+    it.  Its compact snapshot is recorded on the :class:`RunResult` so
+    persisted measurements carry scheduler and shm choices.
+
+    ``workers`` is the deprecated pre-ExecutionConfig shortcut: it sizes
+    the pool for ``"PAR"`` only and is recorded on its
+    :class:`RunResult`.  Prefer ``execution=ExecutionConfig(workers=n)``.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
+    execution = coerce_execution(execution)
+    if workers is not None:
+        warnings.warn(
+            "run_algorithms(workers=...) is deprecated; pass"
+            " execution=ExecutionConfig(workers=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     options = dict(algorithm_options or {})
     results: List[RunResult] = []
     tracer = obs_tracing.get_tracer()
     for name in algorithms:
         engine_options = dict(options.get(name, {}))
-        if workers is not None and name in PARALLEL_ALGORITHMS:
-            engine_options.setdefault("workers", workers)
+        key = name.strip().upper()
+        supports = getattr(ALGORITHMS.get(key), "supports_execution", False)
+        engine_execution = execution if supports else None
+        if (
+            engine_execution is None
+            and workers is not None
+            and key in PARALLEL_ALGORITHMS
+            and "workers" not in engine_options
+        ):
+            engine_execution = ExecutionConfig(workers=workers)
         result_workers = engine_options.get("workers")
+        if result_workers is None and engine_execution is not None:
+            result_workers = engine_execution.workers
+        execution_payload = (
+            engine_execution.to_dict() if engine_execution is not None else None
+        )
+        if workers is None and any(
+            legacy in engine_options for legacy in _LEGACY_EXECUTION_KEYS
+        ):
+            warnings.warn(
+                f"legacy execution options for {key!r} in algorithm_options"
+                " are deprecated; pass execution=ExecutionConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         best: Optional[RunResult] = None
         for _ in range(repeats):
-            engine = make_algorithm(name, gamma, **engine_options)
+            with warnings.catch_warnings():
+                # Legacy per-algorithm options already warned above when
+                # they came through ``workers=``; avoid repeating the
+                # DeprecationWarning once per repeat.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                engine = make_algorithm(
+                    name, gamma, execution=engine_execution, **engine_options
+                )
             trace_payload = None
             metrics_payload = None
             with tracer.span(
@@ -125,6 +181,7 @@ def run_algorithms(
                 trace=trace_payload,
                 metrics=metrics_payload,
                 workers=result_workers,
+                execution=execution_payload,
             )
             if best is None or measured.elapsed_seconds < best.elapsed_seconds:
                 best = measured
@@ -155,6 +212,7 @@ def sweep(
     repeats: int = 1,
     collect_obs: bool = False,
     workers: Optional[int] = None,
+    execution: Optional[ExecutionConfig] = None,
 ) -> List[RunResult]:
     """Run ``algorithms`` for each value of a swept parameter.
 
@@ -177,6 +235,7 @@ def sweep(
                 repeats=repeats,
                 collect_obs=collect_obs,
                 workers=workers,
+                execution=execution,
             )
         )
     return results

@@ -13,13 +13,14 @@ quadratic split, or build balanced from scratch with Sort-Tile-Recursive
 from __future__ import annotations
 
 import math
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+import operator
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .mbr import Rect
 
-__all__ = ["RTree", "RTreeEntry"]
+__all__ = ["RTree", "RTreeEntry", "FlatRTree"]
 
 
 class RTreeEntry:
@@ -202,6 +203,10 @@ class RTree:
             levels += 1
         return levels
 
+    def pack(self) -> "FlatRTree":
+        """Freeze this tree into a :class:`FlatRTree` (read-only arrays)."""
+        return FlatRTree.from_tree(self)
+
     # ------------------------------------------------------------------
     # insertion internals
     # ------------------------------------------------------------------
@@ -341,3 +346,194 @@ def _str_tile(items: List, centers: List[np.ndarray], capacity: int) -> List[Lis
 
     partitions = tile(list(range(len(items))), 0)
     return [[items[idx] for idx in part] for part in partitions]
+
+
+class FlatRTree:
+    """A read-only R-tree packed into flat numpy arrays.
+
+    Built once from a constructed :class:`RTree` (``tree.pack()``), this
+    representation exists for the parallel IN/LO path: the whole tree is a
+    handful of contiguous ndarrays, so it ships to pool workers through
+    ``multiprocessing.shared_memory`` without pickling a node graph, and a
+    worker reconstructs a queryable index from the mapped buffers in O(1)
+    (:meth:`from_arrays` keeps views, never copies).
+
+    Layout: nodes in BFS order; an internal node's children are the
+    contiguous node-id range ``[child_start, child_stop)``; a leaf's
+    entries are the contiguous entry range ``[child_start, child_stop)``
+    into the entry arrays.  Payloads must be integers (the aggregate
+    skyline stores group positions), enforcing a compact ``int64`` item
+    column.  Window queries are deterministic: the DFS order is a pure
+    function of the arrays, so every process sees candidates in the same
+    order — the foundation of the parallel determinism contract.
+    """
+
+    __slots__ = (
+        "node_lows",
+        "node_highs",
+        "node_leaf",
+        "child_start",
+        "child_stop",
+        "entry_lows",
+        "entry_highs",
+        "entry_items",
+        "window_queries",
+        "candidates_returned",
+        "nodes_visited",
+    )
+
+    def __init__(
+        self,
+        node_lows: np.ndarray,
+        node_highs: np.ndarray,
+        node_leaf: np.ndarray,
+        child_start: np.ndarray,
+        child_stop: np.ndarray,
+        entry_lows: np.ndarray,
+        entry_highs: np.ndarray,
+        entry_items: np.ndarray,
+    ):
+        self.node_lows = node_lows
+        self.node_highs = node_highs
+        self.node_leaf = node_leaf
+        self.child_start = child_start
+        self.child_stop = child_stop
+        self.entry_lows = entry_lows
+        self.entry_highs = entry_highs
+        self.entry_items = entry_items
+        # same observability counters as RTree, flushed by IN/LO
+        self.window_queries = 0
+        self.candidates_returned = 0
+        self.nodes_visited = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tree(cls, tree: RTree) -> "FlatRTree":
+        """Pack a built :class:`RTree`; payloads must be integers."""
+        root = tree._root
+        if root.rect is None:
+            dims = 0
+            return cls(
+                np.zeros((0, dims)), np.zeros((0, dims)),
+                np.zeros(0, dtype=np.uint8),
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                np.zeros((0, dims)), np.zeros((0, dims)),
+                np.zeros(0, dtype=np.int64),
+            )
+        # BFS order: a node's children occupy a contiguous id range.
+        nodes: List[_Node] = [root]
+        cursor = 0
+        while cursor < len(nodes):
+            node = nodes[cursor]
+            if not node.leaf:
+                nodes.extend(node.children)
+            cursor += 1
+
+        dims = int(root.rect.dimensions)
+        count = len(nodes)
+        node_lows = np.empty((count, dims))
+        node_highs = np.empty((count, dims))
+        node_leaf = np.zeros(count, dtype=np.uint8)
+        child_start = np.zeros(count, dtype=np.int64)
+        child_stop = np.zeros(count, dtype=np.int64)
+        entry_lows: List[np.ndarray] = []
+        entry_highs: List[np.ndarray] = []
+        entry_items: List[int] = []
+
+        next_child = 1  # node id 0 is the root
+        next_entry = 0
+        for node_id, node in enumerate(nodes):
+            assert node.rect is not None
+            node_lows[node_id] = node.rect.low
+            node_highs[node_id] = node.rect.high
+            if node.leaf:
+                node_leaf[node_id] = 1
+                child_start[node_id] = next_entry
+                for entry in node.entries:
+                    entry_lows.append(entry.rect.low)
+                    entry_highs.append(entry.rect.high)
+                    try:
+                        entry_items.append(operator.index(entry.item))
+                    except TypeError:
+                        raise TypeError(
+                            "FlatRTree payloads must be integers, got "
+                            f"{type(entry.item).__name__}"
+                        ) from None
+                next_entry += len(node.entries)
+                child_stop[node_id] = next_entry
+            else:
+                child_start[node_id] = next_child
+                next_child += len(node.children)
+                child_stop[node_id] = next_child
+
+        return cls(
+            node_lows,
+            node_highs,
+            node_leaf,
+            child_start,
+            child_stop,
+            np.asarray(entry_lows).reshape(next_entry, dims),
+            np.asarray(entry_highs).reshape(next_entry, dims),
+            np.asarray(entry_items, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # (de)serialisation to plain arrays (for shared-memory shipping)
+    # ------------------------------------------------------------------
+
+    _ARRAY_FIELDS = (
+        "node_lows", "node_highs", "node_leaf", "child_start",
+        "child_stop", "entry_lows", "entry_highs", "entry_items",
+    )
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The flat representation as named arrays (zero-copy)."""
+        return {name: getattr(self, name) for name in self._ARRAY_FIELDS}
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "FlatRTree":
+        """Rebuild a queryable index from :meth:`arrays` output (views)."""
+        return cls(*(arrays[name] for name in cls._ARRAY_FIELDS))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def search_window(self, low: Sequence[float], high: Sequence[float]) -> List[int]:
+        """Integer payloads intersecting ``[low, high]``; deterministic order."""
+        lo = np.asarray(low, dtype=np.float64)
+        hi = np.asarray(high, dtype=np.float64)
+        self.window_queries += 1
+        results: List[int] = []
+        if len(self.node_leaf) == 0:
+            return results
+        visited = 0
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            if np.any(self.node_lows[node] > hi) or np.any(self.node_highs[node] < lo):
+                continue
+            start = int(self.child_start[node])
+            stop = int(self.child_stop[node])
+            if self.node_leaf[node]:
+                span_lows = self.entry_lows[start:stop]
+                span_highs = self.entry_highs[start:stop]
+                hit = np.all(span_lows <= hi, axis=1) & np.all(span_highs >= lo, axis=1)
+                results.extend(int(item) for item in self.entry_items[start:stop][hit])
+            else:
+                for child in range(start, stop):
+                    if not (
+                        np.any(self.node_lows[child] > hi)
+                        or np.any(self.node_highs[child] < lo)
+                    ):
+                        stack.append(child)
+        self.nodes_visited += visited
+        self.candidates_returned += len(results)
+        return results
+
+    def __len__(self) -> int:
+        return int(self.entry_items.shape[0])

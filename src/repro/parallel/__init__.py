@@ -20,13 +20,17 @@ See ``docs/parallel.md`` for the architecture and determinism guarantees.
 
 from .executor import (
     ChunkOutcome,
+    PoolRun,
     PoolTimeoutError,
     WorkerConfig,
     apply_verdicts,
+    compare_candidate_span,
     compare_span,
     execute_chunks,
+    map_tasks,
     preferred_start_method,
     resolve_workers,
+    run_spans,
 )
 from .partition import (
     chunk_ranges,
@@ -36,22 +40,37 @@ from .partition import (
     pair_from_index,
     sample_pair_indices,
 )
+from .scheduler import ChunkLedger, WorkerReport, assign_owners, guided_spans
+from .shm import ArrayRef, GroupShipment, ShmArena, ship_groups, load_groups
 
 __all__ = [
     "ChunkOutcome",
+    "PoolRun",
     "PoolTimeoutError",
     "WorkerConfig",
     "apply_verdicts",
+    "compare_candidate_span",
     "compare_span",
     "execute_chunks",
+    "map_tasks",
     "preferred_start_method",
     "resolve_workers",
+    "run_spans",
     "chunk_ranges",
     "index_of_pair",
     "iter_pairs",
     "pair_count",
     "pair_from_index",
     "sample_pair_indices",
+    "ChunkLedger",
+    "WorkerReport",
+    "assign_owners",
+    "guided_spans",
+    "ArrayRef",
+    "GroupShipment",
+    "ShmArena",
+    "ship_groups",
+    "load_groups",
     "ParallelSkylineAlgorithm",
 ]
 

@@ -51,12 +51,24 @@ import os
 import time
 from multiprocessing import sharedctypes
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.comparator import GroupComparator
 from ..core.gamma import GammaThresholds
 from ..core.groups import Group
 from .partition import iter_pairs
+from .scheduler import ChunkLedger, WorkerReport
+from .shm import (
+    GroupShipment,
+    ShmArena,
+    load_arrays,
+    load_groups,
+    ship_arrays,
+    ship_groups,
+    shm_available,
+)
 
 __all__ = [
     "D12",
@@ -65,11 +77,15 @@ __all__ = [
     "D21_STRONG",
     "WorkerConfig",
     "ChunkOutcome",
+    "PoolRun",
     "resolve_workers",
     "preferred_start_method",
     "compare_span",
+    "compare_candidate_span",
     "apply_verdicts",
     "execute_chunks",
+    "run_spans",
+    "map_tasks",
     "PoolTimeoutError",
 ]
 
@@ -81,6 +97,11 @@ _FLAG_DOMINATED, _FLAG_STRONG = 1, 2
 
 #: Environment variable consulted when ``workers`` is not given explicitly.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Environment variable forcing a multiprocessing start method (``fork`` /
+#: ``spawn`` / ``forkserver``).  CI uses ``REPRO_START_METHOD=spawn`` to
+#: exercise the shared-memory shipping path on Linux.
+START_METHOD_ENV_VAR = "REPRO_START_METHOD"
 
 
 class PoolTimeoutError(RuntimeError):
@@ -103,7 +124,17 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
 
 def preferred_start_method() -> str:
-    """``fork`` when the platform offers it (zero-copy data shipping)."""
+    """Start method for the pool: ``$REPRO_START_METHOD`` override, else
+    ``fork`` when the platform offers it (zero-copy data shipping)."""
+    env = os.environ.get(START_METHOD_ENV_VAR, "").strip().lower()
+    if env:
+        available = mp.get_all_start_methods()
+        if env not in available:
+            raise ValueError(
+                f"{START_METHOD_ENV_VAR}={env!r} is not available on this"
+                f" platform (choices: {available})"
+            )
+        return env
     return "fork" if "fork" in mp.get_all_start_methods() else \
         mp.get_start_method(allow_none=False)
 
@@ -134,6 +165,12 @@ class ChunkOutcome:
     pairs_skipped: int = 0
     elapsed_seconds: float = 0.0
     worker_pid: int = 0
+    # candidate-slab runs (parallel IN/LO) additionally report the index
+    # counters; stealing runs tag where the chunk actually executed.
+    window_queries: int = 0
+    index_candidates: int = 0
+    slot: int = -1
+    stolen: bool = False
 
 
 def _encode(outcome) -> int:
@@ -229,6 +266,82 @@ def compare_span(
     return verdicts, skipped
 
 
+def compare_candidate_span(
+    groups: Sequence[Group],
+    comparator: GroupComparator,
+    index,
+    order: Sequence[int],
+    span: Tuple[int, int],
+) -> Tuple[List[Tuple[int, int, int]], int, int]:
+    """The parallel IN/LO chunk kernel: one slab of candidate groups.
+
+    For every candidate position in ``span`` (indices into ``order``), run
+    the Algorithm-5 window query against the read-only ``index`` and probe
+    the returned groups *backward only* — does anyone γ-dominate the
+    candidate?  The loop breaks at the first dominator.
+
+    This is the *independent-candidate* discipline: each group's verdict
+    is a pure function of its own window loop (whose candidate order the
+    flat index fixes deterministically), never of marks produced by other
+    candidates.  The window is a superset of the candidate's dominators
+    (``g2 ⊳ g1`` implies ``g2.max ∈ [g1.min, +inf)``), so the result is
+    exactly the Definition-2 skyline — and both the verdicts *and every
+    work counter* are invariant under any partitioning of the candidates
+    across chunks, workers and steal orders.
+
+    Returns ``(verdicts, window_queries, index_candidates)`` where the
+    verdicts are ``(i, i, D21|D21_STRONG)`` self-marks.
+    """
+    start, stop = span
+    upper = np.full(groups[0].dimensions, np.inf)
+    verdicts: List[Tuple[int, int, int]] = []
+    window_queries = 0
+    index_candidates = 0
+    for position in range(start, stop):
+        i = order[position]
+        g1 = groups[i]
+        candidates = index.search_window(g1.bbox.min_corner, upper)
+        window_queries += 1
+        index_candidates += len(candidates)
+        for j in candidates:
+            if j == i:
+                continue
+            outcome = comparator.compare(
+                g1, groups[j], need_forward=False, need_backward=True
+            )
+            if outcome.d21_strong:
+                verdicts.append((i, i, D21_STRONG))
+                break
+            if outcome.d21:
+                verdicts.append((i, i, D21))
+                break
+    return verdicts, window_queries, index_candidates
+
+
+@dataclass
+class PoolRun:
+    """Everything a pooled run sent back: chunk results + scheduling telemetry."""
+
+    outcomes: List[ChunkOutcome] = field(default_factory=list)
+    reports: List[WorkerReport] = field(default_factory=list)
+
+
+@dataclass
+class _PoolPayload:
+    """Initializer argument: the one-shot shipment to every worker."""
+
+    shipment: GroupShipment
+    config: WorkerConfig
+    kind: str = "pairs"  # "pairs" | "candidates"
+    flags: Any = None
+    index_arrays: Optional[Dict[str, Any]] = None
+    order: Optional[Tuple[int, ...]] = None
+    spans: Optional[Tuple[Tuple[int, int], ...]] = None
+    owners: Optional[Tuple[Tuple[int, ...], ...]] = None
+    claimed: Any = None
+    lock: Any = None
+
+
 # ----------------------------------------------------------------------
 # pool plumbing: per-worker globals set once by the initializer
 # ----------------------------------------------------------------------
@@ -237,14 +350,41 @@ _WORKER_GROUPS: Optional[Sequence[Group]] = None
 _WORKER_COMPARATOR: Optional[GroupComparator] = None
 _WORKER_CONFIG: Optional[WorkerConfig] = None
 _WORKER_FLAGS = None
+_WORKER_KIND: str = "pairs"
+_WORKER_INDEX = None
+_WORKER_ORDER: Optional[Sequence[int]] = None
+_WORKER_SPANS: Optional[Sequence[Tuple[int, int]]] = None
+_WORKER_LEDGER: Optional[ChunkLedger] = None
 
 
 def _init_worker(groups, config: WorkerConfig, flags) -> None:
-    """Pool initializer: receive the dataset once, build one comparator."""
+    """Pool initializer (legacy shape): inline dataset, pair kernel."""
+    _init_pool(_PoolPayload(shipment=GroupShipment(inline=list(groups)),
+                            config=config, flags=flags))
+
+
+def _init_pool(payload: _PoolPayload) -> None:
+    """Pool initializer: materialise the one-shot shipment into globals."""
     global _WORKER_GROUPS, _WORKER_COMPARATOR, _WORKER_CONFIG, _WORKER_FLAGS
-    _WORKER_GROUPS = groups
+    global _WORKER_KIND, _WORKER_INDEX, _WORKER_ORDER, _WORKER_SPANS
+    global _WORKER_LEDGER
+    config = payload.config
+    _WORKER_GROUPS = load_groups(payload.shipment)
     _WORKER_CONFIG = config
-    _WORKER_FLAGS = flags
+    _WORKER_FLAGS = payload.flags
+    _WORKER_KIND = payload.kind
+    _WORKER_ORDER = payload.order
+    _WORKER_SPANS = payload.spans
+    _WORKER_INDEX = None
+    if payload.index_arrays is not None:
+        from ..index.rtree import FlatRTree
+
+        _WORKER_INDEX = FlatRTree.from_arrays(load_arrays(payload.index_arrays))
+    _WORKER_LEDGER = None
+    if payload.owners is not None:
+        _WORKER_LEDGER = ChunkLedger(
+            payload.owners, payload.claimed, payload.lock
+        )
     _WORKER_COMPARATOR = GroupComparator(
         GammaThresholds(config.gamma),
         use_stopping_rule=config.use_stopping_rule,
@@ -260,14 +400,22 @@ def _run_chunk(span: Tuple[int, int]) -> ChunkOutcome:
     comparator = _WORKER_COMPARATOR
     comparator.reset_stats()
     started = time.perf_counter()
-    verdicts, skipped = compare_span(
-        _WORKER_GROUPS,
-        comparator,
-        span,
-        prune_policy=config.prune_policy,
-        flags=_WORKER_FLAGS,
-        exchange_interval=config.exchange_interval,
-    )
+    skipped = 0
+    window_queries = 0
+    index_candidates = 0
+    if _WORKER_KIND == "candidates":
+        verdicts, window_queries, index_candidates = compare_candidate_span(
+            _WORKER_GROUPS, comparator, _WORKER_INDEX, _WORKER_ORDER, span
+        )
+    else:
+        verdicts, skipped = compare_span(
+            _WORKER_GROUPS,
+            comparator,
+            span,
+            prune_policy=config.prune_policy,
+            flags=_WORKER_FLAGS,
+            exchange_interval=config.exchange_interval,
+        )
     return ChunkOutcome(
         start=span[0],
         stop=span[1],
@@ -279,7 +427,171 @@ def _run_chunk(span: Tuple[int, int]) -> ChunkOutcome:
         pairs_skipped=skipped,
         elapsed_seconds=time.perf_counter() - started,
         worker_pid=os.getpid(),
+        window_queries=window_queries,
+        index_candidates=index_candidates,
     )
+
+
+def _steal_loop(slot: int) -> Tuple[List[ChunkOutcome], WorkerReport]:
+    """Long-running task for one worker slot under the stealing scheduler.
+
+    The slot drains its own chunk queue front-to-back, then steals small
+    chunks from the tails of the most-loaded victims until the shared
+    ledger is empty.  Returns the chunk outcomes plus the slot's
+    scheduling telemetry.
+    """
+    assert _WORKER_LEDGER is not None and _WORKER_SPANS is not None
+    report = WorkerReport(slot=slot, worker_pid=os.getpid())
+    outcomes: List[ChunkOutcome] = []
+    while True:
+        idle_from = time.perf_counter()
+        claim = _WORKER_LEDGER.claim(slot)
+        report.idle_seconds += time.perf_counter() - idle_from
+        if claim is None:
+            break
+        chunk_id, stolen = claim
+        outcome = _run_chunk(tuple(_WORKER_SPANS[chunk_id]))
+        outcome.slot = slot
+        outcome.stolen = stolen
+        outcomes.append(outcome)
+        report.chunks_done += 1
+        if stolen:
+            report.chunks_stolen += 1
+        report.busy_seconds += outcome.elapsed_seconds
+        report.chunk_seconds.append(outcome.elapsed_seconds)
+    return outcomes, report
+
+
+def _reports_from_outcomes(outcomes: List[ChunkOutcome]) -> List[WorkerReport]:
+    """Synthesise per-process reports for static runs (no ledger)."""
+    by_pid: Dict[int, WorkerReport] = {}
+    for slot, outcome in enumerate(outcomes):
+        report = by_pid.get(outcome.worker_pid)
+        if report is None:
+            report = WorkerReport(slot=len(by_pid), worker_pid=outcome.worker_pid)
+            by_pid[outcome.worker_pid] = report
+        report.chunks_done += 1
+        report.busy_seconds += outcome.elapsed_seconds
+        report.chunk_seconds.append(outcome.elapsed_seconds)
+    return list(by_pid.values())
+
+
+def _resolve_shm(shm: Optional[bool], start_method: str) -> bool:
+    """Auto policy: shm on spawn-family platforms, inheritance under fork."""
+    if shm is None:
+        return start_method != "fork" and shm_available()
+    return bool(shm) and shm_available()
+
+
+def run_spans(
+    groups: Sequence[Group],
+    config: WorkerConfig,
+    spans: Sequence[Tuple[int, int]],
+    workers: int,
+    *,
+    pool_timeout: float = 300.0,
+    scheduler: str = "static",
+    shm: Optional[bool] = None,
+    kind: str = "pairs",
+    index=None,
+    order: Optional[Sequence[int]] = None,
+    owners: Optional[Sequence[Sequence[int]]] = None,
+) -> PoolRun:
+    """Run ``spans`` on a pool under the chosen scheduler and shipping mode.
+
+    The general entry point behind both ``PAR`` and the parallel IN/LO
+    path.  ``kind="pairs"`` interprets spans as linear pair-index ranges
+    (:func:`compare_span`); ``kind="candidates"`` as slabs of positions
+    into ``order`` (:func:`compare_candidate_span`, requires ``index`` —
+    a :class:`~repro.index.rtree.FlatRTree` — and ``order``).
+
+    ``scheduler="static"`` hands the spans to ``Pool.map`` as before;
+    ``"stealing"`` ships the whole span list plus a shared claim table
+    and runs one :func:`_steal_loop` per worker slot (``owners`` may
+    pre-assign chunk queues; defaults to round-robin).
+
+    ``shm=None`` auto-selects shared-memory shipping on spawn platforms.
+    A wedged pool raises :class:`PoolTimeoutError` after ``pool_timeout``
+    seconds in every mode.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if kind not in ("pairs", "candidates"):
+        raise ValueError(f"kind must be 'pairs' or 'candidates', got {kind!r}")
+    if kind == "candidates" and (index is None or order is None):
+        raise ValueError("kind='candidates' requires index and order")
+    if scheduler not in ("static", "stealing"):
+        raise ValueError(
+            f"scheduler must be 'static' or 'stealing', got {scheduler!r}"
+        )
+    if not spans:
+        return PoolRun()
+    start_method = preferred_start_method()
+    ctx = mp.get_context(start_method)
+    use_shm = _resolve_shm(shm, start_method)
+    flags = (
+        sharedctypes.RawArray("B", len(groups))
+        if kind == "pairs" and config.exchange_interval > 0
+        else None
+    )
+    arena = ShmArena() if use_shm else None
+    try:
+        shipment = ship_groups(groups, arena)
+        index_arrays = None
+        if index is not None:
+            index_arrays = ship_arrays(index.arrays(), arena)
+        payload = _PoolPayload(
+            shipment=shipment,
+            config=config,
+            kind=kind,
+            flags=flags,
+            index_arrays=index_arrays,
+            order=tuple(order) if order is not None else None,
+        )
+        if scheduler == "stealing":
+            if owners is None:
+                from .scheduler import assign_owners
+
+                owners = assign_owners(len(spans), workers)
+            payload.spans = tuple((int(a), int(b)) for a, b in spans)
+            payload.owners = tuple(tuple(queue) for queue in owners)
+            payload.claimed = sharedctypes.RawArray("B", len(spans))
+            payload.lock = ctx.Lock()
+            tasks: Sequence = list(range(workers))
+            task_fn: Callable = _steal_loop
+        else:
+            tasks = list(spans)
+            task_fn = _run_chunk
+        pool = ctx.Pool(
+            processes=workers, initializer=_init_pool, initargs=(payload,)
+        )
+        try:
+            pending = pool.map_async(task_fn, tasks, chunksize=1)
+            try:
+                results = pending.get(timeout=pool_timeout)
+            except mp.TimeoutError:
+                raise PoolTimeoutError(
+                    f"parallel skyline pool produced no result within"
+                    f" {pool_timeout:.0f}s ({workers} workers,"
+                    f" {len(spans)} chunks, scheduler={scheduler});"
+                    f" pool terminated"
+                ) from None
+        finally:
+            pool.terminate()
+            pool.join()
+    finally:
+        if arena is not None:
+            arena.close()
+    if scheduler == "stealing":
+        outcomes: List[ChunkOutcome] = []
+        reports: List[WorkerReport] = []
+        for slot_outcomes, report in results:
+            outcomes.extend(slot_outcomes)
+            reports.append(report)
+        # deterministic merge order regardless of who ran what
+        outcomes.sort(key=lambda outcome: (outcome.start, outcome.stop))
+        return PoolRun(outcomes=outcomes, reports=reports)
+    return PoolRun(outcomes=results, reports=_reports_from_outcomes(results))
 
 
 def execute_chunks(
@@ -291,38 +603,53 @@ def execute_chunks(
 ) -> List[ChunkOutcome]:
     """Run ``spans`` over a ``workers``-sized process pool; ordered results.
 
-    The dataset travels to the pool exactly once (see the module docstring);
-    afterwards only tiny span tuples and compact verdict lists cross the
-    process boundary.  A deadlocked or wedged pool raises
-    :class:`PoolTimeoutError` after ``pool_timeout`` seconds instead of
-    hanging the caller (and CI) forever.
+    The PR-2 entry point, kept as a thin wrapper over :func:`run_spans`
+    with the static scheduler and automatic shipping.  The dataset travels
+    to the pool exactly once; afterwards only tiny span tuples and compact
+    verdict lists cross the process boundary.  A deadlocked or wedged pool
+    raises :class:`PoolTimeoutError` after ``pool_timeout`` seconds
+    instead of hanging the caller (and CI) forever.
+    """
+    run = run_spans(
+        groups,
+        config,
+        spans,
+        workers,
+        pool_timeout=pool_timeout,
+        scheduler="static",
+    )
+    return run.outcomes
+
+
+def map_tasks(
+    task_fn: Callable,
+    items: Sequence,
+    workers: int,
+    pool_timeout: float = 300.0,
+) -> List:
+    """Map picklable ``items`` over a pool with the shared failure mode.
+
+    Generic helper for coarse-grained fan-out (the partitioned baseline's
+    local phase): same start-method resolution and the same
+    :class:`PoolTimeoutError` fail-fast as the chunk executor, so no
+    caller can hang forever on a wedged pool.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    if not spans:
+    items = list(items)
+    if not items:
         return []
     ctx = mp.get_context(preferred_start_method())
-    flags = (
-        sharedctypes.RawArray("B", len(groups))
-        if config.exchange_interval > 0
-        else None
-    )
-    pool = ctx.Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(list(groups), config, flags),
-    )
+    pool = ctx.Pool(processes=workers)
     try:
-        pending = pool.map_async(_run_chunk, list(spans), chunksize=1)
+        pending = pool.map_async(task_fn, items, chunksize=1)
         try:
-            outcomes = pending.get(timeout=pool_timeout)
+            return pending.get(timeout=pool_timeout)
         except mp.TimeoutError:
             raise PoolTimeoutError(
-                f"parallel skyline pool produced no result within"
-                f" {pool_timeout:.0f}s ({workers} workers,"
-                f" {len(spans)} chunks); pool terminated"
+                f"worker pool produced no result within {pool_timeout:.0f}s"
+                f" ({workers} workers, {len(items)} tasks); pool terminated"
             ) from None
     finally:
         pool.terminate()
         pool.join()
-    return outcomes

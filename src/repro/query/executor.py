@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple, Union
 
 from ..core.algorithms import make_algorithm
+from ..core.execution import ExecutionConfig, coerce_execution
 from ..core.groups import GroupedDataset
 from ..core.result import AggregateSkylineResult
 from ..core.skyline import skyline_mask
@@ -65,13 +66,18 @@ class QueryResult:
 def execute(
     query: Union[str, Query],
     catalog: Catalog,
+    execution: Optional[ExecutionConfig] = None,
     **algorithm_options,
 ) -> QueryResult:
     """Parse (if needed), plan and run a query against ``catalog``.
 
     Extra keyword arguments are forwarded to the aggregate-skyline algorithm
-    constructor (e.g. ``prune_policy="safe"``).
+    constructor (e.g. ``prune_policy="safe"``).  ``execution`` is an
+    :class:`~repro.core.execution.ExecutionConfig` (or mapping / spec
+    string) selecting the pooled path of the ``USING ALGORITHM`` engines
+    that support it (``PAR``, ``IN``, ``LO``).
     """
+    execution = coerce_execution(execution)
     ast = parse(query) if isinstance(query, str) else query
     if ast.table not in catalog:
         raise PlanError(
@@ -90,7 +96,9 @@ def execute(
                 scan.set_attribute("rows_out", len(working))
 
         if ast.is_aggregate_skyline:
-            result = _run_aggregate_skyline(plan, working, algorithm_options)
+            result = _run_aggregate_skyline(
+                plan, working, algorithm_options, execution
+            )
         elif ast.is_record_skyline:
             result = _run_record_skyline(plan, working)
         elif ast.group_by:
@@ -176,6 +184,7 @@ def _run_aggregate_skyline(
     plan: QueryPlan,
     working: Table,
     algorithm_options: Dict[str, Any],
+    execution: Optional[ExecutionConfig] = None,
 ) -> QueryResult:
     ast = plan.query
     tracer = obs_tracing.get_tracer()
@@ -219,6 +228,7 @@ def _run_aggregate_skyline(
             algorithm = make_algorithm(
                 ast.algorithm or DEFAULT_ALGORITHM,
                 gamma,
+                execution=execution,
                 **options,
             )
             skyline_result = algorithm.compute(dataset)

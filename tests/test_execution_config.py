@@ -1,0 +1,313 @@
+"""Tests for the unified execution API (repro.core.execution).
+
+Covers the frozen :class:`ExecutionConfig` dataclass (validation,
+serialisation, spec parsing), the options normalizer (legacy-kwarg
+lifting with one DeprecationWarning, did-you-mean rejection of unknown
+options), the ``make_algorithm`` gate (only pool-backed algorithms take
+an execution config), and the end-to-end threading through the harness
+runner, persistence and the SQL query executor.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import ExecutionConfig, aggregate_skyline, make_algorithm
+from repro.core.algorithms.indexed import IndexedAlgorithm
+from repro.core.algorithms.parallel import ParallelSkylineAlgorithm
+from repro.core.execution import coerce_execution, normalize_options, suggest
+from repro.data.synthetic import SyntheticSpec, generate_grouped
+from repro.harness.persistence import results_from_json, results_to_json
+from repro.harness.runner import run_algorithms
+from repro.query.executor import execute
+from repro.relational.table import Table
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_grouped(
+        SyntheticSpec(n_records=240, avg_group_size=12, dimensions=3, seed=9)
+    )
+
+
+# ---------------------------------------------------------------------------
+# ExecutionConfig construction + validation
+# ---------------------------------------------------------------------------
+
+
+class TestExecutionConfig:
+    def test_defaults_mean_serial(self):
+        config = ExecutionConfig()
+        assert config.workers is None
+        assert config.scheduler == "static"
+        assert config.shm is None
+        assert config.exchange_interval == 0
+        assert config.chunk_size is None
+        assert config.pool_timeout == 300.0
+        assert not config.parallel
+
+    def test_workers_makes_it_parallel(self):
+        assert ExecutionConfig(workers=1).parallel
+        assert ExecutionConfig(workers=4).parallel
+
+    def test_frozen(self):
+        config = ExecutionConfig()
+        with pytest.raises(Exception):
+            config.workers = 2  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"workers": -1},
+            {"workers": True},
+            {"workers": 2.0},
+            {"exchange_interval": -1},
+            {"exchange_interval": 1.5},
+            {"chunk_size": 0},
+            {"chunk_size": False},
+            {"pool_timeout": 0.0},
+            {"pool_timeout": -3},
+            {"shm": "yes"},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionConfig(**kwargs)
+
+    def test_scheduler_typo_gets_a_suggestion(self):
+        with pytest.raises(ValueError, match="stealing"):
+            ExecutionConfig(scheduler="staeling")
+
+    def test_replace_revalidates(self):
+        config = ExecutionConfig(workers=2)
+        assert config.replace(scheduler="stealing").scheduler == "stealing"
+        with pytest.raises(ValueError):
+            config.replace(workers=0)
+
+    def test_to_dict_omits_defaults(self):
+        assert ExecutionConfig().to_dict() == {}
+        assert ExecutionConfig(workers=2).to_dict() == {"workers": 2}
+        full = ExecutionConfig(
+            workers=3, scheduler="stealing", shm=True, chunk_size=7
+        )
+        assert full.to_dict() == {
+            "workers": 3,
+            "scheduler": "stealing",
+            "shm": True,
+            "chunk_size": 7,
+        }
+
+    def test_dict_round_trip(self):
+        config = ExecutionConfig(workers=2, scheduler="stealing", shm=False)
+        assert ExecutionConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionConfig.from_dict({"wokers": 2})
+
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            ("", ExecutionConfig()),
+            ("workers=4", ExecutionConfig(workers=4)),
+            (
+                "workers=2, scheduler=stealing",
+                ExecutionConfig(workers=2, scheduler="stealing"),
+            ),
+            ("shm=auto", ExecutionConfig(shm=None)),
+            ("shm=true", ExecutionConfig(shm=True)),
+            ("shm=off", ExecutionConfig(shm=False)),
+            ("chunk_size=16,pool_timeout=5.5",
+             ExecutionConfig(chunk_size=16, pool_timeout=5.5)),
+        ],
+    )
+    def test_from_spec(self, spec, expected):
+        assert ExecutionConfig.from_spec(spec) == expected
+
+    def test_from_spec_rejects_malformed_items(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig.from_spec("workers")
+        with pytest.raises(ValueError):
+            ExecutionConfig.from_spec("shm=maybe")
+
+    def test_coerce_accepts_all_shapes(self):
+        config = ExecutionConfig(workers=2)
+        assert coerce_execution(None) is None
+        assert coerce_execution(config) is config
+        assert coerce_execution("workers=2") == config
+        assert coerce_execution({"workers": 2}) == config
+        with pytest.raises(TypeError):
+            coerce_execution(3)
+
+    def test_suggest_cutoff(self):
+        assert "static" in suggest("sttaic", ("static", "stealing"))
+        assert suggest("zzz", ("static", "stealing")) == ""
+
+
+# ---------------------------------------------------------------------------
+# normalize_options: legacy kwargs + unknown-option rejection
+# ---------------------------------------------------------------------------
+
+
+class TestNormalizeOptions:
+    def test_lifts_legacy_keys_with_one_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            options, execution = normalize_options(
+                "PAR",
+                ParallelSkylineAlgorithm,
+                {"workers": 2, "scheduler": "stealing", "prune_policy": "safe"},
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert options == {"prune_policy": "safe"}
+        assert execution == ExecutionConfig(workers=2, scheduler="stealing")
+
+    def test_explicit_execution_wins_but_fills_gaps(self):
+        explicit = ExecutionConfig(workers=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            _, execution = normalize_options(
+                "PAR",
+                ParallelSkylineAlgorithm,
+                {"workers": 2, "scheduler": "stealing"},
+                explicit,
+            )
+        assert execution.workers == 4  # explicit wins
+        assert execution.scheduler == "stealing"  # gap filled
+
+    def test_unknown_option_raises_with_suggestion(self):
+        with pytest.raises(TypeError, match="sort_key"):
+            normalize_options(
+                "IN", IndexedAlgorithm, {"sort_kye": "size_corner"}
+            )
+
+    def test_no_warning_without_legacy_keys(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            normalize_options("IN", IndexedAlgorithm, {"sort_key": "size"})
+        assert not caught
+
+
+# ---------------------------------------------------------------------------
+# make_algorithm gate
+# ---------------------------------------------------------------------------
+
+
+class TestMakeAlgorithmGate:
+    def test_unknown_algorithm_suggests(self):
+        with pytest.raises(ValueError, match="LO"):
+            make_algorithm("LQ")
+
+    def test_serial_algorithms_reject_execution(self):
+        for name in ("NL", "TR", "SI", "SQL"):
+            with pytest.raises(ValueError, match="does not accept"):
+                make_algorithm(name, execution=ExecutionConfig(workers=2))
+
+    @pytest.mark.parametrize("name", ["PAR", "IN", "LO"])
+    def test_pooled_algorithms_accept_execution(self, name):
+        engine = make_algorithm(name, execution=ExecutionConfig(workers=1))
+        assert engine.execution == ExecutionConfig(workers=1)
+
+    def test_spec_string_and_mapping_coerced(self):
+        engine = make_algorithm("IN", execution="workers=1,scheduler=stealing")
+        assert engine.execution.scheduler == "stealing"
+        engine = make_algorithm("LO", execution={"workers": 1})
+        assert engine.execution.workers == 1
+
+    def test_legacy_workers_still_constructs_par(self, dataset):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = make_algorithm("PAR", 0.5, workers=1)
+        assert engine.workers == 1
+        assert sum(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        ) == 1
+
+    def test_grid_backend_cannot_parallelise(self):
+        with pytest.raises(ValueError, match="rtree"):
+            make_algorithm(
+                "IN",
+                index_backend="grid",
+                execution=ExecutionConfig(workers=2),
+            )
+
+
+# ---------------------------------------------------------------------------
+# end-to-end threading: api, runner, persistence, SQL
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_aggregate_skyline_execution_matches_serial(self, dataset):
+        serial = aggregate_skyline(dataset, algorithm="IN")
+        pooled = aggregate_skyline(
+            dataset,
+            algorithm="IN",
+            execution=ExecutionConfig(workers=1, scheduler="stealing"),
+        )
+        assert pooled.as_set() == serial.as_set()
+
+    def test_runner_threads_execution_to_supporting_algorithms(self, dataset):
+        results = run_algorithms(
+            dataset,
+            algorithms=("NL", "IN", "PAR"),
+            execution=ExecutionConfig(workers=1),
+        )
+        by = {r.algorithm: r for r in results}
+        assert by["NL"].execution is None and by["NL"].workers is None
+        assert by["IN"].execution == {"workers": 1}
+        assert by["IN"].workers == 1
+        assert by["PAR"].execution == {"workers": 1}
+        assert by["NL"].skyline_keys == by["PAR"].skyline_keys
+
+    def test_runner_legacy_workers_warns_and_targets_par_only(self, dataset):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            results = run_algorithms(
+                dataset, algorithms=("NL", "PAR"), workers=1
+            )
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        by = {r.algorithm: r for r in results}
+        assert by["NL"].workers is None
+        assert by["PAR"].workers == 1
+
+    def test_persistence_round_trips_execution_block(self, dataset):
+        results = run_algorithms(
+            dataset,
+            algorithms=("NL", "IN"),
+            execution=ExecutionConfig(workers=1, scheduler="stealing"),
+        )
+        text = results_to_json(results, include_obs=False)
+        loaded = results_from_json(text)
+        by = {r.algorithm: r for r in loaded}
+        assert by["IN"].execution == {"workers": 1, "scheduler": "stealing"}
+        assert by["NL"].execution is None
+        # serial records keep the pre-ExecutionConfig shape on disk
+        nl_only = results_to_json([by["NL"]], include_obs=False)
+        assert '"execution"' not in nl_only
+
+    def test_query_executor_accepts_execution(self):
+        rows = [
+            ["a", 5.0, 4.0],
+            ["a", 4.0, 5.0],
+            ["b", 1.0, 1.0],
+            ["c", 5.0, 5.0],
+        ]
+        catalog = {"t": Table(["g", "x", "y"], rows)}
+        sql = (
+            "SELECT g FROM t GROUP BY g"
+            " SKYLINE OF x MAX, y MAX USING ALGORITHM IN"
+        )
+        serial = execute(sql, catalog)
+        pooled = execute(sql, catalog, execution="workers=1")
+        assert sorted(map(tuple, serial.table.rows)) == sorted(
+            map(tuple, pooled.table.rows)
+        )
