@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= smoke
 
-.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench clean
+.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -45,6 +45,13 @@ parallel-demo:
 parallel-bench:
 	REPRO_BENCH_SCALE=$(SCALE) $(PYTHON) -m pytest \
 		benchmarks/bench_parallel_speedup.py
+
+# Columnar backbone benchmarks: store v1 vs v2 load, index build from
+# corner matrices, shm pool pack handoff
+# (benchmarks/results/columnar_$(SCALE).txt; docs/data-model.md).
+columnar-bench:
+	REPRO_BENCH_SCALE=$(SCALE) $(PYTHON) -m pytest \
+		benchmarks/bench_columnar.py
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis

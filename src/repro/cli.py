@@ -238,6 +238,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="preload a CSV as a table (repeatable)",
     )
 
+    dataset = commands.add_parser(
+        "dataset", help="inspect / convert grouped-dataset npz archives"
+    )
+    dataset_commands = dataset.add_subparsers(
+        dest="dataset_command", required=True
+    )
+    convert = dataset_commands.add_parser(
+        "convert",
+        help="migrate an archive between store format v1 and v2",
+    )
+    convert.add_argument("source", help="input .npz archive (v1 or v2)")
+    convert.add_argument("destination", help="output .npz archive")
+    convert.add_argument(
+        "--to",
+        dest="target_version",
+        type=int,
+        default=2,
+        choices=(1, 2),
+        help="target store format version (default: 2, columnar)",
+    )
+    convert.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the round-trip verification of the written archive",
+    )
+    info = dataset_commands.add_parser(
+        "info", help="print an archive's format version and shape"
+    )
+    info.add_argument("path", help=".npz archive to inspect")
+
     stats = commands.add_parser(
         "stats", help="shape statistics + algorithm suggestion for a CSV"
     )
@@ -267,6 +297,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "shell": _cmd_shell,
         "metrics": _cmd_metrics,
+        "dataset": _cmd_dataset,
     }[args.command]
     obs_state = _setup_obs(args)
     try:
@@ -582,6 +613,47 @@ def _cmd_compare(args) -> int:
     if len(deltas):
         print("\nwork-counter deltas:")
         print(deltas.to_text())
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    from .data.store import load_grouped, read_manifest, save_grouped
+
+    if args.dataset_command == "info":
+        manifest = read_manifest(args.path)
+        dataset = load_grouped(args.path)
+        print(f"format version : {manifest.get('version')}")
+        print(f"groups         : {len(dataset)}")
+        print(f"records        : {dataset.total_records}")
+        print(f"dimensions     : {dataset.dimensions}")
+        print(
+            "directions     : "
+            + ",".join(d.value for d in dataset.directions)
+        )
+        print(f"fingerprint    : {dataset.fingerprint()}")
+        return 0
+
+    # convert
+    source_version = read_manifest(args.source).get("version")
+    # mmap=False: the conversion reads everything once anyway, and an
+    # eager load keeps the destination independent of the source file.
+    dataset = load_grouped(args.source, mmap=False)
+    save_grouped(dataset, args.destination, version=args.target_version)
+    if not args.no_check:
+        back = load_grouped(args.destination, mmap=False)
+        if back.fingerprint() != dataset.fingerprint():
+            print(
+                "round-trip check FAILED: converted archive does not"
+                " reproduce the source dataset",
+                file=sys.stderr,
+            )
+            return 1
+    print(
+        f"converted {args.source} (v{source_version}) -> "
+        f"{args.destination} (v{args.target_version}): "
+        f"{len(dataset)} groups, {dataset.total_records} records"
+        + ("" if args.no_check else " [round-trip OK]")
+    )
     return 0
 
 

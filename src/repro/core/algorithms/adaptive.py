@@ -126,9 +126,13 @@ class AdaptiveAlgorithm(AggregateSkylineAlgorithm):
         # configuration for the delegate's: a second compute() then ran with
         # the delegate's ``use_bbox``/``block_size`` and double-counted the
         # previous run's statistics.)
+        # Hand the delegate the in-flight dataset so it can reach the
+        # columnar corner matrices and the derived-artifact cache.
+        delegate._dataset = self._dataset
         try:
             delegate._run(groups, state)
         finally:
+            delegate._dataset = None
             delegate.comparator.unbind_metrics()
         self.comparator.absorb(
             comparisons=delegate.comparator.comparisons,

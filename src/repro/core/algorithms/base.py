@@ -149,6 +149,11 @@ class AggregateSkylineAlgorithm(abc.ABC):
         )
         self._groups_skipped = 0
         self._index_candidates = 0
+        #: The dataset of the in-flight compute() (None outside one).
+        #: Index-driven subclasses use it to reach the columnar corner
+        #: matrices and the content-keyed derived-artifact cache
+        #: (:mod:`repro.core.artifacts`).
+        self._dataset: Optional[GroupedDataset] = None
 
     # ------------------------------------------------------------------
     # public API
@@ -180,12 +185,14 @@ class AggregateSkylineAlgorithm(abc.ABC):
             gamma=float(self.thresholds.gamma),
             prune_policy=self.prune_policy,
         )
+        self._dataset = dataset
         try:
             with root:
                 with Timer() as timer:
                     with tracer.span("skyline.candidates"):
                         self._run(groups, state)
         finally:
+            self._dataset = None
             if bound_metrics:
                 self.comparator.unbind_metrics()
         stats = AlgorithmStats(

@@ -20,7 +20,8 @@ from typing import List, Optional
 import numpy as np
 
 from ...index.grid import GridIndex
-from ...index.rtree import Rect, RTree
+from ...index.rtree import FlatRTree
+from .. import artifacts
 from ...obs import metrics as obs_metrics
 from ...obs import tracing as obs_tracing
 from ...parallel.executor import (
@@ -79,6 +80,7 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
                 f"index_backend must be one of {INDEX_BACKENDS}, got {index_backend!r}"
             )
         self.sort_key = SORT_KEYS[sort_key]
+        self.sort_key_name = sort_key
         self.index_backend = index_backend
         self.grid_cells_per_dim = grid_cells_per_dim
         #: ``None`` (or ``workers=None``) keeps the serial Algorithm-5 loop
@@ -103,10 +105,17 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
 
     def _build_index(self, groups: List[Group]):
         if self.index_backend == "rtree":
-            return RTree.bulk_load(
-                (Rect.point(group.bbox.max_corner), group.index)
-                for group in groups
-            )
+            dataset = self._dataset
+            if dataset is not None and len(dataset) == len(groups):
+                # Columnar fast path: STR bulk-load straight from the
+                # dataset's precomputed max-corner matrix (no Group /
+                # Rect objects), with the packed arrays memoised in the
+                # content-keyed derived-artifact cache.  Bit-identical to
+                # the object-based build (see FlatRTree.bulk_load_points).
+                return artifacts.packed_rtree(dataset)
+            corners = np.array([group.bbox.max_corner for group in groups])
+            items = np.array([group.index for group in groups], dtype=np.int64)
+            return FlatRTree.bulk_load_points(corners, items)
         corners = np.array([group.bbox.max_corner for group in groups])
         index = GridIndex(
             corners.min(axis=0),
@@ -116,6 +125,17 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
         for group in groups:
             index.insert_point(group.bbox.max_corner, group.index)
         return index
+
+    def _sorted_order(self, groups: List[Group]) -> List[int]:
+        """Candidate access order, memoised content-wise when possible."""
+        dataset = self._dataset
+        if dataset is not None and len(dataset) == len(groups):
+            return list(
+                artifacts.sort_order(
+                    dataset, self.sort_key_name, self.sort_key
+                )
+            )
+        return sorted(range(len(groups)), key=lambda i: self.sort_key(groups[i]))
 
     def _run(self, groups: List[Group], state: GroupState) -> None:
         self.worker_stats = []
@@ -133,7 +153,7 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
         dimensions = groups[0].dimensions
         upper = np.full(dimensions, np.inf)
 
-        order = sorted(range(len(groups)), key=lambda i: self.sort_key(groups[i]))
+        order = self._sorted_order(groups)
         for i in order:
             if self._skip_as_candidate(i, state):
                 continue
@@ -185,7 +205,7 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
         ):
             index = self._build_index(groups).pack()
         n = len(groups)
-        order = sorted(range(n), key=lambda i: self.sort_key(groups[i]))
+        order = self._sorted_order(groups)
         workers = execution.resolve_workers()
         scheduler = execution.scheduler
         span_attrs = dict(workers=workers, candidates=n, scheduler=scheduler)

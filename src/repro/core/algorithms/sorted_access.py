@@ -23,6 +23,7 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
+from .. import artifacts
 from ..gamma import GammaLike
 from ..groups import Group
 from .base import AggregateSkylineAlgorithm, GroupState
@@ -81,7 +82,17 @@ class SortedAlgorithm(AggregateSkylineAlgorithm):
 
     def _run(self, groups: List[Group], state: GroupState) -> None:
         # A static sort is equivalent to draining the paper's priority queue.
-        order = sorted(range(len(groups)), key=lambda i: self.sort_key(groups[i]))
+        # The order is memoised in the content-keyed derived-artifact cache
+        # when the groups come from a columnar dataset (the common case).
+        dataset = self._dataset
+        if dataset is not None and len(dataset) == len(groups):
+            order: List[int] = list(
+                artifacts.sort_order(dataset, self.sort_key_name, self.sort_key)
+            )
+        else:
+            order = sorted(
+                range(len(groups)), key=lambda i: self.sort_key(groups[i])
+            )
         for rank, i in enumerate(order):
             if self._skip_as_candidate(i, state):
                 continue

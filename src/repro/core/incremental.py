@@ -38,20 +38,37 @@ __all__ = ["IncrementalAggregateSkyline"]
 
 
 class _GroupStore:
-    """Mutable record storage for one group."""
+    """Mutable record storage for one group.
 
-    __slots__ = ("key", "rows")
+    The stacked matrix is cached between mutations: the maintenance loops
+    call :meth:`matrix` once per *other* group per update, so without the
+    cache every single-record insert re-vstacks every group.  All mutations
+    must go through :meth:`append` / :meth:`pop`, which invalidate it.
+    """
+
+    __slots__ = ("key", "rows", "_matrix")
 
     def __init__(self, key: Hashable):
         self.key = key
         self.rows: List[np.ndarray] = []
+        self._matrix: Optional[np.ndarray] = None
 
     @property
     def size(self) -> int:
         return len(self.rows)
 
+    def append(self, row: np.ndarray) -> None:
+        self.rows.append(row)
+        self._matrix = None
+
+    def pop(self, position: int) -> None:
+        self.rows.pop(position)
+        self._matrix = None
+
     def matrix(self) -> np.ndarray:
-        return np.vstack(self.rows)
+        if self._matrix is None:
+            self._matrix = np.vstack(self.rows)
+        return self._matrix
 
 
 def _dominates_rows(record: np.ndarray, rows: np.ndarray) -> int:
@@ -95,6 +112,13 @@ class IncrementalAggregateSkyline:
         self._groups: Dict[Hashable, _GroupStore] = {}
         # (a, b) -> number of record pairs of a dominating records of b.
         self._pair_counts: Dict[Tuple[Hashable, Hashable], int] = {}
+        #: Monotonic mutation counter: bumped on every insert / delete /
+        #: drop_group.  Snapshots (:meth:`to_dataset`) are memoised per
+        #: version, and because a new version yields a snapshot with a new
+        #: content fingerprint, derived artifacts cached against the old
+        #: snapshot (:mod:`repro.core.artifacts`) are never served stale.
+        self.version = 0
+        self._snapshot: Optional[Tuple[int, GroupedDataset]] = None
 
     # ------------------------------------------------------------------
     # inspection
@@ -156,7 +180,8 @@ class IncrementalAggregateSkyline:
                 self._pair_counts.get((other_key, key), 0)
                 + _dominated_by_rows(row, rows)
             )
-        store.rows.append(row)
+        store.append(row)
+        self.version += 1
 
     def insert_many(
         self, key: Hashable, records: Iterable[Iterable[float]]
@@ -185,7 +210,7 @@ class IncrementalAggregateSkyline:
         )
         if position is None:
             raise ValueError(f"record {list(record)!r} not in group {key!r}")
-        store.rows.pop(position)
+        store.pop(position)
         for other_key, other in self._groups.items():
             if other_key == key or other.size == 0:
                 continue
@@ -194,6 +219,7 @@ class IncrementalAggregateSkyline:
             self._pair_counts[(other_key, key)] -= _dominated_by_rows(
                 row, rows
             )
+        self.version += 1
         if store.size == 0:
             self._drop_group(key)
 
@@ -202,6 +228,7 @@ class IncrementalAggregateSkyline:
         if key not in self._groups:
             raise KeyError(key)
         self._drop_group(key)
+        self.version += 1
 
     def _drop_group(self, key: Hashable) -> None:
         del self._groups[key]
@@ -258,13 +285,24 @@ class IncrementalAggregateSkyline:
         Values are handed over in the *original* orientation so the
         snapshot round-trips through the normal constructor.  Returns
         ``None`` when empty.
+
+        Snapshots are memoised per :attr:`version`: as long as no mutation
+        happened, the same (immutable, fingerprinted) dataset object is
+        returned, so downstream consumers — including the derived-artifact
+        cache — can reuse everything built against it.  The first mutation
+        bumps the version; the next snapshot is a fresh dataset with a new
+        fingerprint, invalidating cached artifacts naturally.
         """
         if not self._groups:
             return None
+        if self._snapshot is not None and self._snapshot[0] == self.version:
+            return self._snapshot[1]
         from .dominance import denormalize_values
 
         groups = {
             key: denormalize_values(store.matrix(), self.directions)
             for key, store in self._groups.items()
         }
-        return GroupedDataset(groups, directions=self.directions)
+        dataset = GroupedDataset(groups, directions=self.directions)
+        self._snapshot = (self.version, dataset)
+        return dataset

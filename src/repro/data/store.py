@@ -1,32 +1,60 @@
-"""Binary persistence for grouped datasets.
+"""Binary persistence for grouped datasets (npz format v1 + columnar v2).
 
 CSV keeps grouped data portable but parses slowly; this store writes a
 grouped dataset as one ``.npz`` archive (numpy's zipped container) with a
 JSON manifest for keys and directions — load/save round-trips exactly,
 including MIN-direction orientation.
 
-Format (inside the npz):
+Two on-disk formats are supported (see ``docs/data-model.md``):
 
-* ``__manifest__`` — a JSON string array holding
-  ``{"version", "directions", "keys"}``; group keys are JSON-encoded so
-  tuples survive (as lists — they are re-tupled on load).
-* ``group_<i>`` — the i-th group's records in the *original* orientation.
+**Format v1** (legacy, compressed): one ``group_<i>`` member *per group* in
+the original orientation.  Fine for hundreds of groups, pathological at the
+100k-group scales of the paper's Figure 12/13 sweeps — every member is a
+separate zip entry that must be located, inflated and copied.
+
+**Format v2** (columnar, the default): the dataset's columnar backbone
+persisted verbatim —
+
+* ``__manifest__`` — JSON string array holding ``{"version": 2,
+  "directions", "keys", "orientation": "normalized"}``; group keys are
+  JSON-encoded so tuples survive (re-tupled on load).
+* ``matrix`` — the full ``(N_records × d)`` float64 record matrix,
+  **normalised** (MIN columns negated), group-major.
+* ``offsets`` — ``int64`` CSR row offsets of length ``G + 1``.
+
+v2 archives are written *uncompressed* (``np.savez``), which lets the
+loader ``mmap`` the matrix straight out of the zip member
+(``mmap_mode="r"`` semantics: the OS pages records in on demand and the
+dataset adopts the mapping zero-copy via
+:meth:`~repro.core.groups.GroupedDataset.from_columns`).  v1 archives are
+still read transparently; :func:`save_grouped` takes ``version=1`` to write
+the legacy layout (used by ``repro dataset convert`` for downgrades).
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from ..core.dominance import Direction
 from ..core.groups import GroupedDataset
 
-__all__ = ["save_grouped", "load_grouped"]
+__all__ = [
+    "save_grouped",
+    "load_grouped",
+    "read_manifest",
+    "FORMAT_VERSIONS",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION_V1 = 1
+_FORMAT_VERSION_V2 = 2
+#: Formats this module can read and write.
+FORMAT_VERSIONS = (_FORMAT_VERSION_V1, _FORMAT_VERSION_V2)
+_DEFAULT_VERSION = _FORMAT_VERSION_V2
 
 
 def _encode_key(key) -> str:
@@ -42,10 +70,36 @@ def _decode_key(encoded: str):
     return data["s"]
 
 
-def save_grouped(dataset: GroupedDataset, path: Union[str, Path]) -> None:
-    """Write a grouped dataset to ``path`` (conventionally ``.npz``)."""
+# ----------------------------------------------------------------------
+# writers
+# ----------------------------------------------------------------------
+
+
+def save_grouped(
+    dataset: GroupedDataset,
+    path: Union[str, Path],
+    *,
+    version: int = _DEFAULT_VERSION,
+) -> None:
+    """Write a grouped dataset to ``path`` (conventionally ``.npz``).
+
+    ``version=2`` (default) writes the columnar single-matrix layout;
+    ``version=1`` writes the legacy one-member-per-group layout.
+    """
+    if version == _FORMAT_VERSION_V2:
+        _save_v2(dataset, path)
+    elif version == _FORMAT_VERSION_V1:
+        _save_v1(dataset, path)
+    else:
+        raise ValueError(
+            f"unsupported store format version {version!r};"
+            f" known versions: {FORMAT_VERSIONS}"
+        )
+
+
+def _save_v1(dataset: GroupedDataset, path: Union[str, Path]) -> None:
     manifest = {
-        "version": _FORMAT_VERSION,
+        "version": _FORMAT_VERSION_V1,
         "directions": [d.value for d in dataset.directions],
         "keys": [_encode_key(key) for key in dataset.keys()],
     }
@@ -58,19 +112,149 @@ def save_grouped(dataset: GroupedDataset, path: Union[str, Path]) -> None:
         np.savez_compressed(handle, **arrays)
 
 
-def load_grouped(path: Union[str, Path]) -> GroupedDataset:
-    """Read a grouped dataset written by :func:`save_grouped`."""
+def _save_v2(dataset: GroupedDataset, path: Union[str, Path]) -> None:
+    manifest = {
+        "version": _FORMAT_VERSION_V2,
+        "directions": [d.value for d in dataset.directions],
+        "keys": [_encode_key(key) for key in dataset.keys()],
+        # The matrix is stored in the normalised (higher-is-better)
+        # orientation so loads can adopt it zero-copy; MIN columns are
+        # un-negated on demand via the recorded directions.
+        "orientation": "normalized",
+    }
+    arrays = {
+        "__manifest__": np.array([json.dumps(manifest)]),
+        "matrix": np.ascontiguousarray(dataset.matrix),
+        "offsets": np.ascontiguousarray(dataset.offsets),
+    }
+    # Deliberately *uncompressed*: ZIP_STORED members can be memory-mapped
+    # in place, which is the whole point of the columnar layout.
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+# ----------------------------------------------------------------------
+# readers
+# ----------------------------------------------------------------------
+
+
+def read_manifest(path: Union[str, Path]) -> dict:
+    """The archive's manifest (``version``/``directions``/``keys`` …).
+
+    Raises ``ValueError`` if ``path`` is not a grouped-dataset archive.
+    """
     with np.load(path, allow_pickle=False) as archive:
         if "__manifest__" not in archive:
             raise ValueError(f"{path}: not a grouped-dataset archive")
-        manifest = json.loads(str(archive["__manifest__"][0]))
-        version = manifest.get("version")
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"{path}: unsupported format version {version!r}"
-            )
-        directions = [Direction.from_any(d) for d in manifest["directions"]]
+        return json.loads(str(archive["__manifest__"][0]))
+
+
+def load_grouped(
+    path: Union[str, Path],
+    *,
+    mmap: bool = True,
+    allow_non_finite: bool = False,
+) -> GroupedDataset:
+    """Read a grouped dataset written by :func:`save_grouped` (v1 or v2).
+
+    For v2 archives the record matrix is memory-mapped read-only when
+    possible (``mmap=True``, a real filesystem path, uncompressed member)
+    and adopted zero-copy; pass ``mmap=False`` to force an eager in-memory
+    copy (e.g. before deleting the file).
+    """
+    manifest = read_manifest(path)
+    version = manifest.get("version")
+    if version == _FORMAT_VERSION_V1:
+        return _load_v1(path, manifest, allow_non_finite=allow_non_finite)
+    if version == _FORMAT_VERSION_V2:
+        return _load_v2(
+            path, manifest, mmap=mmap, allow_non_finite=allow_non_finite
+        )
+    raise ValueError(f"{path}: unsupported format version {version!r}")
+
+
+def _load_v1(
+    path: Union[str, Path], manifest: dict, *, allow_non_finite: bool
+) -> GroupedDataset:
+    directions = [Direction.from_any(d) for d in manifest["directions"]]
+    with np.load(path, allow_pickle=False) as archive:
         groups = {}
         for position, encoded in enumerate(manifest["keys"]):
             groups[_decode_key(encoded)] = archive[f"group_{position}"]
-    return GroupedDataset(groups, directions=directions)
+    return GroupedDataset(
+        groups, directions=directions, allow_non_finite=allow_non_finite
+    )
+
+
+def _load_v2(
+    path: Union[str, Path],
+    manifest: dict,
+    *,
+    mmap: bool,
+    allow_non_finite: bool,
+) -> GroupedDataset:
+    directions = [Direction.from_any(d) for d in manifest["directions"]]
+    keys = [_decode_key(encoded) for encoded in manifest["keys"]]
+    normalized = manifest.get("orientation") == "normalized"
+    matrix: Optional[np.ndarray] = None
+    if mmap:
+        matrix = _mmap_npz_member(path, "matrix.npy")
+    with np.load(path, allow_pickle=False) as archive:
+        offsets = np.array(archive["offsets"], dtype=np.int64)
+        if matrix is None:
+            matrix = archive["matrix"]
+    return GroupedDataset.from_columns(
+        matrix,
+        offsets,
+        keys,
+        directions=directions,
+        normalized=normalized,
+        allow_non_finite=allow_non_finite,
+    )
+
+
+def _mmap_npz_member(
+    path: Union[str, Path], member: str
+) -> Optional[np.ndarray]:
+    """Memory-map one ``.npy`` member of an npz archive, or ``None``.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores the request for npz
+    containers, so we do it by hand: locate the member's zip local header,
+    skip it, parse the npy header, and map the raw data region of the file
+    read-only.  Returns ``None`` whenever mapping is not possible
+    (compressed member, non-file path, exotic npy version, Fortran order)
+    so callers can fall back to a normal load.
+    """
+    try:
+        with zipfile.ZipFile(path) as archive:
+            info = archive.getinfo(member)
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            header_offset = info.header_offset
+        with open(path, "rb") as handle:
+            handle.seek(header_offset)
+            local = handle.read(30)
+            if len(local) < 30 or local[:4] != b"PK\x03\x04":
+                return None
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            handle.seek(header_offset + 30 + name_len + extra_len)
+            npy_version = np.lib.format.read_magic(handle)
+            if npy_version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                    handle
+                )
+            elif npy_version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(
+                    handle
+                )
+            else:
+                return None
+            if fortran or dtype.hasobject:
+                return None
+            data_offset = handle.tell()
+        return np.memmap(
+            path, dtype=dtype, mode="r", offset=data_offset, shape=shape
+        )
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+        return None

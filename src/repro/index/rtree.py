@@ -480,6 +480,150 @@ class FlatRTree:
             np.asarray(entry_items, dtype=np.int64),
         )
 
+    @classmethod
+    def bulk_load_points(
+        cls,
+        points: np.ndarray,
+        items: Optional[np.ndarray] = None,
+        max_entries: int = 16,
+    ) -> "FlatRTree":
+        """STR bulk-load a packed tree straight from a point matrix.
+
+        ``points`` is an ``(n × d)`` matrix (one point rectangle per row —
+        for the aggregate skyline these are the dataset's ``max_corners``)
+        and ``items[i]`` the integer payload of row ``i`` (defaults to the
+        row number).  This produces **bit-identical arrays** to::
+
+            RTree.bulk_load(
+                (Rect.point(points[i]), items[i]) for i in range(n),
+                max_entries=max_entries,
+            ).pack()
+
+        but never materialises ``Rect``/node objects per entry, so the
+        columnar dataset's corner matrices feed the index directly.  The
+        tiling mirrors :func:`_str_tile` operation for operation (same
+        stable sorts, same slab arithmetic) and the flatten mirrors
+        :meth:`from_tree` (same BFS order, same entry emission), keeping
+        the window-query candidate *order* — and therefore the IN/LO
+        algorithms' counters — unchanged.
+        """
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must be 2-d (entries x dimensions)")
+        count, dims = points.shape
+        if items is None:
+            payload = np.arange(count, dtype=np.int64)
+        else:
+            payload = np.asarray(items, dtype=np.int64)
+            if payload.shape != (count,):
+                raise ValueError("items must be 1-d, one per point")
+        if count == 0:
+            return cls(
+                np.zeros((0, 0)), np.zeros((0, 0)),
+                np.zeros(0, dtype=np.uint8),
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                np.zeros((0, 0)), np.zeros((0, 0)),
+                np.zeros(0, dtype=np.int64),
+            )
+
+        def tile(indices: List[int], centers: np.ndarray, dim: int) -> List[List[int]]:
+            # Mirror of _str_tile: stable sort by centre coordinate,
+            # identical slab arithmetic.
+            if len(indices) <= max_entries:
+                return [indices]
+            indices = sorted(indices, key=lambda idx: float(centers[idx][dim]))
+            if dim == dims - 1:
+                return [
+                    indices[start : start + max_entries]
+                    for start in range(0, len(indices), max_entries)
+                ]
+            leaf_count = math.ceil(len(indices) / max_entries)
+            slabs = math.ceil(leaf_count ** (1.0 / (dims - dim)))
+            slab_size = math.ceil(len(indices) / slabs)
+            groups: List[List[int]] = []
+            for start in range(0, len(indices), slab_size):
+                groups.extend(
+                    tile(indices[start : start + slab_size], centers, dim + 1)
+                )
+            return groups
+
+        # ---- leaf level: partition the points themselves -------------
+        # (a point rect's centre is the point)
+        leaf_parts = tile(list(range(count)), points, 0)
+        # each level is (lows, highs, member_lists); members of level 0
+        # are entry ids, members of level k>0 are node ids of level k-1.
+        level_lows = np.empty((len(leaf_parts), dims))
+        level_highs = np.empty((len(leaf_parts), dims))
+        for node_id, part in enumerate(leaf_parts):
+            rows = points[part]
+            level_lows[node_id] = rows.min(axis=0)
+            level_highs[node_id] = rows.max(axis=0)
+        levels: List[Tuple[np.ndarray, np.ndarray, List[List[int]], bool]] = [
+            (level_lows, level_highs, leaf_parts, True)
+        ]
+
+        # ---- internal levels until a single root ---------------------
+        while len(levels[-1][2]) > 1:
+            lows, highs, below_parts, _ = levels[-1]
+            centers = (lows + highs) / 2.0  # Rect.center, elementwise
+            parts = tile(list(range(len(below_parts))), centers, 0)
+            up_lows = np.empty((len(parts), dims))
+            up_highs = np.empty((len(parts), dims))
+            for node_id, part in enumerate(parts):
+                up_lows[node_id] = lows[part].min(axis=0)
+                up_highs[node_id] = highs[part].max(axis=0)
+            levels.append((up_lows, up_highs, parts, False))
+
+        # ---- BFS flatten (mirror of from_tree) -----------------------
+        # Walk from the root down; a node is (level_index, local_id).
+        order: List[Tuple[int, int]] = [(len(levels) - 1, 0)]
+        cursor = 0
+        while cursor < len(order):
+            level_index, local_id = order[cursor]
+            if level_index > 0:
+                for child in levels[level_index][2][local_id]:
+                    order.append((level_index - 1, child))
+            cursor += 1
+
+        total = len(order)
+        node_lows = np.empty((total, dims))
+        node_highs = np.empty((total, dims))
+        node_leaf = np.zeros(total, dtype=np.uint8)
+        child_start = np.zeros(total, dtype=np.int64)
+        child_stop = np.zeros(total, dtype=np.int64)
+        entry_order: List[int] = []
+
+        next_child = 1
+        next_entry = 0
+        for node_id, (level_index, local_id) in enumerate(order):
+            lows, highs, parts, is_leaf = levels[level_index]
+            node_lows[node_id] = lows[local_id]
+            node_highs[node_id] = highs[local_id]
+            members = parts[local_id]
+            if is_leaf:
+                node_leaf[node_id] = 1
+                child_start[node_id] = next_entry
+                entry_order.extend(members)
+                next_entry += len(members)
+                child_stop[node_id] = next_entry
+            else:
+                child_start[node_id] = next_child
+                next_child += len(members)
+                child_stop[node_id] = next_child
+
+        entry_rows = np.asarray(entry_order, dtype=np.int64)
+        entry_points = points[entry_rows]
+        return cls(
+            node_lows,
+            node_highs,
+            node_leaf,
+            child_start,
+            child_stop,
+            entry_points.copy(),
+            entry_points.copy(),
+            payload[entry_rows],
+        )
+
     # ------------------------------------------------------------------
     # (de)serialisation to plain arrays (for shared-memory shipping)
     # ------------------------------------------------------------------
@@ -534,6 +678,10 @@ class FlatRTree:
         self.nodes_visited += visited
         self.candidates_returned += len(results)
         return results
+
+    def pack(self) -> "FlatRTree":
+        """Already flat — returns ``self`` (mirrors :meth:`RTree.pack`)."""
+        return self
 
     def __len__(self) -> int:
         return int(self.entry_items.shape[0])

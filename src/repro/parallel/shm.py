@@ -224,20 +224,75 @@ class GroupShipment:
         return self.values is not None
 
 
+def _contiguous_block(
+    groups: Sequence[Group],
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Detect the columnar fast path: groups that are consecutive zero-copy
+    slices of one contiguous base matrix (what ``GroupedDataset`` hands out).
+
+    Returns ``(matrix_view, offsets)`` spanning all groups without copying,
+    or ``None`` when the groups do not form one contiguous block (standalone
+    groups, shuffled subsets, mixed dtypes) — callers then re-flatten.
+    """
+
+    if not groups:
+        return None
+    first_span = getattr(groups[0], "_span", None)
+    if first_span is None:
+        return None
+    base = groups[0].values.base
+    if (
+        base is None
+        or base.ndim != 2
+        or base.dtype != np.float64
+        or not base.flags["C_CONTIGUOUS"]
+    ):
+        return None
+    start_row = int(first_span[0])
+    offsets = np.zeros(len(groups) + 1, dtype=np.int64)
+    expected = start_row
+    total = 0
+    for pos, group in enumerate(groups):
+        span = getattr(group, "_span", None)
+        if (
+            span is None
+            or span[0] != expected
+            or group.values.base is not base
+        ):
+            return None
+        expected = int(span[1])
+        total += expected - int(span[0])
+        offsets[pos + 1] = total
+    if expected > base.shape[0]:
+        return None
+    return base[start_row:expected], offsets
+
+
 def ship_groups(
     groups: Sequence[Group], arena: Optional[ShmArena] = None
 ) -> GroupShipment:
-    """Pack *groups* for shipping; with an *arena*, via shared memory."""
+    """Pack *groups* for shipping; with an *arena*, via shared memory.
+
+    Groups handed out by a columnar :class:`~repro.core.groups.GroupedDataset`
+    are consecutive views of one contiguous record matrix, so the pack is a
+    straight buffer handoff — the matrix view goes to :meth:`ShmArena.share`
+    as-is (one copy into the segment, no intermediate re-flatten).  Only
+    heterogeneous group lists still pay the stacking copy.
+    """
 
     if arena is None:
         return GroupShipment(inline=list(groups))
-    offsets = np.zeros(len(groups) + 1, dtype=np.int64)
-    for pos, group in enumerate(groups):
-        offsets[pos + 1] = offsets[pos] + group.values.shape[0]
-    dims = groups[0].values.shape[1] if groups else 0
-    stacked = np.empty((int(offsets[-1]), dims), dtype=np.float64)
-    for pos, group in enumerate(groups):
-        stacked[int(offsets[pos]) : int(offsets[pos + 1])] = group.values
+    block = _contiguous_block(groups)
+    if block is not None:
+        stacked, offsets = block
+    else:
+        offsets = np.zeros(len(groups) + 1, dtype=np.int64)
+        for pos, group in enumerate(groups):
+            offsets[pos + 1] = offsets[pos] + group.values.shape[0]
+        dims = groups[0].values.shape[1] if groups else 0
+        stacked = np.empty((int(offsets[-1]), dims), dtype=np.float64)
+        for pos, group in enumerate(groups):
+            stacked[int(offsets[pos]) : int(offsets[pos + 1])] = group.values
     return GroupShipment(
         keys=tuple(group.key for group in groups),
         indices=tuple(group.index for group in groups),

@@ -124,7 +124,15 @@ class TestNanRejection:
         with pytest.raises(ValueError, match="NaN"):
             sky.insert("a", (1.0, float("nan")))
 
-    def test_infinite_values_allowed(self):
-        # inf is a legitimate (if extreme) preference value.
-        dataset = GroupedDataset({"a": [[np.inf, 1.0]], "b": [[1.0, 1.0]]})
+    def test_infinite_values_rejected_by_default(self):
+        # inf silently poisons dominance pair counts; the dataset now
+        # rejects it up front, naming the offending group.
+        with pytest.raises(ValueError, match="'a'.*infinite"):
+            GroupedDataset({"a": [[np.inf, 1.0]], "b": [[1.0, 1.0]]})
+
+    def test_infinite_values_allowed_when_gated(self):
+        dataset = GroupedDataset(
+            {"a": [[np.inf, 1.0]], "b": [[1.0, 1.0]]},
+            allow_non_finite=True,
+        )
         assert dataset["a"].values[0][0] == np.inf
