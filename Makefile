@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= smoke
 
-.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench clean
+.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench perf-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -52,6 +52,23 @@ parallel-bench:
 columnar-bench:
 	REPRO_BENCH_SCALE=$(SCALE) $(PYTHON) -m pytest \
 		benchmarks/bench_columnar.py
+
+# Perf-regression smoke: record a small fixed matrix of (workload,
+# algorithm, execution) points into BENCH_smoke.json, then flag any
+# latency/counter regression over the rolling baseline
+# (docs/benchmarking.md; the nightly perf-smoke CI job runs this).
+PERF_HISTORY ?= BENCH_smoke.json
+perf-smoke:
+	$(PYTHON) -m repro perf record --history $(PERF_HISTORY) \
+		--workload paper-default --scale 0.05 --algorithm NL --repeat 3
+	$(PYTHON) -m repro perf record --history $(PERF_HISTORY) \
+		--workload paper-default --scale 0.05 --algorithm LO --repeat 3
+	$(PYTHON) -m repro perf record --history $(PERF_HISTORY) \
+		--workload zipf-heavy --scale 0.05 --algorithm IN --repeat 3
+	$(PYTHON) -m repro perf record --history $(PERF_HISTORY) \
+		--workload zipf-heavy --scale 0.05 --algorithm IN --repeat 3 \
+		--execution workers=2,scheduler=stealing
+	$(PYTHON) -m repro perf report --history $(PERF_HISTORY)
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis

@@ -13,16 +13,24 @@ Scale: set ``REPRO_BENCH_SCALE`` to ``smoke`` (default here, seconds),
 ``small`` (default for the CLI, tens of seconds) or ``paper`` (the paper's
 full sizes, minutes) before invoking
 ``pytest benchmarks/ --benchmark-only``.
+
+Every regenerated figure also appends its per-point measurements into the
+perf-history time series (``results/BENCH_<scale>.json``, or the file
+named by ``$REPRO_PERF_HISTORY``), so successive benchmark runs build the
+series that ``repro perf report`` / ``repro perf check`` analyse; see
+``docs/benchmarking.md``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 from repro.harness.experiments import run_figure
+from repro.obs.perfhistory import PerfHistory
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -32,6 +40,43 @@ BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
 @pytest.fixture(scope="session")
 def bench_scale() -> str:
     return BENCH_SCALE
+
+
+def perf_history() -> PerfHistory:
+    """The perf-history file benchmark runs append to."""
+    override = os.environ.get("REPRO_PERF_HISTORY")
+    if override:
+        return PerfHistory(override)
+    return PerfHistory(RESULTS_DIR / f"BENCH_{BENCH_SCALE}.json")
+
+
+def record_perf_history(report) -> None:
+    """Append one entry per figure measurement to the perf history.
+
+    The series "fingerprint" is the workload point — experiment, scale and
+    sweep parameters — which is what makes two runs of the same figure
+    comparable across sessions; the execution dict keeps pooled and serial
+    measurements in separate series.
+    """
+    history = perf_history()
+    label = os.environ.get("REPRO_PERF_LABEL", "")
+    for result in report.results:
+        fingerprint = "{}@{}:{}".format(
+            result.experiment,
+            BENCH_SCALE,
+            json.dumps(result.params, sort_keys=True, default=str),
+        )
+        history.record(
+            fingerprint,
+            result.algorithm,
+            result.elapsed_seconds,
+            execution=result.execution or {},
+            counters={
+                "group_comparisons": result.group_comparisons,
+                "record_pairs": result.record_pairs,
+            },
+            label=label,
+        )
 
 
 def regenerate(benchmark, figure_id: str):
@@ -48,6 +93,7 @@ def regenerate(benchmark, figure_id: str):
         save_results(
             report.results, RESULTS_DIR / f"{figure_id}_{BENCH_SCALE}.json"
         )
+        record_perf_history(report)
     return report
 
 

@@ -12,7 +12,11 @@ Subcommands
 ``experiment`` Regenerate one of the paper's figures/tables.
 ``compare``    Diff two saved benchmark result files (wall-clock *and*
                work-counter deltas).
-``metrics``    Dump the process metrics registry (Prometheus or JSON).
+``metrics``    Dump the process metrics registry (Prometheus, OpenMetrics
+               or JSON).
+``perf``       Benchmark time series: ``record`` a run into a
+               ``BENCH_*.json`` file, ``report`` its series, ``check`` the
+               latest runs against a rolling baseline.
 
 Observability flags (``query``, ``skyline``, ``experiment``)
 ------------------------------------------------------------
@@ -25,9 +29,13 @@ Observability flags (``query``, ``skyline``, ``experiment``)
     Collect the metrics registry for this invocation.  ``--metrics`` or
     ``--metrics -`` prints Prometheus text exposition; ``--metrics=m.json``
     writes JSON, any other path writes Prometheus text.
+``--log-json PATH``
+    Append structured JSONL run-log events (run/phase/pool/cache/error,
+    correlated with trace IDs when ``--trace`` is also on) to ``PATH``.
 ``--progress`` (``skyline`` only)
-    Run the anytime engine with heartbeat lines (groups decided, pairs
-    examined, ETA from the pair budget) on stderr.
+    Heartbeat lines on stderr: the anytime engine with a pair-budget ETA
+    for serial runs, or — with ``--execution workers=N`` — the pooled
+    algorithm with a chunk-claim ETA.
 
 Examples::
 
@@ -45,6 +53,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -54,6 +63,8 @@ from .core.dominance import Direction
 from .core.execution import ExecutionConfig
 from .data.nba import nba_table
 from .data.synthetic import SyntheticSpec, generate_grouped
+from .data.workloads import load_workload, workload_names
+from .obs.perfhistory import DEFAULT_BASELINE_WINDOW
 from .harness.experiments import FIGURES, SCALES, run_figure
 from .query.executor import execute
 from .relational.csvio import load_csv, save_csv
@@ -81,6 +92,13 @@ def _add_obs_flags(subparser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="collect metrics; '-' prints Prometheus text, *.json writes"
         " JSON, other paths write Prometheus text",
+    )
+    subparser.add_argument(
+        "--log-json",
+        dest="log_json",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL run-log events to PATH",
     )
 
 
@@ -206,7 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format",
         dest="format",
         default="prometheus",
-        choices=("prometheus", "json"),
+        choices=("prometheus", "openmetrics", "json"),
     )
     metrics.add_argument(
         "--demo",
@@ -222,6 +240,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("baseline", help="JSON results (before)")
     compare.add_argument("contender", help="JSON results (after)")
+
+    perf = commands.add_parser(
+        "perf", help="benchmark time series with regression checking"
+    )
+    perf_commands = perf.add_subparsers(dest="perf_command", required=True)
+
+    def _add_history(sub):
+        sub.add_argument(
+            "--history",
+            default="BENCH_local.json",
+            metavar="FILE",
+            help="benchmark time-series file (default: BENCH_local.json)",
+        )
+
+    record = perf_commands.add_parser(
+        "record", help="benchmark a workload and append an entry"
+    )
+    _add_history(record)
+    record.add_argument(
+        "--workload",
+        default="zipf-heavy",
+        choices=workload_names(),
+        help="named synthetic workload to benchmark",
+    )
+    record.add_argument(
+        "--scale", type=float, default=0.1,
+        help="workload scale (1.0 = paper size)",
+    )
+    record.add_argument("--algorithm", default="LO")
+    record.add_argument("--gamma", type=float, default=0.5)
+    record.add_argument(
+        "--execution",
+        default=None,
+        metavar="SPEC",
+        help="execution config as 'key=value,...' for PAR/IN/LO",
+    )
+    record.add_argument(
+        "--repeat", type=int, default=1,
+        help="run N times and record the best wall-clock (default: 1)",
+    )
+    record.add_argument(
+        "--label", default="",
+        help="free-form tag stored with the entry (git SHA, CI run id, ...)",
+    )
+
+    report = perf_commands.add_parser(
+        "report", help="print the per-series summary of a history file"
+    )
+    _add_history(report)
+
+    check = perf_commands.add_parser(
+        "check", help="flag regressions against the rolling baseline"
+    )
+    _add_history(check)
+    check.add_argument(
+        "--threshold",
+        default="20%",
+        help="regression threshold: '20%%', 20 or 0.2 (default: 20%%)",
+    )
+    check.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_BASELINE_WINDOW,
+        help="rolling-baseline width (median of up to N prior runs)",
+    )
 
     shell = commands.add_parser(
         "shell", help="interactive SKYLINE SQL shell"
@@ -298,6 +381,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "shell": _cmd_shell,
         "metrics": _cmd_metrics,
         "dataset": _cmd_dataset,
+        "perf": _cmd_perf,
     }[args.command]
     obs_state = _setup_obs(args)
     try:
@@ -312,21 +396,29 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _setup_obs(args):
-    """Enable tracing/metrics for this invocation when requested."""
+    """Enable tracing/metrics/run-log for this invocation when requested."""
     trace_target = getattr(args, "trace", None)
     metrics_target = getattr(args, "metrics", None)
+    log_target = getattr(args, "log_json", None)
     sink = None
     if trace_target is not None:
         sink = obs.InMemorySink(capacity=256)
         obs.enable_tracing(sink)
     if metrics_target is not None:
         obs.enable_metrics(obs.MetricsRegistry())
+    if log_target is not None:
+        runlog = obs.enable_runlog(log_target)
+        runlog.emit("cli_start", command=args.command)
     return sink
 
 
 def _emit_obs(args, sink) -> None:
     trace_target = getattr(args, "trace", None)
     metrics_target = getattr(args, "metrics", None)
+    log_target = getattr(args, "log_json", None)
+    if log_target is not None:
+        obs.get_runlog().emit("cli_end", command=args.command)
+        obs.disable_runlog()
     if trace_target is not None and sink is not None:
         if trace_target == "-":
             for span in sink.traces:
@@ -413,14 +505,30 @@ def _cmd_skyline(args) -> int:
 
 
 def _skyline_with_progress(args, dataset) -> int:
-    """Anytime engine with heartbeat lines (exact Definition-2 result)."""
-    from .core.anytime import AnytimeAggregateSkyline
+    """Heartbeat lines on stderr while the skyline is computed.
 
-    engine = AnytimeAggregateSkyline(dataset, gamma=args.gamma)
+    Serial invocations use the anytime engine (exact Definition-2 result,
+    pair-budget ETA).  With ``--execution workers=N`` (or ``--workers``)
+    the chosen pooled algorithm runs instead and the reporter is fed the
+    pool's chunk-claim telemetry, so the ETA comes from the chunk rate
+    (:func:`repro.obs.progress.eta_from_chunks`).
+    """
     reporter = obs.ProgressReporter(
         lambda event: print(event.describe(), file=sys.stderr),
         min_interval=0.5,
     )
+    execution = (
+        ExecutionConfig.from_spec(args.execution) if args.execution else None
+    )
+    if args.workers is not None and execution is None:
+        execution = ExecutionConfig(workers=args.workers)
+    if execution is not None and execution.parallel:
+        return _pooled_skyline_with_progress(
+            args, dataset, execution, reporter
+        )
+    from .core.anytime import AnytimeAggregateSkyline
+
+    engine = AnytimeAggregateSkyline(dataset, gamma=args.gamma)
     confirmed = engine.run(progress=reporter)
     out = Table(["group"], [[_render_key(k)] for k in confirmed])
     print(out.to_text())
@@ -431,6 +539,77 @@ def _skyline_with_progress(args, dataset) -> int:
         f" (budget {engine.pair_budget})"
     )
     return 0
+
+
+def _pooled_skyline_with_progress(args, dataset, execution, reporter) -> int:
+    """Pooled algorithm with chunk-claim heartbeats (same output shape)."""
+    from .core.algorithms import make_algorithm
+
+    name = "PAR" if args.workers is not None else args.algorithm
+    engine = make_algorithm(name, gamma=args.gamma, execution=execution)
+    engine.progress_reporter = reporter
+    result = engine.compute(dataset)
+    out = Table(["group"], [[_render_key(k)] for k in result.keys])
+    print(out.to_text())
+    stats = result.stats
+    print(
+        f"\n[{stats.algorithm}] gamma={result.gamma:g};"
+        f" {len(result)}/{len(dataset)} groups survive;"
+        f" {stats.group_comparisons} group comparisons,"
+        f" {stats.record_pairs_examined} record pairs"
+    )
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    history = obs.PerfHistory(args.history)
+    if args.perf_command == "record":
+        dataset = load_workload(args.workload, scale=args.scale)
+        execution = (
+            ExecutionConfig.from_spec(args.execution)
+            if args.execution
+            else None
+        )
+        repeat = max(1, args.repeat)
+        best = None
+        for _ in range(repeat):
+            result = aggregate_skyline(
+                dataset,
+                gamma=args.gamma,
+                algorithm=args.algorithm,
+                execution=execution,
+            )
+            if best is None or (
+                result.stats.elapsed_seconds < best.stats.elapsed_seconds
+            ):
+                best = result
+        stats = best.stats
+        entry = history.record(
+            dataset.fingerprint(),
+            stats.algorithm,
+            stats.elapsed_seconds,
+            execution=execution.to_dict() if execution is not None else {},
+            counters={
+                "group_comparisons": stats.group_comparisons,
+                "record_pairs_examined": stats.record_pairs_examined,
+            },
+            label=args.label or os.environ.get("REPRO_PERF_LABEL", ""),
+        )
+        print(
+            f"recorded {entry.algorithm} [{entry.fingerprint[:12]}]"
+            f" {entry.elapsed_seconds:.6g}s"
+            f" (best of {repeat}) into {history.path}"
+        )
+        return 0
+    if args.perf_command == "report":
+        print(history.describe())
+        return 0
+    # check
+    report = history.check(
+        threshold=args.threshold, baseline_window=args.window
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def _cmd_metrics(args) -> int:
@@ -447,11 +626,12 @@ def _cmd_metrics(args) -> int:
                 aggregate_skyline(dataset, gamma=0.5, algorithm=name)
         finally:
             obs.disable_metrics()
-    text = (
-        registry.to_json() + "\n"
-        if args.format == "json"
-        else registry.to_prometheus()
-    )
+    if args.format == "json":
+        text = registry.to_json() + "\n"
+    elif args.format == "openmetrics":
+        text = registry.to_openmetrics()
+    else:
+        text = registry.to_prometheus()
     if args.out == "-":
         print(text, end="")
     else:

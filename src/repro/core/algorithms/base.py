@@ -29,7 +29,9 @@ import abc
 from typing import Hashable, List, Optional
 
 from ...obs import metrics as obs_metrics
+from ...obs import runlog as obs_runlog
 from ...obs import tracing as obs_tracing
+from ...obs.sampler import profile_phase
 from ..comparator import ComparisonOutcome, GroupComparator
 from ..gamma import GammaLike, GammaThresholds
 from ..groups import Group, GroupedDataset
@@ -149,6 +151,11 @@ class AggregateSkylineAlgorithm(abc.ABC):
         )
         self._groups_skipped = 0
         self._index_candidates = 0
+        #: Optional :class:`~repro.obs.progress.ProgressReporter` consulted
+        #: by pooled execution paths (PAR and parallel IN/LO): when set,
+        #: the parent polls chunk-claim telemetry while the pool runs and
+        #: heartbeats with a chunk-rate ETA.  Serial paths ignore it.
+        self.progress_reporter = None
         #: The dataset of the in-flight compute() (None outside one).
         #: Index-driven subclasses use it to reach the columnar corner
         #: matrices and the content-keyed derived-artifact cache
@@ -164,8 +171,12 @@ class AggregateSkylineAlgorithm(abc.ABC):
 
         Observability: a root ``skyline.compute`` span (with a nested
         ``skyline.candidates`` phase span around the candidate loop) is
-        recorded when tracing is enabled, and the end-of-run counters are
-        always flushed into the process-global metrics registry.
+        recorded when tracing is enabled, the end-of-run counters are
+        always flushed into the process-global metrics registry, and
+        ``run_start`` / ``run_end`` / ``run_error`` events — correlated
+        with the span's trace id — go to the structured run log.  Setting
+        ``$REPRO_PROFILE_DIR`` additionally cProfiles the candidate phase
+        into one ``pstats`` dump per run.
         """
         tracer = obs_tracing.get_tracer()
         self.comparator.reset_stats()
@@ -188,9 +199,34 @@ class AggregateSkylineAlgorithm(abc.ABC):
         self._dataset = dataset
         try:
             with root:
-                with Timer() as timer:
-                    with tracer.span("skyline.candidates"):
-                        self._run(groups, state)
+                obs_runlog.emit(
+                    "run_start",
+                    algorithm=self.name,
+                    groups=len(groups),
+                    gamma=float(self.thresholds.gamma),
+                    prune_policy=self.prune_policy,
+                )
+                try:
+                    with Timer() as timer:
+                        with tracer.span("skyline.candidates"):
+                            with profile_phase(f"{self.name}.candidates"):
+                                self._run(groups, state)
+                except BaseException as exc:
+                    obs_runlog.emit_error(
+                        "run_error", exc, algorithm=self.name
+                    )
+                    raise
+                # run_end is emitted while the root span is still open so
+                # the event shares its trace_id/span_id.
+                if obs_runlog.get_runlog().enabled:
+                    obs_runlog.emit(
+                        "run_end",
+                        algorithm=self.name,
+                        elapsed_seconds=timer.elapsed,
+                        survivors=len(state.surviving_keys(groups)),
+                        group_comparisons=self.comparator.comparisons,
+                        record_pairs_examined=self.comparator.pairs_examined,
+                    )
         finally:
             self._dataset = None
             if bound_metrics:

@@ -38,7 +38,12 @@ from ..gamma import GammaLike
 from ..groups import Group
 from ..result import AlgorithmStats
 from .base import AggregateSkylineAlgorithm, GroupState
-from .pooled import absorb_outcomes, flush_pool_metrics, record_chunk_events
+from .pooled import (
+    absorb_outcomes,
+    flush_pool_metrics,
+    pool_progress_callback,
+    record_chunk_events,
+)
 from .sorted_access import SORT_KEYS
 
 __all__ = ["IndexedAlgorithm"]
@@ -250,6 +255,7 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
                 kind="candidates",
                 index=index,
                 order=order,
+                progress=pool_progress_callback(self),
             )
             record_chunk_events(chunk_span, run)
         with tracer.span("parallel.merge", chunks=len(run.outcomes)):

@@ -64,7 +64,12 @@ from ..gamma import GammaLike
 from ..groups import Group
 from ..result import AlgorithmStats
 from .base import AggregateSkylineAlgorithm, GroupState
-from .pooled import absorb_outcomes, flush_pool_metrics, record_chunk_events
+from .pooled import (
+    absorb_outcomes,
+    flush_pool_metrics,
+    pool_progress_callback,
+    record_chunk_events,
+)
 
 __all__ = ["ParallelSkylineAlgorithm"]
 
@@ -171,6 +176,7 @@ class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
                 pool_timeout=self.pool_timeout,
                 scheduler=self.scheduler,
                 shm=self.shm,
+                progress=pool_progress_callback(self),
             )
             record_chunk_events(chunk_span, run)
         with tracer.span("parallel.merge", chunks=len(run.outcomes)):

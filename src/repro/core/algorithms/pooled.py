@@ -14,10 +14,16 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ...obs import metrics as obs_metrics
+from ...obs.tracing import Span
 from ...parallel.executor import ChunkOutcome, PoolRun
 from ..result import AlgorithmStats
 
-__all__ = ["absorb_outcomes", "flush_pool_metrics", "record_chunk_events"]
+__all__ = [
+    "absorb_outcomes",
+    "flush_pool_metrics",
+    "record_chunk_events",
+    "pool_progress_callback",
+]
 
 #: Chunk latency buckets: 10µs … 100s in decades.
 CHUNK_SECONDS_BUCKETS = obs_metrics.log_buckets(1e-5, 10.0, 8)
@@ -112,11 +118,55 @@ def flush_pool_metrics(algorithm_name: str, scheduler: str, run: PoolRun) -> Non
         histogram.observe(outcome.elapsed_seconds, **labels)
 
 
+def pool_progress_callback(algorithm):
+    """Adapt the algorithm's ``progress_reporter`` to the pool's callback.
+
+    Returns the ``(chunks_done, chunks_total)`` callable that
+    :func:`repro.parallel.executor.run_spans` polls, or ``None`` when no
+    reporter is attached.  The reporter's ETA then comes from the chunk
+    claim rate (:func:`repro.obs.progress.eta_from_chunks`) — the serial
+    pair budget is meaningless when ``workers=N`` chew through pairs
+    concurrently, and under the stealing scheduler per-worker pair counts
+    do not even add up monotonically.
+    """
+    reporter = getattr(algorithm, "progress_reporter", None)
+    if reporter is None:
+        return None
+    phase = f"{algorithm.name}.pool"
+
+    def callback(chunks_done: int, chunks_total: int) -> None:
+        reporter.update(
+            done=chunks_done,
+            total=chunks_total,
+            phase=phase,
+            chunks_done=chunks_done,
+            chunks_total=chunks_total,
+        )
+
+    return callback
+
+
 def record_chunk_events(span, run: PoolRun) -> None:
-    """Attach one trace event per chunk (and per worker report) to *span*."""
+    """Merge the workers' trace output into *span*.
+
+    Each :class:`ChunkOutcome` that ran with tracing enabled carries the
+    serialized ``parallel.chunk`` span the worker recorded; those are
+    rebuilt with :meth:`Span.from_dict` and adopted as children of *span*
+    — by construction their ``parent_id`` already points at *span* (the
+    :class:`~repro.obs.tracing.TraceContext` shipped to the pool was
+    snapshotted while *span* was the innermost open span), so the whole
+    ``workers=N`` run renders as one coherent tree.  Worker reports stay
+    flat span events (one per slot).  Chunks with no recorded span (e.g.
+    a pool initialised before tracing was enabled) degrade to the flat
+    ``chunk`` events of PR-4.
+    """
     if not span.is_recording:
         return
     for outcome in run.outcomes:
+        if outcome.spans:
+            for data in outcome.spans:
+                span.adopt(Span.from_dict(data))
+            continue
         span.add_event(
             "chunk",
             start=outcome.start,

@@ -25,6 +25,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..obs import runlog as obs_runlog
 from .algorithms import make_algorithm
 from .dominance import Direction
 from .execution import ExecutionConfig
@@ -91,6 +92,19 @@ def aggregate_skyline(
     """
     dataset = _coerce_dataset(groups, directions)
     engine = make_algorithm(algorithm, gamma, execution=execution, **options)
+    if obs_runlog.get_runlog().enabled:
+        obs_runlog.emit(
+            "api_call",
+            api="aggregate_skyline",
+            algorithm=str(algorithm),
+            groups=len(dataset),
+            gamma=str(gamma),
+            execution=(
+                execution.to_dict()
+                if isinstance(execution, ExecutionConfig)
+                else execution
+            ),
+        )
     return engine.compute(dataset)
 
 

@@ -34,6 +34,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from ..obs import metrics as obs_metrics
+from ..obs import runlog as obs_runlog
 
 __all__ = [
     "ArtifactCache",
@@ -136,6 +137,7 @@ class ArtifactCache:
             else "Derived-artifact cache misses (artifact built from scratch)"
         )
         registry.counter(name, help_text, ("kind",)).inc(1, kind=kind)
+        obs_runlog.emit("cache_hit" if hit else "cache_miss", kind=kind)
 
     @staticmethod
     def _observe_eviction(kind: str) -> None:

@@ -21,6 +21,7 @@ from ..core.execution import (
 )
 from ..core.groups import GroupedDataset
 from ..obs import metrics as obs_metrics
+from ..obs import runlog as obs_runlog
 from ..obs import tracing as obs_tracing
 
 __all__ = ["RunResult", "run_algorithms", "sweep", "PARALLEL_ALGORITHMS"]
@@ -155,6 +156,12 @@ def run_algorithms(
             with tracer.span(
                 "bench.run", experiment=experiment, algorithm=name
             ):
+                obs_runlog.emit(
+                    "bench_start",
+                    experiment=experiment,
+                    algorithm=name,
+                    params=dict(params or {}),
+                )
                 if collect_obs:
                     scoped_tracer = obs_tracing.Tracer()
                     with obs_metrics.use_registry() as registry:
@@ -169,6 +176,13 @@ def run_algorithms(
                     started = time.perf_counter()
                     outcome = engine.compute(dataset)
                     elapsed = time.perf_counter() - started
+                obs_runlog.emit(
+                    "bench_end",
+                    experiment=experiment,
+                    algorithm=name,
+                    elapsed_seconds=elapsed,
+                    skyline_size=len(outcome),
+                )
             measured = RunResult(
                 experiment=experiment,
                 params=dict(params or {}),

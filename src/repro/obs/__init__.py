@@ -13,8 +13,20 @@ Three pillars, threaded through every engine layer:
   default via a shared no-op tracer, enabled with
   :func:`repro.obs.tracing.enable_tracing`.
 * :mod:`repro.obs.progress` — throttled heartbeat callbacks with an ETA
-  extrapolated from the dataset's record-pair budget, consumed by the
-  anytime engine and the CLI.
+  extrapolated from the dataset's record-pair budget (serial) or the
+  pool's chunk-claim telemetry (parallel), consumed by the anytime
+  engine and the CLI.
+
+Three more pillars arrived with tracing v2:
+
+* :mod:`repro.obs.runlog` — structured JSONL run logs (run/phase/pool/
+  cache/error events) correlated with trace IDs.
+* :mod:`repro.obs.sampler` — a background resource sampler (RSS, CPU
+  time, GC pauses, pool-queue depth) plus an opt-in per-phase cProfile
+  hook.
+* :mod:`repro.obs.perfhistory` — append-only ``BENCH_*.json`` benchmark
+  time series with rolling-baseline regression detection, driving the
+  ``repro perf`` CLI.
 
 See ``docs/observability.md`` for the full guide.
 """
@@ -34,16 +46,37 @@ from .metrics import (
 from .metrics import enable as enable_metrics
 from .metrics import disable as disable_metrics
 from .metrics import is_enabled as metrics_enabled
-from .progress import ProgressEvent, ProgressReporter, eta_from_pair_budget
+from .perfhistory import PerfHistory, RegressionReport
+from .progress import (
+    ProgressEvent,
+    ProgressReporter,
+    eta_from_chunks,
+    eta_from_pair_budget,
+)
+from .runlog import (
+    NOOP_RUNLOG,
+    RunLog,
+    disable_runlog,
+    enable_runlog,
+    get_runlog,
+    set_runlog,
+    use_runlog,
+)
+from .sampler import ResourceSampler, profile_phase
 from .tracing import (
     InMemorySink,
     JsonlSink,
     NOOP_TRACER,
     Span,
+    TraceContext,
     Tracer,
+    current_trace_context,
     disable_tracing,
     enable_tracing,
     get_tracer,
+    new_span_id,
+    new_trace_id,
+    read_jsonl,
     render_trace,
     set_tracer,
     use_tracer,
@@ -65,16 +98,33 @@ __all__ = [
     "metrics_enabled",
     "ProgressEvent",
     "ProgressReporter",
+    "eta_from_chunks",
     "eta_from_pair_budget",
     "InMemorySink",
     "JsonlSink",
     "NOOP_TRACER",
     "Span",
+    "TraceContext",
     "Tracer",
+    "current_trace_context",
     "disable_tracing",
     "enable_tracing",
     "get_tracer",
+    "new_span_id",
+    "new_trace_id",
+    "read_jsonl",
     "render_trace",
     "set_tracer",
     "use_tracer",
+    "NOOP_RUNLOG",
+    "RunLog",
+    "disable_runlog",
+    "enable_runlog",
+    "get_runlog",
+    "set_runlog",
+    "use_runlog",
+    "ResourceSampler",
+    "profile_phase",
+    "PerfHistory",
+    "RegressionReport",
 ]

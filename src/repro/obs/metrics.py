@@ -401,6 +401,54 @@ class MetricsRegistry:
                     )
         return "\n".join(lines) + ("\n" if lines else "")
 
+    def to_openmetrics(self) -> str:
+        """OpenMetrics 1.0 text exposition.
+
+        Differences from :meth:`to_prometheus`: counter *families* are
+        named without the ``_total`` suffix in ``# HELP`` / ``# TYPE``
+        (samples keep it), the histogram ``le`` / sample grammar is
+        shared, and the output is terminated by the mandatory ``# EOF``
+        marker scrapers use to detect truncated exposition.
+        """
+        lines: List[str] = []
+        for instrument in self:
+            family = instrument.name
+            if instrument.kind == "counter" and family.endswith("_total"):
+                family = family[: -len("_total")]
+            lines.append(f"# HELP {family} {instrument.help}")
+            lines.append(f"# TYPE {family} {instrument.kind}")
+            names = instrument.labelnames
+            if isinstance(instrument, Histogram):
+                for key in instrument.series_keys():
+                    with instrument._lock:
+                        series = instrument._series[key]
+                        counts = list(series.counts)
+                        total, summed = series.count, series.sum
+                    cumulative = 0
+                    uppers = [*instrument.buckets, float("inf")]
+                    for upper, count in zip(uppers, counts):
+                        cumulative += count
+                        labels = _format_labels(
+                            (*names, "le"), (*key, _format_number(upper))
+                        )
+                        lines.append(f"{family}_bucket{labels} {cumulative}")
+                    base = _format_labels(names, key)
+                    lines.append(
+                        f"{family}_sum{base} {_format_number(summed)}"
+                    )
+                    lines.append(f"{family}_count{base} {total}")
+            else:
+                suffix = "_total" if instrument.kind == "counter" else ""
+                for key in instrument.series_keys():
+                    with instrument._lock:
+                        value = instrument._series[key]
+                    labels = _format_labels(names, key)
+                    lines.append(
+                        f"{family}{suffix}{labels} {_format_number(value)}"
+                    )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
     def as_dict(self) -> dict:
         """JSON-friendly snapshot of every instrument and series."""
         out: Dict[str, dict] = {}

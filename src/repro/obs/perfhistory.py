@@ -1,0 +1,324 @@
+"""Benchmark time series with rolling-baseline regression detection.
+
+A :class:`PerfHistory` is an append-only ``BENCH_*.json`` file holding one
+entry per benchmark run.  Entries are keyed by what makes runs comparable:
+
+* the **dataset fingerprint** (content hash, so a regenerated dataset
+  starts a fresh series instead of polluting an old one),
+* the **algorithm** name, and
+* the normalized **execution** configuration (workers / scheduler / ...).
+
+Each entry records wall-clock latency plus any work counters the caller
+supplies (comparisons, pairs examined, window queries, ...), a UTC
+timestamp, and a free-form label (e.g. git SHA or CI run id).
+
+Regression checking compares the latest entry of every series against a
+**rolling baseline** — the median of the preceding ``baseline_window``
+entries — and flags any metric that grew by more than ``threshold``
+(latency and counters are both "higher is worse" here).  The median makes
+the baseline robust to a single noisy run; the window makes it follow
+genuine performance changes instead of pinning to day-one numbers.
+
+The ``repro perf record / report / check`` CLI subcommands and the
+benchmark suite's conftest both drive this module; see
+``docs/benchmarking.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "PerfEntry",
+    "PerfHistory",
+    "Regression",
+    "RegressionReport",
+    "parse_threshold",
+    "DEFAULT_BASELINE_WINDOW",
+    "DEFAULT_THRESHOLD",
+]
+
+_FORMAT_VERSION = 1
+
+#: Rolling-baseline width: the median of up to this many prior entries.
+DEFAULT_BASELINE_WINDOW = 5
+
+#: Default regression threshold (fraction of the baseline).
+DEFAULT_THRESHOLD = 0.2
+
+
+def parse_threshold(value: Union[str, float, int]) -> float:
+    """Parse ``"20%"`` / ``"0.2"`` / ``0.2`` into a fraction.
+
+    Bare numbers >= 1 are treated as percentages (``20`` means 20%), so
+    both CLI spellings do the obvious thing.
+    """
+    if isinstance(value, str):
+        text = value.strip()
+        if text.endswith("%"):
+            return float(text[:-1]) / 100.0
+        value = float(text)
+    value = float(value)
+    if value < 0:
+        raise ValueError(f"threshold must be non-negative, got {value}")
+    return value / 100.0 if value >= 1.0 else value
+
+
+@dataclass
+class PerfEntry:
+    """One benchmark run in the time series."""
+
+    fingerprint: str
+    algorithm: str
+    elapsed_seconds: float
+    execution: Dict[str, object] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    recorded_at: float = 0.0
+    label: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """What makes two entries comparable (same series)."""
+        return (
+            self.fingerprint,
+            self.algorithm,
+            json.dumps(self.execution, sort_keys=True, default=str),
+        )
+
+    def metric(self, name: str) -> Optional[float]:
+        if name == "elapsed_seconds":
+            return float(self.elapsed_seconds)
+        value = self.counters.get(name)
+        return float(value) if value is not None else None
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "algorithm": self.algorithm,
+            "elapsed_seconds": self.elapsed_seconds,
+            "execution": dict(self.execution),
+            "counters": dict(self.counters),
+            "recorded_at": self.recorded_at,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerfEntry":
+        return cls(
+            fingerprint=str(data.get("fingerprint", "")),
+            algorithm=str(data.get("algorithm", "")),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            execution=dict(data.get("execution") or {}),
+            counters={
+                str(k): float(v)
+                for k, v in (data.get("counters") or {}).items()
+            },
+            recorded_at=float(data.get("recorded_at", 0.0)),
+            label=str(data.get("label", "")),
+        )
+
+
+@dataclass
+class Regression:
+    """One metric of one series that exceeded the threshold."""
+
+    fingerprint: str
+    algorithm: str
+    execution: Dict[str, object]
+    metric: str
+    latest: float
+    baseline: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """Fractional growth over the baseline (0.25 == +25%)."""
+        if self.baseline == 0:
+            return float("inf") if self.latest > 0 else 0.0
+        return self.latest / self.baseline - 1.0
+
+    def describe(self) -> str:
+        execution = json.dumps(self.execution, sort_keys=True, default=str)
+        return (
+            f"{self.algorithm} [{self.fingerprint[:12]}] {execution}"
+            f" {self.metric}: {self.latest:.6g} vs baseline"
+            f" {self.baseline:.6g} (+{self.ratio * 100:.1f}%,"
+            f" threshold {self.threshold * 100:.0f}%)"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of :meth:`PerfHistory.check` over every series."""
+
+    regressions: List[Regression] = field(default_factory=list)
+    series_checked: int = 0
+    series_skipped: int = 0  # too short for a baseline
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines = [
+            f"checked {self.series_checked} series"
+            f" ({self.series_skipped} too short for a baseline):"
+            f" {len(self.regressions)} regression(s)"
+        ]
+        lines.extend("  REGRESSION " + r.describe() for r in self.regressions)
+        return "\n".join(lines)
+
+
+class PerfHistory:
+    """An append-only ``BENCH_*.json`` benchmark time-series file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    # -- persistence ----------------------------------------------------
+
+    def load(self) -> List[PerfEntry]:
+        """All entries in append order (empty when the file is missing)."""
+        if not self.path.exists():
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+        version = envelope.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{self.path}: unsupported perf-history format"
+                f" {version!r} (expected {_FORMAT_VERSION})"
+            )
+        return [PerfEntry.from_dict(d) for d in envelope.get("entries", [])]
+
+    def _save(self, entries: Sequence[PerfEntry]) -> None:
+        envelope = {
+            "format_version": _FORMAT_VERSION,
+            "entries": [entry.to_dict() for entry in entries],
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(envelope, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+
+    # -- recording ------------------------------------------------------
+
+    def record(
+        self,
+        fingerprint: str,
+        algorithm: str,
+        elapsed_seconds: float,
+        *,
+        execution: Optional[Dict[str, object]] = None,
+        counters: Optional[Dict[str, float]] = None,
+        label: str = "",
+        recorded_at: Optional[float] = None,
+    ) -> PerfEntry:
+        """Append one run (atomic rewrite) and return the stored entry."""
+        entry = PerfEntry(
+            fingerprint=str(fingerprint),
+            algorithm=str(algorithm),
+            elapsed_seconds=float(elapsed_seconds),
+            execution=dict(execution or {}),
+            counters={str(k): float(v) for k, v in (counters or {}).items()},
+            recorded_at=(
+                float(recorded_at) if recorded_at is not None else time.time()
+            ),
+            label=str(label),
+        )
+        entries = self.load()
+        entries.append(entry)
+        self._save(entries)
+        return entry
+
+    # -- analysis -------------------------------------------------------
+
+    def series(self) -> Dict[Tuple[str, str, str], List[PerfEntry]]:
+        """Entries grouped by comparability key, in append order."""
+        grouped: Dict[Tuple[str, str, str], List[PerfEntry]] = {}
+        for entry in self.load():
+            grouped.setdefault(entry.key, []).append(entry)
+        return grouped
+
+    def check(
+        self,
+        threshold: Union[str, float] = DEFAULT_THRESHOLD,
+        baseline_window: int = DEFAULT_BASELINE_WINDOW,
+        metrics: Optional[Sequence[str]] = None,
+    ) -> RegressionReport:
+        """Compare the latest run of every series against its baseline.
+
+        ``metrics=None`` checks ``elapsed_seconds`` plus every counter the
+        latest entry carries.  A series needs at least two entries; the
+        baseline is the median of the up-to-``baseline_window`` entries
+        preceding the latest.
+        """
+        fraction = parse_threshold(threshold)
+        if baseline_window < 1:
+            raise ValueError("baseline_window must be >= 1")
+        report = RegressionReport()
+        for key, entries in self.series().items():
+            if len(entries) < 2:
+                report.series_skipped += 1
+                continue
+            report.series_checked += 1
+            latest = entries[-1]
+            window = entries[-1 - baseline_window : -1]
+            names = (
+                list(metrics)
+                if metrics is not None
+                else ["elapsed_seconds", *sorted(latest.counters)]
+            )
+            for name in names:
+                latest_value = latest.metric(name)
+                if latest_value is None:
+                    continue
+                baseline_values = [
+                    value
+                    for value in (e.metric(name) for e in window)
+                    if value is not None
+                ]
+                if not baseline_values:
+                    continue
+                baseline = statistics.median(baseline_values)
+                if latest_value > baseline * (1.0 + fraction):
+                    report.regressions.append(
+                        Regression(
+                            fingerprint=latest.fingerprint,
+                            algorithm=latest.algorithm,
+                            execution=dict(latest.execution),
+                            metric=name,
+                            latest=latest_value,
+                            baseline=baseline,
+                            threshold=fraction,
+                        )
+                    )
+        return report
+
+    def describe(self) -> str:
+        """Human-readable per-series summary (``repro perf report``)."""
+        grouped = self.series()
+        if not grouped:
+            return f"{self.path}: no entries"
+        lines = [f"{self.path}: {len(grouped)} series"]
+        for key in sorted(grouped):
+            entries = grouped[key]
+            latest = entries[-1]
+            latencies = [e.elapsed_seconds for e in entries]
+            execution = key[2]
+            lines.append(
+                f"  {latest.algorithm} [{latest.fingerprint[:12]}]"
+                f" {execution}: {len(entries)} run(s),"
+                f" latest {latest.elapsed_seconds:.6g}s,"
+                f" median {statistics.median(latencies):.6g}s,"
+                f" best {min(latencies):.6g}s"
+            )
+        return "\n".join(lines)

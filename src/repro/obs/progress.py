@@ -19,7 +19,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-__all__ = ["ProgressEvent", "ProgressReporter", "eta_from_pair_budget"]
+__all__ = [
+    "ProgressEvent",
+    "ProgressReporter",
+    "eta_from_chunks",
+    "eta_from_pair_budget",
+]
 
 
 def eta_from_pair_budget(
@@ -36,6 +41,24 @@ def eta_from_pair_budget(
     return remaining / rate
 
 
+def eta_from_chunks(
+    chunks_done: int, chunks_total: Optional[int], elapsed_seconds: float
+) -> Optional[float]:
+    """Remaining seconds, extrapolated from the pool's chunk-claim rate.
+
+    The right estimator for pooled runs: the serial pair budget wildly
+    overestimates when ``workers=N`` chew through pairs N-at-a-time (and
+    the stealing scheduler makes per-worker pair counts meaningless),
+    while chunks claimed from the shared ledger track real pool
+    throughput whatever the schedule looks like.
+    """
+    if not chunks_total or chunks_done <= 0 or elapsed_seconds <= 0:
+        return None
+    rate = chunks_done / elapsed_seconds
+    remaining = max(0, chunks_total - chunks_done)
+    return remaining / rate
+
+
 @dataclass
 class ProgressEvent:
     """One heartbeat: how far along a computation is."""
@@ -47,6 +70,12 @@ class ProgressEvent:
     pair_budget: Optional[int] = None
     elapsed_seconds: float = 0.0
     eta_seconds: Optional[float] = None
+    #: Pooled-run telemetry: chunks claimed / total chunks / chunks that
+    #: ran on a stealing slot.  ``chunks_total`` set means a pool is
+    #: driving this run and the ETA came from the chunk rate.
+    chunks_done: int = 0
+    chunks_total: Optional[int] = None
+    chunks_stolen: int = 0
 
     @property
     def fraction(self) -> float:
@@ -58,6 +87,11 @@ class ProgressEvent:
 
     def describe(self) -> str:
         parts = [f"{self.phase or 'progress'}: {self.done}/{self.total}"]
+        if self.chunks_total:
+            chunk = f"{self.chunks_done}/{self.chunks_total} chunks"
+            if self.chunks_stolen:
+                chunk += f" ({self.chunks_stolen} stolen)"
+            parts.append(chunk)
         if self.pairs_examined:
             parts.append(f"{self.pairs_examined} pairs")
         parts.append(f"{self.elapsed_seconds:.1f}s elapsed")
@@ -104,6 +138,9 @@ class ProgressReporter:
         pair_budget: Optional[int] = None,
         phase: str = "",
         force: bool = False,
+        chunks_done: int = 0,
+        chunks_total: Optional[int] = None,
+        chunks_stolen: int = 0,
     ) -> Optional[ProgressEvent]:
         """Maybe emit a heartbeat; returns the event if one was emitted.
 
@@ -111,6 +148,10 @@ class ProgressReporter:
         is emitted exactly once: any further post-completion update — even a
         forced one — is suppressed, so callers that poll after completion do
         not re-announce the finish.
+
+        When ``chunks_total`` is given (pooled runs), the ETA comes from
+        :func:`eta_from_chunks` — the serial pair budget is not a
+        meaningful yardstick for a ``workers=N`` pool.
         """
         now = self._clock()
         finished = total > 0 and done >= total
@@ -123,6 +164,10 @@ class ProgressReporter:
             ):
                 return None
         elapsed = now - self._started
+        if chunks_total:
+            eta = eta_from_chunks(chunks_done, chunks_total, elapsed)
+        else:
+            eta = eta_from_pair_budget(pairs_examined, pair_budget, elapsed)
         event = ProgressEvent(
             phase=phase,
             done=done,
@@ -130,9 +175,10 @@ class ProgressReporter:
             pairs_examined=pairs_examined,
             pair_budget=pair_budget,
             elapsed_seconds=elapsed,
-            eta_seconds=eta_from_pair_budget(
-                pairs_examined, pair_budget, elapsed
-            ),
+            eta_seconds=eta,
+            chunks_done=chunks_done,
+            chunks_total=chunks_total,
+            chunks_stolen=chunks_stolen,
         )
         self._last_emit = now
         if finished:

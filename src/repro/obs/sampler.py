@@ -1,0 +1,255 @@
+"""Background resource profiling: RSS, CPU time, GC pauses, queue depth.
+
+:class:`ResourceSampler` runs a daemon thread that samples the process at
+a configurable interval and records into the metrics registry:
+
+* ``process_rss_bytes`` (gauge) — resident set size, read from
+  ``/proc/self/statm`` (falls back to ``resource.getrusage`` elsewhere);
+* ``process_rss_peak_bytes`` (gauge) — high-water mark seen by this
+  sampler;
+* ``process_cpu_seconds`` (gauge) — cumulative user+system CPU time
+  (``time.process_time``, so it covers all threads of this process);
+* ``pool_queue_depth`` (gauge) — whatever the injected ``queue_depth_fn``
+  reports, e.g. outstanding chunks of a pooled run;
+* ``gc_pause_seconds`` (histogram) + ``gc_collections_total`` (counter,
+  labelled by generation) — measured via :data:`gc.callbacks`, so pauses
+  are exact per-collection wall times, not samples.
+
+The sampler is strictly opt-in and self-contained: ``start()`` spawns the
+thread and registers the GC hook, ``stop()`` (or the context manager, or
+``atexit``) joins the thread and unregisters the hook, leaving no global
+state behind — the leak test asserts exactly that.
+
+The module also provides :func:`profile_phase`, an opt-in ``cProfile``
+context manager the algorithm layer wraps around phases when
+``REPRO_PROFILE_DIR`` is set; each phase dumps a ``pstats`` file that
+``snakeviz``/``flameprof``-style tools (or ``pstats`` itself) can render
+into flamegraphs.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Optional
+
+from . import metrics as obs_metrics
+
+__all__ = [
+    "ResourceSampler",
+    "read_rss_bytes",
+    "profile_phase",
+    "PROFILE_DIR_ENV_VAR",
+    "GC_PAUSE_BUCKETS",
+]
+
+#: GC pause buckets: 10µs … 1s in decades.
+GC_PAUSE_BUCKETS = obs_metrics.log_buckets(1e-5, 10.0, 6)
+
+#: Setting this to a directory opts algorithm phases into cProfile dumps.
+PROFILE_DIR_ENV_VAR = "REPRO_PROFILE_DIR"
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def read_rss_bytes() -> int:
+    """Current resident set size in bytes (0 if it cannot be determined)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            return int(handle.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # pragma: no cover - non-Linux fallback
+        import resource
+
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(rss_kb) * 1024
+    except Exception:  # pragma: no cover
+        return 0
+
+
+class ResourceSampler:
+    """Daemon thread sampling process resources into the metrics registry.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples (default 50ms; the smoke-test overhead of
+        one ``/proc`` read + three gauge sets per tick is negligible).
+    registry:
+        Metrics registry to record into; defaults to the process-global
+        one *at start time*, so ``use_registry`` scoping works.
+    queue_depth_fn:
+        Optional zero-argument callable polled each tick into the
+        ``pool_queue_depth`` gauge.  Exceptions are swallowed (the pool
+        may be gone between ticks).
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.05,
+        registry: Optional[obs_metrics.MetricsRegistry] = None,
+        queue_depth_fn: Optional[Callable[[], float]] = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self._registry = registry
+        self._queue_depth_fn = queue_depth_fn
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._gc_pause_started: Optional[float] = None
+        self._gc_callback_installed = False
+        self.samples_taken = 0
+        self.gc_pauses_observed = 0
+        self.peak_rss_bytes = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ResourceSampler":
+        if self.running:
+            raise RuntimeError("sampler already running")
+        registry = (
+            self._registry
+            if self._registry is not None
+            else obs_metrics.get_registry()
+        )
+        self._rss_gauge = registry.gauge(
+            "process_rss_bytes", "Resident set size of this process"
+        )
+        self._rss_peak_gauge = registry.gauge(
+            "process_rss_peak_bytes", "Peak RSS seen by the resource sampler"
+        )
+        self._cpu_gauge = registry.gauge(
+            "process_cpu_seconds",
+            "Cumulative user+system CPU time of this process",
+        )
+        self._queue_gauge = registry.gauge(
+            "pool_queue_depth", "Outstanding work items of the active pool"
+        )
+        self._gc_histogram = registry.histogram(
+            "gc_pause_seconds",
+            "Stop-the-world garbage collection pause",
+            buckets=GC_PAUSE_BUCKETS,
+        )
+        self._gc_counter = registry.counter(
+            "gc_collections_total",
+            "Garbage collections observed",
+            ("generation",),
+        )
+        self._stop_event.clear()
+        if not self._gc_callback_installed:
+            gc.callbacks.append(self._on_gc)
+            self._gc_callback_installed = True
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+        self._atexit = atexit.register(self.stop)
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling; joins the thread and removes the GC hook."""
+        self._stop_event.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+        if self._gc_callback_installed:
+            try:
+                gc.callbacks.remove(self._on_gc)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._gc_callback_installed = False
+        try:
+            atexit.unregister(self.stop)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+    def __enter__(self) -> "ResourceSampler":
+        if not self.running:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling -------------------------------------------------------
+
+    def sample_once(self) -> None:
+        """Take one sample (also used directly by tests)."""
+        rss = read_rss_bytes()
+        if rss:
+            self._rss_gauge.set(rss)
+            if rss > self.peak_rss_bytes:
+                self.peak_rss_bytes = rss
+                self._rss_peak_gauge.set(rss)
+        self._cpu_gauge.set(time.process_time())
+        if self._queue_depth_fn is not None:
+            try:
+                self._queue_gauge.set(float(self._queue_depth_fn()))
+            except Exception:
+                pass
+        self.samples_taken += 1
+
+    def _loop(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self.sample_once()
+
+    def _on_gc(self, phase: str, info: dict) -> None:
+        if phase == "start":
+            self._gc_pause_started = time.perf_counter()
+        elif phase == "stop" and self._gc_pause_started is not None:
+            pause = time.perf_counter() - self._gc_pause_started
+            self._gc_pause_started = None
+            self._gc_histogram.observe(pause)
+            self._gc_counter.inc(
+                1, generation=str(info.get("generation", "?"))
+            )
+            self.gc_pauses_observed += 1
+
+
+# ----------------------------------------------------------------------
+# opt-in per-phase cProfile hook
+# ----------------------------------------------------------------------
+
+
+def _profile_dir() -> Optional[Path]:
+    value = os.environ.get(PROFILE_DIR_ENV_VAR, "").strip()
+    return Path(value) if value else None
+
+
+@contextmanager
+def profile_phase(name: str, out_dir: Optional[Path] = None):
+    """Profile a block with ``cProfile`` when profiling is opted in.
+
+    ``out_dir`` defaults to ``$REPRO_PROFILE_DIR``; when neither is set
+    the block runs untouched (zero overhead).  The dump lands in
+    ``<out_dir>/<name>.<pid>.pstats`` — one file per phase per process,
+    loadable with :mod:`pstats` or any flamegraph converter.
+    """
+    directory = out_dir if out_dir is not None else _profile_dir()
+    if directory is None:
+        yield None
+        return
+    import cProfile
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        safe = name.replace("/", "_").replace(" ", "_")
+        profiler.dump_stats(str(directory / f"{safe}.{os.getpid()}.pstats"))

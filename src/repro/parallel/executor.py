@@ -58,6 +58,9 @@ import numpy as np
 from ..core.comparator import GroupComparator
 from ..core.gamma import GammaThresholds
 from ..core.groups import Group
+from ..obs import runlog as obs_runlog
+from ..obs import tracing as obs_tracing
+from ..obs.tracing import TraceContext, Tracer
 from .partition import iter_pairs
 from .scheduler import ChunkLedger, WorkerReport
 from .shm import (
@@ -171,6 +174,9 @@ class ChunkOutcome:
     index_candidates: int = 0
     slot: int = -1
     stolen: bool = False
+    # finished worker-side span trees (Span.to_dict form), grafted back
+    # onto the parent trace when tracing is enabled; empty otherwise.
+    spans: List[dict] = field(default_factory=list)
 
 
 def _encode(outcome) -> int:
@@ -340,6 +346,7 @@ class _PoolPayload:
     owners: Optional[Tuple[Tuple[int, ...], ...]] = None
     claimed: Any = None
     lock: Any = None
+    trace: Optional[TraceContext] = None
 
 
 # ----------------------------------------------------------------------
@@ -391,32 +398,74 @@ def _init_pool(payload: _PoolPayload) -> None:
         use_bbox=config.use_bbox,
         block_size=config.block_size,
     )
+    # Observability hand-off.  A fork-started worker inherits the parent's
+    # tracer and run-log handle; recording into either from here would
+    # corrupt parent state (duplicate sink emits, interleaved writes).
+    # Each worker therefore gets its own tracer parented on the shipped
+    # TraceContext — or the no-op tracer when the parent wasn't tracing —
+    # and a silenced run log (pool lifecycle is the parent's to record).
+    if payload.trace is not None:
+        obs_tracing.set_tracer(Tracer(context=payload.trace))
+    else:
+        obs_tracing.set_tracer(obs_tracing.NOOP_TRACER)
+    obs_runlog.set_runlog(obs_runlog.NOOP_RUNLOG)
 
 
-def _run_chunk(span: Tuple[int, int]) -> ChunkOutcome:
-    """Task body executed in a pool worker: one chunk, counters reset."""
+def _run_chunk(
+    span: Tuple[int, int], slot: int = -1, stolen: bool = False
+) -> ChunkOutcome:
+    """Task body executed in a pool worker: one chunk, counters reset.
+
+    When the worker tracer records (the parent shipped a
+    :class:`~repro.obs.tracing.TraceContext`), the chunk runs inside a
+    ``parallel.chunk`` span carrying the span bounds, the kernel kind and
+    the scheduling telemetry (slot / stolen / pid); its serialized form
+    travels back in :attr:`ChunkOutcome.spans` for the parent to graft
+    onto its own tree.
+    """
     assert _WORKER_GROUPS is not None and _WORKER_COMPARATOR is not None
     config = _WORKER_CONFIG
     comparator = _WORKER_COMPARATOR
     comparator.reset_stats()
+    chunk_span = obs_tracing.get_tracer().span(
+        "parallel.chunk",
+        start=span[0],
+        stop=span[1],
+        kind=_WORKER_KIND,
+        slot=slot,
+        stolen=stolen,
+        pid=os.getpid(),
+    )
     started = time.perf_counter()
     skipped = 0
     window_queries = 0
     index_candidates = 0
-    if _WORKER_KIND == "candidates":
-        verdicts, window_queries, index_candidates = compare_candidate_span(
-            _WORKER_GROUPS, comparator, _WORKER_INDEX, _WORKER_ORDER, span
-        )
-    else:
-        verdicts, skipped = compare_span(
-            _WORKER_GROUPS,
-            comparator,
-            span,
-            prune_policy=config.prune_policy,
-            flags=_WORKER_FLAGS,
-            exchange_interval=config.exchange_interval,
-        )
-    return ChunkOutcome(
+    with chunk_span:
+        if _WORKER_KIND == "candidates":
+            verdicts, window_queries, index_candidates = compare_candidate_span(
+                _WORKER_GROUPS, comparator, _WORKER_INDEX, _WORKER_ORDER, span
+            )
+        else:
+            verdicts, skipped = compare_span(
+                _WORKER_GROUPS,
+                comparator,
+                span,
+                prune_policy=config.prune_policy,
+                flags=_WORKER_FLAGS,
+                exchange_interval=config.exchange_interval,
+            )
+        if chunk_span.is_recording:
+            chunk_span.set_attribute("verdicts", len(verdicts))
+            chunk_span.set_attribute("comparisons", comparator.comparisons)
+            chunk_span.set_attribute(
+                "pairs_examined", comparator.pairs_examined
+            )
+            if skipped:
+                chunk_span.set_attribute("pairs_skipped", skipped)
+            if window_queries:
+                chunk_span.set_attribute("window_queries", window_queries)
+                chunk_span.set_attribute("index_candidates", index_candidates)
+    outcome = ChunkOutcome(
         start=span[0],
         stop=span[1],
         verdicts=verdicts,
@@ -429,7 +478,12 @@ def _run_chunk(span: Tuple[int, int]) -> ChunkOutcome:
         worker_pid=os.getpid(),
         window_queries=window_queries,
         index_candidates=index_candidates,
+        slot=slot,
+        stolen=stolen,
     )
+    if chunk_span.is_recording:
+        outcome.spans = [chunk_span.to_dict()]
+    return outcome
 
 
 def _steal_loop(slot: int) -> Tuple[List[ChunkOutcome], WorkerReport]:
@@ -450,9 +504,7 @@ def _steal_loop(slot: int) -> Tuple[List[ChunkOutcome], WorkerReport]:
         if claim is None:
             break
         chunk_id, stolen = claim
-        outcome = _run_chunk(tuple(_WORKER_SPANS[chunk_id]))
-        outcome.slot = slot
-        outcome.stolen = stolen
+        outcome = _run_chunk(tuple(_WORKER_SPANS[chunk_id]), slot, stolen)
         outcomes.append(outcome)
         report.chunks_done += 1
         if stolen:
@@ -483,6 +535,88 @@ def _resolve_shm(shm: Optional[bool], start_method: str) -> bool:
     return bool(shm) and shm_available()
 
 
+def _timeout_error(
+    pool_timeout: float, workers: int, chunks: int, scheduler: str
+) -> PoolTimeoutError:
+    return PoolTimeoutError(
+        f"parallel skyline pool produced no result within"
+        f" {pool_timeout:.0f}s ({workers} workers,"
+        f" {chunks} chunks, scheduler={scheduler});"
+        f" pool terminated"
+    )
+
+
+#: How often the parent samples pool progress while a ``progress``
+#: callback is installed (seconds).
+_PROGRESS_POLL_SECONDS = 0.2
+
+
+def _collect_results(
+    pool,
+    task_fn: Callable,
+    tasks: Sequence,
+    pool_timeout: float,
+    *,
+    scheduler: str,
+    workers: int,
+    total_chunks: int,
+    claimed,
+    progress: Optional[Callable[[int, int], None]],
+) -> List:
+    """Drain the pool, optionally reporting ``(chunks_done, chunks_total)``.
+
+    Without a ``progress`` callback this is the plain blocking
+    ``map_async().get(timeout)`` of PR-2.  With one, the parent samples
+    pool telemetry every :data:`_PROGRESS_POLL_SECONDS`: under the
+    stealing scheduler it reads the shared claim table (chunks *claimed*
+    lead completion by at most one in-flight chunk per worker); under the
+    static scheduler it counts completions off ``imap_unordered`` — the
+    caller restores deterministic chunk order afterwards.
+    """
+    if progress is None:
+        pending = pool.map_async(task_fn, tasks, chunksize=1)
+        try:
+            return pending.get(timeout=pool_timeout)
+        except mp.TimeoutError:
+            raise _timeout_error(
+                pool_timeout, workers, total_chunks, scheduler
+            ) from None
+    deadline = time.monotonic() + pool_timeout
+    if scheduler == "stealing":
+        pending = pool.map_async(task_fn, tasks, chunksize=1)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _timeout_error(
+                    pool_timeout, workers, total_chunks, scheduler
+                ) from None
+            try:
+                results = pending.get(
+                    timeout=min(_PROGRESS_POLL_SECONDS, remaining)
+                )
+            except mp.TimeoutError:
+                progress(min(int(sum(claimed)), total_chunks), total_chunks)
+                continue
+            progress(total_chunks, total_chunks)
+            return results
+    iterator = pool.imap_unordered(task_fn, tasks, chunksize=1)
+    results: List = []
+    while len(results) < len(tasks):
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise _timeout_error(
+                pool_timeout, workers, total_chunks, scheduler
+            ) from None
+        try:
+            results.append(
+                iterator.next(timeout=min(_PROGRESS_POLL_SECONDS, remaining))
+            )
+        except mp.TimeoutError:
+            continue
+        progress(len(results), total_chunks)
+    return results
+
+
 def run_spans(
     groups: Sequence[Group],
     config: WorkerConfig,
@@ -496,6 +630,7 @@ def run_spans(
     index=None,
     order: Optional[Sequence[int]] = None,
     owners: Optional[Sequence[Sequence[int]]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> PoolRun:
     """Run ``spans`` on a pool under the chosen scheduler and shipping mode.
 
@@ -513,6 +648,14 @@ def run_spans(
     ``shm=None`` auto-selects shared-memory shipping on spawn platforms.
     A wedged pool raises :class:`PoolTimeoutError` after ``pool_timeout``
     seconds in every mode.
+
+    ``progress`` is called periodically with ``(chunks_done,
+    chunks_total)`` while the pool runs (see :func:`_collect_results`).
+    When the caller has tracing enabled and a span open, its
+    :class:`~repro.obs.tracing.TraceContext` is shipped to the workers so
+    their per-chunk spans come back in :attr:`ChunkOutcome.spans`; pool
+    lifecycle (``pool_start`` / ``pool_end`` / ``pool_timeout``) goes to
+    the structured run log.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -547,6 +690,7 @@ def run_spans(
             flags=flags,
             index_arrays=index_arrays,
             order=tuple(order) if order is not None else None,
+            trace=obs_tracing.current_trace_context(),
         )
         if scheduler == "stealing":
             if owners is None:
@@ -565,20 +709,48 @@ def run_spans(
         pool = ctx.Pool(
             processes=workers, initializer=_init_pool, initargs=(payload,)
         )
+        obs_runlog.emit(
+            "pool_start",
+            workers=workers,
+            scheduler=scheduler,
+            start_method=start_method,
+            chunks=len(spans),
+            kind=kind,
+            shm=bool(use_shm),
+        )
+        pool_started = time.perf_counter()
         try:
-            pending = pool.map_async(task_fn, tasks, chunksize=1)
             try:
-                results = pending.get(timeout=pool_timeout)
-            except mp.TimeoutError:
-                raise PoolTimeoutError(
-                    f"parallel skyline pool produced no result within"
-                    f" {pool_timeout:.0f}s ({workers} workers,"
-                    f" {len(spans)} chunks, scheduler={scheduler});"
-                    f" pool terminated"
-                ) from None
-        finally:
-            pool.terminate()
-            pool.join()
+                results = _collect_results(
+                    pool,
+                    task_fn,
+                    tasks,
+                    pool_timeout,
+                    scheduler=scheduler,
+                    workers=workers,
+                    total_chunks=len(spans),
+                    claimed=payload.claimed,
+                    progress=progress,
+                )
+            finally:
+                pool.terminate()
+                pool.join()
+        except PoolTimeoutError:
+            obs_runlog.emit(
+                "pool_timeout",
+                workers=workers,
+                scheduler=scheduler,
+                chunks=len(spans),
+                timeout_seconds=pool_timeout,
+            )
+            raise
+        obs_runlog.emit(
+            "pool_end",
+            workers=workers,
+            scheduler=scheduler,
+            chunks=len(spans),
+            elapsed_seconds=time.perf_counter() - pool_started,
+        )
     finally:
         if arena is not None:
             arena.close()
@@ -591,6 +763,10 @@ def run_spans(
         # deterministic merge order regardless of who ran what
         outcomes.sort(key=lambda outcome: (outcome.start, outcome.stop))
         return PoolRun(outcomes=outcomes, reports=reports)
+    if progress is not None:
+        # imap_unordered delivered in completion order; restore chunk order
+        # so the merge stays bit-identical to the blocking path.
+        results.sort(key=lambda outcome: (outcome.start, outcome.stop))
     return PoolRun(outcomes=results, reports=_reports_from_outcomes(results))
 
 

@@ -237,3 +237,80 @@ class TestCompareCommand:
         code = main(["compare", str(a), str(b)])
         assert code == 1
         assert "no overlapping" in capsys.readouterr().out
+
+
+class TestObsFlags:
+    def test_log_json_writes_correlated_events(self, movies_csv, tmp_path):
+        log_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "skyline",
+                "--csv", movies_csv,
+                "--group-by", "director",
+                "--of", "pop:max,qual:max",
+                f"--trace={tmp_path / 'trace.jsonl'}",
+                "--log-json", str(log_path),
+            ]
+        )
+        assert code == 0
+        from repro.obs.runlog import read_events
+        from repro.obs.tracing import read_jsonl
+
+        events = read_events(log_path)
+        names = [e["event"] for e in events]
+        assert names[0] == "cli_start" and names[-1] == "cli_end"
+        assert "run_start" in names and "run_end" in names
+        (trace,) = read_jsonl(tmp_path / "trace.jsonl")
+        run_events = [e for e in events if "trace_id" in e]
+        assert run_events
+        assert {e["trace_id"] for e in run_events} == {trace["trace_id"]}
+
+    def test_metrics_openmetrics_format(self, capsys):
+        code = main(["metrics", "--demo", "--format", "openmetrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE skyline_runs counter" in out
+        assert "skyline_runs_total{" in out
+        assert out.rstrip().endswith("# EOF")
+
+    def test_progress_with_execution_uses_pooled_engine(
+        self, tmp_path, capsys
+    ):
+        data = tmp_path / "data.csv"
+        main(
+            [
+                "generate", "--records", "400", "--dims", "3",
+                "--group-size", "20", "--sizes", "zipf", "--out", str(data),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "skyline",
+                "--csv", str(data),
+                "--group-by", "group",
+                "--of", "a0:max,a1:max,a2:max",
+                "--algorithm", "IN",
+                "--execution", "workers=2",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "[IN]" in captured.out        # pooled engine, not anytime
+        assert "chunks" in captured.err      # chunk heartbeat on stderr
+
+    def test_progress_without_execution_uses_anytime_engine(
+        self, movies_csv, capsys
+    ):
+        code = main(
+            [
+                "skyline",
+                "--csv", movies_csv,
+                "--group-by", "director",
+                "--of", "pop:max,qual:max",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        assert "[anytime]" in capsys.readouterr().out
