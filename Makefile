@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= smoke
 
-.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench perf-smoke clean
+.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench perf-smoke faults-demo faults-test clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -35,6 +35,16 @@ figures:
 # Run a tiny workload and dump the metrics registry (docs/observability.md).
 metrics-demo:
 	$(PYTHON) -m repro metrics --demo
+
+# Inject a SIGKILL into a pooled run and watch the retry recover it
+# bit-identically (REPRO_FAULTS; docs/parallel.md fault tolerance).
+faults-demo:
+	$(PYTHON) examples/fault_tolerance_demo.py
+
+# The fault-injection test matrix (crash/hang/exception under fork and
+# spawn); CI runs this leg with REPRO_START_METHOD=spawn on top.
+faults-test:
+	$(PYTHON) -m pytest tests/test_fault_tolerance.py
 
 # Serial-vs-parallel comparison table on a pool of 2 (docs/parallel.md).
 parallel-demo:

@@ -125,8 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help="execution config as 'key=value,...' (e.g."
-        " 'workers=4,scheduler=stealing'); applies to the pooled"
-        " USING ALGORITHM engines (PAR, IN, LO)",
+        " 'workers=4,scheduler=stealing,on_failure=retry'); applies to"
+        " the pooled USING ALGORITHM engines (PAR, IN, LO)",
     )
 
     sky = commands.add_parser("skyline", help="aggregate skyline of a CSV")
@@ -155,8 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help="execution config as 'key=value,...' (e.g."
-        " 'workers=4,scheduler=stealing,shm=auto'); applies to the"
-        " pooled algorithms (PAR, IN, LO)",
+        " 'workers=4,scheduler=stealing,on_failure=serial'); applies"
+        " to the pooled algorithms (PAR, IN, LO)",
     )
     sky.add_argument(
         "--progress",
@@ -274,7 +274,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution",
         default=None,
         metavar="SPEC",
-        help="execution config as 'key=value,...' for PAR/IN/LO",
+        help="execution config as 'key=value,...' for PAR/IN/LO"
+        " (incl. on_failure/max_retries/retry_backoff)",
     )
     record.add_argument(
         "--repeat", type=int, default=1,

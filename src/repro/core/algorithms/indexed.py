@@ -42,6 +42,7 @@ from .pooled import (
     absorb_outcomes,
     flush_pool_metrics,
     pool_progress_callback,
+    pool_run_kwargs,
     record_chunk_events,
 )
 from .sorted_access import SORT_KEYS
@@ -249,13 +250,11 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
                 config,
                 spans,
                 workers,
-                pool_timeout=execution.pool_timeout,
-                scheduler=scheduler,
-                shm=execution.shm,
                 kind="candidates",
                 index=index,
                 order=order,
                 progress=pool_progress_callback(self),
+                **pool_run_kwargs(execution),
             )
             record_chunk_events(chunk_span, run)
         with tracer.span("parallel.merge", chunks=len(run.outcomes)):

@@ -68,6 +68,7 @@ from .pooled import (
     absorb_outcomes,
     flush_pool_metrics,
     pool_progress_callback,
+    pool_run_kwargs,
     record_chunk_events,
 )
 
@@ -173,10 +174,8 @@ class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
                 config,
                 spans,
                 self.workers,
-                pool_timeout=self.pool_timeout,
-                scheduler=self.scheduler,
-                shm=self.shm,
                 progress=pool_progress_callback(self),
+                **pool_run_kwargs(self.execution),
             )
             record_chunk_events(chunk_span, run)
         with tracer.span("parallel.merge", chunks=len(run.outcomes)):

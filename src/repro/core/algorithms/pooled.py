@@ -23,7 +23,27 @@ __all__ = [
     "flush_pool_metrics",
     "record_chunk_events",
     "pool_progress_callback",
+    "pool_run_kwargs",
 ]
+
+
+def pool_run_kwargs(execution) -> dict:
+    """Pool + fault-tolerance knobs an ExecutionConfig forwards to
+    :func:`repro.parallel.executor.run_spans`.
+
+    Every pooled algorithm routes its execution config through here so
+    the retry policy (``on_failure`` / ``max_retries`` / ``retry_backoff``)
+    reaches the executor uniformly — PAR, parallel IN and parallel LO all
+    recover from worker crashes the same way.
+    """
+    return dict(
+        pool_timeout=execution.pool_timeout,
+        scheduler=execution.scheduler,
+        shm=execution.shm,
+        max_retries=execution.max_retries,
+        retry_backoff=execution.retry_backoff,
+        on_failure=execution.on_failure,
+    )
 
 #: Chunk latency buckets: 10µs … 100s in decades.
 CHUNK_SECONDS_BUCKETS = obs_metrics.log_buckets(1e-5, 10.0, 8)

@@ -35,6 +35,7 @@ from typing import Any, Mapping, Optional, Tuple
 __all__ = [
     "ExecutionConfig",
     "SCHEDULERS",
+    "ON_FAILURE_POLICIES",
     "coerce_execution",
     "normalize_options",
     "suggest",
@@ -48,6 +49,17 @@ __all__ = [
 #:   worker slots; a worker that drains its own list steals from the
 #:   tail of the largest remaining victim list.
 SCHEDULERS: Tuple[str, ...] = ("static", "stealing")
+
+#: What a pooled run does when a worker crashes or a chunk raises.
+#:
+#: * ``"raise"`` — fail fast: surface ``WorkerCrashError`` (or the worker
+#:   traceback) immediately; the pre-fault-tolerance behaviour.
+#: * ``"retry"`` — re-execute only the undelivered chunks on a fresh pool,
+#:   up to ``max_retries`` times with exponential backoff, then raise.
+#: * ``"serial"`` — like ``"retry"``, but after retries are exhausted the
+#:   remaining chunks finish inline on the parent's serial engine, so the
+#:   run always completes.
+ON_FAILURE_POLICIES: Tuple[str, ...] = ("raise", "retry", "serial")
 
 # Legacy per-algorithm option names that now live on ExecutionConfig.
 # ``normalize_options`` lifts these out of ``**options`` dicts.
@@ -106,6 +118,16 @@ class ExecutionConfig:
     pool_timeout:
         Seconds to wait for pool results before raising
         :class:`repro.parallel.PoolTimeoutError`.
+    max_retries:
+        Fresh-pool re-executions of lost/failed chunks after a worker
+        crash or worker traceback, consulted when ``on_failure`` is not
+        ``"raise"``.
+    retry_backoff:
+        Base delay in seconds before the first retry; doubles per
+        attempt (exponential backoff).
+    on_failure:
+        Crash policy — one of :data:`ON_FAILURE_POLICIES`
+        (``"raise"`` / ``"retry"`` / ``"serial"``).
     """
 
     workers: Optional[int] = None
@@ -114,6 +136,9 @@ class ExecutionConfig:
     exchange_interval: int = 0
     chunk_size: Optional[int] = None
     pool_timeout: float = 300.0
+    max_retries: int = 2
+    retry_backoff: float = 0.1
+    on_failure: str = "raise"
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -143,6 +168,24 @@ class ExecutionConfig:
             raise ValueError(f"pool_timeout must be > 0, got {self.pool_timeout!r}")
         if self.shm is not None and not isinstance(self.shm, bool):
             raise ValueError(f"shm must be a bool or None, got {self.shm!r}")
+        if self.on_failure not in ON_FAILURE_POLICIES:
+            raise ValueError(
+                f"unknown on_failure policy {self.on_failure!r}; expected one"
+                f" of {ON_FAILURE_POLICIES}"
+                f"{suggest(self.on_failure, ON_FAILURE_POLICIES)}"
+            )
+        if not isinstance(self.max_retries, int) or isinstance(self.max_retries, bool):
+            raise ValueError(
+                f"max_retries must be an int, got {self.max_retries!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if not self.retry_backoff >= 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff!r}"
+            )
 
     # ------------------------------------------------------------------
     # derived views
@@ -200,8 +243,10 @@ class ExecutionConfig:
         """Parse a CLI-style ``"key=value,key=value"`` spec.
 
         Values are coerced per-field: ints for ``workers`` /
-        ``exchange_interval`` / ``chunk_size``, float for
-        ``pool_timeout``, bool-ish strings for ``shm``.
+        ``exchange_interval`` / ``chunk_size`` / ``max_retries``, floats
+        for ``pool_timeout`` / ``retry_backoff``, bool-ish strings for
+        ``shm``; ``on_failure`` stays a string
+        (``raise`` / ``retry`` / ``serial``).
         """
 
         data: dict = {}
@@ -230,9 +275,9 @@ def _coerce_field(key: str, raw: str) -> Any:
         if raw.lower() in ("none", ""):
             return None
         return int(raw)
-    if key == "exchange_interval":
+    if key in ("exchange_interval", "max_retries"):
         return int(raw)
-    if key == "pool_timeout":
+    if key in ("pool_timeout", "retry_backoff"):
         return float(raw)
     if key == "shm":
         lowered = raw.lower()

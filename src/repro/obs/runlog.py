@@ -22,7 +22,14 @@ fields.  Events emitted by the engine:
 ``phase_start`` / ``phase_end``
     A named phase inside a run (``harness.figure``, ``bench.run``, ...).
 ``pool_start`` / ``pool_end`` / ``pool_timeout``
-    Worker-pool lifecycle (workers, start method, scheduler, chunks).
+    Worker-pool lifecycle (workers, start method, scheduler, chunks,
+    attempt).  Every ``pool_start`` is closed by exactly one of
+    ``pool_end``, ``pool_timeout`` or ``pool_error``.
+``pool_error`` / ``chunk_retry`` / ``pool_fallback``
+    Fault tolerance: a worker crash or worker traceback (exception type,
+    message, crashed pids/signals, undelivered chunk count), a retry of
+    the lost chunks on a fresh pool (attempt, chunk count, backoff), and
+    the serial-fallback completion after retries are exhausted.
 ``cache_hit`` / ``cache_miss``
     Derived-artifact cache traffic (kind).
 ``error``

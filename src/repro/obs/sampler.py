@@ -118,6 +118,11 @@ class ResourceSampler:
     def start(self) -> "ResourceSampler":
         if self.running:
             raise RuntimeError("sampler already running")
+        # Per-start state: a restarted sampler reports *this* run's
+        # high-water mark, not a stale peak carried over from the last
+        # start/stop cycle (and never a half-measured GC pause).
+        self.peak_rss_bytes = 0
+        self._gc_pause_started = None
         registry = (
             self._registry
             if self._registry is not None

@@ -7,8 +7,13 @@ Layers (bottom-up):
   backs the adaptive dispatcher's duplicate-free overlap sampling).
 * :mod:`repro.parallel.executor` — the process-pool driver: one-shot data
   shipping (fork-inherited or pickled once per worker), the chunk kernel,
-  the lock-free pruning-exchange flags, and a pool timeout so a wedged pool
-  fails fast instead of hanging.
+  the lock-free pruning-exchange flags, and the fault-tolerance layer —
+  a pool timeout for wedged pools, a worker-liveness poll that surfaces
+  crashes in seconds (:class:`WorkerCrashError`), chunk retry with
+  backoff and an optional serial fallback (``on_failure`` policy).
+* :mod:`repro.parallel.faults` — opt-in fault injection (``$REPRO_FAULTS``
+  or :class:`FaultSpec`): crash / hang / slow / exception at chunk *k* or
+  with probability *p*, for testing the recovery paths.
 * :class:`~repro.core.algorithms.parallel.ParallelSkylineAlgorithm` — the
   ``PAR`` algorithm gluing both into the standard
   :class:`~repro.core.algorithms.base.AggregateSkylineAlgorithm` template
@@ -19,10 +24,12 @@ See ``docs/parallel.md`` for the architecture and determinism guarantees.
 """
 
 from .executor import (
+    ON_FAILURE_POLICIES,
     ChunkOutcome,
     PoolRun,
     PoolTimeoutError,
     WorkerConfig,
+    WorkerCrashError,
     apply_verdicts,
     compare_candidate_span,
     compare_span,
@@ -40,14 +47,20 @@ from .partition import (
     pair_from_index,
     sample_pair_indices,
 )
+from .faults import FAULTS_ENV_VAR, FaultSpec, InjectedFaultError
 from .scheduler import ChunkLedger, WorkerReport, assign_owners, guided_spans
 from .shm import ArrayRef, GroupShipment, ShmArena, ship_groups, load_groups
 
 __all__ = [
+    "ON_FAILURE_POLICIES",
     "ChunkOutcome",
     "PoolRun",
     "PoolTimeoutError",
     "WorkerConfig",
+    "WorkerCrashError",
+    "FAULTS_ENV_VAR",
+    "FaultSpec",
+    "InjectedFaultError",
     "apply_verdicts",
     "compare_candidate_span",
     "compare_span",

@@ -42,12 +42,30 @@ correctness — the authoritative verdicts always travel back to the parent
 in the chunk results.  With ``exchange_interval == 0`` (the default) every
 pair is compared exactly once in full, which makes the run — results *and*
 work counters — bit-identical to serial ``NL`` for any worker count.
+
+Fault tolerance
+---------------
+Every chunk is an independent, deterministic unit of work, so losing a
+worker must never lose the run.  The parent polls worker liveness while
+draining results: a worker that dies (OOM kill, segfault, ``os._exit``)
+raises :class:`WorkerCrashError` within about one liveness-poll interval
+(:data:`_LIVENESS_POLL_SECONDS` seconds) — naming the pid, signal and the unfinished chunk spans — instead
+of hanging until ``pool_timeout``.  What happens next is policy
+(``on_failure``): ``"raise"`` fails fast (the default), ``"retry"``
+re-executes *only the lost chunks* on a fresh pool up to ``max_retries``
+times with exponential backoff, and ``"serial"`` additionally finishes any
+still-missing chunks inline on the parent after retries are exhausted.
+Because retried and fallback chunks re-run the same deterministic spans
+with the same kernel, a recovered run's results and work counters are
+bit-identical to an undisturbed one.  :mod:`repro.parallel.faults`
+injects worker failures on demand to keep all of this testable.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import signal as signal_module
 import time
 from multiprocessing import sharedctypes
 from dataclasses import dataclass, field
@@ -58,11 +76,13 @@ import numpy as np
 from ..core.comparator import GroupComparator
 from ..core.gamma import GammaThresholds
 from ..core.groups import Group
+from ..obs import metrics as obs_metrics
 from ..obs import runlog as obs_runlog
 from ..obs import tracing as obs_tracing
 from ..obs.tracing import TraceContext, Tracer
+from .faults import ArmedFault, FaultSpec
 from .partition import iter_pairs
-from .scheduler import ChunkLedger, WorkerReport
+from .scheduler import ChunkLedger, WorkerReport, assign_owners
 from .shm import (
     GroupShipment,
     ShmArena,
@@ -90,6 +110,8 @@ __all__ = [
     "run_spans",
     "map_tasks",
     "PoolTimeoutError",
+    "WorkerCrashError",
+    "ON_FAILURE_POLICIES",
 ]
 
 #: Verdict bit flags packed into one int per pair (forward = g_i over g_j).
@@ -107,8 +129,78 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 START_METHOD_ENV_VAR = "REPRO_START_METHOD"
 
 
+#: What to do when a pool worker crashes or a chunk raises (see
+#: :class:`repro.core.execution.ExecutionConfig`): fail fast, retry the
+#: lost chunks on a fresh pool, or finish them serially after retries.
+ON_FAILURE_POLICIES: Tuple[str, ...] = ("raise", "retry", "serial")
+
+
 class PoolTimeoutError(RuntimeError):
     """The worker pool failed to deliver results within ``pool_timeout``."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died mid-run (SIGKILL, segfault, ``os._exit``...).
+
+    Raised by the liveness poll in :func:`_collect_results` within
+    seconds of the death — long before ``pool_timeout`` — carrying
+    everything the retry layer (or the caller) needs to re-execute
+    exactly the lost work:
+
+    Attributes
+    ----------
+    pids:
+        Pids of the dead worker processes.
+    exitcodes:
+        Their ``Process.exitcode`` values (negative = killed by signal).
+    signals:
+        Human-readable signal names where the exitcode was a signal
+        death (e.g. ``["SIGKILL"]``), empty strings otherwise.
+    lost_spans:
+        The ``(start, stop)`` chunk spans that had not been delivered
+        when the crash was detected — the exact re-runnable remainder.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pids: Sequence[int] = (),
+        exitcodes: Sequence[int] = (),
+        lost_spans: Sequence[Tuple[int, int]] = (),
+    ):
+        super().__init__(message)
+        self.pids = tuple(pids)
+        self.exitcodes = tuple(exitcodes)
+        self.signals = tuple(_signal_name(code) for code in self.exitcodes)
+        self.lost_spans = tuple(tuple(span) for span in lost_spans)
+
+
+def _signal_name(exitcode: Optional[int]) -> str:
+    """Signal name for a negative exitcode; empty string otherwise."""
+    if exitcode is None or exitcode >= 0:
+        return ""
+    try:
+        return signal_module.Signals(-exitcode).name
+    except ValueError:  # pragma: no cover - unknown signal number
+        return f"signal {-exitcode}"
+
+
+class _AttemptFailure(Exception):
+    """Internal: one pool attempt failed; carries the partial results.
+
+    ``partial`` holds the task results delivered before the failure
+    (``ChunkOutcome`` for the static scheduler, ``(outcomes, report)``
+    per slot for stealing), ``dead`` the ``(pid, exitcode)`` of crashed
+    workers and ``cause`` the worker exception when the failure was a
+    raised traceback rather than a death.
+    """
+
+    def __init__(self, partial: List, dead: List, cause: Optional[BaseException]):
+        super().__init__("pool attempt failed")
+        self.partial = partial
+        self.dead = dead
+        self.cause = cause
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -347,6 +439,10 @@ class _PoolPayload:
     claimed: Any = None
     lock: Any = None
     trace: Optional[TraceContext] = None
+    # fault injection (testing/demos): the spec plus the shared fire
+    # budget, so retried pools don't re-fire a spent max_fires=1 fault.
+    faults: Optional[FaultSpec] = None
+    fault_state: Any = None
 
 
 # ----------------------------------------------------------------------
@@ -362,6 +458,7 @@ _WORKER_INDEX = None
 _WORKER_ORDER: Optional[Sequence[int]] = None
 _WORKER_SPANS: Optional[Sequence[Tuple[int, int]]] = None
 _WORKER_LEDGER: Optional[ChunkLedger] = None
+_WORKER_FAULT: Optional[ArmedFault] = None
 
 
 def _init_worker(groups, config: WorkerConfig, flags) -> None:
@@ -374,7 +471,7 @@ def _init_pool(payload: _PoolPayload) -> None:
     """Pool initializer: materialise the one-shot shipment into globals."""
     global _WORKER_GROUPS, _WORKER_COMPARATOR, _WORKER_CONFIG, _WORKER_FLAGS
     global _WORKER_KIND, _WORKER_INDEX, _WORKER_ORDER, _WORKER_SPANS
-    global _WORKER_LEDGER
+    global _WORKER_LEDGER, _WORKER_FAULT
     config = payload.config
     _WORKER_GROUPS = load_groups(payload.shipment)
     _WORKER_CONFIG = config
@@ -392,6 +489,9 @@ def _init_pool(payload: _PoolPayload) -> None:
         _WORKER_LEDGER = ChunkLedger(
             payload.owners, payload.claimed, payload.lock
         )
+    _WORKER_FAULT = None
+    if payload.faults is not None:
+        _WORKER_FAULT = payload.faults.arm(payload.fault_state)
     _WORKER_COMPARATOR = GroupComparator(
         GammaThresholds(config.gamma),
         use_stopping_rule=config.use_stopping_rule,
@@ -424,6 +524,8 @@ def _run_chunk(
     onto its own tree.
     """
     assert _WORKER_GROUPS is not None and _WORKER_COMPARATOR is not None
+    if _WORKER_FAULT is not None:
+        _WORKER_FAULT.maybe_fire()
     config = _WORKER_CONFIG
     comparator = _WORKER_COMPARATOR
     comparator.reset_stats()
@@ -550,6 +652,33 @@ def _timeout_error(
 #: callback is installed (seconds).
 _PROGRESS_POLL_SECONDS = 0.2
 
+#: How often the parent checks worker liveness while draining results —
+#: the detection latency for a crashed worker is a few of these, seconds
+#: at most, regardless of ``pool_timeout``.
+_LIVENESS_POLL_SECONDS = 0.25
+
+
+def _watch_workers(pool, known: Dict[int, Any]) -> List[Tuple[int, int]]:
+    """Track the pool's worker processes; return newly dead ones.
+
+    ``known`` accumulates every worker ``Process`` ever seen in
+    ``pool._pool`` (the pool replaces dead workers, so the live list
+    alone forgets casualties).  While results are outstanding no worker
+    legitimately exits — the pool is neither closing nor recycling
+    (``maxtasksperchild`` unset) — so *any* recorded exitcode means a
+    crash (negative = killed by a signal, e.g. the OOM killer).
+    """
+    dead: List[Tuple[int, int]] = []
+    for proc in list(getattr(pool, "_pool", ())):
+        if proc.pid is not None:
+            known.setdefault(proc.pid, proc)
+    for pid, proc in list(known.items()):
+        exitcode = proc.exitcode
+        if exitcode is not None:
+            dead.append((pid, exitcode))
+            del known[pid]
+    return dead
+
 
 def _collect_results(
     pool,
@@ -560,47 +689,50 @@ def _collect_results(
     scheduler: str,
     workers: int,
     total_chunks: int,
+    attempt_chunks: int,
     claimed,
     progress: Optional[Callable[[int, int], None]],
+    done_offset: int = 0,
 ) -> List:
-    """Drain the pool, optionally reporting ``(chunks_done, chunks_total)``.
+    """Drain the pool, polling worker liveness between deliveries.
 
-    Without a ``progress`` callback this is the plain blocking
-    ``map_async().get(timeout)`` of PR-2.  With one, the parent samples
-    pool telemetry every :data:`_PROGRESS_POLL_SECONDS`: under the
-    stealing scheduler it reads the shared claim table (chunks *claimed*
-    lead completion by at most one in-flight chunk per worker); under the
-    static scheduler it counts completions off ``imap_unordered`` — the
-    caller restores deterministic chunk order afterwards.
+    Results stream back through ``imap_unordered`` (the caller restores
+    deterministic chunk order afterwards); between deliveries the parent
+    wakes every :data:`_LIVENESS_POLL_SECONDS` to check the worker
+    processes and, when a ``progress`` callback is installed, report
+    ``(chunks_done, chunks_total)`` — under the stealing scheduler from
+    the shared claim table (claims lead completion by at most one
+    in-flight chunk per worker), under the static scheduler from the
+    completion count.
+
+    Failure modes: a dead worker raises :class:`_AttemptFailure` (with
+    the partial results and the casualty list) within a poll tick or
+    two; a chunk that raised in a surviving worker arrives as its
+    exception and is wrapped the same way; total silence past
+    ``pool_timeout`` raises :class:`PoolTimeoutError`.
     """
-    if progress is None:
-        pending = pool.map_async(task_fn, tasks, chunksize=1)
-        try:
-            return pending.get(timeout=pool_timeout)
-        except mp.TimeoutError:
-            raise _timeout_error(
-                pool_timeout, workers, total_chunks, scheduler
-            ) from None
     deadline = time.monotonic() + pool_timeout
-    if scheduler == "stealing":
-        pending = pool.map_async(task_fn, tasks, chunksize=1)
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise _timeout_error(
-                    pool_timeout, workers, total_chunks, scheduler
-                ) from None
-            try:
-                results = pending.get(
-                    timeout=min(_PROGRESS_POLL_SECONDS, remaining)
-                )
-            except mp.TimeoutError:
-                progress(min(int(sum(claimed)), total_chunks), total_chunks)
-                continue
-            progress(total_chunks, total_chunks)
-            return results
+    poll = _LIVENESS_POLL_SECONDS
+    if progress is not None:
+        poll = min(poll, _PROGRESS_POLL_SECONDS)
     iterator = pool.imap_unordered(task_fn, tasks, chunksize=1)
     results: List = []
+    known: Dict[int, Any] = {}
+    _watch_workers(pool, known)  # snapshot the initial worker set
+    last_liveness = time.monotonic()
+
+    def _check_liveness() -> None:
+        dead = _watch_workers(pool, known)
+        if dead:
+            raise _AttemptFailure(results, dead, None) from None
+
+    def _report(done_now: int) -> None:
+        if progress is None:
+            return
+        if scheduler == "stealing" and claimed is not None:
+            done_now = min(int(sum(claimed)), attempt_chunks)
+        progress(min(done_offset + done_now, total_chunks), total_chunks)
+
     while len(results) < len(tasks):
         remaining = deadline - time.monotonic()
         if remaining <= 0:
@@ -608,13 +740,221 @@ def _collect_results(
                 pool_timeout, workers, total_chunks, scheduler
             ) from None
         try:
-            results.append(
-                iterator.next(timeout=min(_PROGRESS_POLL_SECONDS, remaining))
-            )
+            results.append(iterator.next(timeout=min(poll, remaining)))
         except mp.TimeoutError:
+            last_liveness = time.monotonic()
+            _check_liveness()
+            _report(len(results))
             continue
-        progress(len(results), total_chunks)
+        except Exception as exc:
+            # A chunk raised inside a surviving worker and the traceback
+            # travelled back through the pool; the rest of the attempt's
+            # chunks are unaccounted for — same recovery as a crash.
+            raise _AttemptFailure(results, [], exc) from exc
+        if time.monotonic() - last_liveness >= _LIVENESS_POLL_SECONDS:
+            # Results streaming from surviving workers must not starve
+            # crash detection — a casualty still surfaces within a tick.
+            last_liveness = time.monotonic()
+            _check_liveness()
+        _report(len(results))
     return results
+
+
+def _normalize_results(results: List, scheduler: str):
+    """Flatten attempt results to ``(outcomes, reports)``.
+
+    Static results are already :class:`ChunkOutcome`\\ s (reports are
+    synthesised at the end of the run); stealing results are one
+    ``(outcomes, report)`` pair per worker slot.
+    """
+    if scheduler != "stealing":
+        return list(results), []
+    outcomes: List[ChunkOutcome] = []
+    reports: List[WorkerReport] = []
+    for slot_outcomes, report in results:
+        outcomes.extend(slot_outcomes)
+        reports.append(report)
+    return outcomes, reports
+
+
+def _pool_counter(name: str, help: str):
+    """Fault-tolerance counter, labelled by scheduler and kernel kind."""
+    return obs_metrics.get_registry().counter(name, help, ("scheduler", "kind"))
+
+
+def _crash_error(
+    dead: List[Tuple[int, int]],
+    lost_spans: Sequence[Tuple[int, int]],
+    workers: int,
+    scheduler: str,
+) -> WorkerCrashError:
+    pids = [pid for pid, _ in dead]
+    codes = [code for _, code in dead]
+    detail = ", ".join(
+        f"pid {pid} ({_signal_name(code) or f'exit {code}'})"
+        for pid, code in dead
+    )
+    return WorkerCrashError(
+        f"pool worker crashed mid-run: {detail};"
+        f" {len(lost_spans)} chunk(s) undelivered"
+        f" ({workers} workers, scheduler={scheduler})",
+        pids=pids,
+        exitcodes=codes,
+        lost_spans=lost_spans,
+    )
+
+
+def _execute_span_inline(
+    groups, comparator, config: WorkerConfig, kind, index, order, flags, span
+) -> ChunkOutcome:
+    """Run one chunk on the parent's serial engine (retry/fallback path).
+
+    Same kernel, same deterministic span, a fresh comparator reset per
+    chunk — the resulting :class:`ChunkOutcome` (verdicts *and* work
+    counters) is bit-identical to what a pool worker would have returned,
+    so the merge and ``AlgorithmStats`` reconciliation are unaffected by
+    where the chunk actually ran.
+    """
+    comparator.reset_stats()
+    started = time.perf_counter()
+    skipped = 0
+    window_queries = 0
+    index_candidates = 0
+    if kind == "candidates":
+        verdicts, window_queries, index_candidates = compare_candidate_span(
+            groups, comparator, index, order, span
+        )
+    else:
+        verdicts, skipped = compare_span(
+            groups,
+            comparator,
+            span,
+            prune_policy=config.prune_policy,
+            flags=flags,
+            exchange_interval=config.exchange_interval,
+        )
+    return ChunkOutcome(
+        start=span[0],
+        stop=span[1],
+        verdicts=verdicts,
+        comparisons=comparator.comparisons,
+        pairs_examined=comparator.pairs_examined,
+        bbox_shortcuts=comparator.bbox_shortcuts,
+        stopping_rule_exits=comparator.stopping_rule_exits,
+        pairs_skipped=skipped,
+        elapsed_seconds=time.perf_counter() - started,
+        worker_pid=os.getpid(),
+        window_queries=window_queries,
+        index_candidates=index_candidates,
+    )
+
+
+def _pool_attempt(
+    ctx,
+    base: dict,
+    spans_part: List[Tuple[int, int]],
+    workers: int,
+    *,
+    scheduler: str,
+    pool_timeout: float,
+    progress,
+    done_offset: int,
+    total_chunks: int,
+    owners,
+    attempt: int,
+    run_fields: dict,
+):
+    """One pool lifecycle over ``spans_part``: create, drain, tear down.
+
+    Emits the paired run-log lifecycle events: every ``pool_start`` is
+    closed by exactly one of ``pool_end`` (success), ``pool_timeout``, or
+    — for any other failure, including crashes, worker tracebacks and
+    ``KeyboardInterrupt`` — a ``pool_error`` recorded by this function or
+    by :func:`run_spans`'s failure handling.  Teardown discipline: a
+    clean attempt uses ``close()`` + ``join()`` so workers run their own
+    teardown (shm handle close, ``atexit`` hooks, coverage flushes under
+    spawn); ``terminate()`` is reserved for the failure paths.
+    """
+    payload = _PoolPayload(trace=obs_tracing.current_trace_context(), **base)
+    if scheduler == "stealing":
+        if owners is None:
+            owners = assign_owners(len(spans_part), workers)
+        payload.spans = tuple((int(a), int(b)) for a, b in spans_part)
+        payload.owners = tuple(tuple(queue) for queue in owners)
+        payload.claimed = sharedctypes.RawArray("B", len(spans_part))
+        payload.lock = ctx.Lock()
+        tasks: Sequence = list(range(workers))
+        task_fn: Callable = _steal_loop
+    else:
+        tasks = list(spans_part)
+        task_fn = _run_chunk
+    pool = ctx.Pool(
+        processes=workers, initializer=_init_pool, initargs=(payload,)
+    )
+    obs_runlog.emit(
+        "pool_start",
+        workers=workers,
+        scheduler=scheduler,
+        chunks=len(spans_part),
+        attempt=attempt,
+        **run_fields,
+    )
+    pool_started = time.perf_counter()
+    try:
+        results = _collect_results(
+            pool,
+            task_fn,
+            tasks,
+            pool_timeout,
+            scheduler=scheduler,
+            workers=workers,
+            total_chunks=total_chunks,
+            attempt_chunks=len(spans_part),
+            claimed=payload.claimed,
+            progress=progress,
+            done_offset=done_offset,
+        )
+    except PoolTimeoutError:
+        pool.terminate()
+        pool.join()
+        obs_runlog.emit(
+            "pool_timeout",
+            workers=workers,
+            scheduler=scheduler,
+            chunks=len(spans_part),
+            timeout_seconds=pool_timeout,
+            attempt=attempt,
+        )
+        raise
+    except _AttemptFailure:
+        pool.terminate()
+        pool.join()
+        raise  # run_spans emits the pool_error with full context
+    except BaseException as exc:
+        # Anything else escaping the drain loop — KeyboardInterrupt
+        # included — must not leave a dangling pool_start in the log.
+        pool.terminate()
+        pool.join()
+        obs_runlog.emit_error(
+            "pool_error",
+            exc,
+            workers=workers,
+            scheduler=scheduler,
+            chunks=len(spans_part),
+            attempt=attempt,
+        )
+        raise
+    pool.close()
+    pool.join()
+    obs_runlog.emit(
+        "pool_end",
+        workers=workers,
+        scheduler=scheduler,
+        chunks=len(spans_part),
+        elapsed_seconds=time.perf_counter() - pool_started,
+        attempt=attempt,
+    )
+    return _normalize_results(results, scheduler)
 
 
 def run_spans(
@@ -631,6 +971,10 @@ def run_spans(
     order: Optional[Sequence[int]] = None,
     owners: Optional[Sequence[Sequence[int]]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.1,
+    on_failure: str = "raise",
+    faults: Optional[FaultSpec] = None,
 ) -> PoolRun:
     """Run ``spans`` on a pool under the chosen scheduler and shipping mode.
 
@@ -640,22 +984,37 @@ def run_spans(
     into ``order`` (:func:`compare_candidate_span`, requires ``index`` —
     a :class:`~repro.index.rtree.FlatRTree` — and ``order``).
 
-    ``scheduler="static"`` hands the spans to ``Pool.map`` as before;
-    ``"stealing"`` ships the whole span list plus a shared claim table
-    and runs one :func:`_steal_loop` per worker slot (``owners`` may
-    pre-assign chunk queues; defaults to round-robin).
+    ``scheduler="static"`` streams the spans through the pool one chunk
+    per task; ``"stealing"`` ships the whole span list plus a shared
+    claim table and runs one :func:`_steal_loop` per worker slot
+    (``owners`` may pre-assign chunk queues; defaults to round-robin).
 
     ``shm=None`` auto-selects shared-memory shipping on spawn platforms.
     A wedged pool raises :class:`PoolTimeoutError` after ``pool_timeout``
     seconds in every mode.
+
+    Fault tolerance: worker liveness is polled while draining, so a dead
+    worker surfaces within seconds as :class:`WorkerCrashError` instead
+    of hanging to ``pool_timeout``.  ``on_failure`` decides what happens
+    to a crash or a worker traceback: ``"raise"`` (default) fails fast;
+    ``"retry"`` re-executes only the undelivered chunks on a fresh pool,
+    up to ``max_retries`` times with exponential backoff starting at
+    ``retry_backoff`` seconds, then raises; ``"serial"`` is ``"retry"``
+    plus a final inline re-run of whatever is still missing on the
+    parent's serial engine, so the run completes regardless.  Retried and
+    fallback chunks are the same deterministic spans through the same
+    kernel, so a recovered run's results and counters are bit-identical
+    to an undisturbed one.  ``faults`` (or ``$REPRO_FAULTS``) injects
+    worker failures for tests and demos — see :mod:`repro.parallel.faults`.
 
     ``progress`` is called periodically with ``(chunks_done,
     chunks_total)`` while the pool runs (see :func:`_collect_results`).
     When the caller has tracing enabled and a span open, its
     :class:`~repro.obs.tracing.TraceContext` is shipped to the workers so
     their per-chunk spans come back in :attr:`ChunkOutcome.spans`; pool
-    lifecycle (``pool_start`` / ``pool_end`` / ``pool_timeout``) goes to
-    the structured run log.
+    lifecycle (``pool_start`` / ``pool_end`` / ``pool_timeout`` /
+    ``pool_error`` / ``chunk_retry`` / ``pool_fallback``) goes to the
+    structured run log.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -667,107 +1026,174 @@ def run_spans(
         raise ValueError(
             f"scheduler must be 'static' or 'stealing', got {scheduler!r}"
         )
+    if on_failure not in ON_FAILURE_POLICIES:
+        raise ValueError(
+            f"on_failure must be one of {ON_FAILURE_POLICIES}, got {on_failure!r}"
+        )
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if retry_backoff < 0:
+        raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
     if not spans:
         return PoolRun()
     start_method = preferred_start_method()
     ctx = mp.get_context(start_method)
     use_shm = _resolve_shm(shm, start_method)
+    if faults is None:
+        faults = FaultSpec.from_env()
+    fault_state = ctx.Value("i", 0) if faults is not None else None
     flags = (
         sharedctypes.RawArray("B", len(groups))
         if kind == "pairs" and config.exchange_interval > 0
         else None
     )
     arena = ShmArena() if use_shm else None
+    tracer = obs_tracing.get_tracer()
+    labels = {"scheduler": scheduler, "kind": kind}
     try:
         shipment = ship_groups(groups, arena)
         index_arrays = None
         if index is not None:
             index_arrays = ship_arrays(index.arrays(), arena)
-        payload = _PoolPayload(
+        base = dict(
             shipment=shipment,
             config=config,
             kind=kind,
             flags=flags,
             index_arrays=index_arrays,
             order=tuple(order) if order is not None else None,
-            trace=obs_tracing.current_trace_context(),
+            faults=faults,
+            fault_state=fault_state,
         )
-        if scheduler == "stealing":
-            if owners is None:
-                from .scheduler import assign_owners
-
-                owners = assign_owners(len(spans), workers)
-            payload.spans = tuple((int(a), int(b)) for a, b in spans)
-            payload.owners = tuple(tuple(queue) for queue in owners)
-            payload.claimed = sharedctypes.RawArray("B", len(spans))
-            payload.lock = ctx.Lock()
-            tasks: Sequence = list(range(workers))
-            task_fn: Callable = _steal_loop
-        else:
-            tasks = list(spans)
-            task_fn = _run_chunk
-        pool = ctx.Pool(
-            processes=workers, initializer=_init_pool, initargs=(payload,)
+        run_fields = dict(
+            start_method=start_method, kind=kind, shm=bool(use_shm)
         )
-        obs_runlog.emit(
-            "pool_start",
-            workers=workers,
-            scheduler=scheduler,
-            start_method=start_method,
-            chunks=len(spans),
-            kind=kind,
-            shm=bool(use_shm),
-        )
-        pool_started = time.perf_counter()
-        try:
-            try:
-                results = _collect_results(
-                    pool,
-                    task_fn,
-                    tasks,
-                    pool_timeout,
-                    scheduler=scheduler,
-                    workers=workers,
-                    total_chunks=len(spans),
-                    claimed=payload.claimed,
-                    progress=progress,
-                )
-            finally:
-                pool.terminate()
-                pool.join()
-        except PoolTimeoutError:
-            obs_runlog.emit(
-                "pool_timeout",
-                workers=workers,
+        all_spans = [(int(a), int(b)) for a, b in spans]
+        remaining: List[Tuple[int, int]] = list(all_spans)
+        outcomes: List[ChunkOutcome] = []
+        reports: List[WorkerReport] = []
+        attempt = 0
+        while remaining:
+            attempt_kwargs = dict(
                 scheduler=scheduler,
-                chunks=len(spans),
-                timeout_seconds=pool_timeout,
+                pool_timeout=pool_timeout,
+                progress=progress,
+                done_offset=len(outcomes),
+                total_chunks=len(all_spans),
+                owners=owners if attempt == 0 else None,
+                attempt=attempt,
+                run_fields=run_fields,
             )
-            raise
-        obs_runlog.emit(
-            "pool_end",
-            workers=workers,
-            scheduler=scheduler,
-            chunks=len(spans),
-            elapsed_seconds=time.perf_counter() - pool_started,
-        )
+            try:
+                if attempt:
+                    with tracer.span(
+                        "parallel.retry", attempt=attempt, chunks=len(remaining)
+                    ):
+                        part_outcomes, part_reports = _pool_attempt(
+                            ctx, base, remaining, workers, **attempt_kwargs
+                        )
+                else:
+                    part_outcomes, part_reports = _pool_attempt(
+                        ctx, base, remaining, workers, **attempt_kwargs
+                    )
+            except _AttemptFailure as failure:
+                part_outcomes, part_reports = _normalize_results(
+                    failure.partial, scheduler
+                )
+                outcomes.extend(part_outcomes)
+                reports.extend(part_reports)
+                done = {(o.start, o.stop) for o in outcomes}
+                remaining = [s for s in remaining if s not in done]
+                crash = _crash_error(failure.dead, remaining, workers, scheduler)
+                error: BaseException = (
+                    crash if failure.dead else failure.cause
+                )
+                obs_runlog.emit(
+                    "pool_error",
+                    error=type(error).__name__,
+                    message=str(error),
+                    workers=workers,
+                    scheduler=scheduler,
+                    kind=kind,
+                    attempt=attempt,
+                    crashed_pids=list(crash.pids),
+                    signals=[s for s in crash.signals if s],
+                    lost_chunks=len(remaining),
+                )
+                if failure.dead:
+                    _pool_counter(
+                        "worker_crashes_total",
+                        "Pool worker processes that died mid-run",
+                    ).inc(len(failure.dead), **labels)
+                if on_failure == "raise":
+                    raise error
+                if attempt < max_retries:
+                    attempt += 1
+                    delay = retry_backoff * (2 ** (attempt - 1))
+                    obs_runlog.emit(
+                        "chunk_retry",
+                        attempt=attempt,
+                        max_retries=max_retries,
+                        chunks=len(remaining),
+                        backoff_seconds=delay,
+                        scheduler=scheduler,
+                        kind=kind,
+                    )
+                    _pool_counter(
+                        "chunk_retries_total",
+                        "Chunks re-executed after a pool failure",
+                    ).inc(len(remaining), **labels)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if on_failure == "serial":
+                    obs_runlog.emit(
+                        "pool_fallback",
+                        chunks=len(remaining),
+                        attempts=attempt + 1,
+                        scheduler=scheduler,
+                        kind=kind,
+                    )
+                    _pool_counter(
+                        "pool_fallbacks_total",
+                        "Pooled runs finished on the parent's serial engine",
+                    ).inc(1, **labels)
+                    with tracer.span(
+                        "parallel.serial_fallback", chunks=len(remaining)
+                    ):
+                        comparator = GroupComparator(
+                            GammaThresholds(config.gamma),
+                            use_stopping_rule=config.use_stopping_rule,
+                            use_bbox=config.use_bbox,
+                            block_size=config.block_size,
+                        )
+                        for lost in remaining:
+                            outcomes.append(
+                                _execute_span_inline(
+                                    groups, comparator, config, kind,
+                                    index, order, flags, lost,
+                                )
+                            )
+                    if progress is not None:
+                        progress(len(all_spans), len(all_spans))
+                    remaining = []
+                    continue
+                raise error from failure.cause
+            else:
+                outcomes.extend(part_outcomes)
+                reports.extend(part_reports)
+                remaining = []
     finally:
         if arena is not None:
             arena.close()
-    if scheduler == "stealing":
-        outcomes: List[ChunkOutcome] = []
-        reports: List[WorkerReport] = []
-        for slot_outcomes, report in results:
-            outcomes.extend(slot_outcomes)
-            reports.append(report)
-        # deterministic merge order regardless of who ran what
-        outcomes.sort(key=lambda outcome: (outcome.start, outcome.stop))
-        return PoolRun(outcomes=outcomes, reports=reports)
-    if progress is not None:
-        # imap_unordered delivered in completion order; restore chunk order
-        # so the merge stays bit-identical to the blocking path.
-        results.sort(key=lambda outcome: (outcome.start, outcome.stop))
-    return PoolRun(outcomes=results, reports=_reports_from_outcomes(results))
+    # Deterministic merge order regardless of scheduler, steal order,
+    # delivery order and which attempt (or the fallback) ran each chunk.
+    outcomes.sort(key=lambda outcome: (outcome.start, outcome.stop))
+    if reports:
+        reports.sort(key=lambda report: (report.slot, report.worker_pid))
+    else:
+        reports = _reports_from_outcomes(outcomes)
+    return PoolRun(outcomes=outcomes, reports=reports)
 
 
 def execute_chunks(
@@ -776,15 +1202,19 @@ def execute_chunks(
     spans: Sequence[Tuple[int, int]],
     workers: int,
     pool_timeout: float = 300.0,
+    **run_kwargs,
 ) -> List[ChunkOutcome]:
     """Run ``spans`` over a ``workers``-sized process pool; ordered results.
 
     The PR-2 entry point, kept as a thin wrapper over :func:`run_spans`
-    with the static scheduler and automatic shipping.  The dataset travels
-    to the pool exactly once; afterwards only tiny span tuples and compact
-    verdict lists cross the process boundary.  A deadlocked or wedged pool
-    raises :class:`PoolTimeoutError` after ``pool_timeout`` seconds
-    instead of hanging the caller (and CI) forever.
+    with the static scheduler and automatic shipping (extra keyword
+    arguments — ``on_failure``, ``max_retries``, ``faults``, ... — pass
+    straight through).  The dataset travels to the pool exactly once;
+    afterwards only tiny span tuples and compact verdict lists cross the
+    process boundary.  A deadlocked or wedged pool raises
+    :class:`PoolTimeoutError` after ``pool_timeout`` seconds instead of
+    hanging the caller (and CI) forever; a dead worker surfaces within
+    seconds as :class:`WorkerCrashError`.
     """
     run = run_spans(
         groups,
@@ -793,6 +1223,7 @@ def execute_chunks(
         workers,
         pool_timeout=pool_timeout,
         scheduler="static",
+        **run_kwargs,
     )
     return run.outcomes
 
@@ -806,9 +1237,11 @@ def map_tasks(
     """Map picklable ``items`` over a pool with the shared failure mode.
 
     Generic helper for coarse-grained fan-out (the partitioned baseline's
-    local phase): same start-method resolution and the same
-    :class:`PoolTimeoutError` fail-fast as the chunk executor, so no
-    caller can hang forever on a wedged pool.
+    local phase): same start-method resolution, the same
+    :class:`PoolTimeoutError` fail-fast as the chunk executor, and the
+    same liveness poll — a dead worker raises :class:`WorkerCrashError`
+    within seconds instead of hanging to ``pool_timeout``.  (No chunk
+    retry here: items are opaque, so the caller owns re-execution.)
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -819,13 +1252,33 @@ def map_tasks(
     pool = ctx.Pool(processes=workers)
     try:
         pending = pool.map_async(task_fn, items, chunksize=1)
-        try:
-            return pending.get(timeout=pool_timeout)
-        except mp.TimeoutError:
-            raise PoolTimeoutError(
-                f"worker pool produced no result within {pool_timeout:.0f}s"
-                f" ({workers} workers, {len(items)} tasks); pool terminated"
-            ) from None
-    finally:
+        deadline = time.monotonic() + pool_timeout
+        known: Dict[int, Any] = {}
+        _watch_workers(pool, known)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise PoolTimeoutError(
+                    f"worker pool produced no result within {pool_timeout:.0f}s"
+                    f" ({workers} workers, {len(items)} tasks); pool terminated"
+                ) from None
+            try:
+                results = pending.get(
+                    timeout=min(_LIVENESS_POLL_SECONDS, remaining)
+                )
+            except mp.TimeoutError:
+                dead = _watch_workers(pool, known)
+                if dead:
+                    raise _crash_error(
+                        dead, (), workers, "static"
+                    ) from None
+                continue
+            break
+    except BaseException:
         pool.terminate()
         pool.join()
+        raise
+    # Clean teardown: let workers run their exit hooks (see run_spans).
+    pool.close()
+    pool.join()
+    return results

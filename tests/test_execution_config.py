@@ -81,6 +81,39 @@ class TestExecutionConfig:
         with pytest.raises(ValueError, match="stealing"):
             ExecutionConfig(scheduler="staeling")
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"max_retries": True},
+            {"max_retries": 1.5},
+            {"retry_backoff": -0.1},
+            {"on_failure": "panic"},
+        ],
+    )
+    def test_bad_fault_tolerance_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionConfig(**kwargs)
+
+    def test_on_failure_typo_gets_a_suggestion(self):
+        with pytest.raises(ValueError, match="serial"):
+            ExecutionConfig(on_failure="seral")
+
+    def test_fault_tolerance_defaults(self):
+        config = ExecutionConfig()
+        assert config.max_retries == 2
+        assert config.retry_backoff == 0.1
+        assert config.on_failure == "raise"
+
+    def test_fault_tolerance_round_trip(self):
+        config = ExecutionConfig(
+            workers=4, on_failure="serial", max_retries=3, retry_backoff=0.5
+        )
+        assert ExecutionConfig.from_dict(config.to_dict()) == config
+        assert ExecutionConfig.from_spec(
+            "workers=4,on_failure=serial,max_retries=3,retry_backoff=0.5"
+        ) == config
+
     def test_replace_revalidates(self):
         config = ExecutionConfig(workers=2)
         assert config.replace(scheduler="stealing").scheduler == "stealing"

@@ -366,6 +366,33 @@ class TestResourceSampler:
         snap = registry.histogram("gc_pause_seconds", "").snapshot()
         assert snap["count"] >= 1
 
+    def test_restart_resets_peak_rss(self):
+        # Regression: peak_rss_bytes used to carry over between
+        # start/stop cycles, so a restarted sampler reported the old
+        # run's high-water mark forever.
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(interval=60.0, registry=registry)
+        sampler.start()
+        try:
+            sampler.sample_once()
+            first_peak = sampler.peak_rss_bytes
+            assert first_peak > 0
+        finally:
+            sampler.stop()
+        sampler.peak_rss_bytes = first_peak * 100  # simulate a stale peak
+        sampler.start()
+        try:
+            assert sampler.peak_rss_bytes == 0  # reset on start
+            sampler.sample_once()
+            assert 0 < sampler.peak_rss_bytes < first_peak * 100
+            # the gauge tracks this run's peak, not the stale one
+            assert (
+                registry.gauge("process_rss_peak_bytes", "").value()
+                == sampler.peak_rss_bytes
+            )
+        finally:
+            sampler.stop()
+
     def test_double_start_rejected(self):
         sampler = ResourceSampler(interval=60.0)
         sampler.start()
