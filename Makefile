@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= smoke
 
-.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench perf-smoke faults-demo faults-test clean
+.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench perf-smoke faults-demo faults-test engine-demo engine-test engine-bench clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -45,6 +45,22 @@ faults-demo:
 # spawn); CI runs this leg with REPRO_START_METHOD=spawn on top.
 faults-test:
 	$(PYTHON) -m pytest tests/test_fault_tolerance.py
+
+# Persistent-session walkthrough: attach once, batch of warm queries,
+# injected crash -> single-slot respawn (docs/engine.md).
+engine-demo:
+	$(PYTHON) examples/engine_session_demo.py
+
+# The engine test matrix (warm parity, crash respawn, lifecycle) —
+# CI runs this leg with REPRO_START_METHOD=spawn on top.
+engine-test:
+	$(PYTHON) -m pytest tests/test_engine.py
+
+# Warm-reuse figure: cold one-shot vs warm repeat queries; appends to
+# the BENCH_$(SCALE).json perf history (docs/engine.md).
+engine-bench:
+	REPRO_BENCH_SCALE=$(SCALE) $(PYTHON) -m pytest \
+		benchmarks/bench_engine_reuse.py
 
 # Serial-vs-parallel comparison table on a pool of 2 (docs/parallel.md).
 parallel-demo:

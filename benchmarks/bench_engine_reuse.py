@@ -1,0 +1,190 @@
+"""Warm-engine reuse vs the cold one-shot path.
+
+The claim the persistent engine makes (docs/engine.md): once a dataset
+is attached — pool spawned, ndarrays shipped, R-tree and candidate order
+pinned — a repeat query pays only for chunk spans and the merge.  This
+module measures exactly that:
+
+* **cold** — ``aggregate_skyline(...)`` per query: fresh pool, fresh
+  shipping, fresh index, every time.
+* **warm** — one ``SkylineEngine``; the dataset attached once, then the
+  same query repeated on the resident pool.
+
+Both sides must produce the identical skyline *and* identical
+``AlgorithmStats`` counters (the engine's determinism contract), so the
+speedup is pure setup amortisation, not work reduction.  The acceptance
+shape — warm repeat >= 3x over cold at the many-small-groups point with
+4 workers — is asserted when the host has the cores; smaller hosts still
+record the honest numbers.
+
+Results go to ``benchmarks/results/engine_reuse_<scale>.txt`` and into
+the perf-history series (``BENCH_<scale>.json``) under the
+``engine-reuse@<scale>`` fingerprint, with warm and cold kept in
+separate series via the execution dict.
+"""
+
+import json
+import os
+import time
+
+import pytest
+from conftest import BENCH_SCALE, RESULTS_DIR, perf_history
+
+from repro import ExecutionConfig, SkylineEngine, aggregate_skyline
+from repro.data.synthetic import SyntheticSpec, generate_grouped
+
+MIN_CORES_FOR_SPEEDUP = 4
+EXPECTED_WARM_SPEEDUP = 3.0
+WORKERS = 4
+ALGORITHM = "LO"
+GAMMA = 0.5
+
+#: Many small groups — the regime where per-query setup (pool spawn,
+#: shipping, index build) dominates and the engine's amortisation shows.
+GROUPS_BY_SCALE = {"smoke": 5_000, "small": 20_000, "paper": 50_000}
+
+
+def _workload():
+    groups = GROUPS_BY_SCALE.get(BENCH_SCALE, GROUPS_BY_SCALE["smoke"])
+    return generate_grouped(
+        SyntheticSpec(
+            n_records=groups * 2,
+            avg_group_size=2,
+            dimensions=3,
+            distribution="anticorrelated",
+            seed=41,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _workload()
+
+
+@pytest.fixture(scope="module")
+def execution():
+    return ExecutionConfig(workers=WORKERS, scheduler="stealing")
+
+
+def _stats_dict(result):
+    import dataclasses
+
+    payload = dataclasses.asdict(result.stats)
+    payload.pop("elapsed_seconds")
+    return payload
+
+
+def test_bench_cold_query(benchmark, workload, execution):
+    result = benchmark.pedantic(
+        aggregate_skyline,
+        args=(workload,),
+        kwargs={"gamma": GAMMA, "algorithm": ALGORITHM, "execution": execution},
+        iterations=1,
+        rounds=2,
+    )
+    assert len(result.keys) >= 1
+
+
+def test_bench_warm_query(benchmark, workload, execution):
+    with SkylineEngine(execution) as engine:
+        handle = engine.attach(workload)
+        engine.query(handle, gamma=GAMMA, algorithm=ALGORITHM)  # warm-up
+        result = benchmark.pedantic(
+            engine.query,
+            args=(handle,),
+            kwargs={"gamma": GAMMA, "algorithm": ALGORITHM},
+            iterations=1,
+            rounds=3,
+        )
+        assert engine.stats.warm_queries >= 2
+    cold = aggregate_skyline(
+        workload, gamma=GAMMA, algorithm=ALGORITHM, execution=execution
+    )
+    assert result.keys == cold.keys
+    assert _stats_dict(result) == _stats_dict(cold)
+
+
+def test_engine_reuse_report(workload, execution):
+    """The figure: cold per-query cost vs 2nd/3rd warm queries.
+
+    Saves the table, appends both series to the perf history, and — on
+    hosts with >= 4 cores — asserts the acceptance shape (warm repeat
+    >= 3x faster than cold).
+    """
+    start = time.perf_counter()
+    cold = aggregate_skyline(
+        workload, gamma=GAMMA, algorithm=ALGORITHM, execution=execution
+    )
+    cold_t = time.perf_counter() - start
+
+    warm_times = []
+    with SkylineEngine(execution) as engine:
+        start = time.perf_counter()
+        handle = engine.attach(workload)
+        first = engine.query(handle, gamma=GAMMA, algorithm=ALGORITHM)
+        first_t = time.perf_counter() - start
+        for _ in range(3):
+            start = time.perf_counter()
+            warm = engine.query(handle, gamma=GAMMA, algorithm=ALGORITHM)
+            warm_times.append(time.perf_counter() - start)
+        pids = engine.worker_pids
+
+    # Determinism contract: identical skyline and counters everywhere.
+    for result in (first, warm):
+        assert result.keys == cold.keys
+        assert _stats_dict(result) == _stats_dict(cold)
+
+    warm_t = min(warm_times)
+    speedup = cold_t / warm_t if warm_t > 0 else float("inf")
+
+    lines = [
+        f"engine reuse, {len(workload)} groups x {ALGORITHM}"
+        f" (scale={BENCH_SCALE}, workers={WORKERS},"
+        f" cpus={os.cpu_count()})",
+        f"{'query':<28} {'seconds':>9}",
+        f"{'cold aggregate_skyline':<28} {cold_t:>9.4f}",
+        f"{'engine attach + 1st query':<28} {first_t:>9.4f}",
+    ]
+    for i, elapsed in enumerate(warm_times, start=2):
+        lines.append(f"{f'warm query #{i}':<28} {elapsed:>9.4f}")
+    lines.append(f"warm repeat speedup over cold: {speedup:.2f}x")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / f"engine_reuse_{BENCH_SCALE}.txt"
+    out_path.write_text("\n".join(lines) + "\n")
+
+    history = perf_history()
+    fingerprint = "engine-reuse@{}:{}".format(
+        BENCH_SCALE,
+        json.dumps(
+            {"groups": len(workload), "workers": WORKERS}, sort_keys=True
+        ),
+    )
+    counters = {
+        "group_comparisons": cold.stats.group_comparisons,
+        "record_pairs": cold.stats.record_pairs_examined,
+    }
+    label = os.environ.get("REPRO_PERF_LABEL", "")
+    history.record(
+        fingerprint,
+        ALGORITHM,
+        cold_t,
+        execution={**execution.to_dict(), "mode": "cold"},
+        counters=counters,
+        label=label,
+    )
+    history.record(
+        fingerprint,
+        ALGORITHM,
+        warm_t,
+        execution={**execution.to_dict(), "mode": "warm"},
+        counters=counters,
+        label=label,
+    )
+
+    assert len(pids) == WORKERS or (os.cpu_count() or 1) < WORKERS
+    if (os.cpu_count() or 1) >= MIN_CORES_FOR_SPEEDUP:
+        assert speedup >= EXPECTED_WARM_SPEEDUP, (
+            f"warm repeat only {speedup:.2f}x over cold"
+            f" (cold {cold_t:.4f}s, warm {warm_t:.4f}s)"
+        )

@@ -7,6 +7,11 @@ and external optimisations, a direct-SQL baseline, plus the substrates the
 evaluation needs (relational engine with a SKYLINE OF query dialect, R-tree
 and grid spatial indexes, synthetic and NBA-style data generators, and an
 experiment harness that regenerates every figure of the paper).
+
+Entry points: :class:`SkylineEngine` is the session API — attach a dataset
+to a persistent worker pool once, then run many queries warm;
+:func:`aggregate_skyline` is the one-shot convenience wrapper over an
+ephemeral session.
 """
 
 from .core import (
@@ -52,11 +57,21 @@ from .core import (
     skyline_mask,
 )
 from .core.algorithms import ALGORITHMS, make_algorithm
+from .engine import (
+    DatasetHandle,
+    EngineClosedError,
+    EngineStats,
+    SkylineEngine,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "SkylineEngine",
+    "DatasetHandle",
+    "EngineStats",
+    "EngineClosedError",
     "aggregate_skyline",
     "aggregate_skyline_from_records",
     "gamma_profile",

@@ -53,8 +53,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 from typing import List, Optional
 
 from . import obs
@@ -352,6 +354,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     info.add_argument("path", help=".npz archive to inspect")
 
+    serve = commands.add_parser(
+        "serve",
+        help="persistent skyline session: attach a CSV once, run many"
+        " queries (REPL or --batch)",
+    )
+    serve.add_argument("--csv", required=True, help="input CSV file")
+    serve.add_argument(
+        "--group-by", required=True, help="comma-separated grouping columns"
+    )
+    serve.add_argument(
+        "--of",
+        required=True,
+        help="skyline dimensions, e.g. 'pop:max,qual:min'",
+    )
+    serve.add_argument(
+        "--execution",
+        default=None,
+        metavar="SPEC",
+        help="session execution config as 'key=value,...' (sizes the"
+        " persistent pool; e.g. 'workers=4,scheduler=stealing')",
+    )
+    serve.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE",
+        help="run query specs from a JSONL file (one JSON object of"
+        " query keywords per line; '-' reads stdin) instead of the REPL",
+    )
+    _add_obs_flags(serve)
+
     stats = commands.add_parser(
         "stats", help="shape statistics + algorithm suggestion for a CSV"
     )
@@ -383,6 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "dataset": _cmd_dataset,
         "perf": _cmd_perf,
+        "serve": _cmd_serve,
     }[args.command]
     obs_state = _setup_obs(args)
     try:
@@ -689,6 +722,127 @@ def _cmd_shell(args) -> int:
             return 2
         database.register(name, load_csv(path))
     return Shell(database=database).run()
+
+
+def _serve_parse_line(line: str):
+    """Parse one REPL line into query() keywords, or a command string.
+
+    ``gamma=0.6 algorithm=PAR dims=0,1`` → kwargs; bare words like
+    ``stats`` / ``quit`` are session commands.
+    """
+    tokens = line.split()
+    if len(tokens) == 1 and "=" not in tokens[0]:
+        return tokens[0].lower(), None
+    kwargs = {}
+    for token in tokens:
+        key, eq, value = token.partition("=")
+        if not eq:
+            raise ValueError(f"expected key=value, got {token!r}")
+        if key == "gamma":
+            kwargs["gamma"] = float(value)
+        elif key == "algorithm":
+            kwargs["algorithm"] = value
+        elif key == "dims":
+            kwargs["dims"] = [int(d) for d in value.split(",") if d]
+        elif key == "execution":
+            kwargs["execution"] = value.replace(";", ",")
+        else:
+            raise ValueError(f"unknown query keyword {key!r}")
+    return None, kwargs
+
+
+def _serve_run_one(engine, handle, kwargs) -> None:
+    warm_before = engine.stats.warm_queries
+    started = time.perf_counter()
+    result = engine.query(handle, **kwargs)
+    elapsed = time.perf_counter() - started
+    mode = "warm" if engine.stats.warm_queries > warm_before else "cold"
+    stats = result.stats
+    keys = ", ".join(_render_key(k) for k in result.keys[:8])
+    if len(result.keys) > 8:
+        keys += f", ... (+{len(result.keys) - 8})"
+    print(
+        f"[{stats.algorithm} {mode}] gamma={result.gamma:g};"
+        f" {len(result)} groups in {elapsed:.3f}s:"
+        f" {keys or '(empty)'}"
+    )
+
+
+def _cmd_serve(args) -> int:
+    from .engine import SkylineEngine
+
+    table = load_csv(args.csv)
+    keys = [c.strip() for c in args.group_by.split(",") if c.strip()]
+    measures, directions = _parse_measures(args.of)
+    dataset = grouped_dataset_from_table(table, keys, measures, directions)
+    with SkylineEngine(execution=args.execution) as engine:
+        handle = engine.attach(dataset)
+        pids = engine.worker_pids
+        print(
+            f"attached {len(dataset)} groups"
+            f" ({dataset.total_records} records,"
+            f" {'shm' if handle.via_shm else 'pickled'});"
+            f" pool: {len(pids)} workers {pids or '(serial)'}",
+            file=sys.stderr,
+        )
+        if args.batch is not None:
+            stream = sys.stdin if args.batch == "-" else open(args.batch)
+            try:
+                specs = [
+                    json.loads(line)
+                    for line in stream
+                    if line.strip() and not line.lstrip().startswith("#")
+                ]
+            finally:
+                if stream is not sys.stdin:
+                    stream.close()
+            for result in engine.submit_batch(handle, specs):
+                stats = result.stats
+                print(
+                    f"[{stats.algorithm}] gamma={result.gamma:g};"
+                    f" {len(result)} groups:"
+                    f" {', '.join(_render_key(k) for k in result.keys)}"
+                )
+            return 0
+        print(
+            "query: gamma=0.6 [algorithm=LO] [dims=0,1] — commands:"
+            " stats, pids, quit",
+            file=sys.stderr,
+        )
+        while True:
+            try:
+                line = input("skyline> ").strip()
+            except EOFError:
+                print(file=sys.stderr)
+                break
+            if not line:
+                continue
+            try:
+                command, kwargs = _serve_parse_line(line)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                continue
+            if command in ("quit", "exit"):
+                break
+            if command == "pids":
+                print(engine.worker_pids)
+                continue
+            if command == "stats":
+                s = engine.stats
+                print(
+                    f"queries={s.queries} (warm={s.warm_queries},"
+                    f" cold={s.cold_queries}) attaches={s.attaches}"
+                    f" batches={s.batches} slot_respawns={s.slot_respawns}"
+                )
+                continue
+            if command is not None:
+                print(f"error: unknown command {command!r}", file=sys.stderr)
+                continue
+            try:
+                _serve_run_one(engine, handle, kwargs)
+            except Exception as exc:
+                print(f"error: {exc}", file=sys.stderr)
+    return 0
 
 
 def _cmd_stats(args) -> int:

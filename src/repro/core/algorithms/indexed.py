@@ -106,6 +106,10 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
         self.worker_stats: List[AlgorithmStats] = []
         #: Full PoolRun of the last pooled compute(); None otherwise.
         self.last_pool_run: Optional[PoolRun] = None
+        #: Span executor override (see ParallelSkylineAlgorithm): a warm
+        #: engine swaps in its persistent pool; ``None`` means one-shot
+        #: :func:`~repro.parallel.executor.run_spans`.
+        self._pool_runner = None
 
     _verdicts_are_independent = True
 
@@ -245,7 +249,8 @@ class IndexedAlgorithm(AggregateSkylineAlgorithm):
             prune_policy=self.prune_policy,
         )
         with tracer.span("parallel.chunks", **span_attrs) as chunk_span:
-            run = run_spans(
+            runner = self._pool_runner or run_spans
+            run = runner(
                 groups,
                 config,
                 spans,

@@ -128,6 +128,14 @@ class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
         #: Full PoolRun of the last pooled compute() (chunk outcomes +
         #: per-slot scheduling reports); None for inline runs.
         self.last_pool_run: Optional[PoolRun] = None
+        #: Span executor override.  ``None`` runs each pooled compute on a
+        #: fresh one-shot pool (:func:`repro.parallel.executor.run_spans`);
+        #: a warm :class:`~repro.engine.SkylineEngine` injects a closure
+        #: with the same signature that routes the spans over its
+        #: persistent pool instead.  Everything else — span layout,
+        #: worker config, merge — is identical, which is what keeps warm
+        #: results and counters bit-identical to cold runs.
+        self._pool_runner = None
 
     # ------------------------------------------------------------------
 
@@ -169,7 +177,8 @@ class ParallelSkylineAlgorithm(AggregateSkylineAlgorithm):
             exchange_interval=self.exchange_interval,
         )
         with tracer.span("parallel.chunks", **span_attrs) as chunk_span:
-            run = run_spans(
+            runner = self._pool_runner or run_spans
+            run = runner(
                 groups,
                 config,
                 spans,

@@ -89,9 +89,17 @@ def aggregate_skyline(
     options:
         Forwarded to the algorithm constructor (e.g. ``prune_policy``,
         ``use_stopping_rule``, ``sort_key``, ``index_backend``).
+
+    Notes
+    -----
+    This is the one-shot convenience wrapper over an *ephemeral*
+    :class:`repro.engine.SkylineEngine` session: one query, then every
+    resource is torn down.  For repeated queries against the same data,
+    hold a :class:`~repro.engine.SkylineEngine` open instead — it ships
+    the dataset to a persistent worker pool once and reuses it (see
+    ``docs/engine.md``).
     """
     dataset = _coerce_dataset(groups, directions)
-    engine = make_algorithm(algorithm, gamma, execution=execution, **options)
     if obs_runlog.get_runlog().enabled:
         obs_runlog.emit(
             "api_call",
@@ -105,7 +113,14 @@ def aggregate_skyline(
                 else execution
             ),
         )
-    return engine.compute(dataset)
+    # Imported here: repro.engine itself imports from repro.core.
+    from ..engine import SkylineEngine
+
+    with SkylineEngine.ephemeral(execution) as session:
+        return session.query(
+            dataset, gamma=gamma, algorithm=algorithm,
+            execution=execution, **options,
+        )
 
 
 def aggregate_skyline_from_records(

@@ -239,6 +239,19 @@ class ExecutionConfig:
         return cls(**kwargs)
 
     @classmethod
+    def coerce(cls, execution: Any) -> Optional["ExecutionConfig"]:
+        """Canonical coercion entry point (see :func:`coerce_execution`).
+
+        Accepts ``None`` / ``ExecutionConfig`` / mapping / ``"k=v,..."``
+        spec string — the shape every public entry point
+        (``aggregate_skyline``, ``SkylineEngine.query``,
+        ``run_algorithms`` / ``sweep``, SQL ``USING``,
+        ``partitioned_aggregate_skyline``) funnels through.
+        """
+
+        return coerce_execution(execution)
+
+    @classmethod
     def from_spec(cls, spec: str) -> "ExecutionConfig":
         """Parse a CLI-style ``"key=value,key=value"`` spec.
 

@@ -25,13 +25,15 @@ candidate set that the expensive all-groups verification must touch.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .api import _coerce_dataset
 from .comparator import DirectionalProbe
 from .dominance import Direction
+from .execution import ExecutionConfig, coerce_execution
 from .gamma import GammaLike, GammaThresholds, dominance_holds
 from .groups import GroupedDataset
 from .result import AggregateSkylineResult, AlgorithmStats, Timer
@@ -95,21 +97,64 @@ def _verify_candidate(
     return True, pairs
 
 
+#: Sentinel distinguishing "not passed" from an explicit ``None`` /
+#: default value for the deprecated legacy kwargs.
+_UNSET: Any = object()
+
+
 def partitioned_aggregate_skyline(
     groups: GroupsLike,
     gamma: GammaLike = 0.5,
     partitions: int = 4,
-    processes: Optional[int] = None,
+    processes: Any = _UNSET,
     directions: Union[None, str, Direction, list, tuple] = None,
-    pool_timeout: float = 300.0,
+    pool_timeout: Any = _UNSET,
+    *,
+    execution: Union[None, ExecutionConfig, str, Mapping] = None,
 ) -> AggregateSkylineResult:
     """Exact aggregate skyline via local-then-merge execution.
 
-    ``processes=None`` (default) runs the local phase serially;
-    ``processes=k`` fans it out over the shared pool executor with ``k``
-    workers, raising :class:`repro.parallel.PoolTimeoutError` after
-    ``pool_timeout`` seconds instead of hanging on a wedged pool.
+    ``execution`` (an :class:`~repro.core.execution.ExecutionConfig`,
+    mapping or ``"k=v,..."`` spec — see :meth:`ExecutionConfig.coerce`)
+    controls the local phase: ``None`` (default) runs it serially, a
+    config with ``workers >= 2`` fans it out over the shared pool
+    executor, raising :class:`repro.parallel.PoolTimeoutError` after
+    ``execution.pool_timeout`` seconds instead of hanging on a wedged
+    pool.  The legacy ``processes=`` / ``pool_timeout=`` kwargs still
+    work but emit one :class:`DeprecationWarning`.
     """
+    execution = coerce_execution(execution)
+    legacy: Dict[str, Any] = {}
+    if processes is not _UNSET and processes is not None:
+        legacy["workers"] = int(processes)
+    if pool_timeout is not _UNSET:
+        legacy["pool_timeout"] = float(pool_timeout)
+    if legacy:
+        warnings.warn(
+            f"passing {sorted(legacy)} to partitioned_aggregate_skyline is"
+            " deprecated; use execution=ExecutionConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if execution is None:
+            execution = ExecutionConfig.from_dict(legacy)
+        else:
+            # the explicit execution config wins; legacy only fills gaps
+            fill = {
+                key: value
+                for key, value in legacy.items()
+                if key not in execution.to_dict()
+            }
+            if fill:
+                execution = execution.replace(**fill)
+    workers = (
+        execution.resolve_workers()
+        if execution is not None and execution.parallel
+        else 1
+    )
+    effective_timeout = (
+        execution.pool_timeout if execution is not None else 300.0
+    )
     dataset = _coerce_dataset(groups, directions)
     thresholds = GammaThresholds(gamma)
 
@@ -125,14 +170,14 @@ def partitioned_aggregate_skyline(
             )
             for bucket in buckets
         ]
-        if processes is not None and processes > 1 and len(payloads) > 1:
+        if workers > 1 and len(payloads) > 1:
             from ..parallel.executor import map_tasks
 
             local_survivors = map_tasks(
                 _local_skyline,
                 payloads,
-                workers=processes,
-                pool_timeout=pool_timeout,
+                workers=workers,
+                pool_timeout=effective_timeout,
             )
         else:
             local_survivors = [_local_skyline(p) for p in payloads]

@@ -1,0 +1,19 @@
+"""Persistent aggregate-skyline engine: session API over a resident pool.
+
+See :mod:`repro.engine.session` (the public :class:`SkylineEngine` /
+:class:`DatasetHandle` surface) and :mod:`repro.engine.pool` (the
+long-lived worker-slot pool with surviving-pool reuse and per-worker
+respawn budgets), plus ``docs/engine.md`` for lifecycle, batching and
+failure semantics.
+"""
+
+from .pool import EngineClosedError, PersistentPool
+from .session import DatasetHandle, EngineStats, SkylineEngine
+
+__all__ = [
+    "SkylineEngine",
+    "DatasetHandle",
+    "EngineStats",
+    "PersistentPool",
+    "EngineClosedError",
+]

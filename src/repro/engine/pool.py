@@ -1,0 +1,873 @@
+"""The persistent worker pool behind :class:`repro.engine.SkylineEngine`.
+
+The one-shot executor (:mod:`repro.parallel.executor`) builds a fresh
+``multiprocessing.Pool`` per run and ships the dataset through the pool
+initializer — correct, but every query pays interpreter spawn, payload
+shipping and worker-side ``Group`` materialisation again.  This module
+keeps the worker processes *alive across queries*:
+
+* **slots** — the pool is a fixed set of worker slots, each one long-lived
+  ``Process`` with its own control queue; chunk tasks flow through one
+  shared task queue that idle workers claim dynamically (the engine
+  analogue of the work-stealing scheduler: decreasing guided chunks +
+  self-scheduling against a shared tail).
+* **attach once** — a dataset is shipped once (``ShmArena`` segments when
+  shared memory is available, pickled inline otherwise) and pinned in
+  every worker under a token; packed R-tree arrays and candidate orders
+  are pinned the same way, keyed by content digest, so repeat queries
+  ship nothing but tiny ``(qid, span)`` tuples.
+* **surviving-pool reuse** — when a worker dies the pool respawns *only
+  the dead slot* (PR 7's "next step"): the survivors keep their pids and
+  their pinned state, the replacement replays the attach/pin log, and the
+  in-flight query's undelivered chunks are re-enqueued.  Duplicated
+  deliveries are harmless — chunks are deterministic, the parent keeps
+  the first result per span.
+* **per-worker retry budgets** — each slot may be respawned at most
+  ``max_respawns`` times over the pool's lifetime (not per run).  A slot
+  that exhausts its budget is retired; the pool narrows.  When every slot
+  is gone the query either finishes inline on the parent
+  (``on_failure="serial"``) or raises
+  :class:`~repro.parallel.executor.WorkerCrashError`.
+
+Determinism: chunks execute the exact kernels of the one-shot executor
+(:func:`~repro.parallel.executor.compare_span` /
+:func:`~repro.parallel.executor.compare_candidate_span`) with a fresh
+comparator reset per chunk, and the parent merges outcomes in span order —
+so results *and every work counter* are bit-identical to a cold serial
+run, regardless of scheduling, crashes and respawns.
+
+Telemetry rides the obs v2 vocabulary: ``slot_respawn`` run-log events,
+``engine_*`` metrics counters and worker-side ``parallel.chunk`` trace
+spans grafted back through :attr:`ChunkOutcome.spans`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import hashlib
+import os
+import time
+import weakref
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import metrics as obs_metrics
+from ..obs import runlog as obs_runlog
+from ..obs import tracing as obs_tracing
+from ..obs.tracing import TraceContext, Tracer
+from ..parallel.executor import (
+    ChunkOutcome,
+    PoolTimeoutError,
+    WorkerConfig,
+    WorkerCrashError,
+    _signal_name,
+    comparator_for,
+    compare_candidate_span,
+    compare_span,
+    preferred_start_method,
+)
+from ..parallel.faults import FaultSpec
+from ..parallel.shm import (
+    ArrayRef,
+    ShmArena,
+    detach_all,
+    load_arrays,
+    load_groups,
+    ship_arrays,
+    ship_groups,
+    shm_available,
+)
+
+__all__ = ["PersistentPool", "EngineClosedError"]
+
+
+class EngineClosedError(RuntimeError):
+    """The engine (or its pool) was used after :meth:`close`."""
+
+
+#: How long a worker sleeps on the shared task queue before re-checking
+#: its control queue — the latency ceiling for attach/prepare/stop.
+_TASK_POLL_SECONDS = 0.05
+
+#: Parent-side liveness cadence while draining results (mirrors the
+#: one-shot executor's ``_LIVENESS_POLL_SECONDS``).
+_LIVENESS_POLL_SECONDS = 0.25
+
+#: A worker that waits longer than this for the prepare of a claimed
+#: chunk gives the task up as stale (defensive; the parent's pool
+#: timeout is the real backstop).
+_PREPARE_WAIT_SECONDS = 60.0
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+
+class _WorkerQuery:
+    """Per-query state inside one worker: comparator, kernel inputs, tracer."""
+
+    __slots__ = ("config", "kind", "groups", "index", "order", "comparator", "tracer")
+
+    def __init__(self, config, kind, groups, index, order, trace_ctx):
+        self.config = config
+        self.kind = kind
+        self.groups = groups
+        self.index = index
+        self.order = order
+        self.comparator = comparator_for(config)
+        self.tracer = (
+            Tracer(context=trace_ctx)
+            if trace_ctx is not None
+            else obs_tracing.NOOP_TRACER
+        )
+
+
+def _execute_worker_chunk(query: _WorkerQuery, span, slot: int, fault) -> ChunkOutcome:
+    """One chunk in an engine worker — mirrors the executor's ``_run_chunk``
+    exactly (fresh counter reset, same kernels, same outcome fields), so a
+    warm chunk is bit-identical to a cold pool or inline chunk."""
+    if fault is not None:
+        fault.maybe_fire()
+    comparator = query.comparator
+    comparator.reset_stats()
+    chunk_span = query.tracer.span(
+        "parallel.chunk",
+        start=span[0],
+        stop=span[1],
+        kind=query.kind,
+        slot=slot,
+        stolen=False,
+        pid=os.getpid(),
+    )
+    started = time.perf_counter()
+    skipped = 0
+    window_queries = 0
+    index_candidates = 0
+    with chunk_span:
+        if query.kind == "candidates":
+            verdicts, window_queries, index_candidates = compare_candidate_span(
+                query.groups, comparator, query.index, query.order, span
+            )
+        else:
+            verdicts, skipped = compare_span(
+                query.groups,
+                comparator,
+                span,
+                prune_policy=query.config.prune_policy,
+                flags=None,
+                exchange_interval=0,
+            )
+        if chunk_span.is_recording:
+            chunk_span.set_attribute("verdicts", len(verdicts))
+            chunk_span.set_attribute("comparisons", comparator.comparisons)
+            chunk_span.set_attribute("pairs_examined", comparator.pairs_examined)
+            if window_queries:
+                chunk_span.set_attribute("window_queries", window_queries)
+                chunk_span.set_attribute("index_candidates", index_candidates)
+    outcome = ChunkOutcome(
+        start=span[0],
+        stop=span[1],
+        verdicts=verdicts,
+        comparisons=comparator.comparisons,
+        pairs_examined=comparator.pairs_examined,
+        bbox_shortcuts=comparator.bbox_shortcuts,
+        stopping_rule_exits=comparator.stopping_rule_exits,
+        pairs_skipped=skipped,
+        elapsed_seconds=time.perf_counter() - started,
+        worker_pid=os.getpid(),
+        window_queries=window_queries,
+        index_candidates=index_candidates,
+        slot=slot,
+        stolen=False,
+    )
+    if chunk_span.is_recording:
+        outcome.spans = [chunk_span.to_dict()]
+    return outcome
+
+
+class _WorkerState:
+    """Everything a long-lived engine worker accumulates."""
+
+    def __init__(self):
+        self.groups: Dict[str, list] = {}  # token -> List[Group]
+        self.pinned: Dict[str, Any] = {}  # digest key -> index / order
+        self.queries: Dict[int, _WorkerQuery] = {}
+        self.finished: set = set()
+        self.watermark: int = -1  # qids below this and unknown are stale
+        self.stop = False
+
+
+def _worker_handle_ctrl(state: _WorkerState, msg, slot: int, results) -> None:
+    kind = msg[0]
+    if kind == "attach":
+        _, token, shipment = msg
+        state.groups[token] = load_groups(shipment)
+        results.put(("ack", slot, os.getpid(), token))
+    elif kind == "pin":
+        _, key, tag, payload = msg
+        if tag == "index":
+            from ..index.rtree import FlatRTree
+
+            state.pinned[key] = FlatRTree.from_arrays(load_arrays(payload))
+        else:  # "order"
+            if isinstance(payload, ArrayRef):
+                from ..parallel.shm import attach_array
+
+                state.pinned[key] = attach_array(payload)
+            else:
+                state.pinned[key] = payload
+        results.put(("ack", slot, os.getpid(), key))
+    elif kind == "prepare":
+        _, qid, token, config, qkind, index_key, order_key, trace_ctx = msg
+        state.queries[qid] = _WorkerQuery(
+            config,
+            qkind,
+            state.groups[token],
+            state.pinned[index_key] if index_key is not None else None,
+            state.pinned[order_key] if order_key is not None else None,
+            trace_ctx,
+        )
+    elif kind == "finish":
+        _, qid = msg
+        state.queries.pop(qid, None)
+        state.finished.add(qid)
+    elif kind == "detach":
+        _, token, keys = msg
+        state.groups.pop(token, None)
+        for key in keys:
+            state.pinned.pop(key, None)
+        results.put(("ack", slot, os.getpid(), token))
+    elif kind == "watermark":
+        state.watermark = max(state.watermark, msg[1])
+    elif kind == "stop":
+        state.stop = True
+
+
+def _engine_worker_main(slot, ctrl, tasks, results, faults, fault_state) -> None:
+    """Main loop of one engine worker slot.
+
+    Control messages (attach / pin / prepare / finish / stop) arrive on
+    the slot's private ``ctrl`` queue and are drained before every task
+    claim; chunk tasks ``(qid, span)`` are claimed from the shared
+    ``tasks`` queue.  Observability mirrors the pool initializer: the
+    run log is silenced, the global tracer is a no-op, and each query
+    carries its own :class:`TraceContext` so worker chunk spans graft
+    back onto the parent trace.
+    """
+    obs_runlog.set_runlog(obs_runlog.NOOP_RUNLOG)
+    obs_tracing.set_tracer(obs_tracing.NOOP_TRACER)
+    fault = faults.arm(fault_state) if faults is not None else None
+    state = _WorkerState()
+    try:
+        while not state.stop:
+            while True:
+                try:
+                    msg = ctrl.get_nowait()
+                except Empty:
+                    break
+                _worker_handle_ctrl(state, msg, slot, results)
+            if state.stop:
+                break
+            try:
+                task = tasks.get(timeout=_TASK_POLL_SECONDS)
+            except Empty:
+                continue
+            qid, span = task
+            if qid in state.finished:
+                continue
+            waited = 0.0
+            stale = False
+            while qid not in state.queries:
+                # The prepare for this qid is still in flight on the ctrl
+                # queue (the parent always sends prepares before chunks) —
+                # or the task predates this worker's respawn watermark.
+                if qid in state.finished or qid < state.watermark:
+                    stale = True
+                    break
+                try:
+                    msg = ctrl.get(timeout=1.0)
+                except Empty:
+                    waited += 1.0
+                    if waited >= _PREPARE_WAIT_SECONDS:
+                        stale = True
+                        break
+                    continue
+                _worker_handle_ctrl(state, msg, slot, results)
+                if state.stop:
+                    return
+            if stale or qid not in state.queries:
+                continue
+            try:
+                outcome = _execute_worker_chunk(
+                    state.queries[qid], tuple(span), slot, fault
+                )
+            except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                results.put(("chunk_error", slot, os.getpid(), qid, tuple(span), exc))
+                continue
+            results.put(("chunk", slot, os.getpid(), qid, outcome))
+    finally:
+        detach_all()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Slot:
+    """One worker slot: its live process, control queue and retry budget."""
+
+    index: int
+    process: Any
+    ctrl: Any
+    pid: int
+    respawns: int = 0
+    failures: int = 0  # worker tracebacks charged against the budget
+    disabled: bool = False
+
+
+def _release_pool_state(state: Dict[str, list]) -> None:
+    """GC / exit-time cleanup: kill processes, drop queues, free segments.
+
+    Idempotent and exception-safe; registered through ``weakref.finalize``
+    so an engine that is never closed still cannot leak processes, pipe
+    feeder threads or ``/dev/shm`` segments.
+    """
+    for proc in state.get("processes", ()):
+        try:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+    state["processes"] = []
+    for q in state.get("queues", ()):
+        try:
+            q.close()
+            q.cancel_join_thread()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+    state["queues"] = []
+    for arena in state.get("arenas", ()):
+        try:
+            arena.close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+    state["arenas"] = []
+
+
+def _engine_counter(name: str, help_text: str):
+    return obs_metrics.get_registry().counter(name, help_text, ())
+
+
+class PersistentPool:
+    """A fixed set of long-lived worker slots shared by many queries.
+
+    Created by :class:`~repro.engine.SkylineEngine` at first attach;
+    everything here is synchronous and single-owner (one engine, one
+    thread).  See the module docstring for the protocol and the fault
+    model.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        start_method: Optional[str] = None,
+        shm: Optional[bool] = None,
+        max_respawns: int = 2,
+        faults: Optional[FaultSpec] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
+        self.workers = workers
+        self.start_method = start_method or preferred_start_method()
+        self._ctx = mp.get_context(self.start_method)
+        # Workers outlive any single attach, so fork inheritance cannot
+        # carry late-attached datasets: shared memory is the default
+        # shipping path whenever the platform offers it.
+        self.use_shm = shm_available() if shm is None else bool(shm) and shm_available()
+        self.max_respawns = max_respawns
+        self.total_respawns = 0
+        self._faults = faults
+        self._fault_state = self._ctx.Value("i", 0) if faults is not None else None
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._replay: List[tuple] = []  # attach/pin log replayed on respawn
+        self._arenas: Dict[str, ShmArena] = {}
+        self._pinned: Dict[str, tuple] = {}  # key -> (tag, strong payload ref)
+        self._pin_keys_by_token: Dict[str, List[str]] = {}
+        self._active_prepare: Optional[tuple] = None
+        self._next_qid = 0
+        self._closed = False
+        self._state = {
+            "processes": [],
+            "queues": [self._tasks, self._results],
+            "arenas": [],
+        }
+        self._finalizer = weakref.finalize(self, _release_pool_state, self._state)
+        self._slots: List[_Slot] = [self._spawn_slot(i) for i in range(workers)]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def live_slots(self) -> List[_Slot]:
+        return [slot for slot in self._slots if not slot.disabled]
+
+    @property
+    def pids(self) -> List[int]:
+        """Current pid of every non-retired slot (tests assert on these)."""
+        return [slot.pid for slot in self.live_slots]
+
+    def _spawn_slot(self, index: int) -> _Slot:
+        ctrl = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_engine_worker_main,
+            args=(
+                index,
+                ctrl,
+                self._tasks,
+                self._results,
+                self._faults,
+                self._fault_state,
+            ),
+            daemon=True,
+            name=f"repro-engine-{index}",
+        )
+        process.start()
+        ctrl.put(("watermark", self._next_qid))
+        for msg in self._replay:
+            ctrl.put(msg)
+        if self._active_prepare is not None:
+            ctrl.put(self._active_prepare)
+        self._state["processes"].append(process)
+        self._state["queues"].append(ctrl)
+        return _Slot(index=index, process=process, ctrl=ctrl, pid=process.pid)
+
+    def close(self) -> None:
+        """Stop the workers and release every owned resource (idempotent).
+
+        Graceful first — a ``stop`` message lets workers run their own
+        teardown (shm detach) — then the ``weakref.finalize`` hook
+        terminates stragglers, drops the queue feeder threads and unlinks
+        the shared-memory arenas.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self.live_slots:
+            try:
+                slot.ctrl.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        deadline = time.monotonic() + 5.0
+        for slot in self.live_slots:
+            slot.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._finalizer()
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError("the engine pool has been closed")
+
+    # ------------------------------------------------------------------
+    # shipping: attach datasets, pin derived artifacts
+
+    def attach(self, token: str, groups: Sequence, *, timeout: float = 300.0) -> bool:
+        """Ship *groups* to every worker and pin them under *token*.
+
+        Returns True when the payload travelled via shared memory.
+        """
+        self._require_open()
+        arena = None
+        if self.use_shm:
+            arena = ShmArena()
+            self._arenas[token] = arena
+            self._state["arenas"].append(arena)
+        shipment = ship_groups(groups, arena)
+        msg = ("attach", token, shipment)
+        self._replay.append(msg)
+        self._broadcast(msg)
+        self._await_acks(token, timeout)
+        return shipment.via_shm
+
+    def detach(self, token: str, *, timeout: float = 300.0) -> None:
+        """Drop the dataset and its pinned artifacts from every worker."""
+        self._require_open()
+        keys = self._pin_keys_by_token.pop(token, [])
+        msg = ("detach", token, tuple(keys))
+        self._replay = [
+            m
+            for m in self._replay
+            if not (m[0] == "attach" and m[1] == token)
+            and not (m[0] == "pin" and m[1] in keys)
+        ]
+        for key in keys:
+            self._pinned.pop(key, None)
+        self._broadcast(msg)
+        self._await_acks(token, timeout)
+        arena = self._arenas.pop(token, None)
+        if arena is not None:
+            arena.close()
+
+    def pin_index(self, token: str, index, *, timeout: float = 300.0) -> str:
+        """Pin a packed FlatRTree's arrays in every worker; returns its key.
+
+        Keys are content digests, so the same cached artifact
+        (:func:`repro.core.artifacts.packed_rtree` returns the same array
+        dict across queries) ships exactly once per engine.
+        """
+        arrays = index.arrays()
+        digest = hashlib.blake2b(digest_size=12)
+        for name in sorted(arrays):
+            array = arrays[name]
+            digest.update(name.encode())
+            digest.update(str(array.shape).encode())
+            digest.update(array.dtype.str.encode())
+            digest.update(array.tobytes())
+        key = f"{token}/index/{digest.hexdigest()}"
+        if key in self._pinned:
+            return key
+        payload = ship_arrays(arrays, self._arenas.get(token))
+        self._pin(token, key, "index", payload, arrays, timeout)
+        return key
+
+    def pin_order(self, token: str, order: Sequence[int], *, timeout: float = 300.0) -> str:
+        """Pin a candidate access order in every worker; returns its key."""
+        import numpy as np
+
+        array = np.asarray(list(order), dtype=np.int64)
+        digest = hashlib.blake2b(array.tobytes(), digest_size=12).hexdigest()
+        key = f"{token}/order/{digest}"
+        if key in self._pinned:
+            return key
+        arena = self._arenas.get(token)
+        payload: Any
+        if arena is not None:
+            payload = arena.share(array)
+        else:
+            payload = tuple(int(i) for i in array)
+        self._pin(token, key, "order", payload, array, timeout)
+        return key
+
+    def _pin(self, token, key, tag, payload, strong_ref, timeout) -> None:
+        self._require_open()
+        msg = ("pin", key, tag, payload)
+        self._pinned[key] = (tag, strong_ref)
+        self._pin_keys_by_token.setdefault(token, []).append(key)
+        self._replay.append(msg)
+        self._broadcast(msg)
+        self._await_acks(key, timeout)
+
+    def _broadcast(self, msg: tuple) -> None:
+        for slot in self.live_slots:
+            slot.ctrl.put(msg)
+
+    def _await_acks(self, key: str, timeout: float) -> None:
+        """Wait until every live slot acknowledged *key* (attach / pin).
+
+        Crashes during the wait are handled like mid-query crashes: the
+        dead slot is respawned (budget permitting) and its replayed
+        attach/pin log produces the missing ack from the new process.
+        """
+        pending = {slot.index for slot in self.live_slots}
+        deadline = time.monotonic() + timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise PoolTimeoutError(
+                    f"engine workers failed to acknowledge {key!r} within"
+                    f" {timeout:.0f}s ({len(pending)} slot(s) pending)"
+                )
+            try:
+                msg = self._results.get(timeout=min(_LIVENESS_POLL_SECONDS, remaining))
+            except Empty:
+                crashed = self._collect_casualties()
+                for slot in crashed:
+                    self._handle_casualty(slot, respawn=True)
+                pending = {slot.index for slot in self.live_slots}
+                if not self.live_slots:
+                    raise WorkerCrashError(
+                        "every engine worker slot died while attaching",
+                        pids=[slot.pid for slot in crashed],
+                        exitcodes=[slot.process.exitcode for slot in crashed],
+                    )
+                continue
+            if msg[0] == "ack" and msg[3] == key:
+                pending.discard(msg[1])
+            # stale chunk results / acks from earlier operations: ignore
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def run_query(
+        self,
+        token: str,
+        config: WorkerConfig,
+        spans: Sequence[Tuple[int, int]],
+        *,
+        kind: str = "pairs",
+        index_key: Optional[str] = None,
+        order_key: Optional[str] = None,
+        pool_timeout: float = 300.0,
+        on_failure: str = "raise",
+        progress: Optional[Callable[[int, int], None]] = None,
+        inline_fallback: Optional[Callable[[Tuple[int, int]], ChunkOutcome]] = None,
+    ) -> List[ChunkOutcome]:
+        """Run *spans* of one query over the warm pool; ordered outcomes.
+
+        The parent enqueues every chunk on the shared task queue, drains
+        the result queue with a liveness poll, deduplicates deliveries by
+        span, and — on a crash — respawns only the dead slot and
+        re-enqueues the undelivered chunks (``on_failure != "raise"``).
+        ``inline_fallback`` finishes remaining chunks on the parent when
+        no slot survives and the policy is ``"serial"``.
+        """
+        self._require_open()
+        self.ensure_healthy()
+        if not self.live_slots:
+            if on_failure == "serial" and inline_fallback is not None:
+                return self._finish_inline(spans, [], set(spans), inline_fallback)
+            raise WorkerCrashError(
+                "no live engine worker slots remain (respawn budgets exhausted)"
+            )
+        qid = self._next_qid
+        self._next_qid += 1
+        trace_ctx = obs_tracing.current_trace_context()
+        prepare = (
+            "prepare",
+            qid,
+            token,
+            config,
+            kind,
+            index_key,
+            order_key,
+            trace_ctx,
+        )
+        self._active_prepare = prepare
+        self._broadcast(prepare)
+        outstanding = {(int(a), int(b)) for a, b in spans}
+        total = len(outstanding)
+        for span in sorted(outstanding):
+            self._tasks.put((qid, span))
+        outcomes: List[ChunkOutcome] = []
+        deadline = time.monotonic() + pool_timeout
+        last_liveness = time.monotonic()
+        try:
+            while outstanding:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise PoolTimeoutError(
+                        f"engine pool produced no result within"
+                        f" {pool_timeout:.0f}s ({len(self.live_slots)} live"
+                        f" slots, {len(outstanding)} chunks outstanding)"
+                    )
+                try:
+                    msg = self._results.get(
+                        timeout=min(_LIVENESS_POLL_SECONDS, remaining)
+                    )
+                except Empty:
+                    self._survey(qid, outstanding, on_failure, inline_fallback, outcomes)
+                    last_liveness = time.monotonic()
+                    continue
+                mkind = msg[0]
+                if mkind == "chunk":
+                    _, slot_index, pid, rqid, outcome = msg
+                    if rqid != qid:
+                        continue
+                    span = (outcome.start, outcome.stop)
+                    if span in outstanding:
+                        outstanding.discard(span)
+                        outcomes.append(outcome)
+                        if progress is not None:
+                            progress(total - len(outstanding), total)
+                elif mkind == "chunk_error":
+                    _, slot_index, pid, rqid, span, exc = msg
+                    span = tuple(span)
+                    if rqid != qid or span not in outstanding:
+                        continue
+                    self._handle_chunk_error(
+                        qid, slot_index, span, exc, outstanding, on_failure,
+                        inline_fallback, outcomes,
+                    )
+                # acks and other stale messages are ignored
+                if time.monotonic() - last_liveness >= _LIVENESS_POLL_SECONDS:
+                    self._survey(qid, outstanding, on_failure, inline_fallback, outcomes)
+                    last_liveness = time.monotonic()
+        finally:
+            self._active_prepare = None
+            self._broadcast(("finish", qid))
+        outcomes.sort(key=lambda outcome: (outcome.start, outcome.stop))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # fault handling
+
+    def _collect_casualties(self) -> List[_Slot]:
+        return [
+            slot
+            for slot in self._slots
+            if not slot.disabled and slot.process.exitcode is not None
+        ]
+
+    def _handle_casualty(self, slot: _Slot, *, respawn: bool) -> None:
+        """Retire or respawn one dead slot, with telemetry."""
+        exitcode = slot.process.exitcode
+        old_pid = slot.pid
+        can_respawn = respawn and slot.respawns < self.max_respawns
+        if can_respawn:
+            slot.ctrl.close()
+            slot.ctrl.cancel_join_thread()
+            replacement = self._spawn_slot(slot.index)
+            slot.process = replacement.process
+            slot.ctrl = replacement.ctrl
+            slot.pid = replacement.pid
+            slot.respawns += 1
+            self.total_respawns += 1
+            # _spawn_slot appended a fresh _Slot-shaped record's resources
+            # to the finalizer state already; the slot list keeps its
+            # original entry with the swapped process.
+            self._slots[slot.index] = slot
+            _engine_counter(
+                "engine_slot_respawns_total",
+                "Engine worker slots respawned after a crash",
+            ).inc(1)
+        else:
+            slot.disabled = True
+            _engine_counter(
+                "engine_slots_retired_total",
+                "Engine worker slots retired after exhausting their"
+                " respawn budget",
+            ).inc(1)
+        obs_runlog.emit(
+            "slot_respawn",
+            slot=slot.index,
+            old_pid=old_pid,
+            new_pid=slot.pid if can_respawn else None,
+            exitcode=exitcode,
+            signal=_signal_name(exitcode),
+            respawned=can_respawn,
+            respawns=slot.respawns,
+            budget=self.max_respawns,
+        )
+
+    def _survey(
+        self, qid, outstanding, on_failure, inline_fallback, outcomes
+    ) -> None:
+        """Liveness poll: detect casualties, respawn/retire, recover chunks."""
+        crashed = self._collect_casualties()
+        if not crashed:
+            return
+        _engine_counter(
+            "engine_worker_crashes_total",
+            "Engine worker processes that died mid-session",
+        ).inc(len(crashed))
+        if on_failure == "raise":
+            # Fail the query fast; the pool repairs itself lazily on the
+            # next run_query via ensure_healthy().
+            for slot in crashed:
+                slot.disabled = False  # leave budget accounting to repair
+            raise WorkerCrashError(
+                "engine worker crashed mid-query: "
+                + ", ".join(
+                    f"pid {slot.pid}"
+                    f" ({_signal_name(slot.process.exitcode) or f'exit {slot.process.exitcode}'})"
+                    for slot in crashed
+                )
+                + f"; {len(outstanding)} chunk(s) undelivered",
+                pids=[slot.pid for slot in crashed],
+                exitcodes=[slot.process.exitcode for slot in crashed],
+                lost_spans=sorted(outstanding),
+            )
+        for slot in crashed:
+            self._handle_casualty(slot, respawn=True)
+        if not self.live_slots:
+            if on_failure == "serial" and inline_fallback is not None:
+                self._finish_inline((), outcomes, outstanding, inline_fallback)
+                return
+            raise WorkerCrashError(
+                "every engine worker slot is gone (respawn budgets"
+                f" exhausted); {len(outstanding)} chunk(s) undelivered",
+                pids=[slot.pid for slot in crashed],
+                exitcodes=[slot.process.exitcode for slot in crashed],
+                lost_spans=sorted(outstanding),
+            )
+        # Re-enqueue everything undelivered: chunks the dead worker held
+        # AND chunks still queued — duplicates are deduplicated by span
+        # on delivery, so over-submission is safe.
+        for span in sorted(outstanding):
+            self._tasks.put((qid, span))
+
+    def _handle_chunk_error(
+        self, qid, slot_index, span, exc, outstanding, on_failure,
+        inline_fallback, outcomes,
+    ) -> None:
+        """A chunk raised inside a surviving worker (worker-traceback model)."""
+        obs_runlog.emit_error(
+            "pool_error",
+            exc,
+            slot=slot_index,
+            chunk=list(span),
+            scope="engine",
+        )
+        if on_failure == "raise":
+            raise exc
+        slot = self._slots[slot_index]
+        if slot.failures < self.max_respawns:
+            slot.failures += 1
+            obs_runlog.emit(
+                "chunk_retry",
+                attempt=slot.failures,
+                max_retries=self.max_respawns,
+                chunks=1,
+                scope="engine",
+                slot=slot_index,
+            )
+            self._tasks.put((qid, span))
+            return
+        if on_failure == "serial" and inline_fallback is not None:
+            outstanding.discard(span)
+            outcomes.append(inline_fallback(span))
+            obs_runlog.emit("pool_fallback", chunks=1, scope="engine")
+            return
+        raise exc
+
+    def _finish_inline(self, spans, outcomes, outstanding, inline_fallback):
+        """Run every remaining chunk on the parent (serial fallback)."""
+        obs_runlog.emit("pool_fallback", chunks=len(outstanding), scope="engine")
+        _engine_counter(
+            "engine_serial_fallbacks_total",
+            "Engine queries finished inline after losing every worker slot",
+        ).inc(1)
+        for span in sorted(outstanding):
+            outcomes.append(inline_fallback(tuple(span)))
+        outstanding.clear()
+        outcomes.sort(key=lambda outcome: (outcome.start, outcome.stop))
+        return outcomes
+
+    def ensure_healthy(self) -> int:
+        """Respawn every repairable dead slot; returns the live-slot count.
+
+        Called at the top of each query so a crash under
+        ``on_failure="raise"`` (which fails the query immediately) still
+        leaves the pool usable for the next one.
+        """
+        self._require_open()
+        for slot in self._collect_casualties():
+            self._handle_casualty(slot, respawn=True)
+        return len(self.live_slots)

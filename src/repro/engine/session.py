@@ -1,0 +1,579 @@
+"""The session-oriented public API: :class:`SkylineEngine`.
+
+``aggregate_skyline()`` answers one query and tears everything down —
+pool, shipped payload, pinned index.  Under the service workload the
+ROADMAP targets (many queries against a resident dataset, the assumption
+group-skyline work such as Yu et al.'s contour computation and
+Bhattacharya & Teja's aggregate skyline joins also makes), that cold
+path wastes almost all of its time on setup.  The engine amortises it:
+
+* :meth:`SkylineEngine.attach` ships a dataset to a persistent worker
+  pool (:class:`~repro.engine.pool.PersistentPool`) **once** and returns
+  a :class:`DatasetHandle`;
+* :meth:`SkylineEngine.query` runs one ``(dims, gamma, algorithm,
+  execution)`` query — warm-eligible algorithms (``PAR`` and the
+  parallel ``IN``/``LO`` paths) execute their chunk spans over the
+  resident pool, everything else runs the unchanged cold path;
+* :meth:`SkylineEngine.submit_batch` pipelines many queries over the
+  shared pool;
+* :meth:`SkylineEngine.close` (or the context manager) releases the
+  worker processes and every shared-memory segment deterministically.
+
+Determinism contract
+--------------------
+A warm query builds the *same* algorithm object with the same spans,
+worker config, index and candidate order as a cold
+``aggregate_skyline()`` call; only the span executor is swapped (the
+``_pool_runner`` hook).  Chunk kernels, per-chunk comparator resets and
+the span-ordered merge are shared code, so warm results **and every
+``AlgorithmStats`` counter** are bit-identical to cold, serial runs.
+
+Failure semantics
+-----------------
+Worker deaths surface within a liveness-poll tick.  Under
+``on_failure="retry"``/``"serial"`` the engine respawns only the dead
+slot — surviving workers keep their pids and their pinned data — and
+re-enqueues the undelivered chunks; each slot carries a lifetime respawn
+budget (``ExecutionConfig.max_retries``).  ``"raise"`` fails the query
+immediately and repairs the pool lazily before the next one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core import artifacts
+from ..core.algorithms import make_algorithm
+from ..core.algorithms.sorted_access import SORT_KEYS
+from ..core.dominance import Direction
+from ..core.execution import ExecutionConfig, coerce_execution
+from ..core.gamma import GammaLike
+from ..core.groups import GroupedDataset
+from ..core.result import AggregateSkylineResult
+from ..obs import runlog as obs_runlog
+from ..obs import metrics as obs_metrics
+from ..parallel.executor import (
+    PoolRun,
+    _reports_from_outcomes,
+    comparator_for,
+    execute_span_inline,
+    resolve_workers,
+)
+from ..parallel.faults import FaultSpec
+from .pool import EngineClosedError, PersistentPool
+
+__all__ = ["SkylineEngine", "DatasetHandle", "EngineStats", "EngineClosedError"]
+
+#: Algorithms whose pooled span execution the warm path can take over.
+WARM_ALGORITHMS = ("PAR", "IN", "LO")
+
+
+@dataclass
+class EngineStats:
+    """Lifetime counters of one engine session (see also ``engine_*`` metrics)."""
+
+    attaches: int = 0
+    queries: int = 0
+    warm_queries: int = 0
+    cold_queries: int = 0
+    batches: int = 0
+    slot_respawns: int = 0
+
+
+class DatasetHandle:
+    """A dataset resident in an engine: parent-side views + worker pins.
+
+    Obtained from :meth:`SkylineEngine.attach`; pass it (or the raw
+    dataset, which re-resolves to the same handle by fingerprint) to
+    :meth:`SkylineEngine.query`.  ``dims`` projections are materialised
+    parent-side once per dimension tuple and attached as child handles.
+    """
+
+    def __init__(self, engine: "SkylineEngine", dataset: GroupedDataset, token: str):
+        self.engine = engine
+        self.dataset = dataset
+        self.token = token
+        #: True when the payload travelled via shared memory.
+        self.via_shm = False
+        self._projections: Dict[Tuple[int, ...], "DatasetHandle"] = {}
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"DatasetHandle(groups={len(self.dataset)},"
+            f" token={self.token[:12]}..., via_shm={self.via_shm})"
+        )
+
+    def project(self, dims: Sequence[int]) -> "DatasetHandle":
+        """Handle over the sub-space ``dims`` (columns of the value space).
+
+        The projected dataset is built once per dimension tuple from the
+        parent's normalised matrix (directions were applied at
+        construction, so the slice needs none) and attached to the same
+        engine; repeat queries over the same ``dims`` reuse it.
+        """
+        key = tuple(int(d) for d in dims)
+        dimensions = self.dataset.dimensions
+        for d in key:
+            if not 0 <= d < dimensions:
+                raise ValueError(
+                    f"dims entry {d} out of range for a"
+                    f" {dimensions}-dimensional dataset"
+                )
+        if len(set(key)) != len(key):
+            raise ValueError(f"dims must not repeat, got {key}")
+        handle = self._projections.get(key)
+        if handle is None:
+            projected = GroupedDataset(
+                {
+                    group.key: group.values[:, key]
+                    for group in self.dataset.groups
+                }
+            )
+            handle = self.engine.attach(projected)
+            self._projections[key] = handle
+        return handle
+
+
+class SkylineEngine:
+    """A long-lived aggregate-skyline session over a persistent pool.
+
+    Parameters
+    ----------
+    execution:
+        Default :class:`ExecutionConfig` (or mapping / spec string) for
+        the session: its ``workers`` sizes the pool, ``max_retries`` is
+        the per-slot lifetime respawn budget, ``on_failure`` the default
+        crash policy.  ``None`` defaults to a work-stealing config sized
+        by the standard worker resolution (``$REPRO_WORKERS`` → cpu).
+    start_method:
+        Multiprocessing start method for the pool (default: the
+        platform/env preference, see ``$REPRO_START_METHOD``).
+    faults:
+        Fault-injection spec for tests and demos (default: honour
+        ``$REPRO_FAULTS``); see :mod:`repro.parallel.faults`.
+
+    Usage::
+
+        with SkylineEngine(execution="workers=4,scheduler=stealing") as eng:
+            movies = eng.attach(dataset)
+            first = eng.query(movies, gamma=0.5, algorithm="LO")
+            rest = eng.submit_batch(movies, [
+                {"gamma": 0.6}, {"gamma": 0.7, "algorithm": "PAR"},
+            ])
+
+    The pool spins up lazily at the first :meth:`attach`; a purely cold
+    engine (serial algorithms only) never forks at all.
+    """
+
+    def __init__(
+        self,
+        execution: Union[None, ExecutionConfig, str, Mapping] = None,
+        *,
+        start_method: Optional[str] = None,
+        faults: Optional[FaultSpec] = None,
+        _ephemeral: bool = False,
+    ):
+        execution = coerce_execution(execution)
+        if execution is None:
+            execution = ExecutionConfig(
+                workers=resolve_workers(None), scheduler="stealing"
+            )
+        self.execution = execution
+        self.start_method = start_method
+        self._faults = faults if faults is not None else FaultSpec.from_env()
+        self._ephemeral = _ephemeral
+        self.stats = EngineStats()
+        self._pool: Optional[PersistentPool] = None
+        self._handles: Dict[str, DatasetHandle] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @classmethod
+    def ephemeral(cls, execution=None) -> "SkylineEngine":
+        """A one-shot engine: no persistent pool, no session telemetry.
+
+        This is what :func:`repro.aggregate_skyline` wraps — queries run
+        the exact legacy cold path (one-shot pools included), so the
+        wrapper is behaviourally identical to the pre-engine API.
+        """
+        return cls(execution, _ephemeral=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pool(self) -> Optional[PersistentPool]:
+        """The persistent pool, or ``None`` before the first attach."""
+        return self._pool
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """Pids of the live worker slots (empty before the first attach)."""
+        return [] if self._pool is None else self._pool.pids
+
+    def close(self) -> None:
+        """Release the pool, its queues and every shm segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self.stats.slot_respawns = self._pool.total_respawns
+            if not self._ephemeral and obs_runlog.get_runlog().enabled:
+                obs_runlog.emit(
+                    "engine_end",
+                    queries=self.stats.queries,
+                    warm_queries=self.stats.warm_queries,
+                    attaches=self.stats.attaches,
+                    slot_respawns=self._pool.total_respawns,
+                )
+            self._pool.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "SkylineEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net; pool has its own
+        try:
+            if not self._closed and self._pool is not None:
+                self._pool.close()
+        except Exception:
+            pass
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError("this SkylineEngine has been closed")
+
+    # ------------------------------------------------------------------
+    # attach
+
+    def _ensure_pool(self) -> Optional[PersistentPool]:
+        if self._ephemeral:
+            return None
+        if self._pool is None:
+            workers = self.execution.resolve_workers()
+            if workers < 2:
+                return None
+            self._pool = PersistentPool(
+                workers,
+                start_method=self.start_method,
+                shm=self.execution.shm,
+                max_respawns=self.execution.max_retries,
+                faults=self._faults,
+            )
+            obs_metrics.get_registry().counter(
+                "engine_starts_total", "SkylineEngine pools started"
+            ).inc(1)
+            obs_runlog.emit(
+                "engine_start",
+                workers=workers,
+                start_method=self._pool.start_method,
+                shm=self._pool.use_shm,
+                pids=self._pool.pids,
+                respawn_budget=self.execution.max_retries,
+            )
+        return self._pool
+
+    def attach(
+        self,
+        groups: Union[GroupedDataset, Mapping[Hashable, Iterable]],
+        directions: Union[None, str, Direction, Sequence] = None,
+        *,
+        warm: bool = True,
+    ) -> DatasetHandle:
+        """Make a dataset resident: ship it to the pool, pin it, hand back
+        a :class:`DatasetHandle`.
+
+        Re-attaching content-identical data (same fingerprint) returns
+        the existing handle without re-shipping.  With ``warm=True`` the
+        packed R-tree and the default candidate order are precomputed
+        (through the content-keyed :mod:`~repro.core.artifacts` cache)
+        and pinned in every worker, so even the *first* ``IN``/``LO``
+        query skips index shipping.
+        """
+        self._require_open()
+        dataset = (
+            groups
+            if isinstance(groups, GroupedDataset) and directions is None
+            else (
+                groups
+                if isinstance(groups, GroupedDataset)
+                else GroupedDataset(groups, directions=directions)
+            )
+        )
+        if isinstance(groups, GroupedDataset) and directions is not None:
+            raise ValueError(
+                "directions are fixed at GroupedDataset construction;"
+                " do not pass them again"
+            )
+        token = dataset.fingerprint()
+        handle = self._handles.get(token)
+        if handle is not None:
+            return handle
+        handle = DatasetHandle(self, dataset, token)
+        started = time.perf_counter()
+        pool = self._ensure_pool()
+        if pool is not None:
+            handle.via_shm = pool.attach(
+                token, dataset.groups, timeout=self.execution.pool_timeout
+            )
+            if warm:
+                index = artifacts.packed_rtree(dataset)
+                pool.pin_index(token, index, timeout=self.execution.pool_timeout)
+                order = artifacts.sort_order(
+                    dataset, "size_corner", SORT_KEYS["size_corner"]
+                )
+                pool.pin_order(token, order, timeout=self.execution.pool_timeout)
+        self._handles[token] = handle
+        self.stats.attaches += 1
+        obs_metrics.get_registry().counter(
+            "engine_attaches_total", "Datasets attached to a SkylineEngine"
+        ).inc(1)
+        if not self._ephemeral and obs_runlog.get_runlog().enabled:
+            obs_runlog.emit(
+                "attach",
+                token=token[:16],
+                groups=len(dataset),
+                records=dataset.total_records,
+                via_shm=handle.via_shm,
+                warm=warm and pool is not None,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        return handle
+
+    def detach(self, handle: DatasetHandle) -> None:
+        """Release a resident dataset (worker pins + shm segments)."""
+        self._require_open()
+        for child in handle._projections.values():
+            self.detach(child)
+        handle._projections.clear()
+        if self._handles.pop(handle.token, None) is None:
+            return
+        if self._pool is not None:
+            self._pool.detach(handle.token, timeout=self.execution.pool_timeout)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def query(
+        self,
+        data: Union[DatasetHandle, GroupedDataset, Mapping[Hashable, Iterable]],
+        *,
+        gamma: GammaLike = 0.5,
+        algorithm: str = "LO",
+        execution: Union[None, ExecutionConfig, str, Mapping] = None,
+        dims: Optional[Sequence[int]] = None,
+        **options,
+    ) -> AggregateSkylineResult:
+        """Answer one aggregate-skyline query against resident data.
+
+        ``execution`` defaults to the session's config; pass ``None``
+        explicitly per query to inherit it, or any coercible shape
+        (config / mapping / ``"k=v"`` spec) to override.  ``dims``
+        restricts the query to a projection of the value space (resident
+        per dimension tuple after the first use).  All other ``options``
+        are the usual algorithm options, validated with did-you-mean
+        suggestions by :func:`~repro.core.algorithms.make_algorithm`.
+        """
+        self._require_open()
+        execution = coerce_execution(execution)
+        name = str(algorithm).upper()
+        handle: Optional[DatasetHandle]
+        if isinstance(data, DatasetHandle):
+            if data.engine is not self:
+                raise ValueError("DatasetHandle belongs to a different engine")
+            handle = data
+        elif self._ephemeral:
+            handle = None
+        else:
+            handle = self.attach(data)
+        if handle is not None and dims is not None:
+            handle = handle.project(dims)
+        if handle is not None:
+            dataset = handle.dataset
+        else:
+            dataset = (
+                data
+                if isinstance(data, GroupedDataset)
+                else GroupedDataset(data)
+            )
+            if dims is not None:
+                dataset = GroupedDataset(
+                    {
+                        group.key: group.values[:, tuple(int(d) for d in dims)]
+                        for group in dataset.groups
+                    }
+                )
+        if (
+            execution is None
+            and not self._ephemeral
+            and name in WARM_ALGORITHMS
+        ):
+            # Session default: warm-eligible algorithms inherit the
+            # engine's config.  Ephemeral engines (the aggregate_skyline
+            # wrapper) must not — execution=None keeps the legacy serial
+            # path for IN/LO and PAR's legacy defaults.
+            execution = self.execution
+        engine_algorithm = make_algorithm(
+            name, gamma, execution=execution, **options
+        )
+        warm = (
+            handle is not None
+            and self._pool is not None
+            and not self._pool.closed
+            and name in WARM_ALGORITHMS
+            and execution is not None
+            and execution.parallel
+            and execution.resolve_workers() >= 2
+            and execution.exchange_interval == 0
+            and hasattr(engine_algorithm, "_pool_runner")
+        )
+        if warm:
+            engine_algorithm._pool_runner = self._warm_runner(handle, execution)
+        self.stats.queries += 1
+        if warm:
+            self.stats.warm_queries += 1
+        else:
+            self.stats.cold_queries += 1
+        obs_metrics.get_registry().counter(
+            "engine_queries_total",
+            "Queries answered by a SkylineEngine",
+            ("mode",),
+        ).inc(1, mode="warm" if warm else "cold")
+        emit_events = not self._ephemeral and obs_runlog.get_runlog().enabled
+        if emit_events:
+            obs_runlog.emit(
+                "query_start",
+                algorithm=name,
+                gamma=str(gamma),
+                groups=len(dataset),
+                warm=warm,
+                dims=list(dims) if dims is not None else None,
+            )
+        started = time.perf_counter()
+        try:
+            result = engine_algorithm.compute(dataset)
+        except BaseException as exc:
+            if emit_events:
+                obs_runlog.emit_error("query_end", exc, algorithm=name, warm=warm)
+            raise
+        if emit_events:
+            obs_runlog.emit(
+                "query_end",
+                algorithm=name,
+                warm=warm,
+                survivors=len(result.keys),
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        if self._pool is not None:
+            self.stats.slot_respawns = self._pool.total_respawns
+        return result
+
+    def submit_batch(
+        self,
+        data: Union[DatasetHandle, GroupedDataset, Mapping[Hashable, Iterable]],
+        queries: Sequence[Mapping[str, Any]],
+    ) -> List[AggregateSkylineResult]:
+        """Run many queries against one resident dataset over the shared
+        pool; results in submission order.
+
+        Each entry is a mapping of :meth:`query` keyword arguments
+        (``gamma``, ``algorithm``, ``execution``, ``dims``, options...).
+        The dataset is attached once up front; warm-eligible queries then
+        ship nothing but chunk spans, and the pool's dynamic task queue
+        keeps every worker busy across query boundaries (the engine-side
+        analogue of the work-stealing scheduler).  Fail-fast: the first
+        failing query raises and the rest are not run.
+        """
+        self._require_open()
+        handle = (
+            data if isinstance(data, DatasetHandle) or self._ephemeral
+            else self.attach(data)
+        )
+        self.stats.batches += 1
+        results: List[AggregateSkylineResult] = []
+        for spec in queries:
+            results.append(self.query(handle, **dict(spec)))
+        return results
+
+    # ------------------------------------------------------------------
+    # warm span execution
+
+    def _warm_runner(self, handle: DatasetHandle, execution: ExecutionConfig):
+        """A ``run_spans``-compatible closure over the persistent pool.
+
+        The algorithm calls it exactly where it would call
+        :func:`~repro.parallel.executor.run_spans`; the closure pins the
+        query's index/order (content-keyed, so repeats ship nothing),
+        schedules the spans on the resident workers and re-packages the
+        outcomes as a :class:`~repro.parallel.executor.PoolRun`.
+        ``scheduler``/``shm`` knobs are satisfied structurally (dynamic
+        task queue, shipping decided at attach); ``max_retries`` is
+        enforced as the pool's per-slot lifetime budget.
+        """
+        pool = self._pool
+        token = handle.token
+
+        def runner(
+            groups,
+            config,
+            spans,
+            workers,
+            *,
+            kind: str = "pairs",
+            index=None,
+            order=None,
+            progress=None,
+            pool_timeout: float = 300.0,
+            on_failure: str = "raise",
+            scheduler: str = "static",
+            shm=None,
+            owners=None,
+            max_retries: int = 2,
+            retry_backoff: float = 0.1,
+            faults=None,
+        ) -> PoolRun:
+            index_key = (
+                pool.pin_index(token, index, timeout=pool_timeout)
+                if index is not None
+                else None
+            )
+            order_key = (
+                pool.pin_order(token, order, timeout=pool_timeout)
+                if order is not None
+                else None
+            )
+
+            def inline_fallback(span):
+                return execute_span_inline(
+                    groups, comparator_for(config), config, kind,
+                    index, order, None, span,
+                )
+
+            outcomes = pool.run_query(
+                token,
+                config,
+                spans,
+                kind=kind,
+                index_key=index_key,
+                order_key=order_key,
+                pool_timeout=pool_timeout,
+                on_failure=on_failure,
+                progress=progress,
+                inline_fallback=inline_fallback,
+            )
+            return PoolRun(
+                outcomes=outcomes, reports=_reports_from_outcomes(outcomes)
+            )
+
+        return runner

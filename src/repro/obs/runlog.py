@@ -32,6 +32,23 @@ fields.  Events emitted by the engine:
     the serial-fallback completion after retries are exhausted.
 ``cache_hit`` / ``cache_miss``
     Derived-artifact cache traffic (kind).
+``api_call``
+    One public-API invocation (``aggregate_skyline``: algorithm, groups,
+    gamma, execution).
+``engine_start`` / ``engine_end``
+    A :class:`repro.engine.SkylineEngine` persistent pool coming up
+    (workers, start method, shm, pids, respawn budget) and the session
+    summary at close (queries, warm queries, attaches, slot respawns).
+``attach``
+    A dataset made resident in an engine (token prefix, groups, records,
+    via_shm, warm pre-pinning, elapsed).
+``query_start`` / ``query_end``
+    One engine query (algorithm, gamma, groups, warm/cold, dims; end
+    adds survivors and elapsed, or the error payload on failure).
+``slot_respawn``
+    The engine replaced exactly one dead worker slot (slot, old/new pid,
+    exitcode/signal, respawn count vs budget) — surviving slots keep
+    their pids and pinned data.
 ``error``
     Any caught exception worth recording, with ``traceback``.
 

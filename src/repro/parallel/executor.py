@@ -103,10 +103,12 @@ __all__ = [
     "PoolRun",
     "resolve_workers",
     "preferred_start_method",
+    "comparator_for",
     "compare_span",
     "compare_candidate_span",
     "apply_verdicts",
     "execute_chunks",
+    "execute_span_inline",
     "run_spans",
     "map_tasks",
     "PoolTimeoutError",
@@ -244,6 +246,18 @@ class WorkerConfig:
     block_size: int = 1024
     prune_policy: str = "paper"
     exchange_interval: int = 0
+
+
+def comparator_for(config: WorkerConfig) -> GroupComparator:
+    """A fresh comparator matching *config* — the one every execution site
+    (pool initializer, serial fallback, engine workers) must build so that
+    chunk counters stay bit-identical regardless of where a chunk runs."""
+    return GroupComparator(
+        GammaThresholds(config.gamma),
+        use_stopping_rule=config.use_stopping_rule,
+        use_bbox=config.use_bbox,
+        block_size=config.block_size,
+    )
 
 
 @dataclass
@@ -492,12 +506,7 @@ def _init_pool(payload: _PoolPayload) -> None:
     _WORKER_FAULT = None
     if payload.faults is not None:
         _WORKER_FAULT = payload.faults.arm(payload.fault_state)
-    _WORKER_COMPARATOR = GroupComparator(
-        GammaThresholds(config.gamma),
-        use_stopping_rule=config.use_stopping_rule,
-        use_bbox=config.use_bbox,
-        block_size=config.block_size,
-    )
+    _WORKER_COMPARATOR = comparator_for(config)
     # Observability hand-off.  A fork-started worker inherits the parent's
     # tracer and run-log handle; recording into either from here would
     # corrupt parent state (duplicate sink emits, interleaved writes).
@@ -804,7 +813,7 @@ def _crash_error(
     )
 
 
-def _execute_span_inline(
+def execute_span_inline(
     groups, comparator, config: WorkerConfig, kind, index, order, flags, span
 ) -> ChunkOutcome:
     """Run one chunk on the parent's serial engine (retry/fallback path).
@@ -813,7 +822,9 @@ def _execute_span_inline(
     chunk — the resulting :class:`ChunkOutcome` (verdicts *and* work
     counters) is bit-identical to what a pool worker would have returned,
     so the merge and ``AlgorithmStats`` reconciliation are unaffected by
-    where the chunk actually ran.
+    where the chunk actually ran.  Besides the retry layer here, the
+    persistent engine (:mod:`repro.engine`) uses this as its last-resort
+    fallback when every worker slot has exhausted its respawn budget.
     """
     comparator.reset_stats()
     started = time.perf_counter()
@@ -1161,15 +1172,10 @@ def run_spans(
                     with tracer.span(
                         "parallel.serial_fallback", chunks=len(remaining)
                     ):
-                        comparator = GroupComparator(
-                            GammaThresholds(config.gamma),
-                            use_stopping_rule=config.use_stopping_rule,
-                            use_bbox=config.use_bbox,
-                            block_size=config.block_size,
-                        )
+                        comparator = comparator_for(config)
                         for lost in remaining:
                             outcomes.append(
-                                _execute_span_inline(
+                                execute_span_inline(
                                     groups, comparator, config, kind,
                                     index, order, flags, lost,
                                 )

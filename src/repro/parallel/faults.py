@@ -12,7 +12,10 @@ shared counter so retried pools do not re-fire an already-spent fault).
 Activation is strictly opt-in, through either
 
 * the ``faults=FaultSpec(...)`` argument of
-  :func:`repro.parallel.executor.run_spans`, or
+  :func:`repro.parallel.executor.run_spans` (or of
+  :class:`repro.engine.SkylineEngine`, whose persistent workers arm the
+  same spec — this is how the slot-respawn tests kill exactly one
+  resident worker), or
 * the ``REPRO_FAULTS`` environment variable, parsed by
   :meth:`FaultSpec.from_env` with the same mini-language as
   :meth:`FaultSpec.from_spec`::

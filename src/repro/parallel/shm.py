@@ -19,6 +19,13 @@ garbage collection, *and* at interpreter exit, whichever comes first,
 and is idempotent.  Error paths therefore cannot leak: the arena is
 created before the pool and finalized in a ``finally``.
 
+Besides the one-shot executor, :mod:`repro.engine` builds *long-lived*
+arenas on this module: a :class:`~repro.engine.pool.PersistentPool` keeps
+one arena per attached dataset (plus pinned index/order arrays) open for
+the whole session and releases them deterministically on
+``SkylineEngine.close()`` / ``detach()`` — same finalize discipline,
+longer lifetime.
+
 Attach-side quirk: CPython's ``resource_tracker`` (bpo-39959) registers
 *attached* segments as if the attaching process owned them, producing
 spurious "leaked shared_memory" warnings and — worse — early unlinks

@@ -352,6 +352,49 @@ class TestShm:
         assert len(result) > 0
         assert _live_segments() <= before
 
+    def test_engine_close_releases_all_segments(self, anticorrelated):
+        """Engine-owned arenas (dataset + pinned index/order) are released
+        deterministically by close(), not left to interpreter exit."""
+        from repro.engine import SkylineEngine
+
+        before = _live_segments()
+        engine = SkylineEngine(ExecutionConfig(workers=2, shm=True))
+        handle = engine.attach(anticorrelated)
+        assert handle.via_shm
+        assert _live_segments() - before  # resident payload is live
+        result = engine.query(handle, algorithm="LO")
+        assert len(result) > 0
+        engine.close()
+        engine.close()  # idempotent
+        assert _live_segments() <= before
+
+    def test_engine_detach_releases_dataset_segments(self, anticorrelated):
+        from repro.engine import SkylineEngine
+
+        before = _live_segments()
+        with SkylineEngine(ExecutionConfig(workers=2, shm=True)) as engine:
+            handle = engine.attach(anticorrelated)
+            assert _live_segments() - before
+            engine.detach(handle)
+            # The pool (and its queues) stays up; the dataset's arena and
+            # pinned artifacts are gone already.
+            assert engine.worker_pids
+            assert _live_segments() <= before
+        assert _live_segments() <= before
+
+    def test_engine_garbage_collection_releases_segments(self, anticorrelated):
+        """The weakref.finalize safety net covers engines never closed."""
+        from repro.engine import SkylineEngine
+
+        before = _live_segments()
+        engine = SkylineEngine(ExecutionConfig(workers=2, shm=True))
+        engine.attach(anticorrelated)
+        created = _live_segments() - before
+        assert created
+        del engine
+        gc.collect()
+        assert not (created & _live_segments())
+
 
 # ---------------------------------------------------------------------------
 # FlatRTree: read-only reconstruction equivalence

@@ -164,7 +164,7 @@ class TestPartitionedSkyline:
         dataset = random_grouped_dataset(rng, n_groups=10, max_group_size=5)
         serial = partitioned_aggregate_skyline(dataset, partitions=3)
         parallel = partitioned_aggregate_skyline(
-            dataset, partitions=3, processes=2
+            dataset, partitions=3, execution="workers=2"
         )
         assert serial.as_set() == parallel.as_set()
 
