@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= smoke
 
-.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench perf-smoke faults-demo faults-test engine-demo engine-test engine-bench clean
+.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench perf-smoke faults-demo faults-test engine-demo engine-test engine-bench planner-demo planner-test clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -61,6 +61,26 @@ engine-test:
 engine-bench:
 	REPRO_BENCH_SCALE=$(SCALE) $(PYTHON) -m pytest \
 		benchmarks/bench_engine_reuse.py
+
+# Plan optimizer walkthrough on the NBA dataset: EXPLAIN from the CLI
+# (candidate costs + keep/reject reasons), then the auto run and the SQL
+# EXPLAIN of the same query (docs/planner.md).
+planner-demo:
+	$(PYTHON) -m repro nba --rows 3000 --out /tmp/planner_demo_nba.csv
+	$(PYTHON) -m repro skyline --csv /tmp/planner_demo_nba.csv \
+		--group-by player --of pts:max,reb:max,ast:max \
+		--algorithm auto --explain
+	$(PYTHON) -m repro skyline --csv /tmp/planner_demo_nba.csv \
+		--group-by player --of pts:max,reb:max,ast:max \
+		--algorithm auto
+	$(PYTHON) -m repro query --table nba=/tmp/planner_demo_nba.csv \
+		--explain "SELECT player FROM nba GROUP BY player \
+		SKYLINE OF pts MAX, reb MAX USING ALGORITHM AUTO"
+
+# The planner test matrix (auto/explicit parity, plan cache, EXPLAIN
+# surfaces) — CI runs this leg with REPRO_START_METHOD=spawn on top.
+planner-test:
+	$(PYTHON) -m pytest tests/test_planner.py
 
 # Serial-vs-parallel comparison table on a pool of 2 (docs/parallel.md).
 parallel-demo:

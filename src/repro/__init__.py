@@ -63,6 +63,7 @@ from .engine import (
     EngineStats,
     SkylineEngine,
 )
+from .plan import PlanDecision, explain_dataset, render_plan
 
 __version__ = "1.0.0"
 
@@ -114,4 +115,7 @@ __all__ = [
     "removal_impact",
     "approximate_aggregate_skyline",
     "skyline_layers",
+    "PlanDecision",
+    "explain_dataset",
+    "render_plan",
 ]

@@ -130,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
         " 'workers=4,scheduler=stealing,on_failure=retry'); applies to"
         " the pooled USING ALGORITHM engines (PAR, IN, LO)",
     )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the plan tree (with optimizer cost estimates) instead"
+        " of executing; same as prefixing the query with EXPLAIN",
+    )
 
     sky = commands.add_parser("skyline", help="aggregate skyline of a CSV")
     sky.add_argument("--csv", required=True, help="input CSV file")
@@ -164,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="run the anytime engine with heartbeat lines on stderr",
+    )
+    sky.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the plan tree (with optimizer cost estimates) instead"
+        " of computing the skyline",
     )
     _add_obs_flags(sky)
 
@@ -491,6 +503,13 @@ def _cmd_query(args) -> int:
                   file=sys.stderr)
             return 2
         catalog[name] = load_csv(path)
+    if args.explain:
+        result = execute(
+            args.sql, catalog, execution=args.execution, explain=True
+        )
+        for row in result.table.rows:
+            print(row[0])
+        return 0
     result = execute(args.sql, catalog, execution=args.execution)
     print(result.to_text(max_rows=args.max_rows))
     if result.skyline_result is not None:
@@ -508,12 +527,25 @@ def _cmd_skyline(args) -> int:
     keys = [c.strip() for c in args.group_by.split(",") if c.strip()]
     measures, directions = _parse_measures(args.of)
     dataset = grouped_dataset_from_table(table, keys, measures, directions)
-    if args.progress:
-        return _skyline_with_progress(args, dataset)
-    algorithm = args.algorithm
     execution = (
         ExecutionConfig.from_spec(args.execution) if args.execution else None
     )
+    if args.explain:
+        from .plan import explain_dataset
+
+        print(
+            explain_dataset(
+                dataset,
+                gamma=args.gamma,
+                algorithm=args.algorithm,
+                execution=execution,
+                measures=measures,
+            )
+        )
+        return 0
+    if args.progress:
+        return _skyline_with_progress(args, dataset)
+    algorithm = args.algorithm
     if args.workers is not None:
         # Deprecated shortcut: --workers implies the PAR algorithm, the
         # pre-ExecutionConfig behaviour.  --execution workers=N keeps the
@@ -728,11 +760,18 @@ def _serve_parse_line(line: str):
     """Parse one REPL line into query() keywords, or a command string.
 
     ``gamma=0.6 algorithm=PAR dims=0,1`` → kwargs; bare words like
-    ``stats`` / ``quit`` are session commands.
+    ``stats`` / ``quit`` are session commands.  ``explain [key=value...]``
+    renders the plan the optimizer would pick, without executing.
     """
     tokens = line.split()
+    if tokens and tokens[0].lower() == "explain":
+        return "explain", _serve_parse_kwargs(tokens[1:])
     if len(tokens) == 1 and "=" not in tokens[0]:
         return tokens[0].lower(), None
+    return None, _serve_parse_kwargs(tokens)
+
+
+def _serve_parse_kwargs(tokens):
     kwargs = {}
     for token in tokens:
         key, eq, value = token.partition("=")
@@ -748,7 +787,7 @@ def _serve_parse_line(line: str):
             kwargs["execution"] = value.replace(";", ",")
         else:
             raise ValueError(f"unknown query keyword {key!r}")
-    return None, kwargs
+    return kwargs
 
 
 def _serve_run_one(engine, handle, kwargs) -> None:
@@ -796,6 +835,22 @@ def _cmd_serve(args) -> int:
             finally:
                 if stream is not sys.stdin:
                     stream.close()
+            if any(spec.get("explain") for spec in specs):
+                # Mixed batches run sequentially so explain lines land in
+                # order; pure-query batches keep the pipelined fast path.
+                for spec in specs:
+                    spec = dict(spec)
+                    if spec.pop("explain", False):
+                        print(engine.explain(handle, **spec))
+                        continue
+                    result = engine.query(handle, **spec)
+                    stats = result.stats
+                    print(
+                        f"[{stats.algorithm}] gamma={result.gamma:g};"
+                        f" {len(result)} groups:"
+                        f" {', '.join(_render_key(k) for k in result.keys)}"
+                    )
+                return 0
             for result in engine.submit_batch(handle, specs):
                 stats = result.stats
                 print(
@@ -806,7 +861,7 @@ def _cmd_serve(args) -> int:
             return 0
         print(
             "query: gamma=0.6 [algorithm=LO] [dims=0,1] — commands:"
-            " stats, pids, quit",
+            " explain [key=value...], stats, pids, quit",
             file=sys.stderr,
         )
         while True:
@@ -824,6 +879,12 @@ def _cmd_serve(args) -> int:
                 continue
             if command in ("quit", "exit"):
                 break
+            if command == "explain":
+                try:
+                    print(engine.explain(handle, **kwargs))
+                except Exception as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                continue
             if command == "pids":
                 print(engine.worker_pids)
                 continue

@@ -89,9 +89,19 @@ class AdaptiveAlgorithm(AggregateSkylineAlgorithm):
         self.estimated_overlap = 0.0
 
     def _run(self, groups: List[Group], state: GroupState) -> None:
-        self.estimated_overlap = estimate_overlap(
-            groups, sample_pairs=self.sample_pairs, seed=self.seed
-        )
+        if self._dataset is not None:
+            # The probe is deterministic, so repeated computes over the
+            # same dataset content reuse the memoised estimate through the
+            # derived-artifact cache instead of re-sampling pairs.
+            from .. import artifacts
+
+            self.estimated_overlap = artifacts.overlap_estimate(
+                self._dataset, sample_pairs=self.sample_pairs, seed=self.seed
+            )
+        else:
+            self.estimated_overlap = estimate_overlap(
+                groups, sample_pairs=self.sample_pairs, seed=self.seed
+            )
         if self.estimated_overlap >= self.overlap_threshold:
             delegate: AggregateSkylineAlgorithm = SortedAlgorithm(
                 self.thresholds.gamma,

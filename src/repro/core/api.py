@@ -79,8 +79,11 @@ def aggregate_skyline(
         (Proposition 1).  ``.5`` is the paper's parameter-free default and
         the most selective choice; larger values admit more groups.
     algorithm:
-        ``"NL"``, ``"TR"``, ``"SI"``, ``"IN"``, ``"LO"`` (default) or
-        ``"SQL"``.
+        ``"NL"``, ``"TR"``, ``"SI"``, ``"IN"``, ``"LO"`` (default),
+        ``"SQL"`` — or ``"auto"`` to let the plan optimizer pick from
+        dataset statistics (see ``docs/planner.md``; the decision is
+        recorded on ``result.plan``).  An explicit name is forced through
+        the same pipeline bit-identically.
     execution:
         An :class:`ExecutionConfig` (or mapping / ``"k=v,..."`` spec)
         selecting the pooled execution path of ``PAR`` / ``IN`` / ``LO``:

@@ -44,6 +44,7 @@ __all__ = [
     "cache_enabled",
     "packed_rtree",
     "sort_order",
+    "overlap_estimate",
 ]
 
 ENV_VAR = "REPRO_ARTIFACT_CACHE"
@@ -236,3 +237,28 @@ def sort_order(dataset, key_name: str, key_func) -> Tuple[int, ...]:
     if not cache_enabled():
         return build()
     return get_cache().get_or_build(dataset, "sort_order", (key_name,), build)
+
+
+def overlap_estimate(
+    dataset, sample_pairs: int = 256, seed: int = 0
+) -> float:
+    """The sampled MBB-overlap fraction of the dataset, memoised by content.
+
+    Wraps :func:`repro.core.algorithms.adaptive.estimate_overlap` (the
+    probe is deterministic given ``sample_pairs`` and ``seed``, so caching
+    it is sound) and shares one entry between every consumer: the ``AD``
+    algorithm's dispatch, :func:`repro.core.diagnostics.dataset_statistics`
+    and the plan optimizer's statistics source all stop re-sampling pairs
+    on repeated computes over the same dataset content.
+    """
+
+    def build() -> float:
+        from .algorithms.adaptive import estimate_overlap as probe
+
+        return probe(dataset.groups, sample_pairs=sample_pairs, seed=seed)
+
+    if not cache_enabled():
+        return build()
+    return get_cache().get_or_build(
+        dataset, "overlap_estimate", (sample_pairs, seed), build
+    )

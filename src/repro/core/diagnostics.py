@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs.metrics import get_registry
-from .algorithms.adaptive import estimate_overlap
+from . import artifacts
 from .groups import GroupedDataset
 
 __all__ = ["DatasetStatistics", "dataset_statistics", "suggest_algorithm"]
@@ -81,8 +81,10 @@ def dataset_statistics(
         median_group_size=median,
         max_group_size=int(sizes.max()),
         size_skew=float(sizes.max() / max(median, 1.0)),
-        overlap=estimate_overlap(
-            dataset.groups, sample_pairs=overlap_samples
+        # Content-memoised through the artifact cache: `aggskyline stats`
+        # after a run (or vice versa) reuses the same probe.
+        overlap=artifacts.overlap_estimate(
+            dataset, sample_pairs=overlap_samples
         ),
         pair_budget=pair_budget,
     )

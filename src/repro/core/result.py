@@ -67,13 +67,19 @@ class AggregateSkylineResult:
     threshold the query ran with, ``stats`` the work counters.  When tracing
     is enabled (:func:`repro.obs.tracing.enable_tracing`), ``trace`` holds
     the root :class:`~repro.obs.tracing.Span` of the run; render it with
-    :func:`repro.obs.tracing.render_trace`.
+    :func:`repro.obs.tracing.render_trace`.  ``plan`` is the planner's
+    decision record (:meth:`repro.plan.PlanDecision.as_dict`) when the
+    query went through the plan pipeline — for ``algorithm="auto"`` it
+    carries the candidate costs and the statistics snapshot that drove the
+    choice.  Both are metadata: excluded from equality so results stay
+    comparable across entry paths.
     """
 
     keys: List[Hashable]
     gamma: float
     stats: AlgorithmStats = field(default_factory=AlgorithmStats)
     trace: Optional[object] = field(default=None, repr=False, compare=False)
+    plan: Optional[dict] = field(default=None, repr=False, compare=False)
 
     def __iter__(self):
         return iter(self.keys)

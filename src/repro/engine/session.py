@@ -45,7 +45,6 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core import artifacts
-from ..core.algorithms import make_algorithm
 from ..core.algorithms.sorted_access import SORT_KEYS
 from ..core.dominance import Direction
 from ..core.execution import ExecutionConfig, coerce_execution
@@ -54,6 +53,7 @@ from ..core.groups import GroupedDataset
 from ..core.result import AggregateSkylineResult
 from ..obs import runlog as obs_runlog
 from ..obs import metrics as obs_metrics
+from ..plan import logical_for_dataset, optimize
 from ..parallel.executor import (
     PoolRun,
     _reports_from_outcomes,
@@ -384,6 +384,13 @@ class SkylineEngine:
         per dimension tuple after the first use).  All other ``options``
         are the usual algorithm options, validated with did-you-mean
         suggestions by :func:`~repro.core.algorithms.make_algorithm`.
+
+        Every query goes through the shared plan pipeline
+        (:mod:`repro.plan`): ``algorithm="auto"`` lets the optimizer pick
+        the engine from dataset statistics (decisions are memoised per
+        ``(dataset fingerprint, plan shape)`` through the artifact cache,
+        so warm repeats skip the probe); an explicit name is forced
+        through unchanged — same construction, same counters, bit-for-bit.
         """
         self._require_open()
         execution = coerce_execution(execution)
@@ -414,6 +421,19 @@ class SkylineEngine:
                         for group in dataset.groups
                     }
                 )
+        logical = logical_for_dataset(
+            dataset, gamma=gamma, algorithm=name, dims=dims
+        )
+        physical = optimize(
+            logical,
+            dataset,
+            gamma=gamma,
+            algorithm=name,
+            execution=execution,
+            options=options,
+            entry="api" if self._ephemeral else "engine",
+        )
+        name = physical.algorithm
         if (
             execution is None
             and not self._ephemeral
@@ -422,11 +442,14 @@ class SkylineEngine:
             # Session default: warm-eligible algorithms inherit the
             # engine's config.  Ephemeral engines (the aggregate_skyline
             # wrapper) must not — execution=None keeps the legacy serial
-            # path for IN/LO and PAR's legacy defaults.
+            # path for IN/LO and PAR's legacy defaults.  Applied after
+            # the optimizer resolved "auto": the decision was made for a
+            # serial query, and PAR is never auto-picked without an
+            # explicit ExecutionConfig, so the chosen algorithm is valid
+            # under the session default too.
             execution = self.execution
-        engine_algorithm = make_algorithm(
-            name, gamma, execution=execution, **options
-        )
+            physical = physical.replace_execution(execution)
+        engine_algorithm = physical.build_algorithm()
         warm = (
             handle is not None
             and self._pool is not None
@@ -462,7 +485,7 @@ class SkylineEngine:
             )
         started = time.perf_counter()
         try:
-            result = engine_algorithm.compute(dataset)
+            result = physical.execute(dataset, algorithm=engine_algorithm)
         except BaseException as exc:
             if emit_events:
                 obs_runlog.emit_error("query_end", exc, algorithm=name, warm=warm)
@@ -478,6 +501,59 @@ class SkylineEngine:
         if self._pool is not None:
             self.stats.slot_respawns = self._pool.total_respawns
         return result
+
+    def explain(
+        self,
+        data: Union[DatasetHandle, GroupedDataset, Mapping[Hashable, Iterable]],
+        *,
+        gamma: GammaLike = 0.5,
+        algorithm: str = "auto",
+        execution: Union[None, ExecutionConfig, str, Mapping] = None,
+        dims: Optional[Sequence[int]] = None,
+        measures: Optional[Sequence[str]] = None,
+        **options,
+    ) -> str:
+        """Render the plan a :meth:`query` with these arguments would run,
+        without executing it (and without attaching ``data`` or spinning
+        up a pool).
+
+        Statistics and candidate costs are probed even for an explicit
+        ``algorithm`` so the tree always shows the optimizer's comparison;
+        ``measures`` optionally names the skyline dimensions for display.
+        """
+        self._require_open()
+        execution = coerce_execution(execution)
+        name = str(algorithm).strip().upper()
+        if isinstance(data, DatasetHandle):
+            dataset = data.dataset
+        elif isinstance(data, GroupedDataset):
+            dataset = data
+        else:
+            dataset = GroupedDataset(data)
+        if dims is not None:
+            columns = tuple(int(d) for d in dims)
+            dataset = GroupedDataset(
+                {
+                    group.key: group.values[:, columns]
+                    for group in dataset.groups
+                }
+            )
+        if execution is None and not self._ephemeral and name in WARM_ALGORITHMS:
+            execution = self.execution
+        logical = logical_for_dataset(
+            dataset, gamma=gamma, algorithm=name, dims=dims, measures=measures
+        )
+        physical = optimize(
+            logical,
+            dataset,
+            gamma=gamma,
+            algorithm=name,
+            execution=execution,
+            options=options,
+            entry="api" if self._ephemeral else "engine",
+            probe=True,
+        )
+        return physical.render()
 
     def submit_batch(
         self,

@@ -45,6 +45,10 @@ def _result_to_dict(result: RunResult, include_obs: bool = True) -> dict:
         # Compact ExecutionConfig snapshot (scheduler, shm, ...); optional
         # like "workers" so pre-ExecutionConfig files round-trip unchanged.
         data["execution"] = dict(result.execution)
+    if result.plan is not None:
+        # Planner decision (chosen algorithm, candidate costs, statistics
+        # snapshot); optional so pre-planner files round-trip unchanged.
+        data["plan"] = dict(result.plan)
     if include_obs:
         # Observability payloads (collected with run_algorithms(...,
         # collect_obs=True)): span tree + metrics-registry snapshot, so
@@ -73,6 +77,9 @@ def _result_from_dict(data: dict) -> RunResult:
         ),
         execution=(
             dict(data["execution"]) if data.get("execution") is not None else None
+        ),
+        plan=(
+            dict(data["plan"]) if data.get("plan") is not None else None
         ),
     )
 

@@ -23,6 +23,7 @@ from ..core.groups import GroupedDataset
 from ..obs import metrics as obs_metrics
 from ..obs import runlog as obs_runlog
 from ..obs import tracing as obs_tracing
+from ..plan import logical_for_dataset, optimize
 
 __all__ = ["RunResult", "run_algorithms", "sweep", "PARALLEL_ALGORITHMS"]
 
@@ -62,6 +63,12 @@ class RunResult:
     #: config the measurement ran with (``None`` = serial legacy path);
     #: persisted so saved benchmarks record scheduler/shm choices too.
     execution: Optional[dict] = None
+    #: Planner decision snapshot (:meth:`PlanDecision.as_dict`) when the
+    #: run went through the plan pipeline — always for ``"AUTO"``, with
+    #: the chosen algorithm, candidate costs and statistics; persisted so
+    #: saved benchmarks record *why* an algorithm ran (``None`` for
+    #: pre-planner result files and direct explicit runs).
+    plan: Optional[dict] = None
 
 
 def run_algorithms(
@@ -117,7 +124,13 @@ def run_algorithms(
     for name in algorithms:
         engine_options = dict(options.get(name, {}))
         key = name.strip().upper()
-        supports = getattr(ALGORITHMS.get(key), "supports_execution", False)
+        # "AUTO" benchmarks the planner itself: the optimizer picks the
+        # engine per workload point, so the execution config must reach it
+        # (the cost model decides whether pooled candidates are eligible).
+        is_auto = key == "AUTO"
+        supports = is_auto or getattr(
+            ALGORITHMS.get(key), "supports_execution", False
+        )
         engine_execution = execution if supports else None
         if (
             engine_execution is None
@@ -143,14 +156,31 @@ def run_algorithms(
             )
         best: Optional[RunResult] = None
         for _ in range(repeats):
+            physical = None
             with warnings.catch_warnings():
                 # Legacy per-algorithm options already warned above when
                 # they came through ``workers=``; avoid repeating the
                 # DeprecationWarning once per repeat.
                 warnings.simplefilter("ignore", DeprecationWarning)
-                engine = make_algorithm(
-                    name, gamma, execution=engine_execution, **engine_options
-                )
+                if is_auto:
+                    logical = logical_for_dataset(
+                        dataset, gamma=gamma, algorithm=key
+                    )
+                    physical = optimize(
+                        logical,
+                        dataset,
+                        gamma=gamma,
+                        algorithm=key,
+                        execution=engine_execution,
+                        options=engine_options,
+                        entry="harness",
+                    )
+                    engine = physical.build_algorithm()
+                else:
+                    engine = make_algorithm(
+                        name, gamma, execution=engine_execution,
+                        **engine_options,
+                    )
             trace_payload = None
             metrics_payload = None
             with tracer.span(
@@ -196,6 +226,10 @@ def run_algorithms(
                 metrics=metrics_payload,
                 workers=result_workers,
                 execution=execution_payload,
+                plan=(
+                    physical.decision.as_dict() if physical is not None
+                    else None
+                ),
             )
             if best is None or measured.elapsed_seconds < best.elapsed_seconds:
                 best = measured

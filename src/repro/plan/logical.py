@@ -1,0 +1,274 @@
+"""Logical query plans shared by every aggregate-skyline entry path.
+
+The three front doors — :func:`repro.aggregate_skyline`, the SQL executor
+(:mod:`repro.query.executor`) and :meth:`repro.engine.SkylineEngine.query`
+— historically each carried their own bespoke dispatch.  This module gives
+them one shared intermediate representation: a linear chain of logical
+operator nodes (scan → filter → group → aggregate-skyline → project →
+order/limit), mirroring the dialect's evaluation order::
+
+    FROM -> WHERE -> GROUP BY -> HAVING -> SKYLINE -> SELECT -> ORDER -> LIMIT
+
+A :class:`LogicalPlan` is *what* to compute; picking *how* (which of the
+paper's NL/TR/SI/IN/LO algorithms runs the skyline node, under which
+:class:`~repro.core.execution.ExecutionConfig`) is the optimizer's job
+(:mod:`repro.plan.optimizer`), producing a
+:class:`~repro.plan.physical.PhysicalPlan`.
+
+Every node exposes
+
+* :meth:`~LogicalNode.signature` — a hashable tuple (callables excluded)
+  so whole plans can key caches: :meth:`LogicalPlan.shape` is the tuple of
+  node signatures and, together with the dataset fingerprint, identifies a
+  cached planner decision in the :mod:`~repro.core.artifacts` cache;
+* :meth:`~LogicalNode.describe` — the one-line rendering used by the
+  ``EXPLAIN`` tree (shared verbatim by SQL, CLI and serve mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = [
+    "LogicalNode",
+    "ScanNode",
+    "FilterNode",
+    "GroupNode",
+    "AggregateSkylineNode",
+    "ProjectNode",
+    "OrderLimitNode",
+    "LogicalPlan",
+    "logical_for_dataset",
+]
+
+
+class LogicalNode:
+    """Base class of the plan-node taxonomy (documentation anchor)."""
+
+    def signature(self) -> Tuple:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass
+class ScanNode(LogicalNode):
+    """Produce the input relation: a catalog table or a grouped dataset.
+
+    ``source`` is the table name for SQL plans; dataset-level plans (the
+    API/engine entry paths) have no name — they describe the input by its
+    group/record counts instead, so the rendered line is identical no
+    matter which front door built the plan.
+    """
+
+    source: Optional[str] = None
+    groups: Optional[int] = None
+    records: Optional[int] = None
+
+    def signature(self) -> Tuple:
+        return ("scan", self.source, self.groups, self.records)
+
+    def describe(self) -> str:
+        if self.source is not None:
+            suffix = f" ({self.records} rows)" if self.records is not None else ""
+            return f"scan {self.source}{suffix}"
+        return f"scan [{self.groups} groups, {self.records} records]"
+
+
+@dataclass
+class FilterNode(LogicalNode):
+    """WHERE: keep the rows satisfying a boolean expression.
+
+    ``predicate`` is the compiled row predicate (execution only; excluded
+    from the signature so textually identical filters share cache keys).
+    """
+
+    description: str
+    predicate: Optional[Callable] = field(default=None, repr=False, compare=False)
+
+    def signature(self) -> Tuple:
+        return ("filter", self.description)
+
+    def describe(self) -> str:
+        return f"filter {self.description}"
+
+
+@dataclass
+class GroupNode(LogicalNode):
+    """GROUP BY (plus HAVING, which restricts which groups even compete).
+
+    ``raw=True`` keeps the raw row partitions (the aggregate-skyline path
+    feeds them to the algorithm); ``raw=False`` folds each partition to
+    one row of aggregates (the plain GROUP BY path).
+    """
+
+    keys: Tuple[str, ...]
+    raw: bool = False
+    having: Optional[str] = None
+    aggregates: Tuple[str, ...] = ()
+
+    def signature(self) -> Tuple:
+        return ("group", self.keys, self.raw, self.having, self.aggregates)
+
+    def describe(self) -> str:
+        text = f"group by [{', '.join(self.keys)}]"
+        if self.aggregates:
+            text += f" computing [{', '.join(self.aggregates)}]"
+        if self.having is not None:
+            text += f" having {self.having}"
+        return text
+
+
+@dataclass
+class AggregateSkylineNode(LogicalNode):
+    """The skyline operator — Definition 2 (grouped) or record-level.
+
+    ``algorithm`` is the *requested* engine: an explicit name forces it,
+    ``"AUTO"`` delegates the choice to the optimizer.  ``gamma`` is kept
+    as given (float / Fraction / string); signatures stringify it.
+    """
+
+    measures: Tuple[str, ...] = ()
+    directions: Tuple[str, ...] = ()
+    gamma: Any = None
+    algorithm: Optional[str] = None
+    prune_policy: Optional[str] = None
+    weight: Optional[str] = None
+    record_level: bool = False
+
+    def signature(self) -> Tuple:
+        return (
+            "aggregate-skyline",
+            self.measures,
+            self.directions,
+            str(self.gamma),
+            self.algorithm,
+            self.prune_policy,
+            self.weight,
+            self.record_level,
+        )
+
+    def describe(self) -> str:
+        if self.record_level:
+            dims = ", ".join(
+                f"{m} {d}" for m, d in zip(self.measures, self.directions)
+            )
+            return f"record-skyline of [{dims}]"
+        if self.measures:
+            dims = ", ".join(
+                f"{m} {d}" for m, d in zip(self.measures, self.directions)
+            )
+        else:
+            dims = ", ".join(self.directions)
+        text = f"aggregate-skyline of [{dims}] γ={self.gamma}"
+        if self.weight is not None:
+            text += f" weight by {self.weight}"
+        else:
+            text += f" algorithm={self.algorithm}"
+        if self.prune_policy is not None:
+            text += f" prune={self.prune_policy}"
+        return text
+
+
+@dataclass
+class ProjectNode(LogicalNode):
+    """SELECT-list projection (with aliases resolved to output names).
+
+    ``mode`` records which finishing pipeline the executor runs:
+    ``"select"`` (plain rows), ``"record"`` (after a record skyline),
+    ``"grouped-agg"`` (plain GROUP BY), ``"grouped-skyline"`` (regroup the
+    surviving groups, then project) or ``"dims"`` (the engine's value-space
+    projection of a grouped dataset).
+    """
+
+    columns: Tuple[str, ...]
+    mode: str = "select"
+
+    def signature(self) -> Tuple:
+        return ("project", self.columns, self.mode)
+
+    def describe(self) -> str:
+        if self.mode == "dims":
+            return f"project dims [{', '.join(self.columns)}]"
+        return f"project [{', '.join(self.columns)}]"
+
+
+@dataclass
+class OrderLimitNode(LogicalNode):
+    """ORDER BY / LIMIT; present even when empty so plan shapes align."""
+
+    order: Tuple[Tuple[str, bool], ...] = ()
+    limit: Optional[int] = None
+
+    def signature(self) -> Tuple:
+        return ("order-limit", self.order, self.limit)
+
+    def describe(self) -> str:
+        parts = []
+        if self.order:
+            rendered = ", ".join(
+                f"{column}{' desc' if descending else ''}"
+                for column, descending in self.order
+            )
+            parts.append(f"order by [{rendered}]")
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        return " ".join(parts) if parts else "order-limit (none)"
+
+
+@dataclass
+class LogicalPlan:
+    """An ordered chain of logical nodes (first node produces the input)."""
+
+    nodes: Tuple[LogicalNode, ...]
+
+    def shape(self) -> Tuple:
+        """Hashable identity of the plan's structure (cache-key half)."""
+        return tuple(node.signature() for node in self.nodes)
+
+    def skyline_node(self) -> Optional[AggregateSkylineNode]:
+        for node in self.nodes:
+            if isinstance(node, AggregateSkylineNode):
+                return node
+        return None
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+def logical_for_dataset(
+    dataset,
+    *,
+    gamma,
+    algorithm,
+    dims=None,
+    measures=None,
+) -> LogicalPlan:
+    """The canonical plan of a dataset-level query (API/engine/CLI paths):
+    scan the grouped dataset, optionally project a value sub-space, run the
+    aggregate-skyline operator.
+
+    ``measures`` optionally names the skyline dimensions (the CLI knows
+    its CSV columns; a raw :class:`~repro.core.groups.GroupedDataset` does
+    not) so the rendered plan matches the SQL dialect's.
+    """
+    nodes: List[LogicalNode] = [
+        ScanNode(groups=len(dataset), records=dataset.total_records)
+    ]
+    if dims is not None:
+        nodes.append(
+            ProjectNode(
+                columns=tuple(str(int(d)) for d in dims), mode="dims"
+            )
+        )
+    nodes.append(
+        AggregateSkylineNode(
+            measures=tuple(measures or ()),
+            directions=tuple(d.value for d in dataset.directions),
+            gamma=gamma,
+            algorithm=str(algorithm).strip().upper(),
+        )
+    )
+    return LogicalPlan(tuple(nodes))

@@ -1,0 +1,106 @@
+"""The executable half of a plan: decision + config + render.
+
+A :class:`PhysicalPlan` binds a :class:`~repro.plan.logical.LogicalPlan`
+to the optimizer's :class:`~repro.plan.optimizer.PlanDecision` and the
+execution knobs (γ, :class:`~repro.core.execution.ExecutionConfig`,
+algorithm options).  All three entry paths finish through
+:meth:`PhysicalPlan.execute`, which builds the algorithm with the *same*
+``make_algorithm`` call the pre-planner code used — a forced explicit
+algorithm therefore computes a bit-identical skyline with bit-identical
+:class:`~repro.core.result.AlgorithmStats` counters — and stamps the
+decision onto the result (``result.plan``) for persistence and reports.
+
+:func:`render_plan` draws the ``EXPLAIN`` tree (output operator on top,
+scan at the bottom); the aggregate-skyline node carries the decision's
+statistics and candidate-cost annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from ..core.execution import ExecutionConfig
+from .logical import AggregateSkylineNode, LogicalPlan
+from .optimizer import PlanDecision
+
+__all__ = ["PhysicalPlan", "render_plan"]
+
+
+@dataclass
+class PhysicalPlan:
+    """An optimized, runnable plan for one aggregate-skyline query."""
+
+    logical: LogicalPlan
+    decision: PlanDecision
+    gamma: Any
+    execution: Optional[ExecutionConfig] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def algorithm(self) -> str:
+        """The resolved physical algorithm name."""
+        return self.decision.algorithm
+
+    def replace_execution(
+        self, execution: Optional[ExecutionConfig]
+    ) -> "PhysicalPlan":
+        """The same plan under a different execution config (the engine
+        applies its session default after the algorithm is resolved)."""
+        return replace(self, execution=execution)
+
+    def build_algorithm(self):
+        """Instantiate the chosen algorithm — the exact ``make_algorithm``
+        call (name, γ, execution, options) the pre-planner entry paths
+        made, so validation errors and did-you-mean hints are unchanged."""
+        from ..core.algorithms import make_algorithm
+
+        return make_algorithm(
+            self.decision.algorithm,
+            self.gamma,
+            execution=self.execution,
+            **self.options,
+        )
+
+    def execute(self, dataset, algorithm=None):
+        """Run the plan against ``dataset`` and annotate the result.
+
+        ``algorithm`` lets a caller pass a pre-built (possibly warm-wired)
+        instance of :meth:`build_algorithm`'s output — the engine swaps in
+        its pool runner before computing.
+        """
+        engine = algorithm if algorithm is not None else self.build_algorithm()
+        result = engine.compute(dataset)
+        result.plan = self.decision.as_dict()
+        return result
+
+    def render(self) -> str:
+        """The EXPLAIN tree for this plan."""
+        return render_plan(self.logical, self.decision)
+
+
+def render_plan(
+    logical: LogicalPlan, decision: Optional[PlanDecision] = None
+) -> str:
+    """Draw a plan as a tree: last operator on top, scan at the bottom.
+
+    The aggregate-skyline node is annotated with the decision's statistics
+    line and one line per candidate (cost, keep/reject reason, chosen
+    marker).  The annotation block is byte-identical for the same dataset,
+    γ and requested algorithm no matter which entry path asked, which is
+    what lets ``EXPLAIN`` output be compared across SQL, CLI and serve
+    mode.
+    """
+    lines: List[str] = []
+    nodes = list(logical.nodes)
+    for depth, node in enumerate(reversed(nodes)):
+        if depth == 0:
+            prefix = ""
+        else:
+            prefix = "   " * (depth - 1) + "└─ "
+        lines.append(prefix + node.describe())
+        if decision is not None and isinstance(node, AggregateSkylineNode):
+            annotation_prefix = "   " * depth + "·  "
+            for extra in decision.describe_lines():
+                lines.append(annotation_prefix + extra)
+    return "\n".join(lines)

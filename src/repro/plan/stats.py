@@ -1,0 +1,97 @@
+"""Cheap dataset statistics feeding the plan optimizer's cost model.
+
+These are the shape parameters the paper's evaluation sweeps (Section 4):
+group count, group-size distribution (Figure 13), dimensionality, and the
+fraction of intersecting group MBBs (Figure 11's overlap regime).  All of
+them come from structures the columnar backbone already holds zero-copy —
+group sizes from the offsets table, MBBs from the corner matrices — except
+the overlap probe, which samples pairs via
+:func:`repro.core.artifacts.overlap_estimate` and is therefore memoised by
+dataset fingerprint so repeated planning (and the ``AD`` algorithm) never
+re-samples the same content.
+
+Unlike :func:`repro.core.diagnostics.dataset_statistics` (a user-facing
+diagnostic that *rejects* degenerate datasets), this collector never
+raises: the planner must be able to plan empty or degenerate inputs too —
+they simply cost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core import artifacts
+
+__all__ = ["PlanStatistics", "collect_statistics", "describe_statistics"]
+
+
+@dataclass(frozen=True)
+class PlanStatistics:
+    """Shape snapshot of one dataset, as the optimizer sees it."""
+
+    groups: int
+    records: int
+    dimensions: int
+    min_group_size: int
+    median_group_size: float
+    max_group_size: int
+    size_skew: float          # max / median; > ~5 means a heavy tail
+    overlap: float            # sampled fraction of intersecting MBB pairs
+    pair_budget: int          # worst-case record pairs (Eq. 3/4)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def describe(self) -> str:
+        return describe_statistics(self.as_dict())
+
+
+def describe_statistics(stats: Mapping) -> str:
+    """One-line rendering shared by ``EXPLAIN`` and the compare reports."""
+    return (
+        f"statistics: {stats['groups']} groups,"
+        f" {stats['records']} records, d={stats['dimensions']};"
+        f" sizes {stats['min_group_size']}/"
+        f"{stats['median_group_size']:g}/{stats['max_group_size']}"
+        f" (skew {stats['size_skew']:.1f});"
+        f" overlap {stats['overlap']:.0%};"
+        f" pair budget {stats['pair_budget']}"
+    )
+
+
+def collect_statistics(
+    dataset, sample_pairs: int = 256, seed: int = 0
+) -> PlanStatistics:
+    """Measure ``dataset``; the overlap probe is content-memoised.
+
+    Degenerate inputs (no groups, empty groups) yield zeroed statistics
+    instead of raising — the cost model then collapses every candidate to
+    its fixed overhead and the cheapest (NL) wins, which is correct: there
+    is nothing to compute.
+    """
+    sizes = np.array([group.size for group in dataset], dtype=np.int64)
+    if sizes.size == 0:
+        return PlanStatistics(
+            groups=0, records=0, dimensions=0,
+            min_group_size=0, median_group_size=0.0, max_group_size=0,
+            size_skew=0.0, overlap=0.0, pair_budget=0,
+        )
+    median = float(np.median(sizes))
+    total = int(sizes.sum())
+    pair_budget = int((total**2 - int((sizes**2).sum())) // 2)
+    return PlanStatistics(
+        groups=len(dataset),
+        records=total,
+        dimensions=dataset.dimensions,
+        min_group_size=int(sizes.min()),
+        median_group_size=median,
+        max_group_size=int(sizes.max()),
+        size_skew=float(sizes.max() / max(median, 1.0)),
+        overlap=artifacts.overlap_estimate(
+            dataset, sample_pairs=sample_pairs, seed=seed
+        ),
+        pair_budget=pair_budget,
+    )

@@ -106,7 +106,8 @@ class Query:
 
     ``select_star`` short-circuits the select list; ``skyline`` plus
     ``group_by`` triggers the aggregate-skyline operator, ``skyline`` alone
-    the record-wise skyline.
+    the record-wise skyline.  ``explain`` marks an ``EXPLAIN SELECT ...``:
+    the executor renders the plan tree instead of running the query.
     """
 
     table: str
@@ -122,6 +123,7 @@ class Query:
     prune_policy: Optional[str] = None
     order_by: List[OrderSpec] = field(default_factory=list)
     limit: Optional[int] = None
+    explain: bool = False
 
     @property
     def is_aggregate_skyline(self) -> bool:

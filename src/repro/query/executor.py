@@ -7,32 +7,52 @@ as the paper describes — a group-level filter akin to HAVING)::
 
 ``SKYLINE OF`` without ``GROUP BY`` is the traditional record skyline;
 with ``GROUP BY`` it becomes the aggregate skyline of Definition 2 and runs
-one of the NL/TR/SI/IN/LO algorithms (``USING ALGORITHM``, default LO) at
-``WITH GAMMA`` (default .5).
+one of the NL/TR/SI/IN/LO algorithms (``USING ALGORITHM``, default LO —
+or ``AUTO`` to let the plan optimizer pick) at ``WITH GAMMA`` (default .5).
+
+Queries are lowered to the shared :class:`~repro.plan.logical.LogicalPlan`
+(:func:`~repro.query.planner.compile_logical`) and interpreted node by
+node; the skyline node finishes through the same
+:meth:`~repro.plan.physical.PhysicalPlan.execute` as the dataset-level
+entry paths.  ``EXPLAIN SELECT ...`` (or ``execute(..., explain=True)``)
+renders the plan tree instead of running the query.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple, Union
 
-from ..core.algorithms import make_algorithm
 from ..core.execution import ExecutionConfig, coerce_execution
 from ..core.groups import GroupedDataset
 from ..core.result import AggregateSkylineResult
 from ..core.skyline import skyline_mask
 from ..obs import tracing as obs_tracing
+from ..plan import optimize, render_plan
+from ..plan.logical import (
+    AggregateSkylineNode,
+    FilterNode,
+    GroupNode,
+    LogicalPlan,
+    OrderLimitNode,
+    ProjectNode,
+    ScanNode,
+)
 from ..relational.operators import AggregateSpec, group_by
 from ..relational.table import Row, Table
 from .ast_nodes import AggCall, ColumnRef, Query
 from .parser import parse
-from .planner import PlanError, QueryPlan, plan_query
+from .planner import (
+    DEFAULT_ALGORITHM,
+    DEFAULT_GAMMA,
+    PlanError,
+    QueryPlan,
+    compile_logical,
+    plan_query,
+)
 
 __all__ = ["QueryResult", "execute", "Catalog"]
 
 Catalog = Mapping[str, Table]
-
-DEFAULT_GAMMA = 0.5
-DEFAULT_ALGORITHM = "LO"
 
 
 class QueryResult:
@@ -67,6 +87,7 @@ def execute(
     query: Union[str, Query],
     catalog: Catalog,
     execution: Optional[ExecutionConfig] = None,
+    explain: bool = False,
     **algorithm_options,
 ) -> QueryResult:
     """Parse (if needed), plan and run a query against ``catalog``.
@@ -75,7 +96,9 @@ def execute(
     constructor (e.g. ``prune_policy="safe"``).  ``execution`` is an
     :class:`~repro.core.execution.ExecutionConfig` (or mapping / spec
     string) selecting the pooled path of the ``USING ALGORITHM`` engines
-    that support it (``PAR``, ``IN``, ``LO``).
+    that support it (``PAR``, ``IN``, ``LO``).  ``explain=True`` (or an
+    ``EXPLAIN SELECT ...`` query) returns the rendered plan tree as a
+    one-column ``plan`` table instead of executing.
     """
     execution = coerce_execution(execution)
     ast = parse(query) if isinstance(query, str) else query
@@ -88,23 +111,18 @@ def execute(
     with tracer.span("query.execute", table=ast.table) as root:
         with tracer.span("query.plan"):
             plan = plan_query(ast, table)
-
-        working = table
-        if plan.where_predicate is not None:
-            with tracer.span("query.scan", rows_in=len(table)) as scan:
-                working = working.select(plan.where_predicate)
-                scan.set_attribute("rows_out", len(working))
-
-        if ast.is_aggregate_skyline:
-            result = _run_aggregate_skyline(
-                plan, working, algorithm_options, execution
+            logical = compile_logical(plan)
+        if explain or ast.explain:
+            text = _explain_text(
+                plan, logical, table, execution, algorithm_options
             )
-        elif ast.is_record_skyline:
-            result = _run_record_skyline(plan, working)
-        elif ast.group_by:
-            result = _run_group_by(plan, working)
+            result = QueryResult(
+                Table(["plan"], [[line] for line in text.splitlines()])
+            )
         else:
-            result = _run_plain_select(plan, working)
+            result = _execute_logical(
+                plan, logical, table, execution, algorithm_options
+            )
         root.set_attribute("rows_out", len(result))
     if root.is_recording:
         result.trace = root
@@ -112,130 +130,125 @@ def execute(
 
 
 # ----------------------------------------------------------------------
-# execution strategies
+# logical-plan interpretation
 # ----------------------------------------------------------------------
 
 
-def _run_plain_select(plan: QueryPlan, working: Table) -> QueryResult:
-    ast = plan.query
-    working, ordered = _order_early(ast, working)
-    if not ast.select_star:
-        names = [item.expression.name for item in ast.select]  # type: ignore[union-attr]
-        working = working.project(names)
-        aliases = {
-            item.expression.name: item.output_name  # type: ignore[union-attr]
-            for item in ast.select
-            if item.alias
-        }
-        if aliases:
-            working = working.rename(aliases)
-    return QueryResult(_order_and_limit(ast, working, skip_order=ordered))
-
-
-def _run_record_skyline(plan: QueryPlan, working: Table) -> QueryResult:
-    ast = plan.query
-    measures = [spec.column for spec in ast.skyline]
-    directions = [spec.direction for spec in ast.skyline]
-    if len(working) == 0:
-        result = working
-    else:
-        with obs_tracing.get_tracer().span(
-            "query.skyline", rows_in=len(working), record_level=True
-        ) as span:
-            values = [
-                [float(row[working.column_position(c)]) for c in measures]
-                for row in working.rows
-            ]
-            mask = skyline_mask(values, directions)
-            result = Table(
-                working.columns,
-                [row for row, keep in zip(working.rows, mask) if keep],
-            )
-            span.set_attribute("rows_out", len(result))
-    result, ordered = _order_early(ast, result)
-    if not ast.select_star:
-        result = result.project(
-            [item.expression.name for item in ast.select]  # type: ignore[union-attr]
-        )
-    return QueryResult(_order_and_limit(ast, result, skip_order=ordered))
-
-
-def _run_group_by(plan: QueryPlan, working: Table) -> QueryResult:
-    ast = plan.query
-    tracer = obs_tracing.get_tracer()
-    with tracer.span("query.group_by", rows_in=len(working)) as span:
-        grouped = group_by(
-            working,
-            ast.group_by,
-            aggregates=plan.aggregate_specs(),
-            having=plan.having_predicate,
-        )
-        span.set_attribute("groups", len(grouped))
-    # Order before projection so ORDER BY may use grouping columns and
-    # aggregates that the SELECT list drops (standard SQL behaviour).
-    with tracer.span("query.order_limit"):
-        grouped, ordered = _order_early(ast, grouped)
-        projected = _project_grouped(plan, grouped)
-        final = _order_and_limit(ast, projected, skip_order=ordered)
-    return QueryResult(final)
-
-
-def _run_aggregate_skyline(
+def _execute_logical(
     plan: QueryPlan,
-    working: Table,
+    logical: LogicalPlan,
+    table: Table,
+    execution: Optional[ExecutionConfig],
     algorithm_options: Dict[str, Any],
-    execution: Optional[ExecutionConfig] = None,
 ) -> QueryResult:
+    """Interpret the logical node chain against ``table``.
+
+    One pass over the nodes; the trailing project node finishes its
+    family's pipeline (projection + ORDER BY + LIMIT share span placement
+    with the pre-planner executor, so traces are unchanged).
+    """
     ast = plan.query
     tracer = obs_tracing.get_tracer()
-    if len(working) == 0:
-        empty = Table(_output_columns(plan), [])
-        return QueryResult(empty, None)
-
-    # HAVING first: it restricts which groups even compete in the skyline.
-    with tracer.span("query.group_by", rows_in=len(working)) as span:
-        partitions = working.group_rows(ast.group_by)
-        span.set_attribute("groups", len(partitions))
-    if plan.having_predicate is not None:
-        with tracer.span("query.having", groups_in=len(partitions)) as span:
-            partitions = _filter_partitions(plan, working, partitions)
-            span.set_attribute("groups_out", len(partitions))
-        if not partitions:
-            return QueryResult(Table(_output_columns(plan), []), None)
-
-    measures = [spec.column for spec in ast.skyline]
-    directions = [spec.direction for spec in ast.skyline]
-    positions = [working.column_position(c) for c in measures]
-    gamma = ast.gamma if ast.gamma is not None else DEFAULT_GAMMA
-
-    with tracer.span(
-        "query.skyline", groups=len(partitions), gamma=float(gamma)
-    ) as span:
-        if ast.weight is not None:
-            skyline_result = _weighted_skyline(
-                plan, working, partitions, positions, directions, gamma
+    working = table
+    partitions: Optional[Dict[Tuple, List[Row]]] = None
+    skyline_result: Optional[AggregateSkylineResult] = None
+    for node in logical.nodes:
+        if isinstance(node, ScanNode):
+            working = table
+        elif isinstance(node, FilterNode):
+            with tracer.span("query.scan", rows_in=len(working)) as scan:
+                working = working.select(node.predicate)
+                scan.set_attribute("rows_out", len(working))
+        elif isinstance(node, GroupNode) and node.raw:
+            # The aggregate-skyline path: raw partitions, HAVING first —
+            # it restricts which groups even compete in the skyline.
+            if len(working) == 0:
+                return QueryResult(Table(_output_columns(plan), []), None)
+            with tracer.span("query.group_by", rows_in=len(working)) as span:
+                partitions = working.group_rows(ast.group_by)
+                span.set_attribute("groups", len(partitions))
+            if plan.having_predicate is not None:
+                with tracer.span(
+                    "query.having", groups_in=len(partitions)
+                ) as span:
+                    partitions = _filter_partitions(plan, working, partitions)
+                    span.set_attribute("groups_out", len(partitions))
+                if not partitions:
+                    return QueryResult(
+                        Table(_output_columns(plan), []), None
+                    )
+        elif isinstance(node, GroupNode):
+            with tracer.span("query.group_by", rows_in=len(working)) as span:
+                working = group_by(
+                    working,
+                    ast.group_by,
+                    aggregates=plan.aggregate_specs(),
+                    having=plan.having_predicate,
+                )
+                span.set_attribute("groups", len(working))
+        elif isinstance(node, AggregateSkylineNode):
+            if node.record_level:
+                working = _record_skyline(ast, working)
+            else:
+                assert partitions is not None
+                skyline_result = _aggregate_skyline(
+                    plan,
+                    logical,
+                    working,
+                    partitions,
+                    execution,
+                    algorithm_options,
+                )
+        elif isinstance(node, ProjectNode):
+            return _finish(
+                plan, node.mode, working, partitions, skyline_result
             )
-        else:
-            groups: Dict[Hashable, List[Tuple[float, ...]]] = {
-                key: [tuple(float(row[p]) for p in positions) for row in rows]
-                for key, rows in partitions.items()
+        elif isinstance(node, OrderLimitNode):  # pragma: no cover - _finish
+            pass                                # consumed ORDER BY / LIMIT
+    raise AssertionError("logical plan ended without a project node")
+
+
+def _finish(
+    plan: QueryPlan,
+    mode: str,
+    working: Table,
+    partitions: Optional[Dict[Tuple, List[Row]]],
+    skyline_result: Optional[AggregateSkylineResult],
+) -> QueryResult:
+    """Projection + ORDER BY + LIMIT, per query family (span-preserving)."""
+    ast = plan.query
+    tracer = obs_tracing.get_tracer()
+    if mode == "select":
+        working, ordered = _order_early(ast, working)
+        if not ast.select_star:
+            names = [item.expression.name for item in ast.select]  # type: ignore[union-attr]
+            working = working.project(names)
+            aliases = {
+                item.expression.name: item.output_name  # type: ignore[union-attr]
+                for item in ast.select
+                if item.alias
             }
-            dataset = GroupedDataset(groups, directions=directions)
-
-            options = dict(algorithm_options)
-            if ast.prune_policy is not None:
-                options.setdefault("prune_policy", ast.prune_policy)
-            algorithm = make_algorithm(
-                ast.algorithm or DEFAULT_ALGORITHM,
-                gamma,
-                execution=execution,
-                **options,
+            if aliases:
+                working = working.rename(aliases)
+        return QueryResult(_order_and_limit(ast, working, skip_order=ordered))
+    if mode == "record":
+        working, ordered = _order_early(ast, working)
+        if not ast.select_star:
+            working = working.project(
+                [item.expression.name for item in ast.select]  # type: ignore[union-attr]
             )
-            skyline_result = algorithm.compute(dataset)
-        span.set_attribute("algorithm", skyline_result.stats.algorithm)
-        span.set_attribute("survivors", len(skyline_result))
+        return QueryResult(_order_and_limit(ast, working, skip_order=ordered))
+    if mode == "grouped-agg":
+        # Order before projection so ORDER BY may use grouping columns and
+        # aggregates that the SELECT list drops (standard SQL behaviour).
+        with tracer.span("query.order_limit"):
+            working, ordered = _order_early(ast, working)
+            projected = _project_grouped(plan, working)
+            final = _order_and_limit(ast, projected, skip_order=ordered)
+        return QueryResult(final)
+    assert mode == "grouped-skyline" and skyline_result is not None
+    assert partitions is not None
     surviving = skyline_result.as_set()
-
     with tracer.span("query.order_limit"):
         kept_rows = [
             row
@@ -251,6 +264,131 @@ def _run_aggregate_skyline(
         projected = _project_grouped(plan, grouped)
         final = _order_and_limit(ast, projected, skip_order=ordered)
     return QueryResult(final, skyline_result)
+
+
+def _record_skyline(ast: Query, working: Table) -> Table:
+    """The record-level skyline node (no grouping; Section 1's classic)."""
+    measures = [spec.column for spec in ast.skyline]
+    directions = [spec.direction for spec in ast.skyline]
+    if len(working) == 0:
+        return working
+    with obs_tracing.get_tracer().span(
+        "query.skyline", rows_in=len(working), record_level=True
+    ) as span:
+        values = [
+            [float(row[working.column_position(c)]) for c in measures]
+            for row in working.rows
+        ]
+        mask = skyline_mask(values, directions)
+        result = Table(
+            working.columns,
+            [row for row, keep in zip(working.rows, mask) if keep],
+        )
+        span.set_attribute("rows_out", len(result))
+    return result
+
+
+def _skyline_dataset(
+    plan: QueryPlan,
+    working: Table,
+    partitions: Dict[Tuple, List[Row]],
+) -> GroupedDataset:
+    """Partitions → the GroupedDataset the skyline algorithm consumes."""
+    ast = plan.query
+    positions = [working.column_position(spec.column) for spec in ast.skyline]
+    directions = [spec.direction for spec in ast.skyline]
+    groups: Dict[Hashable, List[Tuple[float, ...]]] = {
+        key: [tuple(float(row[p]) for p in positions) for row in rows]
+        for key, rows in partitions.items()
+    }
+    return GroupedDataset(groups, directions=directions)
+
+
+def _aggregate_skyline(
+    plan: QueryPlan,
+    logical: LogicalPlan,
+    working: Table,
+    partitions: Dict[Tuple, List[Row]],
+    execution: Optional[ExecutionConfig],
+    algorithm_options: Dict[str, Any],
+) -> AggregateSkylineResult:
+    """The aggregate-skyline node: optimize (or force) and execute."""
+    ast = plan.query
+    tracer = obs_tracing.get_tracer()
+    gamma = ast.gamma if ast.gamma is not None else DEFAULT_GAMMA
+    with tracer.span(
+        "query.skyline", groups=len(partitions), gamma=float(gamma)
+    ) as span:
+        if ast.weight is not None:
+            positions = [
+                working.column_position(spec.column) for spec in ast.skyline
+            ]
+            directions = [spec.direction for spec in ast.skyline]
+            skyline_result = _weighted_skyline(
+                plan, working, partitions, positions, directions, gamma
+            )
+        else:
+            dataset = _skyline_dataset(plan, working, partitions)
+            options = dict(algorithm_options)
+            if ast.prune_policy is not None:
+                options.setdefault("prune_policy", ast.prune_policy)
+            physical = optimize(
+                logical,
+                dataset,
+                gamma=gamma,
+                algorithm=ast.algorithm or DEFAULT_ALGORITHM,
+                execution=execution,
+                options=options,
+                entry="sql",
+            )
+            skyline_result = physical.execute(dataset)
+        span.set_attribute("algorithm", skyline_result.stats.algorithm)
+        span.set_attribute("survivors", len(skyline_result))
+    return skyline_result
+
+
+def _explain_text(
+    plan: QueryPlan,
+    logical: LogicalPlan,
+    table: Table,
+    execution: Optional[ExecutionConfig],
+    algorithm_options: Dict[str, Any],
+) -> str:
+    """Render the plan tree, probing the optimizer for skyline queries.
+
+    The probe replays the cheap pre-skyline stages (filter, partition,
+    HAVING) to build the dataset the optimizer would see; nothing is
+    computed.  Non-skyline and weighted queries, and queries whose input
+    comes up empty, render the logical structure alone.
+    """
+    ast = plan.query
+    if ast.is_aggregate_skyline and ast.weight is None:
+        working = table
+        if plan.where_predicate is not None:
+            working = working.select(plan.where_predicate)
+        partitions = (
+            working.group_rows(ast.group_by) if len(working) else {}
+        )
+        if plan.having_predicate is not None and partitions:
+            partitions = _filter_partitions(plan, working, partitions)
+        if partitions:
+            dataset = _skyline_dataset(plan, working, partitions)
+            gamma = ast.gamma if ast.gamma is not None else DEFAULT_GAMMA
+            options = dict(algorithm_options)
+            if ast.prune_policy is not None:
+                options.setdefault("prune_policy", ast.prune_policy)
+            physical = optimize(
+                logical,
+                dataset,
+                gamma=gamma,
+                algorithm=ast.algorithm or DEFAULT_ALGORITHM,
+                execution=execution,
+                options=options,
+                entry="sql",
+                probe=True,
+            )
+            return physical.render()
+    return render_plan(logical)
 
 
 # ----------------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 Grammar (keywords case-insensitive)::
 
-    query     := SELECT select_list FROM ident
+    query     := [EXPLAIN] SELECT select_list FROM ident
                  [WHERE expr]
                  [GROUP BY ident_list]
                  [HAVING expr]
@@ -135,6 +135,7 @@ class _Parser:
     # ------------------------------------------------------------------
 
     def parse_query(self) -> Query:
+        explain = self._accept_keyword("EXPLAIN")
         self._expect_keyword("SELECT")
         select_star = False
         select: List[SelectItem] = []
@@ -147,7 +148,10 @@ class _Parser:
 
         self._expect_keyword("FROM")
         table = self._expect_ident("table name")
-        query = Query(table=table, select_star=select_star, select=select)
+        query = Query(
+            table=table, select_star=select_star, select=select,
+            explain=explain,
+        )
 
         if self._accept_keyword("WHERE"):
             query.where = self._parse_expression()

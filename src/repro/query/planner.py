@@ -3,6 +3,10 @@
 The planner checks a :class:`~repro.query.ast_nodes.Query` against a table's
 columns, collects the aggregates the executor must compute, and compiles
 filter expressions into predicates over row dictionaries.
+:func:`compile_logical` then lowers the validated query to the shared
+:class:`~repro.plan.logical.LogicalPlan` node chain that the executor
+interprets and the plan optimizer keys its decisions on — the same IR the
+dataset-level entry paths (``aggregate_skyline``, the engine) use.
 """
 
 from __future__ import annotations
@@ -10,6 +14,16 @@ from __future__ import annotations
 import operator
 from typing import Any, Callable, Dict, List, Optional, Set
 
+from ..plan.logical import (
+    AggregateSkylineNode,
+    FilterNode,
+    GroupNode,
+    LogicalNode,
+    LogicalPlan,
+    OrderLimitNode,
+    ProjectNode,
+    ScanNode,
+)
 from ..relational.operators import AggregateSpec
 from ..relational.table import Table
 from .ast_nodes import (
@@ -24,7 +38,20 @@ from .ast_nodes import (
     Query,
 )
 
-__all__ = ["PlanError", "QueryPlan", "plan_query", "compile_predicate"]
+__all__ = [
+    "PlanError",
+    "QueryPlan",
+    "plan_query",
+    "compile_predicate",
+    "compile_logical",
+    "DEFAULT_GAMMA",
+    "DEFAULT_ALGORITHM",
+]
+
+#: Dialect defaults: WITH GAMMA .5 (the paper's parameter-free choice) and
+#: USING ALGORITHM LO (the evaluation's overall winner).
+DEFAULT_GAMMA = 0.5
+DEFAULT_ALGORITHM = "LO"
 
 _OPS: Dict[str, Callable[[Any, Any], bool]] = {
     "=": operator.eq,
@@ -148,6 +175,130 @@ class QueryPlan:
 def plan_query(query: Query, table: Table) -> QueryPlan:
     """Validate ``query`` against ``table`` and return an executable plan."""
     return QueryPlan(query, table)
+
+
+# ----------------------------------------------------------------------
+# lowering to the shared logical plan
+# ----------------------------------------------------------------------
+
+
+def _output_names(plan: QueryPlan) -> List[str]:
+    query = plan.query
+    if query.select_star:
+        return list(query.group_by)
+    return [item.output_name for item in query.select]
+
+
+def compile_logical(plan: QueryPlan) -> LogicalPlan:
+    """Lower a validated query to the shared logical node chain.
+
+    One chain shape per query family, always ending in project +
+    order/limit so plan shapes line up across families::
+
+        aggregate skyline: scan → [filter] → group(raw) → skyline → project → order/limit
+        record skyline:    scan → [filter] → skyline(record) → project → order/limit
+        plain GROUP BY:    scan → [filter] → group(agg) → project → order/limit
+        plain SELECT:      scan → [filter] → project → order/limit
+
+    Compiled predicates ride on the nodes for execution but stay out of
+    the signatures, so :meth:`~repro.plan.logical.LogicalPlan.shape` only
+    reflects query text — the property the plan cache keys on.
+    """
+    from .render import render_expression
+
+    query = plan.query
+    nodes: List[LogicalNode] = [
+        ScanNode(source=query.table, records=len(plan.table))
+    ]
+    if query.where is not None:
+        nodes.append(
+            FilterNode(
+                description=render_expression(query.where),
+                predicate=plan.where_predicate,
+            )
+        )
+    having = (
+        render_expression(query.having) if query.having is not None else None
+    )
+    measures = tuple(spec.column for spec in query.skyline)
+    directions = tuple(spec.direction.value for spec in query.skyline)
+    if query.is_aggregate_skyline:
+        nodes.append(
+            GroupNode(keys=tuple(query.group_by), raw=True, having=having)
+        )
+        nodes.append(
+            AggregateSkylineNode(
+                measures=measures,
+                directions=directions,
+                gamma=(
+                    query.gamma if query.gamma is not None else DEFAULT_GAMMA
+                ),
+                algorithm=(
+                    (query.algorithm or DEFAULT_ALGORITHM).strip().upper()
+                    if query.weight is None
+                    else None
+                ),
+                prune_policy=query.prune_policy,
+                weight=query.weight,
+            )
+        )
+        nodes.append(
+            ProjectNode(
+                columns=tuple(_output_names(plan)), mode="grouped-skyline"
+            )
+        )
+    elif query.is_record_skyline:
+        nodes.append(
+            AggregateSkylineNode(
+                measures=measures, directions=directions, record_level=True
+            )
+        )
+        nodes.append(
+            ProjectNode(
+                columns=(
+                    ("*",)
+                    if query.select_star
+                    else tuple(item.expression.name for item in query.select)  # type: ignore[union-attr]
+                ),
+                mode="record",
+            )
+        )
+    elif query.group_by:
+        nodes.append(
+            GroupNode(
+                keys=tuple(query.group_by),
+                raw=False,
+                having=having,
+                aggregates=tuple(
+                    spec.alias for spec in plan.aggregate_specs()
+                ),
+            )
+        )
+        nodes.append(
+            ProjectNode(
+                columns=tuple(_output_names(plan)), mode="grouped-agg"
+            )
+        )
+    else:
+        nodes.append(
+            ProjectNode(
+                columns=(
+                    ("*",)
+                    if query.select_star
+                    else tuple(item.output_name for item in query.select)
+                ),
+                mode="select",
+            )
+        )
+    nodes.append(
+        OrderLimitNode(
+            order=tuple(
+                (spec.column, spec.descending) for spec in query.order_by
+            ),
+            limit=query.limit,
+        )
+    )
+    return LogicalPlan(tuple(nodes))
 
 
 # ----------------------------------------------------------------------

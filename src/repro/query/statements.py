@@ -260,11 +260,11 @@ def parse_statement(source: str):
         return parser.parse_update()
     if head == "DROP":
         return parser.parse_drop()
-    if head == "SELECT":
+    if head in ("SELECT", "EXPLAIN"):
         return parse(stripped)
     raise ParseError(
         f"unknown statement {head!r}; expected CREATE, INSERT, DELETE,"
-        " UPDATE, DROP or SELECT"
+        " UPDATE, DROP, SELECT or EXPLAIN"
     )
 
 

@@ -1,0 +1,438 @@
+"""Plan layer: optimizer parity, plan caching, and the EXPLAIN surfaces.
+
+The acceptance contract of the planning refactor:
+
+- ``algorithm="auto"`` routes through the cost model and yields exactly
+  the result (skyline *and* every work counter) of running the chosen
+  algorithm explicitly, serial and pooled alike;
+- an explicitly forced algorithm is bit-identical to the pre-planner
+  behaviour (same construction path, no probe, no cache traffic);
+- planner decisions are memoised per dataset fingerprint and evicted
+  naturally when an incremental dataset mutates;
+- the same plan tree renders from SQL ``EXPLAIN``, the dataset-level
+  ``explain_dataset`` and ``SkylineEngine.explain``.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import artifacts
+from repro.core.algorithms import make_algorithm
+from repro.core.api import aggregate_skyline
+from repro.core.artifacts import ArtifactCache, set_cache
+from repro.core.execution import ExecutionConfig
+from repro.core.groups import GroupedDataset
+from repro.core.incremental import IncrementalAggregateSkyline
+from repro.engine import SkylineEngine
+from repro.harness.persistence import results_from_json, results_to_json
+from repro.harness.runner import RunResult, run_algorithms
+from repro.obs.metrics import use_registry
+from repro.plan import (
+    PlanDecision,
+    collect_statistics,
+    estimate_costs,
+    explain_dataset,
+    logical_for_dataset,
+    optimize,
+)
+from repro.query.executor import execute
+from repro.query.parser import parse
+from repro.relational.table import Table
+
+pytestmark = pytest.mark.timeout(180)
+
+COUNTERS = (
+    "group_comparisons",
+    "record_pairs_examined",
+    "bbox_shortcuts",
+    "groups_skipped",
+    "index_candidates",
+    "stopping_rule_exits",
+)
+
+
+def counters_of(result):
+    return {name: getattr(result.stats, name) for name in COUNTERS}
+
+
+def small_dataset(groups=14, size=12, dims=3, seed=5):
+    rng = np.random.default_rng(seed)
+    return GroupedDataset(
+        {
+            f"g{i}": rng.random((size, dims)) + 0.05 * i
+            for i in range(groups)
+        }
+    )
+
+
+@pytest.fixture
+def fresh_cache():
+    """Isolate the process-wide artifact cache per test."""
+    previous = artifacts.get_cache()
+    cache = ArtifactCache()
+    set_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_cache(previous)
+
+
+# ----------------------------------------------------------------------
+# parity: auto == chosen-explicit, forced == pre-planner
+# ----------------------------------------------------------------------
+
+
+class TestParity:
+    def test_auto_matches_explicit_serial(self, fresh_cache):
+        dataset = small_dataset()
+        auto = aggregate_skyline(dataset, gamma=0.5, algorithm="auto")
+        chosen = auto.plan["algorithm"]
+        explicit = aggregate_skyline(dataset, gamma=0.5, algorithm=chosen)
+        assert auto.keys == explicit.keys
+        assert counters_of(auto) == counters_of(explicit)
+        assert auto.plan["forced"] is False
+        assert explicit.plan["forced"] is True
+
+    def test_auto_matches_explicit_pooled(self, fresh_cache):
+        dataset = small_dataset(groups=10, size=10)
+        execution = ExecutionConfig(workers=2)
+        auto = aggregate_skyline(
+            dataset, gamma=0.5, algorithm="auto", execution=execution
+        )
+        chosen = auto.plan["algorithm"]
+        explicit = aggregate_skyline(
+            dataset, gamma=0.5, algorithm=chosen, execution=execution
+        )
+        assert auto.keys == explicit.keys
+        assert counters_of(auto) == counters_of(explicit)
+
+    @pytest.mark.parametrize("name", ["NL", "TR", "SI", "IN", "LO"])
+    def test_forced_bit_identical_to_direct_construction(
+        self, fresh_cache, name
+    ):
+        """An explicit algorithm bypasses probe and cache: the pipeline
+        must reproduce ``make_algorithm(name, ...).compute()`` exactly."""
+        dataset = small_dataset(seed=9)
+        via_pipeline = aggregate_skyline(dataset, gamma=0.6, algorithm=name)
+        direct = make_algorithm(name, 0.6).compute(dataset)
+        assert via_pipeline.keys == direct.keys
+        assert counters_of(via_pipeline) == counters_of(direct)
+        assert via_pipeline.stats.algorithm == direct.stats.algorithm
+        # No statistics probe ran for the forced path: the algorithms may
+        # cache their own artifacts (rtrees, sort orders) but the planner
+        # must not have added decision or overlap entries.
+        assert via_pipeline.plan["forced"] is True
+        assert "statistics" not in via_pipeline.plan
+        kinds = {key[1] for key in fresh_cache._store}
+        assert "plan_choice" not in kinds
+        assert "overlap_estimate" not in kinds
+
+    def test_sql_never_auto_picked(self, fresh_cache):
+        dataset = small_dataset()
+        statistics = collect_statistics(dataset)
+        for candidate in estimate_costs(statistics, None, 0.5):
+            if candidate.algorithm == "SQL":
+                assert not candidate.kept
+
+
+# ----------------------------------------------------------------------
+# plan cache: hits, misses, invalidation through mutation
+# ----------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_warm_repeat_hits_cache(self, fresh_cache):
+        dataset = small_dataset()
+        with use_registry() as registry:
+            with SkylineEngine() as engine:
+                handle = engine.attach(dataset)
+                first = engine.query(handle, algorithm="auto")
+                second = engine.query(handle, algorithm="auto")
+        assert first.plan["cached"] is False
+        assert second.plan["cached"] is True
+        assert registry.counter("plan_cache_misses_total").value() == 1
+        assert registry.counter("plan_cache_hits_total").value() == 1
+
+    def test_mutation_invalidates_plans_and_probes(self, fresh_cache):
+        rng = np.random.default_rng(3)
+        incremental = IncrementalAggregateSkyline(dimensions=3)
+        for i in range(8):
+            incremental.insert_many(
+                f"g{i}", rng.random((10, 3)) + 0.05 * i
+            )
+        before = incremental.to_dataset()
+        first = aggregate_skyline(before, algorithm="auto")
+        repeat = aggregate_skyline(before, algorithm="auto")
+        assert first.plan["cached"] is False
+        assert repeat.plan["cached"] is True
+
+        incremental.insert("g0", [2.0, 2.0, 2.0])
+        after = incremental.to_dataset()
+        assert after.fingerprint() != before.fingerprint()
+        fresh = aggregate_skyline(after, algorithm="auto")
+        # New fingerprint, new entry: the stale plan cannot be served.
+        assert fresh.plan["cached"] is False
+
+    def test_overlap_probe_memoised_across_planner_and_adaptive(
+        self, fresh_cache
+    ):
+        """The planner's probe and AD's estimate share one cache entry."""
+        dataset = small_dataset(seed=11)
+        collect_statistics(dataset)  # builds the overlap_estimate entry
+        before = fresh_cache.stats()["hits"]
+        result = aggregate_skyline(dataset, algorithm="AD")
+        assert result.stats.algorithm.startswith("AD")
+        assert fresh_cache.stats()["hits"] > before
+
+    def test_explain_probe_reuses_cached_decision(self, fresh_cache):
+        dataset = small_dataset()
+        aggregate_skyline(dataset, algorithm="auto")
+        text = explain_dataset(dataset, algorithm="auto")
+        assert "<- chosen" in text
+        # Rendering excludes entry/cached so cached and cold trees match.
+        cold = ArtifactCache()
+        set_cache(cold)
+        assert explain_dataset(dataset, algorithm="auto") == text
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN surfaces
+# ----------------------------------------------------------------------
+
+
+def movies_table():
+    rows = [
+        ["Tarantino", 557, 9.0],
+        ["Tarantino", 313, 8.2],
+        ["Wiseau", 10, 3.2],
+        ["Nolan", 400, 8.8],
+        ["Nolan", 600, 8.1],
+        ["Bay", 900, 5.0],
+    ]
+    return Table(["director", "pop", "qual"], rows)
+
+
+def movies_dataset():
+    table = movies_table()
+    groups = {}
+    for director, pop, qual in table.rows:
+        groups.setdefault(director, []).append((float(pop), float(qual)))
+    return GroupedDataset(groups)
+
+
+def annotation_block(text):
+    """The skyline-node annotation lines, indentation-stripped."""
+    lines = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("·"):
+            lines.append(stripped.lstrip("·").strip())
+    return lines
+
+
+class TestExplain:
+    SQL = (
+        "SELECT director FROM movies GROUP BY director"
+        " SKYLINE OF pop MAX, qual MAX USING ALGORITHM AUTO"
+    )
+
+    def test_parser_sets_explain_flag(self):
+        assert parse("EXPLAIN " + self.SQL).explain is True
+        assert parse(self.SQL).explain is False
+
+    def test_sql_explain_returns_plan_without_executing(self, fresh_cache):
+        result = execute(
+            "EXPLAIN " + self.SQL, {"movies": movies_table()}
+        )
+        assert result.skyline_result is None
+        assert result.table.columns == ("plan",) or list(
+            result.table.columns
+        ) == ["plan"]
+        text = "\n".join(row[0] for row in result.table.rows)
+        assert "aggregate-skyline" in text
+        assert "<- chosen" in text
+        assert "scan movies" in text
+
+    def test_explain_kwarg_equals_explain_prefix(self, fresh_cache):
+        catalog = {"movies": movies_table()}
+        via_prefix = execute("EXPLAIN " + self.SQL, catalog)
+        via_kwarg = execute(self.SQL, catalog, explain=True)
+        assert [r[0] for r in via_prefix.table.rows] == [
+            r[0] for r in via_kwarg.table.rows
+        ]
+
+    def test_same_tree_from_sql_api_and_engine(self, fresh_cache):
+        """The skyline-node annotations (statistics + candidate costs)
+        must agree across all three entry paths."""
+        catalog = {"movies": movies_table()}
+        dataset = movies_dataset()
+        sql_text = "\n".join(
+            row[0]
+            for row in execute("EXPLAIN " + self.SQL, catalog).table.rows
+        )
+        api_text = explain_dataset(dataset, algorithm="auto")
+        with SkylineEngine.ephemeral() as engine:
+            engine_text = engine.explain(dataset, algorithm="auto")
+        assert annotation_block(sql_text) == annotation_block(api_text)
+        assert annotation_block(api_text) == annotation_block(engine_text)
+
+    def test_engine_explain_does_not_execute(self, fresh_cache):
+        dataset = movies_dataset()
+        with SkylineEngine() as engine:
+            text = engine.explain(dataset, algorithm="auto")
+            assert engine.stats.queries == 0
+        assert "aggregate-skyline" in text
+
+    def test_non_skyline_queries_render_structure_only(self, fresh_cache):
+        result = execute(
+            "EXPLAIN SELECT director FROM movies WHERE pop > 100",
+            {"movies": movies_table()},
+        )
+        text = "\n".join(row[0] for row in result.table.rows)
+        assert "filter" in text
+        assert "cost≈" not in text
+
+
+class TestCliExplain:
+    def write_csv(self, tmp_path):
+        from repro.relational.csvio import save_csv
+
+        path = tmp_path / "movies.csv"
+        save_csv(movies_table(), str(path))
+        return str(path)
+
+    def test_skyline_explain_flag(self, tmp_path, capsys, fresh_cache):
+        from repro.cli import main
+
+        csv = self.write_csv(tmp_path)
+        code = main(
+            [
+                "skyline", "--csv", csv, "--group-by", "director",
+                "--of", "pop:max,qual:max", "--algorithm", "auto",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregate-skyline of [pop max, qual max]" in out
+        assert "<- chosen" in out
+
+    def test_query_explain_flag(self, tmp_path, capsys, fresh_cache):
+        from repro.cli import main
+
+        csv = self.write_csv(tmp_path)
+        code = main(
+            [
+                "query", "--table", f"movies={csv}", "--explain",
+                TestExplain.SQL,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregate-skyline" in out
+        assert "statistics:" in out
+
+    def test_serve_batch_explain(self, tmp_path, capsys, fresh_cache):
+        from repro.cli import main
+
+        csv = self.write_csv(tmp_path)
+        batch = tmp_path / "batch.jsonl"
+        batch.write_text(
+            json.dumps({"explain": True, "algorithm": "auto"})
+            + "\n"
+            + json.dumps({"gamma": 0.5})
+            + "\n"
+        )
+        code = main(
+            [
+                "serve", "--csv", csv, "--group-by", "director",
+                "--of", "pop:max,qual:max", "--batch", str(batch),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregate-skyline" in out       # the explain spec
+        assert "gamma=0.5" in out               # the executed query
+
+
+# ----------------------------------------------------------------------
+# harness integration: RunResult.plan + persistence round-trip
+# ----------------------------------------------------------------------
+
+
+class TestHarnessPlan:
+    def test_run_algorithms_auto_records_plan(self, fresh_cache):
+        dataset = small_dataset(groups=8, size=8)
+        results = run_algorithms(
+            dataset, algorithms=["AUTO"], experiment="planner"
+        )
+        assert len(results) == 1
+        plan = results[0].plan
+        assert plan is not None
+        assert plan["requested"] == "AUTO"
+        assert plan["algorithm"] in ("NL", "TR", "SI", "IN", "LO")
+        assert plan["candidates"]
+
+    def test_plan_round_trips_through_json(self):
+        result = RunResult(
+            experiment="planner",
+            params={"n": 1},
+            algorithm="AUTO",
+            elapsed_seconds=0.25,
+            group_comparisons=10,
+            record_pairs=100,
+            skyline_size=2,
+            skyline_keys=frozenset({"a", "b"}),
+            plan={
+                "requested": "AUTO",
+                "algorithm": "LO",
+                "forced": False,
+                "cached": False,
+                "entry": "harness",
+            },
+        )
+        text = results_to_json([result])
+        (back,) = results_from_json(text)
+        assert back.plan == result.plan
+
+    def test_old_json_without_plan_still_round_trips(self):
+        result = RunResult(
+            experiment="legacy",
+            params={},
+            algorithm="LO",
+            elapsed_seconds=0.1,
+            group_comparisons=1,
+            record_pairs=2,
+            skyline_size=1,
+        )
+        text = results_to_json([result])
+        assert '"plan"' not in text
+        (back,) = results_from_json(text)
+        assert back.plan is None
+        # A literally pre-planner payload (no plan key anywhere) parses.
+        payload = json.loads(text)
+        (legacy,) = results_from_json(json.dumps(payload))
+        assert legacy.plan is None
+
+
+# ----------------------------------------------------------------------
+# decision serialisation
+# ----------------------------------------------------------------------
+
+
+class TestPlanDecision:
+    def test_round_trip(self, fresh_cache):
+        dataset = small_dataset()
+        logical = logical_for_dataset(
+            dataset, gamma=0.5, algorithm="AUTO"
+        )
+        physical = optimize(
+            logical, dataset, gamma=0.5, algorithm="AUTO", probe=True
+        )
+        data = physical.decision.as_dict()
+        back = PlanDecision.from_dict(data)
+        assert back.as_dict() == data
+        assert back.algorithm == physical.decision.algorithm
