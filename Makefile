@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= smoke
 
-.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench perf-smoke faults-demo faults-test engine-demo engine-test engine-bench planner-demo planner-test clean
+.PHONY: install test bench bench-small bench-paper examples figures metrics-demo parallel-demo parallel-bench columnar-bench perf-smoke faults-demo faults-test engine-demo engine-test engine-bench planner-demo planner-test net-demo net-test net-bench clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -81,6 +81,24 @@ planner-demo:
 # surfaces) — CI runs this leg with REPRO_START_METHOD=spawn on top.
 planner-test:
 	$(PYTHON) -m pytest tests/test_planner.py
+
+# Network front-end walkthrough on the NBA dataset: TCP server + two
+# concurrent clients with interleaved sweeps, bit-identity checked
+# against sequential engine.query(), deadline timeout, HTTP shim,
+# graceful drain (docs/engine.md "Serving over the network").
+net-demo:
+	$(PYTHON) examples/net_demo.py
+
+# The network/admission test matrix plus the serve error-path suite —
+# CI runs this leg with REPRO_START_METHOD=spawn on top.
+net-test:
+	$(PYTHON) -m pytest tests/test_net.py tests/test_serve_errors.py
+
+# Sequential vs concurrent submit_batch vs two TCP clients on one pool;
+# appends to the BENCH_$(SCALE).json perf history (docs/engine.md).
+net-bench:
+	REPRO_BENCH_SCALE=$(SCALE) $(PYTHON) -m pytest \
+		benchmarks/bench_net_admission.py
 
 # Serial-vs-parallel comparison table on a pool of 2 (docs/parallel.md).
 parallel-demo:

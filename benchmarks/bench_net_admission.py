@@ -1,0 +1,176 @@
+"""Concurrent query admission vs a sequential sweep, same pool.
+
+The claim the admission layer makes (docs/engine.md "Serving over the
+network"): interleaving several queries' chunk streams on one resident
+pool keeps every worker busy across query boundaries, so a sweep of
+independent queries finishes faster than running them one at a time —
+while every result stays bit-identical.  This module measures exactly
+that on one ``SkylineEngine``:
+
+* **sequential** — ``submit_batch(handle, specs)``: each query drains
+  the pool before the next starts.
+* **concurrent** — ``submit_batch(handle, specs, concurrency=4)``: up
+  to four queries' chunk streams overlap via ``(query id, span)``
+  routing.
+* **over TCP** — the same sweep split across two ``SkylineClient``
+  connections against a ``SkylineServer``, measuring the full network
+  + admission path.
+
+Results go to ``benchmarks/results/net_admission_<scale>.txt`` and the
+sequential/concurrent series into the perf history under the
+``net-admission@<scale>`` fingerprint.
+"""
+
+import dataclasses
+import json
+import os
+import threading
+import time
+
+import pytest
+from conftest import BENCH_SCALE, RESULTS_DIR, perf_history
+
+from repro import ExecutionConfig, SkylineEngine
+from repro.data.synthetic import SyntheticSpec, generate_grouped
+from repro.net import SkylineClient, SkylineServer
+
+WORKERS = 4
+CONCURRENCY = 4
+
+GROUPS_BY_SCALE = {"smoke": 2_000, "small": 8_000, "paper": 20_000}
+
+SPECS = [
+    {"gamma": gamma, "algorithm": algorithm}
+    for gamma in (0.5, 0.6, 0.75, 0.9)
+    for algorithm in ("LO", "IN")
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    groups = GROUPS_BY_SCALE.get(BENCH_SCALE, GROUPS_BY_SCALE["smoke"])
+    return generate_grouped(
+        SyntheticSpec(
+            n_records=groups * 2,
+            avg_group_size=2,
+            dimensions=3,
+            distribution="anticorrelated",
+            seed=43,
+        )
+    )
+
+
+def _stats_dict(result):
+    payload = dataclasses.asdict(result.stats)
+    payload.pop("elapsed_seconds")
+    return payload
+
+
+def test_net_admission_report(workload):
+    execution = ExecutionConfig(workers=WORKERS, scheduler="stealing")
+    with SkylineEngine(execution) as engine:
+        handle = engine.attach(workload)
+        engine.query(handle, **SPECS[0])  # warm-up: pool + pins resident
+
+        start = time.perf_counter()
+        sequential = engine.submit_batch(handle, SPECS)
+        sequential_t = time.perf_counter() - start
+
+        start = time.perf_counter()
+        concurrent = engine.submit_batch(
+            handle, SPECS, concurrency=CONCURRENCY
+        )
+        concurrent_t = time.perf_counter() - start
+
+        # The determinism contract: interleaving changes wall clock only.
+        for a, b in zip(sequential, concurrent):
+            assert a.keys == b.keys
+            assert _stats_dict(a) == _stats_dict(b)
+
+        with SkylineServer(
+            engine, handle, max_inflight=CONCURRENCY
+        ) as server:
+            host, port = server.address
+            halves = (SPECS[::2], SPECS[1::2])
+            outputs = [None, None]
+
+            def sweep(slot):
+                with SkylineClient(host, port) as client:
+                    outputs[slot] = [
+                        client.query(**spec) for spec in halves[slot]
+                    ]
+
+            start = time.perf_counter()
+            threads = [
+                threading.Thread(target=sweep, args=(slot,))
+                for slot in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            tcp_t = time.perf_counter() - start
+
+        baseline_by_spec = dict(zip(map(repr, SPECS), sequential))
+        for slot, half in enumerate(halves):
+            for spec, body in zip(half, outputs[slot]):
+                cold = baseline_by_spec[repr(spec)]
+                keys = [
+                    tuple(k) if isinstance(k, list) else k
+                    for k in body["keys"]
+                ]
+                assert keys == list(cold.keys)
+
+    speedup = sequential_t / concurrent_t if concurrent_t > 0 else float("inf")
+    lines = [
+        f"concurrent admission, {len(workload)} groups x {len(SPECS)} specs"
+        f" (scale={BENCH_SCALE}, workers={WORKERS},"
+        f" concurrency={CONCURRENCY}, cpus={os.cpu_count()})",
+        f"{'sweep':<36} {'seconds':>9}",
+        f"{'sequential submit_batch':<36} {sequential_t:>9.4f}",
+        f"{f'concurrent submit_batch (x{CONCURRENCY})':<36} {concurrent_t:>9.4f}",
+        f"{'two TCP clients via SkylineServer':<36} {tcp_t:>9.4f}",
+        f"concurrent speedup over sequential: {speedup:.2f}x",
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / f"net_admission_{BENCH_SCALE}.txt"
+    out_path.write_text("\n".join(lines) + "\n")
+
+    history = perf_history()
+    fingerprint = "net-admission@{}:{}".format(
+        BENCH_SCALE,
+        json.dumps(
+            {"groups": len(workload), "specs": len(SPECS),
+             "workers": WORKERS},
+            sort_keys=True,
+        ),
+    )
+    counters = {
+        "group_comparisons": sum(
+            r.stats.group_comparisons for r in sequential
+        ),
+        "record_pairs": sum(
+            r.stats.record_pairs_examined for r in sequential
+        ),
+    }
+    label = os.environ.get("REPRO_PERF_LABEL", "")
+    history.record(
+        fingerprint,
+        "BATCH",
+        sequential_t,
+        execution={"mode": "sequential", "workers": WORKERS},
+        counters=counters,
+        label=label,
+    )
+    history.record(
+        fingerprint,
+        "BATCH",
+        concurrent_t,
+        execution={
+            "mode": "concurrent",
+            "workers": WORKERS,
+            "concurrency": CONCURRENCY,
+        },
+        counters=counters,
+        label=label,
+    )

@@ -394,6 +394,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="run query specs from a JSONL file (one JSON object of"
         " query keywords per line; '-' reads stdin) instead of the REPL",
     )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve the attached dataset over TCP (JSONL protocol plus"
+        " an HTTP/1.1 POST shim on the same port) instead of the REPL;"
+        " port 0 picks a free port",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="(--listen) queries executing concurrently on the pool"
+        " (default: 4)",
+    )
+    serve.add_argument(
+        "--max-waiting",
+        type=int,
+        default=32,
+        metavar="N",
+        help="(--listen) queries allowed to wait for a slot before the"
+        " server sheds load with an 'overloaded' frame (default: 32)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="(--listen) default per-request deadline; expiry returns a"
+        " 'timeout' error frame (default: none)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="(--listen) how long SIGTERM/SIGINT waits for in-flight"
+        " queries before force-closing (default: 10)",
+    )
     _add_obs_flags(serve)
 
     stats = commands.add_parser(
@@ -772,21 +812,41 @@ def _serve_parse_line(line: str):
 
 
 def _serve_parse_kwargs(tokens):
+    from .core.execution import suggest
+
     kwargs = {}
     for token in tokens:
         key, eq, value = token.partition("=")
         if not eq:
-            raise ValueError(f"expected key=value, got {token!r}")
+            raise ValueError(
+                f"expected key=value, got {token!r} (example: gamma=0.6)"
+            )
         if key == "gamma":
-            kwargs["gamma"] = float(value)
+            try:
+                kwargs["gamma"] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"gamma expects a number in [0.5, 1], got {value!r}"
+                    " (example: gamma=0.6)"
+                ) from None
         elif key == "algorithm":
             kwargs["algorithm"] = value
         elif key == "dims":
-            kwargs["dims"] = [int(d) for d in value.split(",") if d]
+            try:
+                kwargs["dims"] = [int(d) for d in value.split(",") if d]
+            except ValueError:
+                raise ValueError(
+                    f"dims expects comma-separated column indices, got"
+                    f" {value!r} (example: dims=0,1)"
+                ) from None
         elif key == "execution":
             kwargs["execution"] = value.replace(";", ",")
         else:
-            raise ValueError(f"unknown query keyword {key!r}")
+            keywords = ("algorithm", "dims", "execution", "gamma")
+            raise ValueError(
+                f"unknown query keyword {key!r}; expected one of"
+                f" {list(keywords)}" + suggest(key, keywords)
+            )
     return kwargs
 
 
@@ -807,6 +867,104 @@ def _serve_run_one(engine, handle, kwargs) -> None:
     )
 
 
+def _serve_load_batch(stream):
+    """Validate a JSONL spec stream line by line.
+
+    Returns ``(entries, failures)``: entries are ``(lineno, kwargs)``
+    for every valid spec, failures are ``(lineno, message)`` for every
+    line that is not valid JSON, not an object, mistypes a known key,
+    or names an unknown one — validated up front so a bad line is
+    reported and skipped instead of crashing the batch mid-stream.
+    """
+    from .net import protocol as net_protocol
+
+    entries, failures = [], []
+    for lineno, line in enumerate(stream, start=1):
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        try:
+            frame = net_protocol.decode_frame(line)
+            entries.append((lineno, net_protocol.validate_spec(frame)))
+        except net_protocol.SpecError as exc:
+            failures.append((lineno, str(exc)))
+    return entries, failures
+
+
+def _serve_print_result(result) -> None:
+    stats = result.stats
+    print(
+        f"[{stats.algorithm}] gamma={result.gamma:g};"
+        f" {len(result)} groups:"
+        f" {', '.join(_render_key(k) for k in result.keys)}"
+    )
+
+
+def _serve_batch(args, engine, handle) -> int:
+    if args.batch == "-":
+        entries, failures = _serve_load_batch(sys.stdin)
+    else:
+        with open(args.batch, encoding="utf-8") as stream:
+            entries, failures = _serve_load_batch(stream)
+    for lineno, message in failures:
+        print(f"error: line {lineno}: {message}", file=sys.stderr)
+    if not entries:
+        if not failures:
+            print("batch contained no query specs", file=sys.stderr)
+            return 0
+        return 1
+    if any(spec.get("explain") for _, spec in entries):
+        # Mixed batches run sequentially so explain lines land in
+        # order; pure-query batches keep the pipelined fast path.
+        for lineno, spec in entries:
+            spec = dict(spec)
+            if spec.pop("explain", False):
+                print(engine.explain(handle, **spec))
+                continue
+            _serve_print_result(engine.query(handle, **spec))
+    else:
+        for result in engine.submit_batch(
+            handle, [spec for _, spec in entries]
+        ):
+            _serve_print_result(result)
+    return 1 if failures else 0
+
+
+def _serve_listen(args, engine, handle) -> int:
+    from .net import SkylineServer
+
+    host, _, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"error: --listen expects HOST:PORT, got {args.listen!r}"
+            " (example: --listen 127.0.0.1:7007)",
+            file=sys.stderr,
+        )
+        return 2
+    server = SkylineServer(
+        engine,
+        handle,
+        host=host or "127.0.0.1",
+        port=port,
+        max_inflight=args.max_inflight,
+        max_waiting=args.max_waiting,
+        default_deadline_ms=args.deadline_ms,
+        drain_timeout=args.drain_timeout,
+    )
+    server.install_signal_handlers()
+    bound_host, bound_port = server.address
+    print(
+        f"listening on {bound_host}:{bound_port} (JSONL + HTTP POST;"
+        f" max_inflight={args.max_inflight},"
+        f" max_waiting={args.max_waiting}) —"
+        " SIGTERM/Ctrl-C drains in-flight queries and exits",
+        file=sys.stderr,
+    )
+    server.serve_forever()
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .engine import SkylineEngine
 
@@ -824,41 +982,10 @@ def _cmd_serve(args) -> int:
             f" pool: {len(pids)} workers {pids or '(serial)'}",
             file=sys.stderr,
         )
+        if args.listen is not None:
+            return _serve_listen(args, engine, handle)
         if args.batch is not None:
-            stream = sys.stdin if args.batch == "-" else open(args.batch)
-            try:
-                specs = [
-                    json.loads(line)
-                    for line in stream
-                    if line.strip() and not line.lstrip().startswith("#")
-                ]
-            finally:
-                if stream is not sys.stdin:
-                    stream.close()
-            if any(spec.get("explain") for spec in specs):
-                # Mixed batches run sequentially so explain lines land in
-                # order; pure-query batches keep the pipelined fast path.
-                for spec in specs:
-                    spec = dict(spec)
-                    if spec.pop("explain", False):
-                        print(engine.explain(handle, **spec))
-                        continue
-                    result = engine.query(handle, **spec)
-                    stats = result.stats
-                    print(
-                        f"[{stats.algorithm}] gamma={result.gamma:g};"
-                        f" {len(result)} groups:"
-                        f" {', '.join(_render_key(k) for k in result.keys)}"
-                    )
-                return 0
-            for result in engine.submit_batch(handle, specs):
-                stats = result.stats
-                print(
-                    f"[{stats.algorithm}] gamma={result.gamma:g};"
-                    f" {len(result)} groups:"
-                    f" {', '.join(_render_key(k) for k in result.keys)}"
-                )
-            return 0
+            return _serve_batch(args, engine, handle)
         print(
             "query: gamma=0.6 [algorithm=LO] [dims=0,1] — commands:"
             " explain [key=value...], stats, pids, quit",

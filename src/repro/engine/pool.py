@@ -28,6 +28,15 @@ keeps the worker processes *alive across queries*:
   is gone the query either finishes inline on the parent
   (``on_failure="serial"``) or raises
   :class:`~repro.parallel.executor.WorkerCrashError`.
+* **concurrent admission** — many threads may call :meth:`run_query`
+  at once (the network front-end in :mod:`repro.net` does).  Every
+  delivery is tagged ``(qid, span)``: a parent-side *router thread*
+  drains the one shared result queue and routes each message to its
+  query's pending record, deduplicating by span within the query, so
+  interleaved chunk streams never cross.  Workers hold one
+  ``_WorkerQuery`` per active qid — each query keeps its own
+  comparator, reset per chunk — which is why interleaving does not
+  perturb any ``AlgorithmStats`` counter.
 
 Determinism: chunks execute the exact kernels of the one-shot executor
 (:func:`~repro.parallel.executor.compare_span` /
@@ -46,11 +55,12 @@ from __future__ import annotations
 import multiprocessing as mp
 import hashlib
 import os
+import threading
 import time
 import weakref
 from dataclasses import dataclass, field
 from queue import Empty
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..obs import metrics as obs_metrics
 from ..obs import runlog as obs_runlog
@@ -363,6 +373,54 @@ def _engine_counter(name: str, help_text: str):
     return obs_metrics.get_registry().counter(name, help_text, ())
 
 
+class _AckWait:
+    """One thread blocked on attach/pin acknowledgements from every slot."""
+
+    __slots__ = ("key", "pending", "cond", "error")
+
+    def __init__(self, key: str, pending: Set[int], cond: "threading.Condition"):
+        self.key = key
+        self.pending = pending  # slot indices still owing an ack
+        self.cond = cond
+        self.error: Optional[BaseException] = None
+
+
+class _PendingQuery:
+    """Parent-side record of one in-flight query on the shared pool.
+
+    The router thread owns delivery: it moves spans out of
+    ``outstanding`` into ``outcomes`` (worker deliveries, deduplicated
+    by span) or ``inline`` (serial-fallback spans the *waiting* thread
+    must execute itself — chunk kernels never run on the router).  All
+    fields are guarded by the pool lock; ``cond`` shares it.
+    """
+
+    __slots__ = (
+        "qid", "outstanding", "outcomes", "inline", "total", "on_failure",
+        "progress", "inline_fallback", "cond", "error",
+    )
+
+    def __init__(
+        self, qid, outstanding, total, on_failure, progress,
+        inline_fallback, cond,
+    ):
+        self.qid = qid
+        self.outstanding: Set[Tuple[int, int]] = outstanding
+        self.outcomes: List[ChunkOutcome] = []
+        self.inline: List[Tuple[int, int]] = []
+        self.total = total
+        self.on_failure = on_failure
+        self.progress = progress
+        self.inline_fallback = inline_fallback
+        self.cond = cond
+        self.error: Optional[BaseException] = None
+
+    def fail(self, exc: BaseException) -> None:
+        if self.error is None:
+            self.error = exc
+        self.cond.notify_all()
+
+
 class PersistentPool:
     """A fixed set of long-lived worker slots shared by many queries.
 
@@ -402,9 +460,20 @@ class PersistentPool:
         self._arenas: Dict[str, ShmArena] = {}
         self._pinned: Dict[str, tuple] = {}  # key -> (tag, strong payload ref)
         self._pin_keys_by_token: Dict[str, List[str]] = {}
-        self._active_prepare: Optional[tuple] = None
+        #: prepare messages of every in-flight query, replayed on respawn
+        self._active_prepares: Dict[int, tuple] = {}
         self._next_qid = 0
         self._closed = False
+        # Concurrent admission: the pool lock guards qid allocation, slot
+        # casualty handling, the replay log and every pending record; the
+        # ship lock serialises attach/pin shipping (rare, content-deduped)
+        # so two threads never double-ship the same payload.
+        self._lock = threading.Lock()
+        self._ship_lock = threading.Lock()
+        self._pending: Dict[int, _PendingQuery] = {}
+        self._ack_waits: Dict[str, List[_AckWait]] = {}
+        self._router_stop = False
+        self._last_survey = time.monotonic()
         self._state = {
             "processes": [],
             "queues": [self._tasks, self._results],
@@ -412,6 +481,10 @@ class PersistentPool:
         }
         self._finalizer = weakref.finalize(self, _release_pool_state, self._state)
         self._slots: List[_Slot] = [self._spawn_slot(i) for i in range(workers)]
+        self._router = threading.Thread(
+            target=self._route_loop, name="repro-engine-router", daemon=True
+        )
+        self._router.start()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -445,11 +518,16 @@ class PersistentPool:
             name=f"repro-engine-{index}",
         )
         process.start()
-        ctrl.put(("watermark", self._next_qid))
+        # The watermark marks qids *below every in-flight query* stale —
+        # using _next_qid here would race the replayed prepares and let
+        # the fresh worker drop live tasks it claims before its ctrl
+        # queue drains.
+        watermark = min(self._active_prepares, default=self._next_qid)
+        ctrl.put(("watermark", watermark))
         for msg in self._replay:
             ctrl.put(msg)
-        if self._active_prepare is not None:
-            ctrl.put(self._active_prepare)
+        for qid in sorted(self._active_prepares):
+            ctrl.put(self._active_prepares[qid])
         self._state["processes"].append(process)
         self._state["queues"].append(ctrl)
         return _Slot(index=index, process=process, ctrl=ctrl, pid=process.pid)
@@ -465,6 +543,22 @@ class PersistentPool:
         if self._closed:
             return
         self._closed = True
+        self._router_stop = True
+        router = getattr(self, "_router", None)
+        if (
+            router is not None
+            and router.is_alive()
+            and router is not threading.current_thread()
+        ):
+            router.join(timeout=2.0)
+        with self._lock:
+            closed = EngineClosedError("the engine pool has been closed")
+            for pending in self._pending.values():
+                pending.fail(closed)
+            for waits in self._ack_waits.values():
+                for wait in waits:
+                    wait.error = closed
+                    wait.cond.notify_all()
         for slot in self.live_slots:
             try:
                 slot.ctrl.put(("stop",))
@@ -494,43 +588,47 @@ class PersistentPool:
         Returns True when the payload travelled via shared memory.
         """
         self._require_open()
-        arena = None
-        if self.use_shm:
-            arena = ShmArena()
-            self._arenas[token] = arena
-            self._state["arenas"].append(arena)
-        shipment = ship_groups(groups, arena)
-        msg = ("attach", token, shipment)
-        self._replay.append(msg)
-        self._broadcast(msg)
-        self._await_acks(token, timeout)
-        return shipment.via_shm
+        with self._ship_lock:
+            arena = None
+            if self.use_shm:
+                arena = ShmArena()
+                self._arenas[token] = arena
+                self._state["arenas"].append(arena)
+            shipment = ship_groups(groups, arena)
+            msg = ("attach", token, shipment)
+            wait = self._ship(msg, token, replay=msg)
+            self._await_acks(wait, timeout)
+            return shipment.via_shm
 
     def detach(self, token: str, *, timeout: float = 300.0) -> None:
         """Drop the dataset and its pinned artifacts from every worker."""
         self._require_open()
-        keys = self._pin_keys_by_token.pop(token, [])
-        msg = ("detach", token, tuple(keys))
-        self._replay = [
-            m
-            for m in self._replay
-            if not (m[0] == "attach" and m[1] == token)
-            and not (m[0] == "pin" and m[1] in keys)
-        ]
-        for key in keys:
-            self._pinned.pop(key, None)
-        self._broadcast(msg)
-        self._await_acks(token, timeout)
-        arena = self._arenas.pop(token, None)
-        if arena is not None:
-            arena.close()
+        with self._ship_lock:
+            with self._lock:
+                keys = self._pin_keys_by_token.pop(token, [])
+                msg = ("detach", token, tuple(keys))
+                self._replay = [
+                    m
+                    for m in self._replay
+                    if not (m[0] == "attach" and m[1] == token)
+                    and not (m[0] == "pin" and m[1] in keys)
+                ]
+                for key in keys:
+                    self._pinned.pop(key, None)
+                wait = self._register_ack_wait(token)
+                self._broadcast(msg)
+            self._await_acks(wait, timeout)
+            arena = self._arenas.pop(token, None)
+            if arena is not None:
+                arena.close()
 
     def pin_index(self, token: str, index, *, timeout: float = 300.0) -> str:
         """Pin a packed FlatRTree's arrays in every worker; returns its key.
 
         Keys are content digests, so the same cached artifact
         (:func:`repro.core.artifacts.packed_rtree` returns the same array
-        dict across queries) ships exactly once per engine.
+        dict across queries) ships exactly once per engine — including
+        when two concurrent queries race to pin it.
         """
         arrays = index.arrays()
         digest = hashlib.blake2b(digest_size=12)
@@ -541,10 +639,11 @@ class PersistentPool:
             digest.update(array.dtype.str.encode())
             digest.update(array.tobytes())
         key = f"{token}/index/{digest.hexdigest()}"
-        if key in self._pinned:
-            return key
-        payload = ship_arrays(arrays, self._arenas.get(token))
-        self._pin(token, key, "index", payload, arrays, timeout)
+        with self._ship_lock:
+            if key in self._pinned:
+                return key
+            payload = ship_arrays(arrays, self._arenas.get(token))
+            self._pin(token, key, "index", payload, arrays, timeout)
         return key
 
     def pin_order(self, token: str, order: Sequence[int], *, timeout: float = 300.0) -> str:
@@ -554,63 +653,86 @@ class PersistentPool:
         array = np.asarray(list(order), dtype=np.int64)
         digest = hashlib.blake2b(array.tobytes(), digest_size=12).hexdigest()
         key = f"{token}/order/{digest}"
-        if key in self._pinned:
-            return key
-        arena = self._arenas.get(token)
-        payload: Any
-        if arena is not None:
-            payload = arena.share(array)
-        else:
-            payload = tuple(int(i) for i in array)
-        self._pin(token, key, "order", payload, array, timeout)
+        with self._ship_lock:
+            if key in self._pinned:
+                return key
+            arena = self._arenas.get(token)
+            payload: Any
+            if arena is not None:
+                payload = arena.share(array)
+            else:
+                payload = tuple(int(i) for i in array)
+            self._pin(token, key, "order", payload, array, timeout)
         return key
 
     def _pin(self, token, key, tag, payload, strong_ref, timeout) -> None:
         self._require_open()
         msg = ("pin", key, tag, payload)
-        self._pinned[key] = (tag, strong_ref)
-        self._pin_keys_by_token.setdefault(token, []).append(key)
-        self._replay.append(msg)
-        self._broadcast(msg)
-        self._await_acks(key, timeout)
+        with self._lock:
+            self._pinned[key] = (tag, strong_ref)
+            self._pin_keys_by_token.setdefault(token, []).append(key)
+            self._replay.append(msg)
+            wait = self._register_ack_wait(key)
+            self._broadcast(msg)
+        self._await_acks(wait, timeout)
+
+    def _ship(self, msg: tuple, ack_key: str, *, replay: Optional[tuple]) -> _AckWait:
+        """Broadcast *msg* with the pool lock held; returns the ack wait.
+
+        The wait is registered *before* the broadcast so the router
+        cannot drop acks that race the registration.
+        """
+        with self._lock:
+            if replay is not None:
+                self._replay.append(replay)
+            wait = self._register_ack_wait(ack_key)
+            self._broadcast(msg)
+        return wait
+
+    def _register_ack_wait(self, key: str) -> _AckWait:
+        """Create an ack wait for *key* (caller holds the pool lock)."""
+        wait = _AckWait(
+            key,
+            {slot.index for slot in self.live_slots},
+            threading.Condition(self._lock),
+        )
+        self._ack_waits.setdefault(key, []).append(wait)
+        return wait
 
     def _broadcast(self, msg: tuple) -> None:
+        """Send *msg* to every live slot (caller holds the pool lock)."""
         for slot in self.live_slots:
             slot.ctrl.put(msg)
 
-    def _await_acks(self, key: str, timeout: float) -> None:
-        """Wait until every live slot acknowledged *key* (attach / pin).
+    def _await_acks(self, wait: _AckWait, timeout: float) -> None:
+        """Block until every live slot acknowledged the wait's key.
 
-        Crashes during the wait are handled like mid-query crashes: the
-        dead slot is respawned (budget permitting) and its replayed
-        attach/pin log produces the missing ack from the new process.
+        Crashes during the wait are handled by the router's liveness
+        survey: a dead slot is respawned (budget permitting) and its
+        replayed attach/pin log produces the missing ack from the new
+        process; a retired slot is dropped from the wait.
         """
-        pending = {slot.index for slot in self.live_slots}
         deadline = time.monotonic() + timeout
-        while pending:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise PoolTimeoutError(
-                    f"engine workers failed to acknowledge {key!r} within"
-                    f" {timeout:.0f}s ({len(pending)} slot(s) pending)"
-                )
-            try:
-                msg = self._results.get(timeout=min(_LIVENESS_POLL_SECONDS, remaining))
-            except Empty:
-                crashed = self._collect_casualties()
-                for slot in crashed:
-                    self._handle_casualty(slot, respawn=True)
-                pending = {slot.index for slot in self.live_slots}
-                if not self.live_slots:
-                    raise WorkerCrashError(
-                        "every engine worker slot died while attaching",
-                        pids=[slot.pid for slot in crashed],
-                        exitcodes=[slot.process.exitcode for slot in crashed],
-                    )
-                continue
-            if msg[0] == "ack" and msg[3] == key:
-                pending.discard(msg[1])
-            # stale chunk results / acks from earlier operations: ignore
+        try:
+            with self._lock:
+                while wait.pending and wait.error is None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise PoolTimeoutError(
+                            f"engine workers failed to acknowledge"
+                            f" {wait.key!r} within {timeout:.0f}s"
+                            f" ({len(wait.pending)} slot(s) pending)"
+                        )
+                    wait.cond.wait(timeout=min(_LIVENESS_POLL_SECONDS, remaining))
+            if wait.error is not None:
+                raise wait.error
+        finally:
+            with self._lock:
+                waits = self._ack_waits.get(wait.key)
+                if waits is not None and wait in waits:
+                    waits.remove(wait)
+                    if not waits:
+                        self._ack_waits.pop(wait.key, None)
 
     # ------------------------------------------------------------------
     # queries
@@ -631,12 +753,16 @@ class PersistentPool:
     ) -> List[ChunkOutcome]:
         """Run *spans* of one query over the warm pool; ordered outcomes.
 
-        The parent enqueues every chunk on the shared task queue, drains
-        the result queue with a liveness poll, deduplicates deliveries by
-        span, and — on a crash — respawns only the dead slot and
-        re-enqueues the undelivered chunks (``on_failure != "raise"``).
-        ``inline_fallback`` finishes remaining chunks on the parent when
-        no slot survives and the policy is ``"serial"``.
+        Safe to call from many threads at once: the parent enqueues every
+        chunk as a ``(qid, span)``-tagged task on the shared queue, the
+        router thread routes deliveries back to this query's pending
+        record (deduplicating by span within the query), and the calling
+        thread blocks on the record until it completes, fails, or the
+        pool timeout expires.  On a crash the router respawns only the
+        dead slot and re-enqueues every in-flight query's undelivered
+        chunks (``on_failure != "raise"``).  ``inline_fallback`` finishes
+        remaining chunks on the *calling* thread when no slot survives
+        and the policy is ``"serial"``.
         """
         self._require_open()
         self.ensure_healthy()
@@ -646,74 +772,278 @@ class PersistentPool:
             raise WorkerCrashError(
                 "no live engine worker slots remain (respawn budgets exhausted)"
             )
-        qid = self._next_qid
-        self._next_qid += 1
         trace_ctx = obs_tracing.current_trace_context()
-        prepare = (
-            "prepare",
-            qid,
-            token,
-            config,
-            kind,
-            index_key,
-            order_key,
-            trace_ctx,
-        )
-        self._active_prepare = prepare
-        self._broadcast(prepare)
         outstanding = {(int(a), int(b)) for a, b in spans}
-        total = len(outstanding)
-        for span in sorted(outstanding):
-            self._tasks.put((qid, span))
-        outcomes: List[ChunkOutcome] = []
-        deadline = time.monotonic() + pool_timeout
-        last_liveness = time.monotonic()
+        with self._lock:
+            qid = self._next_qid
+            self._next_qid += 1
+            prepare = (
+                "prepare",
+                qid,
+                token,
+                config,
+                kind,
+                index_key,
+                order_key,
+                trace_ctx,
+            )
+            self._active_prepares[qid] = prepare
+            pending = _PendingQuery(
+                qid,
+                outstanding=set(outstanding),
+                total=len(outstanding),
+                on_failure=on_failure,
+                progress=progress,
+                inline_fallback=inline_fallback,
+                cond=threading.Condition(self._lock),
+            )
+            self._pending[qid] = pending
+            self._broadcast(prepare)
+            for span in sorted(outstanding):
+                self._tasks.put((qid, span))
         try:
-            while outstanding:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise PoolTimeoutError(
-                        f"engine pool produced no result within"
-                        f" {pool_timeout:.0f}s ({len(self.live_slots)} live"
-                        f" slots, {len(outstanding)} chunks outstanding)"
-                    )
-                try:
-                    msg = self._results.get(
-                        timeout=min(_LIVENESS_POLL_SECONDS, remaining)
-                    )
-                except Empty:
-                    self._survey(qid, outstanding, on_failure, inline_fallback, outcomes)
-                    last_liveness = time.monotonic()
-                    continue
-                mkind = msg[0]
-                if mkind == "chunk":
-                    _, slot_index, pid, rqid, outcome = msg
-                    if rqid != qid:
-                        continue
-                    span = (outcome.start, outcome.stop)
-                    if span in outstanding:
-                        outstanding.discard(span)
-                        outcomes.append(outcome)
-                        if progress is not None:
-                            progress(total - len(outstanding), total)
-                elif mkind == "chunk_error":
-                    _, slot_index, pid, rqid, span, exc = msg
-                    span = tuple(span)
-                    if rqid != qid or span not in outstanding:
-                        continue
-                    self._handle_chunk_error(
-                        qid, slot_index, span, exc, outstanding, on_failure,
-                        inline_fallback, outcomes,
-                    )
-                # acks and other stale messages are ignored
-                if time.monotonic() - last_liveness >= _LIVENESS_POLL_SECONDS:
-                    self._survey(qid, outstanding, on_failure, inline_fallback, outcomes)
-                    last_liveness = time.monotonic()
+            self._drain_pending(pending, pool_timeout)
         finally:
-            self._active_prepare = None
-            self._broadcast(("finish", qid))
+            with self._lock:
+                self._pending.pop(qid, None)
+                self._active_prepares.pop(qid, None)
+                if not self._closed:
+                    self._broadcast(("finish", qid))
+        outcomes = pending.outcomes
         outcomes.sort(key=lambda outcome: (outcome.start, outcome.stop))
         return outcomes
+
+    def _drain_pending(self, pending: _PendingQuery, pool_timeout: float) -> None:
+        """Block until *pending* completes; run its serial-fallback spans.
+
+        Inline spans are executed outside the pool lock — the router only
+        ever *assigns* them, the thread that owns the query runs them.
+        """
+        deadline = time.monotonic() + pool_timeout
+        while True:
+            inline_spans: List[Tuple[int, int]] = []
+            with self._lock:
+                while True:
+                    if pending.error is not None:
+                        raise pending.error
+                    if pending.inline:
+                        inline_spans = sorted(pending.inline)
+                        pending.inline.clear()
+                        break
+                    if not pending.outstanding:
+                        return
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise PoolTimeoutError(
+                            f"engine pool produced no result within"
+                            f" {pool_timeout:.0f}s ({len(self.live_slots)} live"
+                            f" slots, {len(pending.outstanding)} chunks"
+                            f" outstanding)"
+                        )
+                    pending.cond.wait(
+                        timeout=min(_LIVENESS_POLL_SECONDS, remaining)
+                    )
+            for span in inline_spans:
+                outcome = pending.inline_fallback(tuple(span))
+                with self._lock:
+                    pending.outcomes.append(outcome)
+
+    # ------------------------------------------------------------------
+    # the router: delivery routing, liveness, fault handling
+
+    def _route_loop(self) -> None:
+        """Drain the shared result queue and run the liveness survey.
+
+        The single reader of ``self._results``: chunk deliveries, chunk
+        errors and attach/pin acks are routed to their pending records
+        under the pool lock.  Casualties are detected here too, on the
+        same cadence as the one-shot executor's liveness poll.
+        """
+        while not self._router_stop:
+            try:
+                msg = self._results.get(timeout=_LIVENESS_POLL_SECONDS)
+            except Empty:
+                msg = None
+            except (OSError, ValueError, EOFError):  # pragma: no cover
+                break  # queue torn down under us mid-close
+            with self._lock:
+                if msg is not None:
+                    self._route_locked(msg)
+                now = time.monotonic()
+                if now - self._last_survey >= _LIVENESS_POLL_SECONDS:
+                    self._last_survey = now
+                    self._survey_locked()
+
+    def _route_locked(self, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "chunk":
+            _, slot_index, pid, qid, outcome = msg
+            pending = self._pending.get(qid)
+            if pending is None:
+                return  # stale delivery for a finished/abandoned query
+            span = (outcome.start, outcome.stop)
+            if span not in pending.outstanding:
+                return  # duplicate delivery (respawn over-enqueue): dedup
+            pending.outstanding.discard(span)
+            pending.outcomes.append(outcome)
+            if pending.progress is not None:
+                done = pending.total - len(pending.outstanding) - len(pending.inline)
+                pending.progress(done, pending.total)
+            if not pending.outstanding:
+                pending.cond.notify_all()
+        elif kind == "chunk_error":
+            _, slot_index, pid, qid, span, exc = msg
+            pending = self._pending.get(qid)
+            span = tuple(span)
+            if pending is None or span not in pending.outstanding:
+                return
+            self._handle_chunk_error_locked(pending, slot_index, span, exc)
+        elif kind == "ack":
+            _, slot_index, pid, key = msg
+            for wait in self._ack_waits.get(key, ()):
+                wait.pending.discard(slot_index)
+                if not wait.pending:
+                    wait.cond.notify_all()
+        # anything else is a stale message from a dead worker: ignore
+
+    def _handle_chunk_error_locked(
+        self, pending: _PendingQuery, slot_index: int, span, exc
+    ) -> None:
+        """A chunk raised inside a surviving worker (worker-traceback model)."""
+        obs_runlog.emit_error(
+            "pool_error",
+            exc,
+            slot=slot_index,
+            chunk=list(span),
+            scope="engine",
+        )
+        if pending.on_failure == "raise":
+            pending.fail(exc)
+            return
+        slot = self._slots[slot_index]
+        if slot.failures < self.max_respawns:
+            slot.failures += 1
+            obs_runlog.emit(
+                "chunk_retry",
+                attempt=slot.failures,
+                max_retries=self.max_respawns,
+                chunks=1,
+                scope="engine",
+                slot=slot_index,
+            )
+            self._tasks.put((pending.qid, span))
+            return
+        if pending.on_failure == "serial" and pending.inline_fallback is not None:
+            pending.outstanding.discard(span)
+            pending.inline.append(span)
+            obs_runlog.emit("pool_fallback", chunks=1, scope="engine")
+            pending.cond.notify_all()
+            return
+        pending.fail(exc)
+
+    def _survey_locked(self) -> None:
+        """Liveness poll: detect casualties, respawn/retire, recover chunks.
+
+        Fail-fast (``on_failure="raise"``) queries are failed without a
+        respawn — the pool repairs itself lazily on the next
+        :meth:`run_query` via :meth:`ensure_healthy`, exactly like the
+        single-query engine did.  Queries under ``"retry"``/``"serial"``
+        (and threads blocked on attach/pin acks) trigger an immediate
+        single-slot respawn and a re-enqueue of every undelivered chunk.
+        """
+        crashed = self._collect_casualties()
+        if not crashed:
+            return
+        _engine_counter(
+            "engine_worker_crashes_total",
+            "Engine worker processes that died mid-session",
+        ).inc(len(crashed))
+        pids = [slot.pid for slot in crashed]
+        exitcodes = [slot.process.exitcode for slot in crashed]
+        detail = ", ".join(
+            f"pid {slot.pid}"
+            f" ({_signal_name(slot.process.exitcode) or f'exit {slot.process.exitcode}'})"
+            for slot in crashed
+        )
+        survivors_needed = False
+        for pending in self._pending.values():
+            if pending.error is not None:
+                continue
+            if pending.on_failure == "raise":
+                pending.fail(
+                    WorkerCrashError(
+                        f"engine worker crashed mid-query: {detail};"
+                        f" {len(pending.outstanding)} chunk(s) undelivered",
+                        pids=pids,
+                        exitcodes=exitcodes,
+                        lost_spans=sorted(pending.outstanding),
+                    )
+                )
+            else:
+                survivors_needed = True
+        ack_waits = [
+            wait
+            for waits in self._ack_waits.values()
+            for wait in waits
+            if wait.error is None
+        ]
+        if not survivors_needed and not ack_waits:
+            return  # leave the casualties to the lazy repair path
+        for slot in crashed:
+            self._handle_casualty(slot, respawn=True)
+        live = {slot.index for slot in self.live_slots}
+        if not live:
+            for wait in ack_waits:
+                wait.error = WorkerCrashError(
+                    "every engine worker slot died while attaching",
+                    pids=pids,
+                    exitcodes=exitcodes,
+                )
+                wait.cond.notify_all()
+            for pending in self._pending.values():
+                if pending.error is not None or pending.on_failure == "raise":
+                    continue
+                if (
+                    pending.on_failure == "serial"
+                    and pending.inline_fallback is not None
+                ):
+                    spans = sorted(pending.outstanding)
+                    pending.outstanding.clear()
+                    pending.inline.extend(spans)
+                    obs_runlog.emit(
+                        "pool_fallback", chunks=len(spans), scope="engine"
+                    )
+                    _engine_counter(
+                        "engine_serial_fallbacks_total",
+                        "Engine queries finished inline after losing every"
+                        " worker slot",
+                    ).inc(1)
+                    pending.cond.notify_all()
+                else:
+                    pending.fail(
+                        WorkerCrashError(
+                            "every engine worker slot is gone (respawn"
+                            " budgets exhausted);"
+                            f" {len(pending.outstanding)} chunk(s) undelivered",
+                            pids=pids,
+                            exitcodes=exitcodes,
+                            lost_spans=sorted(pending.outstanding),
+                        )
+                    )
+            return
+        for wait in ack_waits:
+            wait.pending &= live
+            if not wait.pending:
+                wait.cond.notify_all()
+        # Re-enqueue everything undelivered for every surviving query:
+        # chunks the dead worker held AND chunks still queued — duplicates
+        # are deduplicated by (qid, span) on delivery, so over-submission
+        # is safe.
+        for pending in self._pending.values():
+            if pending.error is not None or pending.on_failure == "raise":
+                continue
+            for span in sorted(pending.outstanding):
+                self._tasks.put((pending.qid, span))
 
     # ------------------------------------------------------------------
     # fault handling
@@ -726,7 +1056,7 @@ class PersistentPool:
         ]
 
     def _handle_casualty(self, slot: _Slot, *, respawn: bool) -> None:
-        """Retire or respawn one dead slot, with telemetry."""
+        """Retire or respawn one dead slot (caller holds the pool lock)."""
         exitcode = slot.process.exitcode
         old_pid = slot.pid
         can_respawn = respawn and slot.respawns < self.max_respawns
@@ -766,87 +1096,6 @@ class PersistentPool:
             budget=self.max_respawns,
         )
 
-    def _survey(
-        self, qid, outstanding, on_failure, inline_fallback, outcomes
-    ) -> None:
-        """Liveness poll: detect casualties, respawn/retire, recover chunks."""
-        crashed = self._collect_casualties()
-        if not crashed:
-            return
-        _engine_counter(
-            "engine_worker_crashes_total",
-            "Engine worker processes that died mid-session",
-        ).inc(len(crashed))
-        if on_failure == "raise":
-            # Fail the query fast; the pool repairs itself lazily on the
-            # next run_query via ensure_healthy().
-            for slot in crashed:
-                slot.disabled = False  # leave budget accounting to repair
-            raise WorkerCrashError(
-                "engine worker crashed mid-query: "
-                + ", ".join(
-                    f"pid {slot.pid}"
-                    f" ({_signal_name(slot.process.exitcode) or f'exit {slot.process.exitcode}'})"
-                    for slot in crashed
-                )
-                + f"; {len(outstanding)} chunk(s) undelivered",
-                pids=[slot.pid for slot in crashed],
-                exitcodes=[slot.process.exitcode for slot in crashed],
-                lost_spans=sorted(outstanding),
-            )
-        for slot in crashed:
-            self._handle_casualty(slot, respawn=True)
-        if not self.live_slots:
-            if on_failure == "serial" and inline_fallback is not None:
-                self._finish_inline((), outcomes, outstanding, inline_fallback)
-                return
-            raise WorkerCrashError(
-                "every engine worker slot is gone (respawn budgets"
-                f" exhausted); {len(outstanding)} chunk(s) undelivered",
-                pids=[slot.pid for slot in crashed],
-                exitcodes=[slot.process.exitcode for slot in crashed],
-                lost_spans=sorted(outstanding),
-            )
-        # Re-enqueue everything undelivered: chunks the dead worker held
-        # AND chunks still queued — duplicates are deduplicated by span
-        # on delivery, so over-submission is safe.
-        for span in sorted(outstanding):
-            self._tasks.put((qid, span))
-
-    def _handle_chunk_error(
-        self, qid, slot_index, span, exc, outstanding, on_failure,
-        inline_fallback, outcomes,
-    ) -> None:
-        """A chunk raised inside a surviving worker (worker-traceback model)."""
-        obs_runlog.emit_error(
-            "pool_error",
-            exc,
-            slot=slot_index,
-            chunk=list(span),
-            scope="engine",
-        )
-        if on_failure == "raise":
-            raise exc
-        slot = self._slots[slot_index]
-        if slot.failures < self.max_respawns:
-            slot.failures += 1
-            obs_runlog.emit(
-                "chunk_retry",
-                attempt=slot.failures,
-                max_retries=self.max_respawns,
-                chunks=1,
-                scope="engine",
-                slot=slot_index,
-            )
-            self._tasks.put((qid, span))
-            return
-        if on_failure == "serial" and inline_fallback is not None:
-            outstanding.discard(span)
-            outcomes.append(inline_fallback(span))
-            obs_runlog.emit("pool_fallback", chunks=1, scope="engine")
-            return
-        raise exc
-
     def _finish_inline(self, spans, outcomes, outstanding, inline_fallback):
         """Run every remaining chunk on the parent (serial fallback)."""
         obs_runlog.emit("pool_fallback", chunks=len(outstanding), scope="engine")
@@ -868,6 +1117,7 @@ class PersistentPool:
         leaves the pool usable for the next one.
         """
         self._require_open()
-        for slot in self._collect_casualties():
-            self._handle_casualty(slot, respawn=True)
-        return len(self.live_slots)
+        with self._lock:
+            for slot in self._collect_casualties():
+                self._handle_casualty(slot, respawn=True)
+            return len(self.live_slots)

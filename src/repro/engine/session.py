@@ -40,6 +40,7 @@ immediately and repairs the pool lazily before the next one.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -191,6 +192,11 @@ class SkylineEngine:
         self._pool: Optional[PersistentPool] = None
         self._handles: Dict[str, DatasetHandle] = {}
         self._closed = False
+        # Concurrent admission (repro.net, submit_batch(concurrency=N)):
+        # attach/pool-creation/stats are guarded; query execution itself
+        # runs outside the lock so chunk streams genuinely interleave on
+        # the shared pool (the pool routes deliveries by (qid, span)).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -221,9 +227,10 @@ class SkylineEngine:
 
     def close(self) -> None:
         """Release the pool, its queues and every shm segment (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._pool is not None:
             self.stats.slot_respawns = self._pool.total_respawns
             if not self._ephemeral and obs_runlog.get_runlog().enabled:
@@ -243,11 +250,31 @@ class SkylineEngine:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def __del__(self):  # pragma: no cover - GC safety net; pool has its own
+    def __del__(self):  # GC safety net; the pool has its own finalizer
+        if getattr(self, "_closed", True) or self._pool is None:
+            return
         try:
-            if not self._closed and self._pool is not None:
-                self._pool.close()
-        except Exception:
+            self._pool.close()
+        except (OSError, ValueError, RuntimeError, EOFError) as exc:
+            # The narrow set a queue/process/shm teardown can actually
+            # raise.  Swallowing silently here used to hide leaked shm
+            # segments and wedged worker slots — record the failure so
+            # it is visible in the run log and the metrics registry.
+            # Anything outside this set propagates (Python prints it as
+            # "Exception ignored in __del__", which is the point).
+            self._report_teardown_failure(exc)
+
+    @staticmethod
+    def _report_teardown_failure(exc: BaseException) -> None:
+        """Make a failed engine/pool release visible (runlog + counter)."""
+        try:
+            obs_metrics.get_registry().counter(
+                "engine_teardown_errors_total",
+                "Engine pool releases that failed (possible leaked shm"
+                " segments or worker slots)",
+            ).inc(1)
+            obs_runlog.emit_error("engine_teardown_error", exc, scope="engine")
+        except Exception:  # pragma: no cover - interpreter shutdown
             pass
 
     def _require_open(self) -> None:
@@ -260,6 +287,10 @@ class SkylineEngine:
     def _ensure_pool(self) -> Optional[PersistentPool]:
         if self._ephemeral:
             return None
+        with self._lock:
+            return self._ensure_pool_locked()
+
+    def _ensure_pool_locked(self) -> Optional[PersistentPool]:
         if self._pool is None:
             workers = self.execution.resolve_workers()
             if workers < 2:
@@ -317,25 +348,26 @@ class SkylineEngine:
                 " do not pass them again"
             )
         token = dataset.fingerprint()
-        handle = self._handles.get(token)
-        if handle is not None:
-            return handle
-        handle = DatasetHandle(self, dataset, token)
-        started = time.perf_counter()
-        pool = self._ensure_pool()
-        if pool is not None:
-            handle.via_shm = pool.attach(
-                token, dataset.groups, timeout=self.execution.pool_timeout
-            )
-            if warm:
-                index = artifacts.packed_rtree(dataset)
-                pool.pin_index(token, index, timeout=self.execution.pool_timeout)
-                order = artifacts.sort_order(
-                    dataset, "size_corner", SORT_KEYS["size_corner"]
+        with self._lock:
+            handle = self._handles.get(token)
+            if handle is not None:
+                return handle
+            handle = DatasetHandle(self, dataset, token)
+            started = time.perf_counter()
+            pool = self._ensure_pool_locked() if not self._ephemeral else None
+            if pool is not None:
+                handle.via_shm = pool.attach(
+                    token, dataset.groups, timeout=self.execution.pool_timeout
                 )
-                pool.pin_order(token, order, timeout=self.execution.pool_timeout)
-        self._handles[token] = handle
-        self.stats.attaches += 1
+                if warm:
+                    index = artifacts.packed_rtree(dataset)
+                    pool.pin_index(token, index, timeout=self.execution.pool_timeout)
+                    order = artifacts.sort_order(
+                        dataset, "size_corner", SORT_KEYS["size_corner"]
+                    )
+                    pool.pin_order(token, order, timeout=self.execution.pool_timeout)
+            self._handles[token] = handle
+            self.stats.attaches += 1
         obs_metrics.get_registry().counter(
             "engine_attaches_total", "Datasets attached to a SkylineEngine"
         ).inc(1)
@@ -463,11 +495,12 @@ class SkylineEngine:
         )
         if warm:
             engine_algorithm._pool_runner = self._warm_runner(handle, execution)
-        self.stats.queries += 1
-        if warm:
-            self.stats.warm_queries += 1
-        else:
-            self.stats.cold_queries += 1
+        with self._lock:
+            self.stats.queries += 1
+            if warm:
+                self.stats.warm_queries += 1
+            else:
+                self.stats.cold_queries += 1
         obs_metrics.get_registry().counter(
             "engine_queries_total",
             "Queries answered by a SkylineEngine",
@@ -559,6 +592,8 @@ class SkylineEngine:
         self,
         data: Union[DatasetHandle, GroupedDataset, Mapping[Hashable, Iterable]],
         queries: Sequence[Mapping[str, Any]],
+        *,
+        concurrency: int = 1,
     ) -> List[AggregateSkylineResult]:
         """Run many queries against one resident dataset over the shared
         pool; results in submission order.
@@ -568,19 +603,53 @@ class SkylineEngine:
         The dataset is attached once up front; warm-eligible queries then
         ship nothing but chunk spans, and the pool's dynamic task queue
         keeps every worker busy across query boundaries (the engine-side
-        analogue of the work-stealing scheduler).  Fail-fast: the first
-        failing query raises and the rest are not run.
+        analogue of the work-stealing scheduler).
+
+        ``concurrency`` overlaps up to that many queries' chunk streams
+        on the one resident pool — deliveries are routed by
+        ``(query id, span)``, so results and every ``AlgorithmStats``
+        counter stay bit-identical to running the batch sequentially.
+        With ``concurrency=1`` the batch is fail-fast: the first failing
+        query raises and the rest are not run.  With ``concurrency > 1``
+        queries already in flight run to completion and the error of the
+        earliest failing query is raised after they settle.
         """
         self._require_open()
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         handle = (
             data if isinstance(data, DatasetHandle) or self._ephemeral
             else self.attach(data)
         )
-        self.stats.batches += 1
-        results: List[AggregateSkylineResult] = []
-        for spec in queries:
-            results.append(self.query(handle, **dict(spec)))
-        return results
+        with self._lock:
+            self.stats.batches += 1
+        if concurrency == 1 or len(queries) <= 1:
+            results: List[AggregateSkylineResult] = []
+            for spec in queries:
+                results.append(self.query(handle, **dict(spec)))
+            return results
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(concurrency, len(queries)),
+            thread_name_prefix="repro-engine-batch",
+        ) as executor:
+            futures = [
+                executor.submit(self.query, handle, **dict(spec))
+                for spec in queries
+            ]
+            outcome: List[Any] = []
+            first_error: Optional[BaseException] = None
+            for future in futures:
+                try:
+                    outcome.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = exc
+                    outcome.append(None)
+            if first_error is not None:
+                raise first_error
+            return outcome
 
     # ------------------------------------------------------------------
     # warm span execution

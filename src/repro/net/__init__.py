@@ -1,0 +1,47 @@
+"""Network front-end for the persistent skyline engine.
+
+``repro.net`` serves one resident dataset over TCP with concurrent
+query admission: a line-oriented JSONL protocol (:mod:`.protocol`), an
+HTTP/1.1 POST shim on the same port, bounded FIFO admission onto the
+shared :class:`~repro.engine.pool.PersistentPool` (:mod:`.admission`),
+and a blocking client (:mod:`.client`).  Start one with::
+
+    engine = SkylineEngine(execution="workers=4")
+    handle = engine.attach(data)
+    with SkylineServer(engine, handle, port=7007) as server:
+        ...
+
+or from the CLI: ``repro serve --csv nba.csv --group-by 0 --of 1,2
+--listen 127.0.0.1:7007``.
+"""
+
+from .admission import (
+    AdmissionClosed,
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTimeout,
+)
+from .client import (
+    RequestTimeout,
+    ServerError,
+    ServerOverloaded,
+    SkylineClient,
+)
+from .protocol import PROTOCOL_VERSION, SpecError, validate_spec
+from .server import QueryDeadlineExpired, SkylineServer
+
+__all__ = [
+    "AdmissionClosed",
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionTimeout",
+    "PROTOCOL_VERSION",
+    "QueryDeadlineExpired",
+    "RequestTimeout",
+    "ServerError",
+    "ServerOverloaded",
+    "SkylineClient",
+    "SkylineServer",
+    "SpecError",
+    "validate_spec",
+]

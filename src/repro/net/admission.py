@@ -1,0 +1,178 @@
+"""Bounded, FIFO-fair admission of queries onto the shared engine pool.
+
+The server never lets raw socket concurrency hit the
+:class:`~repro.engine.pool.PersistentPool` directly.  Every query first
+passes the :class:`AdmissionController`:
+
+* at most ``max_inflight`` queries execute at once — the rest wait;
+* at most ``max_waiting`` queries wait — beyond that the controller
+  rejects immediately (:class:`AdmissionRejected`, wire code
+  ``overloaded``) instead of buffering unboundedly;
+* waiters are served strictly first-come-first-served via ticket
+  numbers, so one chatty connection cannot starve another;
+* a waiter whose per-request deadline expires is removed from the
+  queue and raises :class:`AdmissionTimeout` (wire code ``timeout``).
+
+``drain()`` supports graceful shutdown: it stops new admissions and
+blocks until in-flight queries settle (or the drain timeout passes).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Optional
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionTimeout",
+    "AdmissionClosed",
+]
+
+
+class AdmissionRejected(RuntimeError):
+    """The waiting queue is full; the request was shed immediately."""
+
+
+class AdmissionTimeout(TimeoutError):
+    """The request's deadline expired while waiting for an execution slot."""
+
+
+class AdmissionClosed(RuntimeError):
+    """The controller is draining or closed; no new work is admitted."""
+
+
+class AdmissionController:
+    """FIFO ticket queue bounding concurrent queries on one pool."""
+
+    def __init__(self, max_inflight: int = 4, max_waiting: int = 32):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_waiting < 0:
+            raise ValueError(f"max_waiting must be >= 0, got {max_waiting}")
+        self.max_inflight = int(max_inflight)
+        self.max_waiting = int(max_waiting)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._waiting: deque = deque()  # ticket numbers, FIFO
+        self._next_ticket = 0
+        self._in_flight = 0
+        self._closed = False
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.timed_out_total = 0
+
+    # -- core protocol --------------------------------------------------
+
+    def admit(self, *, deadline: Optional[float] = None, clock=None) -> None:
+        """Block until an execution slot is free; must be paired with
+        :meth:`release`.
+
+        ``deadline`` is an absolute monotonic timestamp (``clock()``
+        domain; defaults to :func:`time.monotonic`).  Raises
+        :class:`AdmissionRejected` when the waiting queue is already
+        full, :class:`AdmissionTimeout` on deadline expiry, and
+        :class:`AdmissionClosed` once draining has begun.
+        """
+        if clock is None:
+            import time
+
+            clock = time.monotonic
+        with self._cond:
+            if self._closed:
+                raise AdmissionClosed("server is shutting down")
+            if (
+                self._in_flight >= self.max_inflight
+                and len(self._waiting) >= self.max_waiting
+            ):
+                self.rejected_total += 1
+                raise AdmissionRejected(
+                    f"{self._in_flight} queries in flight and"
+                    f" {len(self._waiting)} waiting (max_waiting="
+                    f"{self.max_waiting}); retry later"
+                )
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._waiting.append(ticket)
+            try:
+                while True:
+                    if self._closed:
+                        raise AdmissionClosed("server is shutting down")
+                    if (
+                        self._waiting
+                        and self._waiting[0] == ticket
+                        and self._in_flight < self.max_inflight
+                    ):
+                        self._waiting.popleft()
+                        self._in_flight += 1
+                        self.admitted_total += 1
+                        # The head moved: wake the next waiter so it can
+                        # re-check whether it is now first in line.
+                        self._cond.notify_all()
+                        return
+                    timeout = None
+                    if deadline is not None:
+                        timeout = deadline - clock()
+                        if timeout <= 0:
+                            self.timed_out_total += 1
+                            raise AdmissionTimeout(
+                                "deadline expired while waiting for an"
+                                f" execution slot ({self._in_flight} in"
+                                " flight)"
+                            )
+                    self._cond.wait(timeout)
+            except BaseException:
+                try:
+                    self._waiting.remove(ticket)
+                except ValueError:
+                    pass
+                self._cond.notify_all()
+                raise
+
+    def release(self) -> None:
+        """Return an execution slot; wakes the next FIFO waiter."""
+        with self._cond:
+            if self._in_flight <= 0:  # pragma: no cover - caller bug
+                raise RuntimeError("release() without matching admit()")
+            self._in_flight -= 1
+            self._cond.notify_all()
+
+    # -- shutdown -------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Refuse new admissions and wait for in-flight queries to
+        settle; returns ``True`` when everything drained in time."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()  # waiters observe closed and bail
+            while self._in_flight > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining)
+            return True
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # -- introspection --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "in_flight": self._in_flight,
+                "waiting": len(self._waiting),
+                "max_inflight": self.max_inflight,
+                "max_waiting": self.max_waiting,
+                "admitted_total": self.admitted_total,
+                "rejected_total": self.rejected_total,
+                "timed_out_total": self.timed_out_total,
+            }

@@ -1,0 +1,134 @@
+"""Blocking JSONL client for :class:`repro.net.server.SkylineServer`.
+
+One socket, one request in flight at a time — the simplest correct
+client, used by the tests and ``examples/net_demo.py``::
+
+    with SkylineClient("127.0.0.1", 7007) as client:
+        client.ping()
+        body = client.query(gamma=0.6, algorithm="LO")
+        keys = [tuple(k) if isinstance(k, list) else k for k in body["keys"]]
+
+Error frames raise :class:`ServerError` subclasses keyed by the wire
+code: ``timeout`` → :class:`RequestTimeout`, ``overloaded`` →
+:class:`ServerOverloaded`, everything else the base class.
+"""
+
+from __future__ import annotations
+
+import socket
+from itertools import count
+from typing import Any, Dict, Optional
+
+from . import protocol
+
+__all__ = [
+    "SkylineClient",
+    "ServerError",
+    "RequestTimeout",
+    "ServerOverloaded",
+]
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error frame."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class RequestTimeout(ServerError):
+    """The request hit its ``deadline_ms`` (code ``timeout``)."""
+
+
+class ServerOverloaded(ServerError):
+    """The admission queue was full (code ``overloaded``)."""
+
+
+_ERROR_TYPES = {
+    protocol.ERROR_TIMEOUT: RequestTimeout,
+    protocol.ERROR_OVERLOADED: ServerOverloaded,
+}
+
+
+class SkylineClient:
+    """Synchronous line-protocol client; safe for one thread at a time."""
+
+    def __init__(
+        self, host: str, port: int, *, connect_timeout: float = 10.0
+    ):
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._file = self._sock.makefile("rb")
+        self._ids = count(1)
+
+    # -- request/response ----------------------------------------------
+
+    def request(self, op: str, **fields) -> Dict[str, Any]:
+        """One round trip; returns the ``result`` body or raises."""
+        request_id = next(self._ids)
+        frame = {"id": request_id, "op": op, **fields}
+        deadline_ms = fields.get("deadline_ms")
+        # Block on the socket a bit past the server-side deadline so a
+        # dead server surfaces as an OSError, not a hang.
+        if deadline_ms:
+            self._sock.settimeout(float(deadline_ms) / 1000.0 + 30.0)
+        else:
+            self._sock.settimeout(None)
+        self._sock.sendall(protocol.encode_frame(frame))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = protocol.decode_frame(line)
+        if response.get("id") != request_id:
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match"
+                f" request id {request_id!r}"
+            )
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error") or {}
+        code = error.get("code", protocol.ERROR_INTERNAL)
+        raise _ERROR_TYPES.get(code, ServerError)(
+            code, error.get("message", "unknown error")
+        )
+
+    # -- operations -----------------------------------------------------
+
+    def query(
+        self, *, deadline_ms: Optional[int] = None, **spec
+    ) -> Dict[str, Any]:
+        """Run one skyline query; returns keys/gamma/algorithm/stats."""
+        fields = dict(spec)
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        return self.request("query", **fields)
+
+    def explain(self, **spec) -> str:
+        return self.request("explain", **spec)["plan"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SkylineClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,243 @@
+"""Wire protocol for the network front-end — and the one place query
+specs are validated.
+
+The TCP protocol is line-oriented JSONL: one JSON object per line, one
+request per line, one response line per request, in order.  A request
+is a query spec (the same keyword surface as
+:meth:`repro.engine.SkylineEngine.query`) plus three reserved keys:
+
+``id``
+    Opaque client correlation value, echoed verbatim on the response.
+``op``
+    ``"query"`` (default), ``"explain"``, ``"stats"`` or ``"ping"``.
+``deadline_ms``
+    Per-request deadline in milliseconds, covering both the admission
+    wait and the execution.  Expiry produces an error frame with code
+    ``"timeout"`` — the pool itself is never killed.
+
+Responses are ``{"id": ..., "ok": true, "result": {...}}`` or
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``.
+
+:func:`validate_spec` is shared by the server, the HTTP shim, the
+client and ``repro serve --batch``: it type-checks every known key and
+rejects unknown ones with a did-you-mean suggestion *before* anything
+reaches ``engine.query(**spec)`` (which used to surface malformed batch
+lines as raw tracebacks).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.execution import suggest
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "SPEC_KEYS",
+    "RESERVED_KEYS",
+    "ERROR_BAD_REQUEST",
+    "ERROR_OVERLOADED",
+    "ERROR_TIMEOUT",
+    "ERROR_INTERNAL",
+    "ERROR_SHUTTING_DOWN",
+    "SpecError",
+    "validate_spec",
+    "encode_frame",
+    "decode_frame",
+    "result_payload",
+    "error_frame",
+    "ok_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request line — backpressure instead of unbounded
+#: buffering: a client that ships a bigger frame gets ``bad_request``
+#: and the connection is closed.
+MAX_LINE_BYTES = 1 << 20
+
+#: The query-spec surface accepted over the wire and in batch files.
+SPEC_KEYS = frozenset({"gamma", "algorithm", "dims", "execution", "explain"})
+
+#: Transport-level keys stripped before the spec reaches the engine.
+RESERVED_KEYS = frozenset({"id", "op", "deadline_ms"})
+
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_OVERLOADED = "overloaded"
+ERROR_TIMEOUT = "timeout"
+ERROR_INTERNAL = "internal"
+ERROR_SHUTTING_DOWN = "shutting_down"
+
+
+class SpecError(ValueError):
+    """A query spec failed validation (bad type, unknown key, bad JSON)."""
+
+
+def _spec_gamma(value: Any) -> Any:
+    if isinstance(value, bool):
+        raise SpecError(
+            f"'gamma' expects a number in [0.5, 1], got {value!r}"
+            " (example: \"gamma\": 0.6)"
+        )
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        try:
+            return Fraction(value)
+        except (ValueError, ZeroDivisionError):
+            raise SpecError(
+                f"'gamma' expects a number or a fraction string like"
+                f" \"2/3\", got {value!r} (example: \"gamma\": 0.6)"
+            ) from None
+    raise SpecError(
+        f"'gamma' expects a number, got {type(value).__name__}"
+        " (example: \"gamma\": 0.6)"
+    )
+
+
+def _spec_dims(value: Any) -> list:
+    if not isinstance(value, (list, tuple)):
+        raise SpecError(
+            f"'dims' expects a list of column indices, got"
+            f" {type(value).__name__} (example: \"dims\": [0, 1])"
+        )
+    dims = []
+    for entry in value:
+        if isinstance(entry, bool) or not isinstance(entry, int):
+            raise SpecError(
+                f"'dims' entries must be integers, got {entry!r}"
+                " (example: \"dims\": [0, 1])"
+            )
+        dims.append(int(entry))
+    return dims
+
+
+def validate_spec(
+    spec: Any, *, allow_explain: bool = True
+) -> Dict[str, Any]:
+    """Normalise one query spec into ``engine.query()`` keywords.
+
+    Raises :class:`SpecError` — never a raw ``TypeError`` from the
+    engine — on a non-object spec, a mistyped known key, or an unknown
+    key (with a did-you-mean suggestion against :data:`SPEC_KEYS`).
+    ``explain`` stays in the returned dict when present and permitted;
+    the caller routes it.
+    """
+    if not isinstance(spec, Mapping):
+        raise SpecError(
+            f"query spec must be a JSON object, got {type(spec).__name__}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for key, value in spec.items():
+        if not isinstance(key, str):
+            raise SpecError(f"spec keys must be strings, got {key!r}")
+        if key == "gamma":
+            kwargs["gamma"] = _spec_gamma(value)
+        elif key == "algorithm":
+            if not isinstance(value, str) or not value.strip():
+                raise SpecError(
+                    f"'algorithm' expects a name like \"LO\" or \"auto\","
+                    f" got {value!r}"
+                )
+            kwargs["algorithm"] = value
+        elif key == "dims":
+            kwargs["dims"] = _spec_dims(value)
+        elif key == "execution":
+            if not isinstance(value, (str, Mapping)):
+                raise SpecError(
+                    f"'execution' expects a spec string like"
+                    f" \"workers=4,scheduler=stealing\" or an object,"
+                    f" got {type(value).__name__}"
+                )
+            kwargs["execution"] = value
+        elif key == "explain":
+            if not allow_explain:
+                raise SpecError("'explain' is not accepted here")
+            if not isinstance(value, bool):
+                raise SpecError(
+                    f"'explain' expects true or false, got {value!r}"
+                )
+            kwargs["explain"] = value
+        else:
+            allowed = sorted(SPEC_KEYS if allow_explain else SPEC_KEYS - {"explain"})
+            raise SpecError(
+                f"unknown spec key {key!r}; expected one of {allowed}"
+                + suggest(key, SPEC_KEYS)
+            )
+    return kwargs
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def _json_default(value):
+    if isinstance(value, Fraction):
+        return str(value)
+    if isinstance(value, tuple):  # pragma: no cover - tuples render as lists
+        return list(value)
+    return str(value)
+
+
+def encode_frame(payload: Mapping) -> bytes:
+    """One JSONL frame: compact JSON + newline, UTF-8."""
+    return (
+        json.dumps(payload, separators=(",", ":"), default=_json_default)
+        + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(raw) -> Dict[str, Any]:
+    """Parse one request line; raises :class:`SpecError` on bad JSON."""
+    if isinstance(raw, (bytes, bytearray)):
+        raw = raw.decode("utf-8", errors="replace")
+    try:
+        frame = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"invalid JSON: {exc}") from None
+    if not isinstance(frame, dict):
+        raise SpecError(
+            f"request frame must be a JSON object, got"
+            f" {type(frame).__name__}"
+        )
+    return frame
+
+
+def result_payload(result, *, elapsed_seconds: float) -> Dict[str, Any]:
+    """The JSON-safe body of a successful query response.
+
+    ``keys`` keeps submission order; tuple group keys become lists (the
+    client converts back when comparing).  ``stats`` carries **every**
+    ``AlgorithmStats`` counter via ``as_dict`` — the acceptance contract
+    is that these match a sequential ``engine.query()`` bit for bit
+    (wall-clock fields excepted, they measure this run).
+    """
+    gamma = result.gamma
+    if isinstance(gamma, Fraction):
+        gamma = str(gamma)
+    return {
+        "keys": [
+            list(key) if isinstance(key, tuple) else key
+            for key in result.keys
+        ],
+        "gamma": gamma,
+        "algorithm": result.stats.algorithm,
+        "stats": result.stats.as_dict(),
+        "elapsed_seconds": elapsed_seconds,
+    }
+
+
+def ok_frame(request_id, result: Mapping) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": dict(result)}
+
+
+def error_frame(request_id, code: str, message: str) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }

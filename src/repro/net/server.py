@@ -1,0 +1,634 @@
+"""JSONL-over-TCP skyline server with an HTTP/1.1 POST shim.
+
+One :class:`SkylineServer` wraps one :class:`~repro.engine.SkylineEngine`
+and one resident :class:`~repro.engine.session.DatasetHandle`.  Clients
+speak the line protocol from :mod:`repro.net.protocol`; the first line
+of a connection is sniffed, and anything shaped like an HTTP/1.x request
+line is handed to the HTTP shim instead (``POST /query`` with a JSON
+body, ``GET /stats``), so the same port serves ``curl`` and the native
+client.
+
+Concurrency model
+-----------------
+* one daemon thread accepts connections; one thread per connection
+  reads frames;
+* every ``query`` op passes the :class:`AdmissionController` — bounded
+  in-flight queries, bounded FIFO waiting queue, per-request deadline —
+  then executes on a ``ThreadPoolExecutor`` sized to ``max_inflight``
+  over the engine's thread-safe :meth:`~repro.engine.SkylineEngine.query`;
+* the engine pool interleaves the admitted queries' chunk streams and
+  routes deliveries by ``(query id, span)``, so concurrent results are
+  bit-identical to sequential execution;
+* deadline expiry returns a ``timeout`` error frame.  The abandoned
+  query keeps its admission slot until it actually finishes — the pool
+  is never killed, and total pool pressure stays bounded.
+
+Shutdown (``shutdown()`` or SIGTERM via ``install_signal_handlers``)
+stops accepting, lets connection threads finish the frame they are
+serving, drains in-flight queries up to ``drain_timeout`` seconds, then
+closes every socket.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..obs import metrics as obs_metrics
+from ..obs import runlog as obs_runlog
+from .admission import (
+    AdmissionClosed,
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTimeout,
+)
+from . import protocol
+from .protocol import SpecError
+
+__all__ = ["SkylineServer", "QueryDeadlineExpired"]
+
+_HTTP_REQUEST_LINE = re.compile(rb"^[A-Z]+ \S+ HTTP/1\.[01]$")
+
+#: recv timeout; doubles as the poll interval for the closing flag.
+_POLL_SECONDS = 0.5
+
+
+class QueryDeadlineExpired(TimeoutError):
+    """A query ran past its ``deadline_ms`` while executing."""
+
+
+class _LineReader:
+    """Buffered newline framing over a socket, polling a closing flag."""
+
+    def __init__(self, sock: socket.socket, closing: threading.Event):
+        self._sock = sock
+        self._closing = closing
+        self._buf = b""
+
+    def readline(self) -> Optional[bytes]:
+        """Next line without its newline; ``None`` on EOF or shutdown."""
+        while True:
+            idx = self._buf.find(b"\n")
+            if idx >= 0:
+                line, self._buf = self._buf[:idx], self._buf[idx + 1 :]
+                return line
+            if len(self._buf) > protocol.MAX_LINE_BYTES:
+                raise SpecError(
+                    f"request line exceeds {protocol.MAX_LINE_BYTES} bytes"
+                )
+            if self._closing.is_set():
+                return None
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                return None
+            if not chunk:
+                if self._buf:
+                    line, self._buf = self._buf, b""
+                    return line
+                return None
+            self._buf += chunk
+
+    def read_exact(self, count: int) -> Optional[bytes]:
+        """Exactly *count* bytes (HTTP bodies); ``None`` on EOF/shutdown."""
+        while len(self._buf) < count:
+            if self._closing.is_set():
+                return None
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            self._buf += chunk
+        body, self._buf = self._buf[:count], self._buf[count:]
+        return body
+
+
+class SkylineServer:
+    """Serve one resident dataset over TCP with admission control."""
+
+    def __init__(
+        self,
+        engine,
+        handle,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 4,
+        max_waiting: int = 32,
+        default_deadline_ms: Optional[int] = None,
+        drain_timeout: float = 10.0,
+    ):
+        self.engine = engine
+        self.handle = handle
+        self.admission = AdmissionController(
+            max_inflight=max_inflight, max_waiting=max_waiting
+        )
+        self.default_deadline_ms = default_deadline_ms
+        self.drain_timeout = float(drain_timeout)
+        self._closing = threading.Event()
+        self._closed = threading.Event()
+        self._lock = threading.Lock()
+        self._connections: Dict[int, socket.socket] = {}
+        self._conn_threads: Dict[int, threading.Thread] = {}
+        self._next_conn = 0
+        self._accept_thread: Optional[threading.Thread] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-net-query"
+        )
+        registry = obs_metrics.get_registry()
+        self._c_accepts = registry.counter(
+            "net_accepts_total", "TCP connections accepted by the server"
+        )
+        self._c_requests = registry.counter(
+            "net_requests_total", "Requests received, by operation", ("op",)
+        )
+        self._c_responses = registry.counter(
+            "net_responses_total", "Responses sent, by status", ("status",)
+        )
+        self._c_timeouts = registry.counter(
+            "net_timeouts_total",
+            "Requests that hit their deadline (waiting or executing)",
+        )
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._listener.settimeout(_POLL_SECONDS)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "SkylineServer":
+        """Accept connections on a background thread (tests, examples)."""
+        if self._accept_thread is not None:
+            raise RuntimeError("server already started")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-net-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread until shutdown.
+
+        Used by ``repro serve --listen``; pair with
+        :meth:`install_signal_handlers` so SIGTERM/SIGINT trigger a
+        drain instead of a stack trace.
+        """
+        self._accept_loop()
+        self._closed.wait()
+
+    def install_signal_handlers(self) -> None:
+        import signal
+
+        def _request_shutdown(signum, frame):  # noqa: ARG001
+            obs_runlog.emit(
+                "net_shutdown", scope="net", reason=f"signal {signum}"
+            )
+            # Only flip the flag here; the accept loop exits and runs
+            # the drain outside signal context.
+            self._closing.set()
+
+        signal.signal(signal.SIGTERM, _request_shutdown)
+        signal.signal(signal.SIGINT, _request_shutdown)
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain in-flight queries, close every socket."""
+        self._closing.set()
+        if (
+            self._accept_thread is not None
+            and self._accept_thread is not threading.current_thread()
+        ):
+            self._accept_thread.join(timeout=self.drain_timeout + 2 * _POLL_SECONDS)
+        else:
+            self._drain_and_close()
+        self._closed.wait(timeout=self.drain_timeout + 2 * _POLL_SECONDS)
+
+    def _drain_and_close(self) -> None:
+        if self._closed.is_set():
+            return
+        drained = self.admission.drain(timeout=self.drain_timeout)
+        obs_runlog.emit("net_drain", scope="net", drained=drained)
+        # Give connection threads one poll cycle to flush their final
+        # response, then force-close anything still open.
+        with self._lock:
+            threads = list(self._conn_threads.values())
+        for thread in threads:
+            thread.join(timeout=2 * _POLL_SECONDS)
+        with self._lock:
+            leftovers = list(self._connections.values())
+            self._connections.clear()
+        for sock in leftovers:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._executor.shutdown(wait=False)
+        self._closed.set()
+
+    def __enter__(self) -> "SkylineServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # accept / connection loops
+
+    def _accept_loop(self) -> None:
+        try:
+            while not self._closing.is_set():
+                try:
+                    sock, peer = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                sock.settimeout(_POLL_SECONDS)
+                with self._lock:
+                    conn_id = self._next_conn
+                    self._next_conn += 1
+                    self._connections[conn_id] = sock
+                self._c_accepts.inc(1)
+                obs_runlog.emit(
+                    "net_accept",
+                    scope="net",
+                    conn=conn_id,
+                    peer=f"{peer[0]}:{peer[1]}",
+                )
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn_id, sock),
+                    name=f"repro-net-conn-{conn_id}",
+                    daemon=True,
+                )
+                with self._lock:
+                    self._conn_threads[conn_id] = thread
+                thread.start()
+        finally:
+            self._drain_and_close()
+
+    def _serve_connection(self, conn_id: int, sock: socket.socket) -> None:
+        reader = _LineReader(sock, self._closing)
+        try:
+            first = reader.readline()
+            if first is None:
+                return
+            if _HTTP_REQUEST_LINE.match(first.strip()):
+                self._serve_http(conn_id, sock, reader, first.strip())
+                return
+            line: Optional[bytes] = first
+            while line is not None:
+                if line.strip():
+                    response = self._handle_frame(conn_id, line)
+                    sock.sendall(protocol.encode_frame(response))
+                line = reader.readline()
+        except SpecError as exc:
+            # Oversized line: report once, then drop the connection.
+            try:
+                sock.sendall(
+                    protocol.encode_frame(
+                        protocol.error_frame(
+                            None, protocol.ERROR_BAD_REQUEST, str(exc)
+                        )
+                    )
+                )
+            except OSError:
+                pass
+        except OSError:
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._connections.pop(conn_id, None)
+                self._conn_threads.pop(conn_id, None)
+
+    # ------------------------------------------------------------------
+    # JSONL request handling
+
+    def _handle_frame(self, conn_id: int, line: bytes) -> Dict[str, Any]:
+        request_id: Any = None
+        started = time.perf_counter()
+        try:
+            frame = protocol.decode_frame(line)
+            request_id = frame.pop("id", None)
+            op = frame.pop("op", "query")
+            deadline_ms = frame.pop("deadline_ms", self.default_deadline_ms)
+            if not isinstance(op, str):
+                raise SpecError(f"'op' must be a string, got {op!r}")
+            self._c_requests.inc(1, op=op)
+            obs_runlog.emit(
+                "net_request",
+                scope="net",
+                conn=conn_id,
+                id=request_id,
+                op=op,
+            )
+            if op == "ping":
+                payload: Mapping = {
+                    "pong": True,
+                    "version": protocol.PROTOCOL_VERSION,
+                }
+            elif op == "stats":
+                payload = self._stats_payload()
+            elif op == "explain":
+                payload = self._run_explain(frame)
+            elif op == "query":
+                payload = self._run_query_op(
+                    conn_id, request_id, frame, deadline_ms
+                )
+            else:
+                raise SpecError(
+                    f"unknown op {op!r}; expected one of"
+                    " ['explain', 'ping', 'query', 'stats']"
+                )
+        except SpecError as exc:
+            return self._error(
+                conn_id, request_id, started, protocol.ERROR_BAD_REQUEST, exc
+            )
+        except (ValueError, TypeError, KeyError) as exc:
+            # Engine-side validation (bad gamma range, unknown algorithm
+            # name, dims out of bounds...) — still the client's fault.
+            return self._error(
+                conn_id, request_id, started, protocol.ERROR_BAD_REQUEST, exc
+            )
+        except AdmissionRejected as exc:
+            return self._error(
+                conn_id, request_id, started, protocol.ERROR_OVERLOADED, exc
+            )
+        except (AdmissionTimeout, QueryDeadlineExpired) as exc:
+            self._c_timeouts.inc(1)
+            obs_runlog.emit(
+                "net_timeout",
+                scope="net",
+                conn=conn_id,
+                id=request_id,
+                message=str(exc),
+            )
+            return self._error(
+                conn_id, request_id, started, protocol.ERROR_TIMEOUT, exc
+            )
+        except AdmissionClosed as exc:
+            return self._error(
+                conn_id,
+                request_id,
+                started,
+                protocol.ERROR_SHUTTING_DOWN,
+                exc,
+            )
+        except Exception as exc:  # noqa: BLE001 - last-resort frame
+            obs_runlog.emit_error("net_internal_error", exc, scope="net")
+            return self._error(
+                conn_id, request_id, started, protocol.ERROR_INTERNAL, exc
+            )
+        self._c_responses.inc(1, status="ok")
+        obs_runlog.emit(
+            "net_response",
+            scope="net",
+            conn=conn_id,
+            id=request_id,
+            status="ok",
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return protocol.ok_frame(request_id, payload)
+
+    def _error(
+        self, conn_id, request_id, started, code: str, exc: BaseException
+    ) -> Dict[str, Any]:
+        self._c_responses.inc(1, status=code)
+        obs_runlog.emit(
+            "net_response",
+            scope="net",
+            conn=conn_id,
+            id=request_id,
+            status=code,
+            message=str(exc),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return protocol.error_frame(request_id, code, str(exc))
+
+    # ------------------------------------------------------------------
+    # operations
+
+    def _run_query_op(
+        self,
+        conn_id: int,
+        request_id: Any,
+        spec: Mapping[str, Any],
+        deadline_ms: Optional[Any],
+    ) -> Dict[str, Any]:
+        kwargs = protocol.validate_spec(spec)
+        if kwargs.pop("explain", False):
+            return self._run_explain(kwargs, validated=True)
+        deadline = self._deadline_from_ms(deadline_ms)
+        self.admission.admit(deadline=deadline)
+        started = time.perf_counter()
+        future = self._executor.submit(
+            self.engine.query, self.handle, **kwargs
+        )
+        # The slot is held until the query truly finishes — even when
+        # the requester has already timed out — so pool pressure never
+        # exceeds max_inflight.
+        future.add_done_callback(lambda _f: self.admission.release())
+        timeout = None
+        if deadline is not None:
+            timeout = max(0.0, deadline - time.monotonic())
+        try:
+            result = future.result(timeout=timeout)
+        except FutureTimeout:
+            raise QueryDeadlineExpired(
+                f"query exceeded its deadline of {deadline_ms} ms; the"
+                " engine pool keeps running and the slot frees when the"
+                " query completes"
+            ) from None
+        return protocol.result_payload(
+            result, elapsed_seconds=time.perf_counter() - started
+        )
+
+    def _run_explain(
+        self, spec: Mapping[str, Any], *, validated: bool = False
+    ) -> Dict[str, Any]:
+        kwargs = dict(spec) if validated else protocol.validate_spec(spec)
+        kwargs.pop("explain", None)
+        kwargs.setdefault("algorithm", "auto")
+        plan = self.engine.explain(self.handle, **kwargs)
+        return {"plan": plan}
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        stats = self.engine.stats
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "admission": self.admission.snapshot(),
+            "engine": {
+                "attaches": stats.attaches,
+                "queries": stats.queries,
+                "warm_queries": stats.warm_queries,
+                "cold_queries": stats.cold_queries,
+                "batches": stats.batches,
+                "slot_respawns": stats.slot_respawns,
+            },
+        }
+
+    @staticmethod
+    def _deadline_from_ms(deadline_ms: Optional[Any]) -> Optional[float]:
+        if deadline_ms is None:
+            return None
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or deadline_ms <= 0
+        ):
+            raise SpecError(
+                f"'deadline_ms' expects a positive number of milliseconds,"
+                f" got {deadline_ms!r} (example: \"deadline_ms\": 2000)"
+            )
+        return time.monotonic() + float(deadline_ms) / 1000.0
+
+    # ------------------------------------------------------------------
+    # HTTP/1.1 shim
+
+    _HTTP_STATUS = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        500: "Internal Server Error",
+        503: "Service Unavailable",
+        504: "Gateway Timeout",
+    }
+
+    def _serve_http(
+        self,
+        conn_id: int,
+        sock: socket.socket,
+        reader: _LineReader,
+        request_line: bytes,
+    ) -> None:
+        """One HTTP request, then ``Connection: close``.
+
+        ``POST`` anywhere with a JSON body (one spec object or a list
+        of them) runs queries; ``GET`` returns the stats payload.
+        """
+        try:
+            method = request_line.split(b" ", 1)[0].decode("ascii")
+        except UnicodeDecodeError:  # pragma: no cover - matched ASCII regex
+            method = "?"
+        content_length = 0
+        while True:
+            header = reader.readline()
+            if header is None:
+                return
+            header = header.strip()
+            if not header:
+                break
+            name, _, value = header.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = -1
+        self._c_requests.inc(1, op=f"http_{method.lower()}")
+        obs_runlog.emit(
+            "net_request", scope="net", conn=conn_id, op=f"http_{method.lower()}"
+        )
+        if method == "GET":
+            self._send_http(sock, 200, self._stats_payload())
+            self._c_responses.inc(1, status="ok")
+            return
+        if method != "POST":
+            self._send_http(
+                sock, 405, {"error": {"code": protocol.ERROR_BAD_REQUEST,
+                                      "message": f"unsupported method {method}"}}
+            )
+            self._c_responses.inc(1, status=protocol.ERROR_BAD_REQUEST)
+            return
+        if content_length < 0 or content_length > protocol.MAX_LINE_BYTES:
+            self._send_http(
+                sock, 400, {"error": {"code": protocol.ERROR_BAD_REQUEST,
+                                      "message": "invalid Content-Length"}}
+            )
+            self._c_responses.inc(1, status=protocol.ERROR_BAD_REQUEST)
+            return
+        body = reader.read_exact(content_length) if content_length else b""
+        if body is None:
+            return
+        status, payload = self._http_post(conn_id, body)
+        self._send_http(sock, status, payload)
+        self._c_responses.inc(
+            1, status="ok" if status == 200 else payload["error"]["code"]
+        )
+
+    def _http_post(
+        self, conn_id: int, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        code_to_status = {
+            protocol.ERROR_BAD_REQUEST: 400,
+            protocol.ERROR_OVERLOADED: 503,
+            protocol.ERROR_TIMEOUT: 504,
+            protocol.ERROR_SHUTTING_DOWN: 503,
+            protocol.ERROR_INTERNAL: 500,
+        }
+        try:
+            parsed = json.loads(body.decode("utf-8", errors="replace") or "null")
+        except json.JSONDecodeError as exc:
+            return 400, {
+                "error": {
+                    "code": protocol.ERROR_BAD_REQUEST,
+                    "message": f"invalid JSON body: {exc}",
+                }
+            }
+        specs = parsed if isinstance(parsed, list) else [parsed]
+        results = []
+        for index, spec in enumerate(specs):
+            frame = dict(spec) if isinstance(spec, Mapping) else spec
+            if isinstance(frame, Mapping):
+                frame = {"id": index, "op": "query", **frame}
+                encoded = protocol.encode_frame(frame).rstrip(b"\n")
+            else:
+                encoded = json.dumps(frame).encode("utf-8")
+            response = self._handle_frame(conn_id, encoded)
+            if not response.get("ok"):
+                status = code_to_status.get(
+                    response["error"].get("code"), 500
+                )
+                return status, {"error": response["error"]}
+            results.append(response["result"])
+        if isinstance(parsed, list):
+            return 200, {"results": results}
+        return 200, results[0]
+
+    def _send_http(
+        self, sock: socket.socket, status: int, payload: Mapping
+    ) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {self._HTTP_STATUS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            sock.sendall(head + body)
+        except OSError:  # pragma: no cover - client went away
+            pass

@@ -49,6 +49,16 @@ fields.  Events emitted by the engine:
     The engine replaced exactly one dead worker slot (slot, old/new pid,
     exitcode/signal, respawn count vs budget) — surviving slots keep
     their pids and pinned data.
+``engine_teardown_error``
+    The engine's GC safety net failed to release the pool (possible
+    leaked shm segments or worker slots) — previously swallowed
+    silently; also bumps ``engine_teardown_errors_total``.
+``net_accept`` / ``net_request`` / ``net_response`` / ``net_timeout``
+    The network front-end (:mod:`repro.net`): a TCP connection accepted
+    (conn, peer), one request frame (conn, id, op), its response frame
+    (status ``ok`` or the error code, elapsed), and a request whose
+    ``deadline_ms`` expired while waiting or executing.  ``net_drain``
+    / ``net_shutdown`` bracket graceful shutdown.
 ``error``
     Any caught exception worth recording, with ``traceback``.
 

@@ -1,0 +1,277 @@
+"""Error paths of ``repro serve`` and engine teardown visibility.
+
+* ``--batch`` validates every spec line up front: a malformed JSON
+  line or an unknown/mistyped key is reported on stderr *with its line
+  number*, the remaining lines still run, and the exit code is
+  nonzero.  Spec files are read as UTF-8 regardless of locale.
+* The REPL's ``key=value`` parser names the key, the expected type and
+  an example instead of a bare ``ValueError``.
+* A failing pool release during engine garbage collection emits an
+  ``engine_teardown_error`` runlog event and bumps
+  ``engine_teardown_errors_total`` instead of passing silently.
+
+Pool-shaped cases run under both fork and spawn.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+
+import pytest
+
+from repro.cli import _serve_parse_kwargs, _serve_parse_line, main
+from repro.engine import SkylineEngine
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog as obs_runlog
+from repro.relational.csvio import save_csv
+from repro.relational.table import Table
+
+pytestmark = pytest.mark.timeout(300)
+
+START_METHODS = ("fork", "spawn")
+
+
+def _require_start_method(name: str) -> None:
+    if name == "fork" and not hasattr(signal, "SIGALRM"):
+        pytest.skip("fork start method requires POSIX")
+
+
+@pytest.fixture
+def movies_csv(tmp_path):
+    rows = [
+        ["Tarantino", 557, 9.0],
+        ["Tarantino", 313, 8.2],
+        ["Wiseau", 10, 3.2],
+        ["Nolan", 400, 8.8],
+        ["Nolan", 600, 8.1],
+        ["Bay", 900, 5.0],
+    ]
+    path = tmp_path / "movies.csv"
+    save_csv(Table(["director", "pop", "qual"], rows), str(path))
+    return str(path)
+
+
+def _serve_batch(movies_csv, batch_path, *extra):
+    return main(
+        [
+            "serve", "--csv", movies_csv, "--group-by", "director",
+            "--of", "pop:max,qual:max", "--batch", str(batch_path),
+            *extra,
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# --batch validation
+# ----------------------------------------------------------------------
+
+
+class TestBatchValidation:
+    def test_malformed_json_line_reported_and_skipped(
+        self, tmp_path, capsys, movies_csv
+    ):
+        batch = tmp_path / "batch.jsonl"
+        batch.write_text(
+            json.dumps({"gamma": 0.6}) + "\n"
+            "this is not json {\n"
+            + json.dumps({"gamma": 0.5}) + "\n",
+            encoding="utf-8",
+        )
+        code = _serve_batch(movies_csv, batch)
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "line 2" in captured.err
+        assert "invalid JSON" in captured.err
+        # both valid lines still ran
+        assert "gamma=0.6" in captured.out
+        assert "gamma=0.5" in captured.out
+
+    def test_unknown_key_reported_with_line_number(
+        self, tmp_path, capsys, movies_csv
+    ):
+        batch = tmp_path / "batch.jsonl"
+        batch.write_text(
+            json.dumps({"gamma": 0.6}) + "\n"
+            + json.dumps({"gamma": 0.5, "bogus": 1}) + "\n"
+            + json.dumps({"gama": 0.7}) + "\n",
+            encoding="utf-8",
+        )
+        code = _serve_batch(movies_csv, batch)
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "line 2" in captured.err
+        assert "'bogus'" in captured.err
+        assert "line 3" in captured.err
+        assert "did you mean 'gamma'" in captured.err
+        assert "gamma=0.6" in captured.out
+
+    def test_mistyped_value_reported(self, tmp_path, capsys, movies_csv):
+        batch = tmp_path / "batch.jsonl"
+        batch.write_text(
+            json.dumps({"gamma": "abc"}) + "\n", encoding="utf-8"
+        )
+        code = _serve_batch(movies_csv, batch)
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "line 1" in captured.err
+        assert "gamma" in captured.err
+
+    def test_all_lines_bad_exits_nonzero_without_running(
+        self, tmp_path, capsys, movies_csv
+    ):
+        batch = tmp_path / "batch.jsonl"
+        batch.write_text("{\n[1, 2]\n", encoding="utf-8")
+        code = _serve_batch(movies_csv, batch)
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "line 1" in captured.err
+        assert "line 2" in captured.err
+        assert "gamma=" not in captured.out
+
+    def test_empty_batch_is_a_no_op(self, tmp_path, capsys, movies_csv):
+        batch = tmp_path / "batch.jsonl"
+        batch.write_text("# only a comment\n\n", encoding="utf-8")
+        code = _serve_batch(movies_csv, batch)
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "no query specs" in captured.err
+
+    def test_valid_batch_still_exits_zero(
+        self, tmp_path, capsys, movies_csv
+    ):
+        batch = tmp_path / "batch.jsonl"
+        batch.write_text(
+            json.dumps({"gamma": 0.6, "algorithm": "LO"}) + "\n",
+            encoding="utf-8",
+        )
+        code = _serve_batch(movies_csv, batch)
+        assert code == 0
+        assert "gamma=0.6" in capsys.readouterr().out
+
+    def test_batch_read_as_utf8(self, tmp_path, capsys, movies_csv):
+        batch = tmp_path / "batch.jsonl"
+        # a UTF-8 comment line must not trip a locale-dependent decoder
+        batch.write_bytes(
+            "# gammas ≥ 0.5 only\n".encode("utf-8")
+            + json.dumps({"gamma": 0.75}).encode("utf-8")
+            + b"\n"
+        )
+        code = _serve_batch(movies_csv, batch)
+        assert code == 0
+        assert "gamma=0.75" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_bad_lines_skipped_with_pool(
+        self, tmp_path, capsys, movies_csv, start_method, monkeypatch
+    ):
+        """Same contract when the session actually spins up workers."""
+        _require_start_method(start_method)
+        monkeypatch.setenv("REPRO_START_METHOD", start_method)
+        batch = tmp_path / "batch.jsonl"
+        batch.write_text(
+            json.dumps({"gamma": 0.6, "algorithm": "LO"}) + "\n"
+            "garbage\n",
+            encoding="utf-8",
+        )
+        code = _serve_batch(
+            movies_csv, batch, "--execution", "workers=2"
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "line 2" in captured.err
+        assert "gamma=0.6" in captured.out
+
+
+# ----------------------------------------------------------------------
+# REPL kwarg parsing
+# ----------------------------------------------------------------------
+
+
+class TestReplParsing:
+    def test_gamma_not_a_number(self):
+        with pytest.raises(ValueError) as excinfo:
+            _serve_parse_kwargs(["gamma=abc"])
+        message = str(excinfo.value)
+        assert "gamma" in message
+        assert "'abc'" in message
+        assert "example" in message
+
+    def test_dims_not_integers(self):
+        with pytest.raises(ValueError) as excinfo:
+            _serve_parse_kwargs(["dims=1,x"])
+        message = str(excinfo.value)
+        assert "dims" in message
+        assert "'1,x'" in message
+        assert "example" in message
+
+    def test_missing_equals(self):
+        with pytest.raises(ValueError) as excinfo:
+            _serve_parse_kwargs(["gamma"])
+        assert "key=value" in str(excinfo.value)
+
+    def test_unknown_keyword_suggests(self):
+        with pytest.raises(ValueError) as excinfo:
+            _serve_parse_kwargs(["gama=0.6"])
+        message = str(excinfo.value)
+        assert "unknown query keyword" in message
+        assert "did you mean 'gamma'" in message
+
+    def test_valid_line_round_trips(self):
+        command, kwargs = _serve_parse_line("gamma=0.6 algorithm=LO dims=0,1")
+        assert command is None
+        assert kwargs == {
+            "gamma": 0.6,
+            "algorithm": "LO",
+            "dims": [0, 1],
+        }
+
+
+# ----------------------------------------------------------------------
+# engine teardown-failure visibility
+# ----------------------------------------------------------------------
+
+
+class TestTeardownVisibility:
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_failed_pool_release_is_reported(
+        self, tmp_path, start_method, monkeypatch
+    ):
+        _require_start_method(start_method)
+        log_path = tmp_path / "run.jsonl"
+        registry = obs_metrics.MetricsRegistry()
+        engine = SkylineEngine(
+            execution="workers=2", start_method=start_method
+        )
+        engine.attach({"g": [[0.0, 1.0], [1.0, 0.0]]})
+        pool = engine.pool
+        real_close = pool.close
+
+        def exploding_close():
+            raise OSError("simulated shm unlink failure")
+
+        with obs_metrics.use_registry(registry):
+            with obs_runlog.use_runlog(obs_runlog.RunLog(log_path)):
+                monkeypatch.setattr(pool, "close", exploding_close)
+                engine.__del__()
+        monkeypatch.setattr(pool, "close", real_close)
+        engine.close()  # real cleanup
+
+        events = obs_runlog.read_events(log_path)
+        teardown = [
+            e for e in events if e["event"] == "engine_teardown_error"
+        ]
+        assert len(teardown) == 1
+        assert "simulated shm unlink failure" in teardown[0]["message"]
+        counter = registry.get("engine_teardown_errors_total")
+        assert counter is not None and counter.value() == 1
+
+    def test_clean_close_reports_nothing(self, tmp_path):
+        log_path = tmp_path / "run.jsonl"
+        with obs_runlog.use_runlog(obs_runlog.RunLog(log_path)):
+            engine = SkylineEngine()
+            engine.attach({"g": [[0.0, 1.0]]})
+            engine.close()
+            engine.__del__()  # already closed: the safety net is a no-op
+        events = obs_runlog.read_events(log_path)
+        assert all(e["event"] != "engine_teardown_error" for e in events)
